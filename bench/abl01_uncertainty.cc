@@ -1,0 +1,77 @@
+// Design-choice ablation (DESIGN.md §5, paper Sec. VI future work):
+// sweep the uncertainty-penalty coefficient alpha and measure the
+// train-simulator return vs. the held-out-simulator return. The paper
+// fixes alpha implicitly (0.01 x U in its reward); this bench maps the
+// conservatism/exploitation trade-off that coefficient controls.
+//
+// Expected shape: with alpha = 0 the train return is highest but the
+// held-out (transfer) return suffers from prediction-error
+// exploitation; moderate alpha narrows the train/test gap; very large
+// alpha over-penalizes and drags both down.
+
+#include <cstdio>
+
+#include "experiments/dpr_pipeline.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+  Stopwatch stopwatch;
+
+  const std::vector<double> alphas =
+      full ? std::vector<double>{0.0, 0.1, 0.3, 1.0, 3.0}
+           : std::vector<double>{0.0, 0.3, 1.5};
+
+  std::printf("Ablation — uncertainty penalty coefficient alpha\n");
+  std::printf("%-8s %-22s %-22s %-12s\n", "alpha", "train-sim return",
+              "held-out return", "gap");
+  CsvWriter csv("results/abl01_uncertainty.csv",
+                {"alpha", "train_return", "heldout_return"});
+
+  for (double alpha : alphas) {
+    experiments::DprPipelineConfig config;
+    config.world.num_cities = full ? 5 : 3;
+    config.world.drivers_per_city = full ? 40 : 16;
+    config.world.horizon = full ? 14 : 10;
+    config.sessions_per_city = full ? 3 : 2;
+    config.ensemble_size = full ? 8 : 4;
+    config.train_simulators = full ? 5 : 3;
+    config.sim_train.epochs = full ? 40 : 30;
+    config.sim_env.uncertainty_alpha = alpha;
+    config.seed = 19;
+    const experiments::DprPipeline pipeline =
+        experiments::BuildDprPipeline(config);
+
+    experiments::DprTrainOptions options;
+    options.iterations = full ? 250 : 120;
+    options.eval_every = 0;
+    options.seed = 23;
+    experiments::DprTrainedPolicy trained =
+        experiments::TrainDprPolicy(pipeline, options);
+
+    Rng eval_rng(71);
+    const double train_return = experiments::EvaluateAgentOnSimulator(
+        pipeline, pipeline.test_data, pipeline.train_sim_indices[0],
+        *trained.agent, eval_rng);
+    const double heldout_return = experiments::EvaluateAgentOnSimulator(
+        pipeline, pipeline.test_data, pipeline.heldout_sim_indices[0],
+        *trained.agent, eval_rng);
+    std::printf("%-8.2f %-22.3f %-22.3f %-12.3f\n", alpha, train_return,
+                heldout_return, train_return - heldout_return);
+    csv.WriteRow({alpha, train_return, heldout_return});
+  }
+
+  std::printf("\nelapsed: %.1fs\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

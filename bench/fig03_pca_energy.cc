@@ -1,0 +1,109 @@
+// Reproduces Fig. 3 (cumulative energy ratio of the principal components
+// of SADAE's latent code v) and the appendix Fig. 12 (2-D PCA projection
+// of v against the ground-truth omega_g) on the LTS3 task.
+//
+// Paper claim: after training, the latent code is almost fully captured
+// by the first principal component, and that component depends linearly
+// on omega_g.
+
+#include <cstdio>
+
+#include "eval/pca.h"
+#include "experiments/lts_experiment.h"
+#include "sadae/sadae_trainer.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+  Stopwatch stopwatch;
+
+  experiments::LtsExperimentConfig config;
+  config.num_users = full ? 128 : 48;
+  config.horizon = full ? 60 : 30;
+  config.sadae_latent = 5;  // paper Table II: 5 units of latent code
+  config.sadae_hidden = {64, 64};
+  config.seed = GetFlagInt(argc, argv, "--seed", 1);
+  const int epochs = full ? 400 : 120;
+
+  const std::vector<double> omegas = envs::LtsTaskOmegas(4);  // LTS3
+
+  Rng rng(config.seed);
+  // State dataset D: random-policy state batches from every simulator.
+  std::vector<nn::Tensor> sets =
+      experiments::CollectLtsStateSets(omegas, config, rng);
+  // Remember which omega generated each set (horizon+1 sets per omega).
+  std::vector<double> set_omegas;
+  for (double w : omegas) {
+    for (int t = 0; t <= config.horizon; ++t) set_omegas.push_back(w);
+  }
+
+  sadae::SadaeConfig sadae_config;
+  sadae_config.state_dim = envs::kLtsObsDim;
+  sadae_config.latent_dim = config.sadae_latent;
+  sadae_config.encoder_hidden = config.sadae_hidden;
+  sadae_config.decoder_hidden = config.sadae_hidden;
+  sadae::Sadae model(sadae_config, rng);
+  sadae::SadaeTrainConfig train_config;
+  train_config.learning_rate = 2e-3;
+  sadae::SadaeTrainer trainer(&model, train_config);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    trainer.TrainEpoch(sets, rng);
+  }
+
+  // Embed every set and run PCA over the latent codes.
+  nn::Tensor embeddings(static_cast<int>(sets.size()),
+                        config.sadae_latent);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    embeddings.SetRow(static_cast<int>(i),
+                      model.EncodeSetValue(sets[i]));
+  }
+  eval::Pca pca(embeddings);
+  const std::vector<double> energy = pca.CumulativeEnergyRatio();
+
+  std::printf("Fig. 3 — cumulative energy ratio of v's principal "
+              "components (LTS3, %d epochs)\n", epochs);
+  std::printf("%-12s %s\n", "components", "cumulative_energy_ratio");
+  for (size_t k = 0; k < energy.size(); ++k) {
+    std::printf("%-12zu %.4f\n", k + 1, energy[k]);
+  }
+
+  // Fig. 12: projection onto the first two PCs, and the correlation of
+  // PC1 with the ground-truth omega_g.
+  const nn::Tensor projection = pca.Project(embeddings, 2);
+  std::vector<double> pc1(projection.rows());
+  for (int i = 0; i < projection.rows(); ++i) pc1[i] = projection(i, 0);
+  const double corr = PearsonCorrelation(pc1, set_omegas);
+  std::printf("\nFig. 12 — |corr(PC1, omega_g)| = %.3f "
+              "(paper: v depends linearly on omega_g)\n",
+              std::abs(corr));
+
+  CsvWriter csv("results/fig03_pca.csv",
+                {"set", "omega_g", "pc1", "pc2"});
+  for (int i = 0; i < projection.rows(); ++i) {
+    csv.WriteRow({static_cast<double>(i), set_omegas[i],
+                  projection(i, 0), projection(i, 1)});
+  }
+  CsvWriter energy_csv("results/fig03_energy.csv",
+                       {"components", "cumulative_energy"});
+  for (size_t k = 0; k < energy.size(); ++k) {
+    energy_csv.WriteRow({static_cast<double>(k + 1), energy[k]});
+  }
+
+  std::printf("\nPASS criteria: PC1 energy share %.3f (paper: ~1.0), "
+              "|corr| %.3f (paper: linear)\n", energy[0],
+              std::abs(corr));
+  std::printf("elapsed: %.1fs\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

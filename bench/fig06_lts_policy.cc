@@ -1,0 +1,113 @@
+// Reproduces Fig. 6: zero-shot deployment performance (target
+// environment omega* = 0) of Sim2Rec, DR-OSI, DR-UNI, DIRECT and the
+// Upper Bound, trained on the LTS1/LTS2/LTS3 simulator sets, as learning
+// curves over training iterations (3 seeds, mean ± stderr).
+//
+// Paper claims to reproduce (shape, not absolute numbers):
+//   * DIRECT degrades badly under the reality-gap;
+//   * every multi-simulator method is more robust than DIRECT;
+//   * representation-based methods (Sim2Rec, DR-OSI) beat DR-UNI;
+//   * Sim2Rec approaches the Upper Bound and beats DR-OSI on the
+//     harder tasks (LTS3).
+
+#include <cstdio>
+#include <map>
+
+#include "experiments/lts_experiment.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+  Stopwatch stopwatch;
+
+  const int seeds = full ? 3 : 2;
+  experiments::LtsExperimentConfig base;
+  base.num_users = full ? 64 : 32;
+  base.horizon = full ? 60 : 30;
+  base.iterations = full ? 150 : 50;
+  base.eval_every = full ? 10 : 10;
+  base.eval_episodes = full ? 3 : 2;
+
+  const std::vector<baselines::AgentVariant> variants = {
+      baselines::AgentVariant::kSim2Rec,
+      baselines::AgentVariant::kDrOsi,
+      baselines::AgentVariant::kDrUni,
+      baselines::AgentVariant::kDirect,
+      baselines::AgentVariant::kUpperBound,
+  };
+  const std::vector<int> task_alphas = {2, 3, 4};  // LTS1..LTS3
+
+  CsvWriter csv("results/fig06_curves.csv",
+                {"task", "variant", "iteration", "mean", "stderr",
+                 "min", "max"});
+  std::map<std::pair<int, int>, double> final_score;  // (task, variant)
+
+  for (size_t task = 0; task < task_alphas.size(); ++task) {
+    const int alpha = task_alphas[task];
+    const std::vector<double> omegas = envs::LtsTaskOmegas(alpha);
+    std::printf("\n=== LTS%d (|omega_g| >= %d, %zu training "
+                "simulators) ===\n",
+                static_cast<int>(task) + 1, alpha, omegas.size());
+    std::printf("%-12s %-26s %s\n", "variant",
+                "final deployed return", "curve (every eval)");
+
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+      std::vector<std::vector<double>> curves;
+      std::vector<int> iterations;
+      for (int seed = 0; seed < seeds; ++seed) {
+        experiments::LtsExperimentConfig config = base;
+        config.seed = 1000 * (task + 1) + 10 * seed + vi;
+        const experiments::LtsRunResult result =
+            experiments::RunLtsVariant(variants[vi], omegas, config);
+        curves.push_back(result.eval_returns);
+        iterations = result.eval_iterations;
+      }
+      const SeriesBand band = AggregateSeries(curves);
+      for (size_t k = 0; k < band.mean.size(); ++k) {
+        csv.WriteRow(std::vector<std::string>{
+            "LTS" + std::to_string(task + 1),
+            baselines::AgentVariantName(variants[vi]),
+            FormatDouble(iterations[k]), FormatDouble(band.mean[k]),
+            FormatDouble(band.stderr_[k]), FormatDouble(band.min[k]),
+            FormatDouble(band.max[k])});
+      }
+      final_score[{static_cast<int>(task), static_cast<int>(vi)}] =
+          band.mean.back();
+      std::printf("%-12s %8.2f ± %-8.2f      ",
+                  baselines::AgentVariantName(variants[vi]),
+                  band.mean.back(), band.stderr_.back());
+      for (double v : band.mean) std::printf("%7.1f", v);
+      std::printf("\n");
+    }
+  }
+
+  // Shape summary against the paper's ordering claims.
+  std::printf("\n=== shape checks (paper ordering) ===\n");
+  for (size_t task = 0; task < task_alphas.size(); ++task) {
+    const double sim2rec = final_score[{static_cast<int>(task), 0}];
+    const double dr_uni = final_score[{static_cast<int>(task), 2}];
+    const double direct = final_score[{static_cast<int>(task), 3}];
+    const double upper = final_score[{static_cast<int>(task), 4}];
+    std::printf(
+        "LTS%zu: Sim2Rec %.1f vs DR-UNI %.1f (%s), vs DIRECT %.1f "
+        "(%s), UpperBound %.1f (gap %.0f%%)\n",
+        task + 1, sim2rec, dr_uni, sim2rec >= dr_uni ? "OK" : "MISS",
+        direct, sim2rec >= direct ? "OK" : "MISS", upper,
+        100.0 * (upper - sim2rec) / std::max(std::abs(upper), 1e-9));
+  }
+
+  std::printf("elapsed: %.1fs\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

@@ -1,0 +1,188 @@
+// Reproduces Fig. 9: on the DPR task,
+//   (a) SADAE reconstruction quality over training epochs, measured as
+//       the KDE-based KL divergence (Eq. 9) between real group sets X
+//       and samples from the reconstructed distribution p_theta(X | v);
+//   (b) the hidden-state prediction probe: a freshly retrained one-layer
+//       network predicts the pairwise KLD of two sets from their
+//       embeddings (v_i, v_j); its MAE should fall as SADAE trains
+//       (paper: ~26% improvement over the initial embedding).
+
+#include <cstdio>
+
+#include "eval/kde.h"
+#include "experiments/dpr_pipeline.h"
+#include "sadae/probe.h"
+#include "sadae/sadae_trainer.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+// The continuous feature subspace used for the KDE estimates: the
+// history/statistics features plus the previous bonus. Full 12-dim KDE
+// is statistically hopeless with small sets, and within-set-constant
+// features (e.g. city_signal) degenerate the kernel bandwidths.
+const std::vector<int> kKdeFeatures = {3, 4, 5, 10};
+
+nn::Tensor SelectFeatures(const nn::Tensor& set) {
+  nn::Tensor out(set.rows(), static_cast<int>(kKdeFeatures.size()));
+  for (int r = 0; r < set.rows(); ++r) {
+    for (size_t c = 0; c < kKdeFeatures.size(); ++c) {
+      out(r, static_cast<int>(c)) = set(r, kKdeFeatures[c]);
+    }
+  }
+  return out;
+}
+
+double MeanReconstructionKld(sadae::Sadae& model,
+                             const std::vector<nn::Tensor>& sets,
+                             int max_sets, Rng& rng) {
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < static_cast<int>(sets.size()) && count < max_sets;
+       i += 3, ++count) {
+    const nn::Tensor v = model.EncodeSetValue(sets[i]);
+    const nn::Tensor recon = model.SampleReconstructedStates(
+        v, std::max(sets[i].rows(), 32), rng);
+    total += eval::KdeKlDivergence(SelectFeatures(sets[i]),
+                                   SelectFeatures(recon));
+  }
+  return total / count;
+}
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+  Stopwatch stopwatch;
+
+  experiments::DprPipelineConfig pipe_config;
+  pipe_config.world.num_cities = full ? 5 : 3;
+  pipe_config.world.drivers_per_city = full ? 40 : 16;
+  pipe_config.world.horizon = full ? 14 : 10;
+  pipe_config.sessions_per_city = 1;
+  pipe_config.ensemble_size = 2;
+  pipe_config.train_simulators = 1;
+  pipe_config.sim_train.epochs = 2;
+  pipe_config.apply_trend_filter = false;
+  pipe_config.seed = 11;
+  const experiments::DprPipeline pipeline =
+      experiments::BuildDprPipeline(pipe_config);
+
+  // Train/test split of the group sets.
+  std::vector<nn::Tensor> train_sets, test_sets;
+  for (size_t i = 0; i < pipeline.sadae_sets.size(); ++i) {
+    if (i % 5 == 4) {
+      test_sets.push_back(pipeline.sadae_sets[i]);
+    } else {
+      train_sets.push_back(pipeline.sadae_sets[i]);
+    }
+  }
+
+  const int seeds = 3;
+  const int epochs = full ? 300 : 80;
+  const int eval_every = full ? 25 : 10;
+  const int probe_sets = full ? 16 : 10;
+
+  std::vector<std::vector<double>> kld_curves, mae_curves;
+  std::vector<int> checkpoints;
+
+  for (int seed = 0; seed < seeds; ++seed) {
+    Rng rng(seed + 21);
+    sadae::SadaeConfig sadae_config;
+    sadae_config.state_dim = envs::kDprContinuousObsDim;
+    sadae_config.categorical_dim = envs::kDprTierCount;
+    sadae_config.action_dim = envs::kDprActionDim;
+    sadae_config.latent_dim = 8;
+    sadae_config.encoder_hidden = {64, 64};
+    sadae_config.decoder_hidden = {64, 64};
+    sadae::Sadae model(sadae_config, rng);
+    sadae::SadaeTrainConfig train_config;
+    train_config.learning_rate = 1e-3;
+    train_config.weight_decay = 1e-3;
+    sadae::SadaeTrainer trainer(&model, train_config);
+
+    // Precompute the probe's pairwise target KLDs on a fixed subset of
+    // test sets (they do not change as SADAE trains).
+    std::vector<nn::Tensor> probe_pool;
+    for (int i = 0;
+         i < static_cast<int>(test_sets.size()) &&
+         static_cast<int>(probe_pool.size()) < probe_sets;
+         ++i) {
+      probe_pool.push_back(test_sets[i]);
+    }
+    const int m = static_cast<int>(probe_pool.size());
+    // Cross-group KLDs span orders of magnitude here (city demand
+    // differs by magnitude), so the probe regresses log1p(KLD); the
+    // paper's KLD range (~0.6) needed no such compression.
+    nn::Tensor pairwise(m, m, 0.0);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < m; ++j) {
+        if (i != j) {
+          const double kld = eval::KdeKlDivergence(
+              SelectFeatures(probe_pool[i]),
+              SelectFeatures(probe_pool[j]));
+          pairwise(i, j) = std::log1p(std::max(0.0, kld));
+        }
+      }
+    }
+
+    std::vector<double> kld_curve, mae_curve;
+    for (int epoch = 0; epoch <= epochs; ++epoch) {
+      if (epoch % eval_every == 0) {
+        kld_curve.push_back(
+            MeanReconstructionKld(model, test_sets, 8, rng));
+        // Fresh probe, retrained from scratch (paper Sec. V-C4).
+        nn::Tensor embeddings(m, sadae_config.latent_dim);
+        for (int i = 0; i < m; ++i) {
+          embeddings.SetRow(i, model.EncodeSetValue(probe_pool[i]));
+        }
+        nn::Tensor pairs, targets;
+        sadae::BuildProbeDataset(embeddings, pairwise, &pairs, &targets);
+        Rng probe_rng(1234);  // identical probe training across epochs
+        sadae::KlProbe probe(sadae_config.latent_dim, probe_rng);
+        mae_curve.push_back(
+            probe.Train(pairs, targets, 120, 5e-3, probe_rng));
+        if (seed == 0) checkpoints.push_back(epoch);
+      }
+      if (epoch < epochs) trainer.TrainEpoch(train_sets, rng);
+    }
+    kld_curves.push_back(kld_curve);
+    mae_curves.push_back(mae_curve);
+  }
+
+  const SeriesBand kld_band = AggregateSeries(kld_curves);
+  const SeriesBand mae_band = AggregateSeries(mae_curves);
+
+  std::printf("Fig. 9 — SADAE on DPR (%d seeds, mean±stderr)\n", seeds);
+  std::printf("%-8s %-26s %-26s\n", "epoch", "(a) reconstruction KLD",
+              "(b) probe MAE");
+  CsvWriter csv("results/fig09_sadae.csv",
+                {"epoch", "kld_mean", "kld_stderr", "mae_mean",
+                 "mae_stderr"});
+  for (size_t k = 0; k < checkpoints.size(); ++k) {
+    std::printf("%-8d %10.4f ± %-12.4f %10.4f ± %-12.4f\n",
+                checkpoints[k], kld_band.mean[k], kld_band.stderr_[k],
+                mae_band.mean[k], mae_band.stderr_[k]);
+    csv.WriteRow({static_cast<double>(checkpoints[k]),
+                  kld_band.mean[k], kld_band.stderr_[k],
+                  mae_band.mean[k], mae_band.stderr_[k]});
+  }
+
+  const double mae_gain = 100.0 *
+      (mae_band.mean.front() - mae_band.mean.back()) /
+      std::max(mae_band.mean.front(), 1e-12);
+  std::printf("\nPASS criteria: KLD falls %.3f -> %.3f (paper: "
+              "converges to ~0.6); probe MAE improves %.0f%% "
+              "(paper: ~26%%)\n", kld_band.mean.front(),
+              kld_band.mean.back(), mae_gain);
+  std::printf("elapsed: %.1fs\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the from-scratch numeric
+// substrate: a regression here slows every experiment in the repo.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/distributions.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "sadae/sadae.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const nn::Tensor a = nn::Tensor::Randn(n, n, rng);
+  const nn::Tensor b = nn::Tensor::Randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MlpForwardValue(benchmark::State& state) {
+  Rng rng(2);
+  nn::Mlp mlp("m", 16, {64, 64}, 2, rng);
+  const nn::Tensor x = nn::Tensor::Randn(64, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.ForwardValue(x));
+  }
+}
+BENCHMARK(BM_MlpForwardValue);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Mlp mlp("m", 16, {64, 64}, 2, rng);
+  const nn::Tensor x = nn::Tensor::Randn(64, 16, rng);
+  const nn::Tensor y = nn::Tensor::Randn(64, 2, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::Var out = mlp.Forward(tape, tape.Constant(x));
+    nn::Var loss = nn::MseLossV(out, y);
+    mlp.ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_LstmStepValue(benchmark::State& state) {
+  Rng rng(4);
+  nn::LstmCell lstm("l", 20, 32, rng);
+  const nn::Tensor x = nn::Tensor::Randn(32, 20, rng);
+  nn::LstmStateValue s = lstm.InitialStateValue(32);
+  for (auto _ : state) {
+    s = lstm.ForwardValue(x, s);
+    benchmark::DoNotOptimize(s.h.data());
+  }
+}
+BENCHMARK(BM_LstmStepValue);
+
+void BM_LstmUnrollBackward(benchmark::State& state) {
+  const int t_max = static_cast<int>(state.range(0));
+  Rng rng(5);
+  nn::LstmCell lstm("l", 8, 16, rng);
+  const nn::Tensor x = nn::Tensor::Randn(16, 8, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::LstmState s = lstm.InitialState(tape, 16);
+    nn::Var x_var = tape.Constant(x);
+    for (int t = 0; t < t_max; ++t) s = lstm.Forward(tape, x_var, s);
+    nn::Var loss = nn::MeanV(nn::SquareV(s.h));
+    lstm.ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_LstmUnrollBackward)->Arg(5)->Arg(20);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(6);
+  nn::Mlp mlp("m", 32, {128, 128}, 4, rng);
+  nn::Adam adam(mlp.Parameters(), 1e-3);
+  for (nn::Parameter* p : mlp.Parameters()) {
+    p->grad = nn::Tensor::Randn(p->value.rows(), p->value.cols(), rng);
+  }
+  for (auto _ : state) {
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_SadaeNegElbo(benchmark::State& state) {
+  Rng rng(7);
+  sadae::SadaeConfig config;
+  config.state_dim = 12;
+  config.categorical_dim = 3;
+  config.action_dim = 2;
+  config.latent_dim = 8;
+  config.encoder_hidden = {64, 64};
+  config.decoder_hidden = {64, 64};
+  sadae::Sadae model(config, rng);
+  const nn::Tensor set = nn::Tensor::Randn(32, 17, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::Var loss = model.NegElbo(tape, set, rng);
+    model.ZeroGrad();
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(loss.value()(0, 0));
+  }
+}
+BENCHMARK(BM_SadaeNegElbo);
+
+void BM_GaussianLogProb(benchmark::State& state) {
+  Rng rng(8);
+  const nn::Tensor mean = nn::Tensor::Randn(256, 2, rng);
+  const nn::Tensor log_std = nn::Tensor::Zeros(256, 2);
+  const nn::Tensor x = nn::Tensor::Randn(256, 2, rng);
+  for (auto _ : state) {
+    nn::Tape tape;
+    nn::DiagGaussian dist{tape.Constant(mean), tape.Constant(log_std)};
+    benchmark::DoNotOptimize(dist.LogProb(x).value()(0, 0));
+  }
+}
+BENCHMARK(BM_GaussianLogProb);
+
+}  // namespace
+}  // namespace sim2rec
+
+BENCHMARK_MAIN();

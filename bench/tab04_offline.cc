@@ -1,0 +1,162 @@
+// Reproduces Table IV: expected cumulative reward per driver of Sim2Rec,
+// DIRECT, DeepFM and WideDeep deployed on the three held-out simulators
+// (SimA, SimB, SimC).
+//
+// Paper claims (shape): Sim2Rec wins on all three deployment simulators
+// and is stable across them; DIRECT is unstable across unseen
+// simulators; the supervised methods (DeepFM, WideDeep) sit in between,
+// with a milder transfer decline than DIRECT's worst case.
+
+#include <cstdio>
+
+#include "baselines/supervised.h"
+#include "experiments/dpr_pipeline.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+  Stopwatch stopwatch;
+
+  experiments::DprPipelineConfig config;
+  config.world.num_cities = full ? 5 : 3;
+  config.world.drivers_per_city = full ? 40 : 16;
+  config.world.horizon = full ? 14 : 10;
+  config.sessions_per_city = full ? 3 : 2;
+  config.ensemble_size = full ? 8 : 6;
+  config.train_simulators = full ? 5 : 3;  // keeps 3 held-out members
+  config.sim_train.epochs = full ? 40 : 30;
+  config.seed = GetFlagInt(argc, argv, "--seed", 9);
+  const experiments::DprPipeline pipeline =
+      experiments::BuildDprPipeline(config);
+  S2R_CHECK(pipeline.heldout_sim_indices.size() >= 3);
+  const std::vector<int> deploy_sims(
+      pipeline.heldout_sim_indices.begin(),
+      pipeline.heldout_sim_indices.begin() + 3);
+
+  // --- RL policies. ---
+  experiments::DprTrainOptions options;
+  options.iterations = full ? 300 : 150;
+  options.eval_every = 0;
+  options.seed = 31;
+  options.variant = baselines::AgentVariant::kSim2Rec;
+  experiments::DprTrainedPolicy sim2rec =
+      experiments::TrainDprPolicy(pipeline, options);
+  options.variant = baselines::AgentVariant::kDirect;
+  experiments::DprTrainedPolicy direct =
+      experiments::TrainDprPolicy(pipeline, options);
+
+  // --- Supervised recommenders on the logged data. ---
+  nn::Tensor inputs, targets;
+  pipeline.train_data.FlattenForSimulator(&inputs, &targets);
+  // Their regression target is the instant engagement (reward per
+  // step, normalized); rebuild it from the logged rewards.
+  {
+    int row = 0;
+    for (const auto& traj : pipeline.train_data.trajectories()) {
+      for (int t = 0; t < traj.length(); ++t) {
+        targets(row++, 0) = traj.rewards[t] / envs::kDprOrderScale;
+      }
+    }
+  }
+  Rng rng(41);
+  baselines::WideDeep wide_deep(envs::kDprObsDim, envs::kDprActionDim,
+                                {64, 32}, rng);
+  baselines::DeepFm deep_fm(envs::kDprObsDim, envs::kDprActionDim,
+                            /*embedding_dim=*/8, {64, 32}, rng);
+  baselines::SupervisedRecommender::TrainConfig sl_config;
+  sl_config.epochs = full ? 60 : 25;
+  sl_config.learning_rate = 1e-3;
+  wide_deep.Train(inputs, targets, sl_config);
+  deep_fm.Train(inputs, targets, sl_config);
+
+  const auto action_grid = baselines::ActionGrid2D(0.05, 0.9, 7);
+  auto wide_deep_policy = [&](const nn::Tensor& obs) {
+    return wide_deep.Act(obs, action_grid);
+  };
+  auto deep_fm_policy = [&](const nn::Tensor& obs) {
+    return deep_fm.Act(obs, action_grid);
+  };
+
+  // --- Evaluation on the held-out simulators. ---
+  CsvWriter csv("results/tab04_offline.csv",
+                {"method", "SimA", "SimB", "SimC"});
+  std::printf("Table IV — expected cumulative reward per driver "
+              "(normalized), deployed on held-out simulators\n");
+  std::printf("%-10s %10s %10s %10s\n", "", "SimA", "SimB", "SimC");
+
+  auto report_agent = [&](const char* name, rl::Agent& agent) {
+    std::vector<double> scores;
+    Rng eval_rng(77);
+    for (int sim : deploy_sims) {
+      scores.push_back(experiments::EvaluateAgentOnSimulator(
+          pipeline, pipeline.test_data, sim, agent, eval_rng));
+    }
+    std::printf("%-10s %10.3f %10.3f %10.3f\n", name, scores[0],
+                scores[1], scores[2]);
+    csv.WriteRow(std::vector<std::string>{
+        name, FormatDouble(scores[0]), FormatDouble(scores[1]),
+        FormatDouble(scores[2])});
+    return scores;
+  };
+  auto report_policy = [&](const char* name,
+                           const std::function<nn::Tensor(
+                               const nn::Tensor&)>& policy_fn) {
+    std::vector<double> scores;
+    Rng eval_rng(77);
+    for (int sim : deploy_sims) {
+      scores.push_back(experiments::EvaluatePolicyFnOnSimulator(
+          pipeline, pipeline.test_data, sim, policy_fn, eval_rng));
+    }
+    std::printf("%-10s %10.3f %10.3f %10.3f\n", name, scores[0],
+                scores[1], scores[2]);
+    csv.WriteRow(std::vector<std::string>{
+        name, FormatDouble(scores[0]), FormatDouble(scores[1]),
+        FormatDouble(scores[2])});
+    return scores;
+  };
+
+  const auto s_scores = report_agent("Sim2Rec", *sim2rec.agent);
+  const auto d_scores = report_agent("DIRECT", *direct.agent);
+  const auto f_scores = report_policy("DeepFM", deep_fm_policy);
+  const auto w_scores = report_policy("WideDeep", wide_deep_policy);
+
+  // Shape checks. The paper's headline is twofold: Sim2Rec is best on
+  // every deployment simulator, and — unlike DIRECT, whose worst case
+  // collapses to 0.027 — it is *stable* across them. We report both.
+  int wins = 0;
+  for (int k = 0; k < 3; ++k) {
+    if (s_scores[k] >= d_scores[k] && s_scores[k] >= f_scores[k] &&
+        s_scores[k] >= w_scores[k]) {
+      ++wins;
+    }
+  }
+  auto worst = [](const std::vector<double>& v) {
+    return *std::min_element(v.begin(), v.end());
+  };
+  const double s_worst = worst(s_scores);
+  const bool most_stable = s_worst >= worst(d_scores) &&
+                           s_worst >= worst(f_scores) &&
+                           s_worst >= worst(w_scores);
+  std::printf("\nworst-case across deployment sims: Sim2Rec %.3f, "
+              "DIRECT %.3f, DeepFM %.3f, WideDeep %.3f\n", s_worst,
+              worst(d_scores), worst(f_scores), worst(w_scores));
+  std::printf("PASS criteria: Sim2Rec best on %d/3 simulators "
+              "(paper: 3/3); best worst-case: %s\n", wins,
+              most_stable ? "OK" : "MISS");
+  std::printf("(paper Table IV: Sim2Rec .470/.483/.479, DIRECT "
+              ".450/.241/.027, DeepFM .325/.302/.368, WideDeep "
+              ".192/.398/.211)\n");
+  std::printf("elapsed: %.1fs\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

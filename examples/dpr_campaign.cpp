@@ -1,0 +1,101 @@
+// Driver-program-recommendation campaign, end to end:
+//   1. synthesize a ride-hailing world and log a "human expert" history;
+//   2. learn an ensemble of user simulators (with reality-gaps);
+//   3. filter pathological elasticity patterns (F_trend) and train a
+//      Sim2Rec policy with the uncertainty/F_exec guards;
+//   4. deploy in the ground-truth world and print per-driver program
+//      recommendations with the realized outcome.
+//
+//   ./build/examples/dpr_campaign [--iters N]
+
+#include <cstdio>
+
+#include "data/behavior_policy.h"
+#include "experiments/dpr_pipeline.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+int Run(int argc, char** argv) {
+  SetLogLevel(LogLevel::kInfo);
+  const int iterations = GetFlagInt(argc, argv, "--iters", 60);
+
+  experiments::DprPipelineConfig config;
+  config.world.num_cities = 3;
+  config.world.drivers_per_city = 16;
+  config.world.horizon = 10;
+  config.sessions_per_city = 1;
+  config.ensemble_size = 4;
+  config.train_simulators = 3;
+  config.sim_train.epochs = 15;
+  config.seed = 2024;
+
+  std::printf("== building the DPR pipeline (world -> logs -> "
+              "simulator ensemble -> F_trend) ==\n");
+  const experiments::DprPipeline pipeline =
+      experiments::BuildDprPipeline(config);
+  std::printf("logged trajectories: %d (train %d / test %d), "
+              "F_trend kept %d\n",
+              pipeline.dataset.size(), pipeline.train_data.size(),
+              pipeline.test_data.size(), pipeline.filtered_train.size());
+
+  std::printf("\n== training the Sim2Rec policy ==\n");
+  experiments::DprTrainOptions options;
+  options.iterations = iterations;
+  options.eval_every = iterations / 4;
+  options.seed = 7;
+  experiments::DprTrainedPolicy trained =
+      experiments::TrainDprPolicy(pipeline, options);
+
+  std::printf("\n== deploying in the ground-truth world (city 1) ==\n");
+  auto env = pipeline.world->MakeEnv(1);
+  Rng rng(99);
+  data::DprBehaviorPolicy behavior;
+
+  // Head-to-head: one week under the trained policy vs the behaviour
+  // policy, same drivers.
+  auto run_week = [&](bool use_agent) {
+    Rng week_rng(4242);
+    if (use_agent) trained.agent->BeginEpisode(env->num_users());
+    nn::Tensor obs = env->Reset(week_rng);
+    double total = 0.0;
+    nn::Tensor last_actions;
+    for (int day = 0; day < 7; ++day) {
+      last_actions =
+          use_agent
+              ? trained.agent->Step(obs, week_rng, true).actions
+              : behavior.Act(obs, week_rng);
+      const envs::StepResult step = env->Step(last_actions, week_rng);
+      for (double r : step.rewards) total += r;
+      obs = step.next_obs;
+    }
+    return std::make_pair(total / env->num_users(), last_actions);
+  };
+
+  const auto [expert_value, expert_actions] = run_week(false);
+  const auto [policy_value, policy_actions] = run_week(true);
+
+  std::printf("7-day value per driver: human expert %.1f, Sim2Rec "
+              "%.1f (%+.1f%%)\n", expert_value, policy_value,
+              100.0 * (policy_value - expert_value) / expert_value);
+
+  std::printf("\nsample program recommendations on the last day "
+              "(driver: difficulty, bonus):\n");
+  std::printf("%-8s %-22s %-22s\n", "driver", "human expert",
+              "Sim2Rec");
+  for (int i = 0; i < std::min(8, env->num_users()); ++i) {
+    std::printf("%-8d d=%.2f  B=%.2f        d=%.2f  B=%.2f\n", i,
+                expert_actions(i, 0), expert_actions(i, 1),
+                policy_actions(i, 0), policy_actions(i, 1));
+  }
+  std::printf("\n(the RL policy typically pushes difficulty toward each "
+              "driver's tolerance\nand spends bonus only where the "
+              "elasticity pays for itself)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

@@ -1,0 +1,58 @@
+// Quickstart: train a Sim2Rec policy on a small long-term-satisfaction
+// (LTS) simulator set and deploy it zero-shot on an unseen environment.
+//
+//   ./build/examples/quickstart
+//
+// Walks through the whole public API surface in ~40 lines of logic:
+// environments -> SADAE -> context-aware agent -> Algorithm 1 -> zero-
+// shot evaluation.
+
+#include <cstdio>
+
+#include "experiments/lts_experiment.h"
+
+int main() {
+  using namespace sim2rec;
+  SetLogLevel(LogLevel::kWarn);
+
+  // The training "simulator set": LTS environments whose group
+  // parameter omega_g is deliberately wrong (|omega_g| >= 4), standing
+  // in for learned simulators with reality-gaps. The deployment target
+  // (omega* = 0) is never trained on.
+  const std::vector<double> train_omegas = envs::LtsTaskOmegas(4);
+  std::printf("training simulators: %zu (omega_g in {",
+              train_omegas.size());
+  for (size_t i = 0; i < train_omegas.size(); ++i) {
+    std::printf("%s%.0f", i ? ", " : "", train_omegas[i]);
+  }
+  std::printf("}), deployment target: omega_g = 0\n\n");
+
+  experiments::LtsExperimentConfig config;
+  config.num_users = 32;
+  config.horizon = 30;
+  config.iterations = 40;
+  config.eval_every = 5;
+  config.seed = 1;
+
+  std::printf("training Sim2Rec (SADAE + LSTM extractor + PPO)...\n");
+  const experiments::LtsRunResult sim2rec = experiments::RunLtsVariant(
+      baselines::AgentVariant::kSim2Rec, train_omegas, config);
+
+  std::printf("training DIRECT (single simulator, no extractor)...\n");
+  const experiments::LtsRunResult direct = experiments::RunLtsVariant(
+      baselines::AgentVariant::kDirect, train_omegas, config);
+
+  std::printf("\nzero-shot deployed return over training:\n");
+  std::printf("%-12s %-12s %-12s\n", "iteration", "Sim2Rec", "DIRECT");
+  for (size_t k = 0; k < sim2rec.eval_returns.size(); ++k) {
+    std::printf("%-12d %-12.1f %-12.1f\n",
+                sim2rec.eval_iterations[k], sim2rec.eval_returns[k],
+                direct.eval_returns[k]);
+  }
+  std::printf("\nSim2Rec final: %.1f | DIRECT final: %.1f\n",
+              sim2rec.final_return, direct.final_return);
+  std::printf("Sim2Rec adapts to the unseen environment by inferring "
+              "its parameters\nfrom the group's behaviour; DIRECT "
+              "trusts a single wrong simulator.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "baselines/factories.h"
+
+namespace sim2rec {
+namespace baselines {
+
+const char* AgentVariantName(AgentVariant variant) {
+  switch (variant) {
+    case AgentVariant::kSim2Rec:
+      return "Sim2Rec";
+    case AgentVariant::kDrOsi:
+      return "DR-OSI";
+    case AgentVariant::kDrUni:
+      return "DR-UNI";
+    case AgentVariant::kDirect:
+      return "DIRECT";
+    case AgentVariant::kUpperBound:
+      return "UpperBound";
+  }
+  return "?";
+}
+
+core::ContextAgentConfig MakeAgentConfig(AgentVariant variant, int obs_dim,
+                                         int action_dim) {
+  core::ContextAgentConfig config;
+  config.obs_dim = obs_dim;
+  config.action_dim = action_dim;
+  switch (variant) {
+    case AgentVariant::kSim2Rec:
+    case AgentVariant::kDrOsi:
+      config.use_extractor = true;
+      break;
+    case AgentVariant::kDrUni:
+    case AgentVariant::kDirect:
+    case AgentVariant::kUpperBound:
+      config.use_extractor = false;
+      break;
+  }
+  return config;
+}
+
+}  // namespace baselines
+}  // namespace sim2rec

@@ -1,0 +1,36 @@
+#ifndef SIM2REC_BASELINES_FACTORIES_H_
+#define SIM2REC_BASELINES_FACTORIES_H_
+
+#include "core/context_agent.h"
+
+namespace sim2rec {
+namespace baselines {
+
+/// The policy-learning variants compared in the paper (Sec. V-A2).
+/// All share the PPO learner; they differ only in the extractor
+/// architecture and the training environment set:
+///   kSim2Rec    hierarchical extractor with SADAE, simulator set
+///   kDrOsi      plain LSTM extractor (no SADAE), simulator set
+///   kDrUni      no extractor (domain randomization), simulator set
+///   kDirect     no extractor, a single simulator
+///   kUpperBound no extractor, trained on the target environment itself
+enum class AgentVariant {
+  kSim2Rec,
+  kDrOsi,
+  kDrUni,
+  kDirect,
+  kUpperBound,
+};
+
+const char* AgentVariantName(AgentVariant variant);
+
+/// Base agent configuration for a variant. Sim2Rec additionally needs a
+/// SADAE instance passed to the ContextAgent constructor; for every
+/// other variant pass nullptr.
+core::ContextAgentConfig MakeAgentConfig(AgentVariant variant, int obs_dim,
+                                         int action_dim);
+
+}  // namespace baselines
+}  // namespace sim2rec
+
+#endif  // SIM2REC_BASELINES_FACTORIES_H_

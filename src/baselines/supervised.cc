@@ -1,0 +1,184 @@
+#include "baselines/supervised.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace sim2rec {
+namespace baselines {
+
+nn::Tensor SupervisedRecommender::Predict(const nn::Tensor& inputs) {
+  nn::Tape tape;
+  nn::Var out = Forward(tape, inputs);
+  return out.value();
+}
+
+double SupervisedRecommender::Train(const nn::Tensor& inputs,
+                                    const nn::Tensor& targets,
+                                    const TrainConfig& config) {
+  S2R_CHECK(inputs.rows() == targets.rows());
+  S2R_CHECK(inputs.cols() == obs_dim_ + action_dim_);
+  Rng rng(config.seed);
+  nn::Adam optimizer(Parameters(), config.learning_rate);
+  const int n = inputs.rows();
+  const int batch = std::min(config.batch_size, n);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<int> order = rng.Permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int start = 0; start + batch <= n; start += batch) {
+      nn::Tensor bx(batch, inputs.cols());
+      nn::Tensor by(batch, 1);
+      for (int k = 0; k < batch; ++k) {
+        bx.SetRow(k, inputs.Row(order[start + k]));
+        by(k, 0) = targets(order[start + k], 0);
+      }
+      nn::Tape tape;
+      nn::Var pred = Forward(tape, bx);
+      nn::Var loss = nn::MseLossV(pred, by);
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      nn::ClipGradNorm(Parameters(), config.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.value()(0, 0);
+      ++batches;
+    }
+    last_loss = batches > 0 ? epoch_loss / batches : 0.0;
+  }
+  return last_loss;
+}
+
+nn::Tensor SupervisedRecommender::Act(
+    const nn::Tensor& obs,
+    const std::vector<std::vector<double>>& candidates) {
+  S2R_CHECK(obs.cols() == obs_dim_);
+  S2R_CHECK(!candidates.empty());
+  const int n = obs.rows();
+  const int num_candidates = static_cast<int>(candidates.size());
+
+  // One big batch: every (user, candidate) pair.
+  nn::Tensor inputs(n * num_candidates, obs_dim_ + action_dim_);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < num_candidates; ++k) {
+      S2R_CHECK(static_cast<int>(candidates[k].size()) == action_dim_);
+      const int row = i * num_candidates + k;
+      for (int c = 0; c < obs_dim_; ++c) inputs(row, c) = obs(i, c);
+      for (int c = 0; c < action_dim_; ++c)
+        inputs(row, obs_dim_ + c) = candidates[k][c];
+    }
+  }
+  const nn::Tensor scores = Predict(inputs);
+
+  nn::Tensor actions(n, action_dim_);
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    for (int k = 1; k < num_candidates; ++k) {
+      if (scores(i * num_candidates + k, 0) >
+          scores(i * num_candidates + best, 0)) {
+        best = k;
+      }
+    }
+    for (int c = 0; c < action_dim_; ++c)
+      actions(i, c) = candidates[best][c];
+  }
+  return actions;
+}
+
+std::vector<std::vector<double>> ActionGrid1D(double lo, double hi,
+                                              int points) {
+  S2R_CHECK(points >= 2);
+  std::vector<std::vector<double>> grid;
+  for (int k = 0; k < points; ++k) {
+    grid.push_back({lo + (hi - lo) * k / (points - 1)});
+  }
+  return grid;
+}
+
+std::vector<std::vector<double>> ActionGrid2D(double lo, double hi,
+                                              int points_per_dim) {
+  S2R_CHECK(points_per_dim >= 2);
+  std::vector<std::vector<double>> grid;
+  for (int i = 0; i < points_per_dim; ++i) {
+    for (int j = 0; j < points_per_dim; ++j) {
+      grid.push_back({lo + (hi - lo) * i / (points_per_dim - 1),
+                      lo + (hi - lo) * j / (points_per_dim - 1)});
+    }
+  }
+  return grid;
+}
+
+WideDeep::WideDeep(int obs_dim, int action_dim,
+                   const std::vector<int>& deep_hidden, Rng& rng)
+    : SupervisedRecommender(obs_dim, action_dim) {
+  // Wide features: raw inputs plus every action x state cross product.
+  wide_dim_ = obs_dim + action_dim + obs_dim * action_dim;
+  wide_ = std::make_unique<nn::Linear>("widedeep.wide", wide_dim_, 1, rng);
+  deep_ = std::make_unique<nn::Mlp>("widedeep.deep", obs_dim + action_dim,
+                                    deep_hidden, 1, rng,
+                                    nn::Activation::kRelu);
+  AddChild(wide_.get());
+  AddChild(deep_.get());
+}
+
+nn::Tensor WideDeep::BuildWideFeatures(const nn::Tensor& inputs) const {
+  const int n = inputs.rows();
+  const int od = obs_dim();
+  const int ad = action_dim();
+  nn::Tensor wide(n, wide_dim_);
+  for (int r = 0; r < n; ++r) {
+    int col = 0;
+    for (int c = 0; c < od + ad; ++c) wide(r, col++) = inputs(r, c);
+    for (int a = 0; a < ad; ++a) {
+      for (int s = 0; s < od; ++s) {
+        wide(r, col++) = inputs(r, od + a) * inputs(r, s);
+      }
+    }
+  }
+  return wide;
+}
+
+nn::Var WideDeep::Forward(nn::Tape& tape, const nn::Tensor& inputs) {
+  S2R_CHECK(inputs.cols() == obs_dim() + action_dim());
+  nn::Var wide_out =
+      wide_->Forward(tape, tape.Constant(BuildWideFeatures(inputs)));
+  nn::Var deep_out = deep_->Forward(tape, tape.Constant(inputs));
+  return nn::AddV(wide_out, deep_out);
+}
+
+DeepFm::DeepFm(int obs_dim, int action_dim, int embedding_dim,
+               const std::vector<int>& deep_hidden, Rng& rng)
+    : SupervisedRecommender(obs_dim, action_dim),
+      embedding_dim_(embedding_dim) {
+  const int f = obs_dim + action_dim;
+  first_order_ = std::make_unique<nn::Linear>("deepfm.w1", f, 1, rng);
+  embeddings_ = AddParameter(
+      "deepfm.V", nn::XavierUniform(f, embedding_dim, rng));
+  deep_ = std::make_unique<nn::Mlp>("deepfm.deep", f, deep_hidden, 1, rng,
+                                    nn::Activation::kRelu);
+  AddChild(first_order_.get());
+  AddChild(deep_.get());
+}
+
+nn::Var DeepFm::Forward(nn::Tape& tape, const nn::Tensor& inputs) {
+  S2R_CHECK(inputs.cols() == obs_dim() + action_dim());
+  nn::Var x = tape.Constant(inputs);
+  nn::Var v = tape.Leaf(embeddings_);
+
+  nn::Var first = first_order_->Forward(tape, x);
+
+  // FM second order: 0.5 * sum_k[ (x V)_k^2 - (x^2) (V^2)_k ].
+  nn::Var xv = nn::MatMulV(x, v);                        // [N x K]
+  nn::Var sum_square = nn::SquareV(xv);
+  nn::Var square_sum = nn::MatMulV(nn::SquareV(x), nn::SquareV(v));
+  nn::Var second =
+      nn::ScaleV(nn::RowSumV(nn::SubV(sum_square, square_sum)), 0.5);
+
+  nn::Var deep_out = deep_->Forward(tape, x);
+  return nn::AddV(nn::AddV(first, second), deep_out);
+}
+
+}  // namespace baselines
+}  // namespace sim2rec

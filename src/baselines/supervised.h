@@ -1,0 +1,98 @@
+#ifndef SIM2REC_BASELINES_SUPERVISED_H_
+#define SIM2REC_BASELINES_SUPERVISED_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace baselines {
+
+/// Shared machinery of the supervised-learning recommenders of the
+/// paper's comparison (WideDeep [Cheng et al. 2016] and DeepFM
+/// [Guo et al. 2017]): both regress the instant engagement r from
+/// (s, a) on the logged dataset and recommend greedily,
+/// a* = argmax_{a in candidates} r_hat(s, a).
+class SupervisedRecommender : public nn::Module {
+ public:
+  SupervisedRecommender(int obs_dim, int action_dim)
+      : obs_dim_(obs_dim), action_dim_(action_dim) {}
+
+  int obs_dim() const { return obs_dim_; }
+  int action_dim() const { return action_dim_; }
+
+  /// Differentiable score head over [N x (obs+act)] inputs -> [N x 1].
+  virtual nn::Var Forward(nn::Tape& tape, const nn::Tensor& inputs) = 0;
+
+  /// Plain-value prediction.
+  nn::Tensor Predict(const nn::Tensor& inputs);
+
+  struct TrainConfig {
+    int epochs = 30;
+    int batch_size = 256;
+    double learning_rate = 1e-3;
+    double grad_clip = 5.0;
+    uint64_t seed = 0;
+  };
+  /// Minibatch MSE regression of targets [M x 1]; returns final loss.
+  double Train(const nn::Tensor& inputs, const nn::Tensor& targets,
+               const TrainConfig& config);
+
+  /// Greedy recommendation: for each observation row, the candidate
+  /// action with the highest predicted instant engagement.
+  nn::Tensor Act(const nn::Tensor& obs,
+                 const std::vector<std::vector<double>>& candidates);
+
+ private:
+  int obs_dim_;
+  int action_dim_;
+};
+
+/// Uniform 1-D candidate grid over [lo, hi].
+std::vector<std::vector<double>> ActionGrid1D(double lo, double hi,
+                                              int points);
+/// Cartesian 2-D candidate grid over [lo, hi]^2.
+std::vector<std::vector<double>> ActionGrid2D(double lo, double hi,
+                                              int points_per_dim);
+
+/// Wide & Deep: a linear "wide" part over raw features plus explicit
+/// action-x-state cross products (memorization) and a deep MLP
+/// (generalization).
+class WideDeep : public SupervisedRecommender {
+ public:
+  WideDeep(int obs_dim, int action_dim,
+           const std::vector<int>& deep_hidden, Rng& rng);
+
+  nn::Var Forward(nn::Tape& tape, const nn::Tensor& inputs) override;
+
+ private:
+  nn::Tensor BuildWideFeatures(const nn::Tensor& inputs) const;
+
+  int wide_dim_;
+  std::unique_ptr<nn::Linear> wide_;
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+/// DeepFM: first-order linear term + factorization-machine second-order
+/// interactions over per-feature embeddings + a deep MLP, summed.
+class DeepFm : public SupervisedRecommender {
+ public:
+  DeepFm(int obs_dim, int action_dim, int embedding_dim,
+         const std::vector<int>& deep_hidden, Rng& rng);
+
+  nn::Var Forward(nn::Tape& tape, const nn::Tensor& inputs) override;
+
+ private:
+  int embedding_dim_;
+  std::unique_ptr<nn::Linear> first_order_;
+  nn::Parameter* embeddings_;  // [(obs+act) x embedding_dim]
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+}  // namespace baselines
+}  // namespace sim2rec
+
+#endif  // SIM2REC_BASELINES_SUPERVISED_H_

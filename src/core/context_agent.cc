@@ -1,0 +1,255 @@
+#include "core/context_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace core {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+}  // namespace
+
+ContextAgent::ContextAgent(const ContextAgentConfig& config,
+                           sadae::Sadae* sadae, Rng& rng)
+    : config_(config), sadae_(sadae) {
+  S2R_CHECK(config.obs_dim > 0 && config.action_dim > 0);
+  if (sadae_ != nullptr) {
+    S2R_CHECK_MSG(config.use_extractor,
+                  "SADAE requires the extractor pathway");
+    const int set_dim = sadae_->config().input_dim();
+    S2R_CHECK_MSG(set_dim == config.obs_dim ||
+                      set_dim == config.obs_dim + config.action_dim,
+                  "SADAE input layout must be [obs] or [obs|action]");
+    f_net_ = std::make_unique<nn::Mlp>("agent.f", sadae_->latent_dim(),
+                                       config.f_hidden, config.f_out, rng,
+                                       nn::Activation::kTanh);
+    AddChild(f_net_.get());
+  }
+
+  int context_dim = config.obs_dim;
+  if (config.use_extractor) {
+    const int rnn_in = config.obs_dim + config.action_dim +
+                       (sadae_ != nullptr ? config.f_out : 0);
+    if (config.extractor_cell ==
+        ContextAgentConfig::ExtractorCell::kLstm) {
+      lstm_ = std::make_unique<nn::LstmCell>("agent.lstm", rnn_in,
+                                             config.lstm_hidden, rng);
+      AddChild(lstm_.get());
+    } else {
+      gru_ = std::make_unique<nn::GruCell>("agent.gru", rnn_in,
+                                           config.lstm_hidden, rng);
+      AddChild(gru_.get());
+    }
+    context_dim += config.lstm_hidden;
+  }
+
+  policy_net_ = std::make_unique<nn::Mlp>(
+      "agent.pi", context_dim, config.policy_hidden, config.action_dim,
+      rng, nn::Activation::kTanh, nn::Activation::kIdentity,
+      /*out_gain=*/0.01);
+  AddChild(policy_net_.get());
+  value_net_ = std::make_unique<nn::Mlp>(
+      "agent.v", context_dim, config.value_hidden, 1, rng,
+      nn::Activation::kTanh, nn::Activation::kIdentity, /*out_gain=*/1.0);
+  AddChild(value_net_.get());
+
+  log_std_ = AddParameter(
+      "agent.log_std",
+      nn::Tensor::Full(1, config.action_dim, config.init_log_std));
+
+  action_bias_ = nn::Tensor::Zeros(1, config.action_dim);
+  if (!config.action_bias.empty()) {
+    S2R_CHECK(static_cast<int>(config.action_bias.size()) ==
+              config.action_dim);
+    for (int c = 0; c < config.action_dim; ++c) {
+      action_bias_(0, c) = config.action_bias[c];
+    }
+  }
+
+  if (config.normalize_observations) {
+    normalizer_ =
+        std::make_unique<rl::ObservationNormalizer>(config.obs_dim);
+  }
+}
+
+void ContextAgent::BeginEpisode(int n) {
+  S2R_CHECK(n > 0);
+  episode_users_ = n;
+  if (lstm_ != nullptr) {
+    state_ = lstm_->InitialStateValue(n);
+  } else if (gru_ != nullptr) {
+    state_.h = gru_->InitialStateValue(n);
+    state_.c = nn::Tensor();  // unused by GRU
+  }
+  prev_actions_ = nn::Tensor::Zeros(n, config_.action_dim);
+  last_v_ = nn::Tensor();
+}
+
+nn::Tensor ContextAgent::BuildSetInput(
+    const nn::Tensor& obs, const nn::Tensor& prev_actions) const {
+  S2R_CHECK(sadae_ != nullptr);
+  if (sadae_->config().input_dim() == config_.obs_dim) return obs;
+  return nn::HStack({obs, prev_actions});
+}
+
+nn::Tensor ContextAgent::ContextInputValue(const nn::Tensor& obs) {
+  const int n = obs.rows();
+  nn::Tensor obs_n =
+      normalizer_ != nullptr ? normalizer_->Normalize(obs) : obs;
+  if (!config_.use_extractor) return obs_n;
+
+  std::vector<nn::Tensor> parts = {obs_n, prev_actions_};
+  if (sadae_ != nullptr) {
+    last_v_ = sadae_->EncodeSetValue(BuildSetInput(obs, prev_actions_));
+    const nn::Tensor fv = f_net_->ForwardValue(last_v_);  // [1 x f_out]
+    nn::Tensor fv_tiled(n, config_.f_out);
+    for (int r = 0; r < n; ++r) fv_tiled.SetRow(r, fv);
+    parts.push_back(fv_tiled);
+  }
+  const nn::Tensor rnn_in = nn::HStack(parts);
+  if (lstm_ != nullptr) {
+    state_ = lstm_->ForwardValue(rnn_in, state_);
+  } else {
+    state_.h = gru_->ForwardValue(rnn_in, state_.h);
+  }
+  return nn::HStack({obs_n, state_.h});
+}
+
+rl::Agent::StepOutput ContextAgent::Step(const nn::Tensor& obs, Rng& rng,
+                                         bool deterministic) {
+  S2R_CHECK(obs.rows() == episode_users_);
+  S2R_CHECK(obs.cols() == config_.obs_dim);
+  if (normalizer_ != nullptr) normalizer_->Update(obs);
+
+  const nn::Tensor ctx = ContextInputValue(obs);
+  nn::Tensor mean = policy_net_->ForwardValue(ctx);
+  for (int r = 0; r < mean.rows(); ++r)
+    for (int c = 0; c < mean.cols(); ++c) mean(r, c) += action_bias_(0, c);
+  const nn::Tensor value = value_net_->ForwardValue(ctx);
+
+  const int n = obs.rows();
+  const int ad = config_.action_dim;
+  StepOutput out;
+  out.actions = nn::Tensor(n, ad);
+  out.log_probs.resize(n);
+  out.values.resize(n);
+
+  for (int i = 0; i < n; ++i) {
+    double logp = -0.5 * ad * kLog2Pi;
+    for (int c = 0; c < ad; ++c) {
+      const double log_std =
+          std::clamp(log_std_->value(0, c), config_.min_log_std,
+                     config_.max_log_std);
+      const double sigma = std::exp(log_std);
+      const double a = deterministic ? mean(i, c)
+                                     : mean(i, c) + sigma * rng.Normal();
+      out.actions(i, c) = a;
+      const double z = (a - mean(i, c)) / sigma;
+      logp += -0.5 * z * z - log_std;
+    }
+    out.log_probs[i] = logp;
+    out.values[i] = value(i, 0);
+  }
+  prev_actions_ = out.actions;
+  return out;
+}
+
+std::vector<double> ContextAgent::Values(const nn::Tensor& obs) {
+  // Bootstrap value without committing recurrent state.
+  const nn::LstmStateValue saved_state = state_;
+  const nn::Tensor saved_prev = prev_actions_;
+  const nn::Tensor ctx = ContextInputValue(obs);
+  const nn::Tensor value = value_net_->ForwardValue(ctx);
+  state_ = saved_state;
+  prev_actions_ = saved_prev;
+  std::vector<double> out(obs.rows());
+  for (int i = 0; i < obs.rows(); ++i) out[i] = value(i, 0);
+  return out;
+}
+
+rl::Agent::SequenceForward ContextAgent::ForwardRollout(
+    nn::Tape& tape, const rl::Rollout& rollout) {
+  const int t_max = rollout.num_steps;
+  const int n = rollout.num_users;
+  S2R_CHECK(t_max > 0 && n > 0);
+
+  nn::LstmState state;
+  if (lstm_ != nullptr) {
+    state = lstm_->InitialState(tape, n);
+  } else if (gru_ != nullptr) {
+    state.h = gru_->InitialState(tape, n);
+  }
+
+  nn::Var log_std_leaf = nn::ClipV(tape.Leaf(log_std_),
+                                   config_.min_log_std,
+                                   config_.max_log_std);
+  nn::Var log_std_tiled = nn::TileRowsV(log_std_leaf, n);
+
+  std::vector<nn::Var> log_prob_steps, value_steps, entropy_steps;
+  log_prob_steps.reserve(t_max);
+  value_steps.reserve(t_max);
+  entropy_steps.reserve(t_max);
+
+  for (int t = 0; t < t_max; ++t) {
+    const nn::Tensor& raw_obs = rollout.obs[t];
+    const nn::Tensor obs_n = normalizer_ != nullptr
+                                 ? normalizer_->Normalize(raw_obs)
+                                 : raw_obs;
+    const nn::Tensor prev_a =
+        t == 0 ? nn::Tensor::Zeros(n, config_.action_dim)
+               : rollout.actions[t - 1];
+
+    nn::Var obs_v = tape.Constant(obs_n);
+    nn::Var ctx;
+    if (config_.use_extractor) {
+      nn::Var prev_a_v = tape.Constant(prev_a);
+      std::vector<nn::Var> parts = {obs_v, prev_a_v};
+      if (sadae_ != nullptr) {
+        // v_t from the group set, with gradients into q_kappa (Eq. 4).
+        nn::DiagGaussian posterior =
+            sadae_->EncodeSet(tape, BuildSetInput(raw_obs, prev_a));
+        nn::Var fv = f_net_->Forward(tape, posterior.mean);
+        parts.push_back(nn::TileRowsV(fv, n));
+      }
+      nn::Var rnn_in = nn::ConcatColsV(parts);
+      if (lstm_ != nullptr) {
+        state = lstm_->Forward(tape, rnn_in, state);
+      } else {
+        state.h = gru_->Forward(tape, rnn_in, state.h);
+      }
+      ctx = nn::ConcatColsV({obs_v, state.h});
+    } else {
+      ctx = obs_v;
+    }
+
+    nn::Var mean = nn::AddRowBroadcastV(
+        policy_net_->Forward(tape, ctx), tape.Constant(action_bias_));
+    nn::DiagGaussian dist{mean, log_std_tiled};
+    log_prob_steps.push_back(dist.LogProb(rollout.actions[t]));
+    entropy_steps.push_back(dist.Entropy());
+    value_steps.push_back(value_net_->Forward(tape, ctx));
+  }
+
+  SequenceForward forward;
+  forward.log_probs = nn::ConcatRowsV(log_prob_steps);
+  forward.values = nn::ConcatRowsV(value_steps);
+  forward.entropy = nn::ConcatRowsV(entropy_steps);
+  return forward;
+}
+
+std::vector<nn::Parameter*> ContextAgent::TrainableParameters() {
+  std::vector<nn::Parameter*> params = Parameters();
+  if (sadae_ != nullptr) {
+    // kappa (and theta) are also updated through the PPO objective,
+    // matching Algorithm 1 line 10; decoder parameters simply receive
+    // zero gradient from this pathway.
+    const auto sadae_params = sadae_->Parameters();
+    params.insert(params.end(), sadae_params.begin(), sadae_params.end());
+  }
+  return params;
+}
+
+}  // namespace core
+}  // namespace sim2rec

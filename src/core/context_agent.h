@@ -1,0 +1,132 @@
+#ifndef SIM2REC_CORE_CONTEXT_AGENT_H_
+#define SIM2REC_CORE_CONTEXT_AGENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/lstm.h"
+#include "rl/normalizer.h"
+#include "rl/rollout.h"
+#include "sadae/sadae.h"
+
+namespace sim2rec {
+namespace core {
+
+/// Configuration of the context-aware agent. The same class realizes
+/// Sim2Rec and the zero-shot baselines by toggling two switches:
+///
+///   use_extractor  sadae     agent
+///   true           attached  Sim2Rec  (hierarchical extractor, Sec. IV-B)
+///   true           null      DR-OSI   (plain LSTM extractor)
+///   false          -         DR-UNI / DIRECT / Upper-Bound (pure MLP)
+struct ContextAgentConfig {
+  int obs_dim = 0;
+  int action_dim = 0;
+
+  bool use_extractor = true;
+  /// Recurrent cell of the extractor phi. The paper implements phi with
+  /// an LSTM (Table II) while citing the GRU paper for the RNN idea;
+  /// both are provided (see bench/abl02_extractor_cell).
+  enum class ExtractorCell { kLstm, kGru };
+  ExtractorCell extractor_cell = ExtractorCell::kLstm;
+  /// Hidden units of the extractor phi (paper Table II: 64 / 256,
+  /// scaled).
+  int lstm_hidden = 32;
+  /// The fully-connected stack f between the SADAE embedding and the
+  /// extractor (paper Sec. V-A1); f_out is its output width.
+  std::vector<int> f_hidden = {32};
+  int f_out = 8;
+
+  std::vector<int> policy_hidden = {64, 64};
+  std::vector<int> value_hidden = {64, 64};
+  /// Constant offset added to the policy mean head per action dim.
+  /// Centers the initial policy on a sensible action (e.g. the logged
+  /// behaviour policy's mean) so rollouts start inside the executable
+  /// action region instead of at the clipped origin.
+  std::vector<double> action_bias;
+  /// Initial (state-independent) log standard deviation of the Gaussian
+  /// policy head.
+  double init_log_std = -0.5;
+  /// Bounds for the trainable log-std.
+  double min_log_std = -3.0;
+  double max_log_std = 1.0;
+
+  /// Normalize observations with running statistics before the policy /
+  /// value / extractor networks (SADAE always receives raw features,
+  /// matching its pretraining distribution).
+  bool normalize_observations = true;
+};
+
+/// Context-aware actor-critic with the hierarchical environment-parameter
+/// extractor of Sim2Rec:
+///
+///   v_t = q_kappa(v | X_t^g)          (SADAE posterior mean over the
+///                                      group's state/prev-action set)
+///   z_t = LSTM(s_t, a_{t-1}, f(v_t), z_{t-1})
+///   a_t ~ N(pi_mean(s_t, z_t), exp(log_std)^2)
+///   V_t = value(s_t, z_t)
+///
+/// The SADAE encoder is shared: its parameters receive gradients from
+/// the PPO objective (Eq. 4) through v_t, and are additionally trained
+/// with the ELBO (Eq. 8) by the surrounding loop — exactly Algorithm 1
+/// line 10.
+class ContextAgent : public rl::Agent, public nn::Module {
+ public:
+  /// `sadae` may be null (DR-OSI / plain agents); when provided it must
+  /// outlive the agent and its input layout must equal [obs | action]
+  /// (or [obs] for the state-only variant).
+  ContextAgent(const ContextAgentConfig& config, sadae::Sadae* sadae,
+               Rng& rng);
+
+  int obs_dim() const override { return config_.obs_dim; }
+  int action_dim() const override { return config_.action_dim; }
+
+  void BeginEpisode(int n) override;
+  StepOutput Step(const nn::Tensor& obs, Rng& rng,
+                  bool deterministic) override;
+  std::vector<double> Values(const nn::Tensor& obs) override;
+  SequenceForward ForwardRollout(nn::Tape& tape,
+                                 const rl::Rollout& rollout) override;
+  std::vector<nn::Parameter*> TrainableParameters() override;
+
+  const ContextAgentConfig& config() const { return config_; }
+  sadae::Sadae* sadae() { return sadae_; }
+  rl::ObservationNormalizer* normalizer() { return normalizer_.get(); }
+
+  /// Current group embedding (diagnostics; valid after a Step with
+  /// SADAE attached).
+  const nn::Tensor& last_group_embedding() const { return last_v_; }
+
+ private:
+  /// Builds the SADAE input set from an observation batch and the
+  /// previous actions: [obs | prev_a] or [obs] for state-only SADAE.
+  nn::Tensor BuildSetInput(const nn::Tensor& obs,
+                           const nn::Tensor& prev_actions) const;
+  /// Policy head input at one step, inference mode. Updates h/c.
+  nn::Tensor ContextInputValue(const nn::Tensor& obs);
+
+  ContextAgentConfig config_;
+  sadae::Sadae* sadae_;
+
+  std::unique_ptr<nn::Mlp> f_net_;       // embedding of v (only if sadae)
+  std::unique_ptr<nn::LstmCell> lstm_;   // extractor (if LSTM cell)
+  std::unique_ptr<nn::GruCell> gru_;     // extractor (if GRU cell)
+  std::unique_ptr<nn::Mlp> policy_net_;  // mean head
+  std::unique_ptr<nn::Mlp> value_net_;
+  nn::Parameter* log_std_ = nullptr;     // [1 x action_dim]
+  nn::Tensor action_bias_;               // [1 x action_dim], constant
+
+  std::unique_ptr<rl::ObservationNormalizer> normalizer_;
+
+  // Inference-time recurrent state.
+  nn::LstmStateValue state_;
+  nn::Tensor prev_actions_;  // [N x action_dim]
+  nn::Tensor last_v_;
+  int episode_users_ = 0;
+};
+
+}  // namespace core
+}  // namespace sim2rec
+
+#endif  // SIM2REC_CORE_CONTEXT_AGENT_H_

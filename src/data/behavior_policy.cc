@@ -1,0 +1,43 @@
+#include "data/behavior_policy.h"
+
+#include <algorithm>
+
+#include "envs/dpr_features.h"
+
+namespace sim2rec {
+namespace data {
+
+nn::Tensor DprBehaviorPolicy::Act(const nn::Tensor& obs, Rng& rng) const {
+  S2R_CHECK(obs.cols() == envs::kDprObsDim);
+  const int n = obs.rows();
+  nn::Tensor actions(n, envs::kDprActionDim);
+  for (int i = 0; i < n; ++i) {
+    const double tolerance_obs = obs(i, 1);
+    const double last_norm = obs(i, 3);
+    const double mean7_norm = obs(i, 5);
+    // Difficulty: below tolerance by a margin, with exploration noise.
+    const double difficulty = tolerance_obs - params_.difficulty_margin +
+                              rng.Normal(0.0, params_.difficulty_noise);
+    // Bonus: base level plus a push when yesterday fell below the weekly
+    // average (the expert "rescues" dipping drivers).
+    const double dip = std::max(0.0, mean7_norm - last_norm);
+    const double denom = std::max(mean7_norm, 0.05);
+    const double bonus = params_.bonus_base +
+                         params_.bonus_reactivity * (dip / denom) +
+                         rng.Normal(0.0, params_.bonus_noise);
+    actions(i, 0) =
+        std::clamp(difficulty, params_.action_min, params_.action_max);
+    actions(i, 1) =
+        std::clamp(bonus, params_.action_min, params_.action_max);
+  }
+  return actions;
+}
+
+nn::Tensor RandomLtsActions(int num_users, Rng& rng) {
+  nn::Tensor actions(num_users, 1);
+  for (int i = 0; i < num_users; ++i) actions(i, 0) = rng.Uniform();
+  return actions;
+}
+
+}  // namespace data
+}  // namespace sim2rec

@@ -1,0 +1,50 @@
+#ifndef SIM2REC_DATA_BEHAVIOR_POLICY_H_
+#define SIM2REC_DATA_BEHAVIOR_POLICY_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace data {
+
+/// The "human expert" behaviour policy pi_e that produced the logged
+/// dataset in the DPR application. It is a plausible hand-tuned heuristic:
+/// task difficulty tracks the driver's observed tolerance with a safety
+/// margin, and bonus reacts to recent under-performance — plus enough
+/// exploration noise that the learned simulators see a usable action
+/// coverage. Its per-user action envelope defines the executable action
+/// subspace of F_exec.
+class DprBehaviorPolicy {
+ public:
+  struct Params {
+    double difficulty_margin = 0.15;  // stay below observed tolerance
+    double difficulty_noise = 0.10;
+    double bonus_base = 0.50;  // a blanket bonus level: wasteful on
+                               // unresponsive drivers, which is the
+                               // personalization headroom RL exploits
+    double bonus_reactivity = 0.10;   // extra bonus when orders dip
+    double bonus_noise = 0.12;        // enough exploration to identify
+                                      // the causal effect, narrow enough
+                                      // that F_exec's per-user box binds
+    double action_min = 0.05;
+    double action_max = 0.90;
+  };
+
+  DprBehaviorPolicy() = default;
+  explicit DprBehaviorPolicy(const Params& params) : params_(params) {}
+
+  /// One action batch [N x 2] from a DPR observation batch.
+  nn::Tensor Act(const nn::Tensor& obs, Rng& rng) const;
+
+ private:
+  Params params_;
+};
+
+/// Uniformly random LTS actions in [0, 1]; used to populate the SADAE
+/// state dataset for the synthetic experiments.
+nn::Tensor RandomLtsActions(int num_users, Rng& rng);
+
+}  // namespace data
+}  // namespace sim2rec
+
+#endif  // SIM2REC_DATA_BEHAVIOR_POLICY_H_

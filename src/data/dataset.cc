@@ -1,0 +1,162 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sim2rec {
+namespace data {
+
+void LoggedDataset::Add(UserTrajectory trajectory) {
+  S2R_CHECK(trajectory.observations.cols() == obs_dim_);
+  S2R_CHECK(trajectory.actions.cols() == action_dim_);
+  S2R_CHECK(trajectory.observations.rows() ==
+            trajectory.actions.rows() + 1);
+  S2R_CHECK(trajectory.feedback.size() ==
+            static_cast<size_t>(trajectory.length()));
+  S2R_CHECK(trajectory.rewards.size() ==
+            static_cast<size_t>(trajectory.length()));
+  trajectories_.push_back(std::move(trajectory));
+}
+
+const UserTrajectory& LoggedDataset::trajectory(int i) const {
+  S2R_CHECK(i >= 0 && i < size());
+  return trajectories_[i];
+}
+
+std::vector<int> LoggedDataset::GroupIds() const {
+  std::set<int> ids;
+  for (const auto& t : trajectories_) ids.insert(t.group_id);
+  return std::vector<int>(ids.begin(), ids.end());
+}
+
+std::vector<int> LoggedDataset::GroupMembers(int group_id) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (trajectories_[i].group_id == group_id) out.push_back(i);
+  }
+  return out;
+}
+
+void LoggedDataset::FlattenForSimulator(nn::Tensor* inputs,
+                                        nn::Tensor* targets) const {
+  int total = 0;
+  for (const auto& t : trajectories_) total += t.length();
+  *inputs = nn::Tensor(total, obs_dim_ + action_dim_);
+  *targets = nn::Tensor(total, 1);
+  int row = 0;
+  for (const auto& t : trajectories_) {
+    for (int step = 0; step < t.length(); ++step) {
+      for (int c = 0; c < obs_dim_; ++c)
+        (*inputs)(row, c) = t.observations(step, c);
+      for (int c = 0; c < action_dim_; ++c)
+        (*inputs)(row, obs_dim_ + c) = t.actions(step, c);
+      (*targets)(row, 0) = t.feedback[step];
+      ++row;
+    }
+  }
+}
+
+nn::Tensor LoggedDataset::GroupStepSet(int group_id, int t) const {
+  const std::vector<int> members = GroupMembers(group_id);
+  S2R_CHECK(!members.empty());
+  nn::Tensor out(static_cast<int>(members.size()),
+                 obs_dim_ + action_dim_);
+  for (size_t m = 0; m < members.size(); ++m) {
+    const UserTrajectory& traj = trajectories_[members[m]];
+    S2R_CHECK(t >= 0 && t <= traj.length());
+    for (int c = 0; c < obs_dim_; ++c)
+      out(static_cast<int>(m), c) = traj.observations(t, c);
+    for (int c = 0; c < action_dim_; ++c) {
+      out(static_cast<int>(m), obs_dim_ + c) =
+          t > 0 ? traj.actions(t - 1, c) : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> LoggedDataset::AllGroupStepSets() const {
+  std::vector<nn::Tensor> out;
+  for (int g : GroupIds()) {
+    const std::vector<int> members = GroupMembers(g);
+    if (members.empty()) continue;
+    const int len = trajectories_[members[0]].length();
+    for (int t = 1; t <= len; ++t) {
+      out.push_back(GroupStepSet(g, t));
+    }
+  }
+  return out;
+}
+
+ActionRange LoggedDataset::UserActionRange(int trajectory_index) const {
+  const UserTrajectory& traj = trajectory(trajectory_index);
+  ActionRange range;
+  range.low.assign(action_dim_, 0.0);
+  range.high.assign(action_dim_, 0.0);
+  S2R_CHECK(traj.length() > 0);
+  for (int c = 0; c < action_dim_; ++c) {
+    double lo = traj.actions(0, c);
+    double hi = lo;
+    for (int t = 1; t < traj.length(); ++t) {
+      lo = std::min(lo, traj.actions(t, c));
+      hi = std::max(hi, traj.actions(t, c));
+    }
+    range.low[c] = lo;
+    range.high[c] = hi;
+  }
+  return range;
+}
+
+void LoggedDataset::SplitUsers(double train_fraction, Rng& rng,
+                               LoggedDataset* train,
+                               LoggedDataset* test) const {
+  S2R_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  *train = LoggedDataset(obs_dim_, action_dim_);
+  *test = LoggedDataset(obs_dim_, action_dim_);
+  // Split within every group so both sides keep all groups.
+  for (int g : GroupIds()) {
+    const std::vector<int> members = GroupMembers(g);
+    const int m = static_cast<int>(members.size());
+    std::vector<int> order = rng.Permutation(m);
+    int n_train = std::max(1, static_cast<int>(train_fraction * m));
+    if (m >= 2) n_train = std::min(n_train, m - 1);  // keep a test user
+    for (int k = 0; k < m; ++k) {
+      const UserTrajectory& traj = trajectories_[members[order[k]]];
+      if (k < n_train) {
+        train->Add(traj);
+      } else {
+        test->Add(traj);
+      }
+    }
+  }
+}
+
+LoggedDataset LoggedDataset::SampleSubset(double fraction,
+                                          Rng& rng) const {
+  S2R_CHECK(fraction > 0.0 && fraction <= 1.0);
+  LoggedDataset out(obs_dim_, action_dim_);
+  for (const auto& traj : trajectories_) {
+    if (rng.Uniform() < fraction) out.Add(traj);
+  }
+  if (out.empty() && !trajectories_.empty()) {
+    out.Add(trajectories_[rng.UniformInt(size())]);
+  }
+  return out;
+}
+
+nn::Tensor LoggedDataset::AllObservations() const {
+  int total = 0;
+  for (const auto& t : trajectories_) total += t.observations.rows();
+  nn::Tensor out(total, obs_dim_);
+  int row = 0;
+  for (const auto& t : trajectories_) {
+    for (int r = 0; r < t.observations.rows(); ++r) {
+      for (int c = 0; c < obs_dim_; ++c)
+        out(row, c) = t.observations(r, c);
+      ++row;
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace sim2rec

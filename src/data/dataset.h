@@ -1,0 +1,95 @@
+#ifndef SIM2REC_DATA_DATASET_H_
+#define SIM2REC_DATA_DATASET_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace data {
+
+/// One user's logged session: tau^r = [s_0, a_0, s_1, a_1, ..., s_T].
+/// `feedback` is the raw user feedback y (orders for DPR, next
+/// satisfaction for LTS); `rewards` is the instant engagement metric.
+struct UserTrajectory {
+  int user_id = -1;
+  int group_id = -1;
+  nn::Tensor observations;       // [(T+1) x obs_dim]
+  nn::Tensor actions;            // [T x action_dim]
+  std::vector<double> feedback;  // T entries
+  std::vector<double> rewards;   // T entries
+
+  int length() const { return actions.rows(); }
+};
+
+/// Per-user executable action box: the min/max action values the
+/// behaviour policy pi_e ever took for that user (paper Sec. IV-C,
+/// F_exec).
+struct ActionRange {
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+/// Container of logged trajectories D with the group structure the
+/// hierarchical extractor needs.
+class LoggedDataset {
+ public:
+  LoggedDataset(int obs_dim, int action_dim)
+      : obs_dim_(obs_dim), action_dim_(action_dim) {}
+
+  void Add(UserTrajectory trajectory);
+
+  int obs_dim() const { return obs_dim_; }
+  int action_dim() const { return action_dim_; }
+  int size() const { return static_cast<int>(trajectories_.size()); }
+  bool empty() const { return trajectories_.empty(); }
+  const UserTrajectory& trajectory(int i) const;
+  const std::vector<UserTrajectory>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// Distinct group ids present, ascending.
+  std::vector<int> GroupIds() const;
+  /// Indices of trajectories belonging to a group.
+  std::vector<int> GroupMembers(int group_id) const;
+
+  /// Flattens every (s_t, a_t) -> y_t triple for simulator learning.
+  /// `inputs` is [M x (obs_dim + action_dim)], `targets` is [M x 1].
+  void FlattenForSimulator(nn::Tensor* inputs, nn::Tensor* targets) const;
+
+  /// The group set X_t^g = {(s_t^(i), a_{t-1}^(i))} of the paper
+  /// (Sec. IV-B): per member of the group, the state at step t joined
+  /// with the previous action (zeros at t = 0).
+  /// Returns [members x (obs_dim + action_dim)].
+  nn::Tensor GroupStepSet(int group_id, int t) const;
+
+  /// All X_t^g sets of every group and 0 < t <= T (the reshaped dataset
+  /// used to train SADAE, paper Eq. 5).
+  std::vector<nn::Tensor> AllGroupStepSets() const;
+
+  /// Per-user executable action box (F_exec).
+  ActionRange UserActionRange(int trajectory_index) const;
+
+  /// Splits users (trajectories) into train/test by fraction.
+  void SplitUsers(double train_fraction, Rng& rng, LoggedDataset* train,
+                  LoggedDataset* test) const;
+
+  /// Random subset of trajectories (used to vary D' when building the
+  /// simulator ensemble Omega').
+  LoggedDataset SampleSubset(double fraction, Rng& rng) const;
+
+  /// Concatenated observation rows of all trajectories (for SADAE /
+  /// KDE evaluation).
+  nn::Tensor AllObservations() const;
+
+ private:
+  int obs_dim_;
+  int action_dim_;
+  std::vector<UserTrajectory> trajectories_;
+};
+
+}  // namespace data
+}  // namespace sim2rec
+
+#endif  // SIM2REC_DATA_DATASET_H_

@@ -1,0 +1,97 @@
+#include "data/generation.h"
+
+#include "envs/dpr_features.h"
+
+namespace sim2rec {
+namespace data {
+
+LoggedDataset GenerateDprDataset(const envs::DprWorld& world,
+                                 int sessions_per_city, Rng& rng) {
+  LoggedDataset dataset(envs::kDprObsDim, envs::kDprActionDim);
+  const DprBehaviorPolicy policy;
+  int next_user_id = 0;
+
+  for (int g = 0; g < world.num_cities(); ++g) {
+    auto env = world.MakeEnv(g);
+    const int n = env->num_users();
+    const int horizon = env->horizon();
+
+    for (int session = 0; session < sessions_per_city; ++session) {
+      std::vector<UserTrajectory> trajs(n);
+      for (int i = 0; i < n; ++i) {
+        trajs[i].user_id = next_user_id + i;
+        trajs[i].group_id = g;
+        trajs[i].observations = nn::Tensor(horizon + 1,
+                                           envs::kDprObsDim);
+        trajs[i].actions = nn::Tensor(horizon, envs::kDprActionDim);
+        trajs[i].feedback.resize(horizon);
+        trajs[i].rewards.resize(horizon);
+      }
+
+      nn::Tensor obs = env->Reset(rng);
+      for (int i = 0; i < n; ++i)
+        trajs[i].observations.SetRow(0, obs.Row(i));
+
+      for (int t = 0; t < horizon; ++t) {
+        const nn::Tensor actions = policy.Act(obs, rng);
+        envs::StepResult step = env->Step(actions, rng);
+        for (int i = 0; i < n; ++i) {
+          trajs[i].actions.SetRow(t, actions.Row(i));
+          trajs[i].feedback[t] =
+              env->last_orders()[i] / envs::kDprOrderScale;
+          trajs[i].rewards[t] = step.rewards[i];
+          trajs[i].observations.SetRow(t + 1, step.next_obs.Row(i));
+        }
+        obs = step.next_obs;
+      }
+
+      for (auto& traj : trajs) dataset.Add(std::move(traj));
+      next_user_id += n;
+    }
+  }
+  return dataset;
+}
+
+LoggedDataset GenerateLtsDataset(envs::LtsEnv& env, int sessions,
+                                 int group_id, Rng& rng) {
+  LoggedDataset dataset(envs::kLtsObsDim, 1);
+  const int n = env.num_users();
+  const int horizon = env.horizon();
+  int next_user_id = 0;
+
+  for (int session = 0; session < sessions; ++session) {
+    std::vector<UserTrajectory> trajs(n);
+    for (int i = 0; i < n; ++i) {
+      trajs[i].user_id = next_user_id + i;
+      trajs[i].group_id = group_id;
+      trajs[i].observations = nn::Tensor(horizon + 1, envs::kLtsObsDim);
+      trajs[i].actions = nn::Tensor(horizon, 1);
+      trajs[i].feedback.resize(horizon);
+      trajs[i].rewards.resize(horizon);
+    }
+
+    nn::Tensor obs = env.Reset(rng);
+    for (int i = 0; i < n; ++i)
+      trajs[i].observations.SetRow(0, obs.Row(i));
+
+    for (int t = 0; t < horizon; ++t) {
+      const nn::Tensor actions = RandomLtsActions(n, rng);
+      envs::StepResult step = env.Step(actions, rng);
+      for (int i = 0; i < n; ++i) {
+        trajs[i].actions.SetRow(t, actions.Row(i));
+        // LTS feedback y is the next satisfaction (paper Sec. V-B1).
+        trajs[i].feedback[t] = env.satisfaction()[i];
+        trajs[i].rewards[t] = step.rewards[i];
+        trajs[i].observations.SetRow(t + 1, step.next_obs.Row(i));
+      }
+      obs = step.next_obs;
+    }
+
+    for (auto& traj : trajs) dataset.Add(std::move(traj));
+    next_user_id += n;
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace sim2rec

@@ -1,0 +1,28 @@
+#ifndef SIM2REC_DATA_GENERATION_H_
+#define SIM2REC_DATA_GENERATION_H_
+
+#include "data/behavior_policy.h"
+#include "data/dataset.h"
+#include "envs/dpr_world.h"
+#include "envs/lts_env.h"
+
+namespace sim2rec {
+namespace data {
+
+/// Rolls the behaviour policy pi_e through every city of the ground-truth
+/// DPR world for `sessions_per_city` full sessions and returns the logged
+/// dataset D. Feedback is normalized orders (orders / kDprOrderScale) —
+/// the quantity the user simulators learn to predict.
+LoggedDataset GenerateDprDataset(const envs::DprWorld& world,
+                                 int sessions_per_city, Rng& rng);
+
+/// Rolls a uniformly random policy through one LTS environment and
+/// records trajectories (used to build SADAE state datasets and to give
+/// the LTS experiments logged initial-state material).
+LoggedDataset GenerateLtsDataset(envs::LtsEnv& env, int sessions,
+                                 int group_id, Rng& rng);
+
+}  // namespace data
+}  // namespace sim2rec
+
+#endif  // SIM2REC_DATA_GENERATION_H_

@@ -1,0 +1,82 @@
+#include "envs/dpr_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace envs {
+
+void DriverHistory::Reset(double baseline_orders) {
+  window_.assign(7, baseline_orders);
+  last_orders_ = baseline_orders;
+  last_bonus_ = 0.0;
+  last_difficulty_ = 0.0;
+}
+
+void DriverHistory::ResetFrom(double last_orders, double mean3,
+                              double mean7, double last_bonus,
+                              double last_difficulty) {
+  // Window layout (oldest..newest): [w w w w x x last] with
+  //   (2x + last) / 3 = mean3   and   (4w + 2x + last) / 7 = mean7.
+  const double x = std::max(0.0, (3.0 * mean3 - last_orders) / 2.0);
+  const double w =
+      std::max(0.0, (7.0 * mean7 - 2.0 * x - last_orders) / 4.0);
+  window_.assign(4, w);
+  window_.push_back(x);
+  window_.push_back(x);
+  window_.push_back(std::max(0.0, last_orders));
+  last_orders_ = std::max(0.0, last_orders);
+  last_bonus_ = last_bonus;
+  last_difficulty_ = last_difficulty;
+}
+
+void DriverHistory::Update(double orders, double bonus, double difficulty) {
+  window_.push_back(orders);
+  if (window_.size() > 7) window_.pop_front();
+  last_orders_ = orders;
+  last_bonus_ = bonus;
+  last_difficulty_ = difficulty;
+}
+
+double DriverHistory::Mean3() const {
+  S2R_CHECK(!window_.empty());
+  double sum = 0.0;
+  int n = 0;
+  for (auto it = window_.rbegin(); it != window_.rend() && n < 3; ++it) {
+    sum += *it;
+    ++n;
+  }
+  return sum / n;
+}
+
+double DriverHistory::Mean7() const {
+  S2R_CHECK(!window_.empty());
+  double sum = 0.0;
+  for (double v : window_) sum += v;
+  return sum / static_cast<double>(window_.size());
+}
+
+void WriteDprObsRow(nn::Tensor* obs, int row, const DriverStatic& st,
+                    const DriverHistory& hist, int t, int horizon) {
+  S2R_CHECK(obs->cols() == kDprObsDim);
+  const int dow = t % 7;
+  (*obs)(row, 0) = st.skill_obs;
+  (*obs)(row, 1) = st.tolerance_obs;
+  (*obs)(row, 2) = st.tenure;
+  (*obs)(row, 3) = hist.last_orders() / kDprOrderScale;
+  (*obs)(row, 4) = hist.Mean3() / kDprOrderScale;
+  (*obs)(row, 5) = hist.Mean7() / kDprOrderScale;
+  (*obs)(row, 6) = st.city_signal;
+  (*obs)(row, 7) = std::sin(2.0 * M_PI * dow / 7.0);
+  (*obs)(row, 8) = std::cos(2.0 * M_PI * dow / 7.0);
+  (*obs)(row, 9) = static_cast<double>(t) / horizon;
+  (*obs)(row, 10) = hist.last_bonus();
+  (*obs)(row, 11) = hist.last_difficulty();
+  (*obs)(row, 12) = st.responsiveness_obs;
+  for (int k = 0; k < kDprTierCount; ++k) {
+    (*obs)(row, kDprContinuousObsDim + k) = (st.tier == k) ? 1.0 : 0.0;
+  }
+}
+
+}  // namespace envs
+}  // namespace sim2rec

@@ -1,0 +1,84 @@
+#ifndef SIM2REC_ENVS_DPR_FEATURES_H_
+#define SIM2REC_ENVS_DPR_FEATURES_H_
+
+#include <deque>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace envs {
+
+/// Observation layout of the driver-program-recommendation (DPR) task,
+/// mirroring the paper's state decomposition (Sec. III-A):
+///
+///   s_user  [0] skill_obs      noisy static skill estimate
+///           [1] tolerance_obs  noisy static task-tolerance estimate
+///           [2] tenure         years on platform, normalized
+///   s_hist  [3] last orders / kDprOrderScale
+///   s_stat  [4] mean orders of last 3 days / kDprOrderScale
+///           [5] mean orders of last 7 days / kDprOrderScale
+///   s_group [6] city_signal    log-demand of the driver's city
+///   s_time  [7] sin(2 pi dow/7)
+///           [8] cos(2 pi dow/7)
+///           [9] t / horizon
+///   s_hist  [10] last bonus action
+///           [11] last difficulty action
+///   s_user  [12] responsiveness_obs  noisy static bonus-elasticity
+///                estimate (persona feature)
+///   s_user  [13..15] vehicle tier one-hot (the discrete state feature;
+///                    SADAE decodes it with a categorical head)
+///
+/// Actions are [difficulty, bonus], each in [0, 1].
+inline constexpr int kDprObsDim = 16;
+inline constexpr int kDprContinuousObsDim = 13;
+inline constexpr int kDprTierCount = 3;
+inline constexpr int kDprActionDim = 2;
+/// Order counts are normalized by this scale in observations.
+inline constexpr double kDprOrderScale = 10.0;
+
+/// Static (within-episode) driver features used to build observations.
+struct DriverStatic {
+  double skill_obs = 1.0;
+  double tolerance_obs = 0.6;
+  double tenure = 0.5;
+  double city_signal = 0.0;
+  double responsiveness_obs = 0.6;
+  int tier = 0;
+};
+
+/// Rolling order history backing s_hist / s_stat.
+class DriverHistory {
+ public:
+  /// Seeds the window with `baseline_orders` (raw scale) for all days.
+  void Reset(double baseline_orders);
+  /// Reconstructs a window consistent with the given summary statistics
+  /// (raw order scale); used by the simulator-backed environment to
+  /// restart from a logged state s_t0. The reconstruction matches
+  /// last_orders, Mean3 and Mean7 exactly (values clamped at 0).
+  void ResetFrom(double last_orders, double mean3, double mean7,
+                 double last_bonus, double last_difficulty);
+  /// Records one day's outcome.
+  void Update(double orders, double bonus, double difficulty);
+
+  double last_orders() const { return last_orders_; }
+  double Mean3() const;
+  double Mean7() const;
+  double last_bonus() const { return last_bonus_; }
+  double last_difficulty() const { return last_difficulty_; }
+
+ private:
+  std::deque<double> window_;  // most recent last, capacity 7
+  double last_orders_ = 0.0;
+  double last_bonus_ = 0.0;
+  double last_difficulty_ = 0.0;
+};
+
+/// Writes one observation row (kDprObsDim values) into `obs` at `row`.
+void WriteDprObsRow(nn::Tensor* obs, int row, const DriverStatic& st,
+                    const DriverHistory& hist, int t, int horizon);
+
+}  // namespace envs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_ENVS_DPR_FEATURES_H_

@@ -1,0 +1,192 @@
+#include "envs/dpr_world.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace envs {
+namespace {
+
+double Sigmoid(double x) {
+  return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                : std::exp(x) / (1.0 + std::exp(x));
+}
+
+}  // namespace
+
+DprWorld::DprWorld(const DprConfig& config) : config_(config) {
+  S2R_CHECK(config.num_cities >= 1);
+  S2R_CHECK(config.drivers_per_city >= 1);
+  Rng rng(config.seed);
+
+  cities_.resize(config.num_cities);
+  for (int g = 0; g < config.num_cities; ++g) {
+    // Log-spaced demand so cities differ by magnitude, not just offset.
+    const double frac = config.num_cities == 1
+                            ? 0.5
+                            : static_cast<double>(g) /
+                                  (config.num_cities - 1);
+    cities_[g].demand =
+        config.demand_min *
+        std::pow(config.demand_max / config.demand_min, frac);
+    cities_[g].cost_factor =
+        rng.Uniform(config.cost_min, config.cost_max);
+  }
+
+  drivers_.resize(config.num_cities);
+  for (int g = 0; g < config.num_cities; ++g) {
+    drivers_[g].resize(config.drivers_per_city);
+    for (auto& d : drivers_[g]) {
+      d.skill = rng.Uniform(config.skill_min, config.skill_max);
+      d.tolerance =
+          rng.Uniform(config.tolerance_min, config.tolerance_max);
+      d.responsiveness = rng.Uniform(config.responsiveness_min,
+                                     config.responsiveness_max);
+      d.init_engagement = rng.Uniform(0.7, 1.1);
+      d.statics.skill_obs =
+          d.skill + rng.Normal(0.0, config.static_obs_noise);
+      d.statics.tolerance_obs =
+          d.tolerance + rng.Normal(0.0, config.static_obs_noise);
+      d.statics.responsiveness_obs =
+          d.responsiveness + rng.Normal(0.0, config.static_obs_noise);
+      d.statics.tenure = rng.Uniform(0.0, 1.0);
+      d.statics.city_signal = std::log(cities_[g].demand);
+      const double u = rng.Uniform();
+      d.statics.tier = u < 0.5 ? 0 : (u < 0.8 ? 1 : 2);
+    }
+  }
+}
+
+const CityParams& DprWorld::city(int g) const {
+  S2R_CHECK(g >= 0 && g < config_.num_cities);
+  return cities_[g];
+}
+
+const std::vector<DriverPersona>& DprWorld::drivers(int g) const {
+  S2R_CHECK(g >= 0 && g < config_.num_cities);
+  return drivers_[g];
+}
+
+double DprWorld::ExpectedOrders(int city, const DriverPersona& driver,
+                                double e, double difficulty, double bonus,
+                                int t) const {
+  const double d = std::clamp(difficulty, 0.0, 1.0);
+  const double b = std::clamp(bonus, 0.0, 1.0);
+  // Tasks harder than the driver's tolerance are abandoned.
+  const double completion = Sigmoid(6.0 * (driver.tolerance - d));
+  // Harder (completed) tasks yield more orders.
+  const double work = 0.5 + 0.9 * d;
+  // Saturating, strictly monotone bonus response: the elasticity prior
+  // behind F_trend is that more bonus never reduces orders.
+  const double bonus_boost =
+      1.0 + 1.6 * driver.responsiveness * std::pow(b, 0.7);
+  const double dow_mult = 1.0 + 0.15 * std::sin(2.0 * M_PI * (t % 7) / 7.0);
+  const double tier_mult = 1.0 + 0.15 * driver.statics.tier;
+  return cities_[city].demand * driver.skill * tier_mult * e * completion *
+         work * bonus_boost * dow_mult;
+}
+
+double DprWorld::SampleOrders(int city, const DriverPersona& driver,
+                              double e, double difficulty, double bonus,
+                              int t, Rng& rng) const {
+  const double mean = ExpectedOrders(city, driver, e, difficulty, bonus, t);
+  const double noise_sd = 0.10 * mean + 0.2;
+  return std::max(0.0, rng.Normal(mean, noise_sd));
+}
+
+double DprWorld::NextEngagement(const DriverPersona& driver, double e,
+                                double difficulty, double bonus) const {
+  const double d = std::clamp(difficulty, 0.0, 1.0);
+  const double b = std::clamp(bonus, 0.0, 1.0);
+  const double completion = Sigmoid(6.0 * (driver.tolerance - d));
+  // Successful days build engagement; frustrating (abandoned) tasks and
+  // excessive difficulty erode it; bonuses sweeten retention slightly.
+  const double delta = 0.08 * (completion - 0.55) + 0.04 * (b - 0.35) -
+                       0.02 * d;
+  return std::clamp(e + delta, 0.3, 1.4);
+}
+
+double DprWorld::Cost(int city, double bonus, double orders) const {
+  const double b = std::clamp(bonus, 0.0, 1.0);
+  return b * cities_[city].cost_factor * orders;
+}
+
+double DprWorld::Reward(int city, double bonus, double orders) const {
+  return orders - Cost(city, bonus, orders);
+}
+
+double DprWorld::BaselineOrders(int city,
+                                const DriverPersona& driver) const {
+  // Expected orders under a moderate historical policy at engagement 0.9.
+  return ExpectedOrders(city, driver, 0.9, 0.4, 0.3, 0);
+}
+
+std::unique_ptr<DprGroundTruthEnv> DprWorld::MakeEnv(int city) const {
+  return std::make_unique<DprGroundTruthEnv>(this, city);
+}
+
+DprGroundTruthEnv::DprGroundTruthEnv(const DprWorld* world, int city)
+    : world_(world), city_(city) {
+  S2R_CHECK(world != nullptr);
+  S2R_CHECK(city >= 0 && city < world->num_cities());
+  const int n = num_users();
+  engagement_.assign(n, 1.0);
+  histories_.resize(n);
+  last_orders_.assign(n, 0.0);
+}
+
+int DprGroundTruthEnv::num_users() const {
+  return static_cast<int>(world_->drivers(city_).size());
+}
+
+nn::Tensor DprGroundTruthEnv::Reset(Rng& rng) {
+  const auto& drivers = world_->drivers(city_);
+  const int n = num_users();
+  nn::Tensor obs(n, kDprObsDim);
+  for (int i = 0; i < n; ++i) {
+    engagement_[i] =
+        std::clamp(drivers[i].init_engagement + rng.Normal(0.0, 0.05),
+                   0.3, 1.4);
+    histories_[i].Reset(world_->BaselineOrders(city_, drivers[i]));
+    last_orders_[i] = histories_[i].last_orders();
+    WriteDprObsRow(&obs, i, drivers[i].statics, histories_[i], 0,
+                   horizon());
+  }
+  t_ = 0;
+  return obs;
+}
+
+StepResult DprGroundTruthEnv::Step(const nn::Tensor& actions, Rng& rng) {
+  const auto& drivers = world_->drivers(city_);
+  const int n = num_users();
+  S2R_CHECK(actions.rows() == n && actions.cols() == kDprActionDim);
+
+  StepResult out;
+  out.rewards.resize(n);
+  out.dones.assign(n, 0);
+  out.next_obs = nn::Tensor(n, kDprObsDim);
+
+  for (int i = 0; i < n; ++i) {
+    const double d = std::clamp(actions(i, 0), 0.0, 1.0);
+    const double b = std::clamp(actions(i, 1), 0.0, 1.0);
+    const double orders = world_->SampleOrders(city_, drivers[i],
+                                               engagement_[i], d, b, t_,
+                                               rng);
+    out.rewards[i] = world_->Reward(city_, b, orders);
+    engagement_[i] = world_->NextEngagement(drivers[i], engagement_[i],
+                                            d, b);
+    histories_[i].Update(orders, b, d);
+    last_orders_[i] = orders;
+  }
+
+  ++t_;
+  out.horizon_reached = (t_ >= horizon());
+  for (int i = 0; i < n; ++i) {
+    WriteDprObsRow(&out.next_obs, i, drivers[i].statics, histories_[i],
+                   t_, horizon());
+  }
+  return out;
+}
+
+}  // namespace envs
+}  // namespace sim2rec

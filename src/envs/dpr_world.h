@@ -1,0 +1,145 @@
+#ifndef SIM2REC_ENVS_DPR_WORLD_H_
+#define SIM2REC_ENVS_DPR_WORLD_H_
+
+#include <memory>
+#include <vector>
+
+#include "envs/dpr_features.h"
+#include "envs/env.h"
+
+namespace sim2rec {
+namespace envs {
+
+/// Configuration of the synthetic driver-program-recommendation world.
+/// This is the substitute for the proprietary DidiChuxing platform: a
+/// ground-truth driver feedback model E(y | s, a, F_u(u), F_g(g)) with
+/// per-city base demand (group-behaviour differences, paper Sec. I) and
+/// per-driver personas. Learned simulators never see the hidden
+/// engagement state, so they carry a genuine reality-gap.
+struct DprConfig {
+  int num_cities = 5;
+  int drivers_per_city = 40;
+  int horizon = 14;
+
+  /// City base demand range; log-spaced across cities so engagement
+  /// magnitudes differ strongly between groups.
+  double demand_min = 3.0;
+  double demand_max = 18.0;
+  /// City cost factor range (expense per unit bonus per order). Tuned
+  /// so that a moderate, responsiveness-targeted bonus genuinely pays
+  /// off in the true world: slashing bonuses to zero is a mistake a
+  /// policy only makes when misled by simulator bias.
+  double cost_min = 0.35;
+  double cost_max = 0.6;
+
+  // Driver persona ranges.
+  double skill_min = 0.6;
+  double skill_max = 1.4;
+  double tolerance_min = 0.3;
+  double tolerance_max = 0.9;
+  double responsiveness_min = 0.1;
+  double responsiveness_max = 1.0;
+
+  /// Observation noise on the static skill/tolerance estimates.
+  double static_obs_noise = 0.05;
+
+  uint64_t seed = 7;
+};
+
+/// Hidden per-driver persona (F_u in the paper).
+struct DriverPersona {
+  double skill = 1.0;            // order capacity multiplier
+  double tolerance = 0.6;        // max task difficulty before giving up
+  double responsiveness = 0.5;   // bonus elasticity
+  double init_engagement = 0.9;  // initial hidden engagement state
+  DriverStatic statics;          // observable static features
+};
+
+/// Hidden per-city parameters (F_g in the paper).
+struct CityParams {
+  double demand = 8.0;       // base order volume
+  double cost_factor = 0.8;  // expense scale of bonuses
+};
+
+class DprGroundTruthEnv;
+
+/// The world object: owns city parameters and driver populations, exposes
+/// the ground-truth feedback model, and vends per-city environments.
+class DprWorld {
+ public:
+  explicit DprWorld(const DprConfig& config);
+
+  const DprConfig& config() const { return config_; }
+  int num_cities() const { return config_.num_cities; }
+  const CityParams& city(int g) const;
+  const std::vector<DriverPersona>& drivers(int g) const;
+
+  /// Expected (noise-free) orders for a driver at hidden engagement `e`
+  /// taking action (difficulty, bonus) on day t.
+  double ExpectedOrders(int city, const DriverPersona& driver, double e,
+                        double difficulty, double bonus, int t) const;
+
+  /// Samples realized orders around ExpectedOrders.
+  double SampleOrders(int city, const DriverPersona& driver, double e,
+                      double difficulty, double bonus, int t,
+                      Rng& rng) const;
+
+  /// Hidden engagement transition.
+  double NextEngagement(const DriverPersona& driver, double e,
+                        double difficulty, double bonus) const;
+
+  /// Platform expense of a completed day (known accounting rule, also
+  /// used by the simulator-backed environment).
+  double Cost(int city, double bonus, double orders) const;
+
+  /// reward = orders - cost (paper: order - cost * alpha_1 with alpha_1
+  /// folded into cost_factor).
+  double Reward(int city, double bonus, double orders) const;
+
+  /// Typical baseline daily orders for history initialization.
+  double BaselineOrders(int city, const DriverPersona& driver) const;
+
+  /// Creates the ground-truth environment for one city.
+  std::unique_ptr<DprGroundTruthEnv> MakeEnv(int city) const;
+
+ private:
+  DprConfig config_;
+  std::vector<CityParams> cities_;
+  std::vector<std::vector<DriverPersona>> drivers_;
+};
+
+/// GroupBatchEnv over the ground-truth world for one city. This plays the
+/// role of "the real world" in offline evaluation and in the simulated
+/// A/B test (Fig. 11).
+class DprGroundTruthEnv : public GroupBatchEnv {
+ public:
+  DprGroundTruthEnv(const DprWorld* world, int city);
+
+  int num_users() const override;
+  int obs_dim() const override { return kDprObsDim; }
+  int action_dim() const override { return kDprActionDim; }
+  int horizon() const override { return world_->config().horizon; }
+
+  nn::Tensor Reset(Rng& rng) override;
+  StepResult Step(const nn::Tensor& actions, Rng& rng) override;
+
+  std::vector<double> action_low() const override { return {0.0, 0.0}; }
+  std::vector<double> action_high() const override { return {1.0, 1.0}; }
+
+  int city() const { return city_; }
+  /// Raw orders each user produced at the last step (for logging).
+  const std::vector<double>& last_orders() const { return last_orders_; }
+
+ private:
+  const DprWorld* world_;
+  int city_;
+  std::vector<double> engagement_;
+  std::vector<DriverHistory> histories_;
+  std::vector<double> last_orders_;
+  int t_ = 0;
+};
+
+}  // namespace envs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_ENVS_DPR_WORLD_H_

@@ -1,0 +1,80 @@
+#ifndef SIM2REC_ENVS_ENV_H_
+#define SIM2REC_ENVS_ENV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace envs {
+
+/// Result of one synchronous step of every user in a group.
+struct StepResult {
+  nn::Tensor next_obs;            // [N x obs_dim]
+  std::vector<double> rewards;    // per user
+  std::vector<uint8_t> dones;     // per user; 1 = absorbing (no bootstrap)
+  bool horizon_reached = false;   // true after the final step of a session
+};
+
+/// A batch environment for one user group: all N users advance in
+/// lock-step, which is what makes the group trajectory X_t^g (the set of
+/// per-user state-action pairs at step t, paper Sec. IV-B) available to
+/// the hierarchical extractor at every step.
+///
+/// Implementations: the LTS synthetic environment (ground truth and
+/// simulator set alike, since its omega is configurable), the DPR
+/// ground-truth world, and the learned-simulator environment P_{M, tau^r}
+/// in src/sim.
+class GroupBatchEnv {
+ public:
+  virtual ~GroupBatchEnv() = default;
+
+  virtual int num_users() const = 0;
+  virtual int obs_dim() const = 0;
+  virtual int action_dim() const = 0;
+  /// Maximum steps of one recommendation session.
+  virtual int horizon() const = 0;
+
+  /// Starts a new session; returns the initial observation batch.
+  virtual nn::Tensor Reset(Rng& rng) = 0;
+
+  /// Applies one action per user. `actions` is [N x action_dim]; values
+  /// outside the valid action box are clipped by the environment.
+  virtual StepResult Step(const nn::Tensor& actions, Rng& rng) = 0;
+
+  /// Inclusive lower/upper bounds of each action dimension.
+  virtual std::vector<double> action_low() const = 0;
+  virtual std::vector<double> action_high() const = 0;
+};
+
+/// Runs `policy_fn(obs) -> actions` for one full session and returns the
+/// average per-user cumulative (undiscounted) reward — the paper's
+/// long-term-engagement metric.
+template <typename PolicyFn>
+double EvaluateEpisodeReturn(GroupBatchEnv& env, PolicyFn&& policy_fn,
+                             Rng& rng) {
+  nn::Tensor obs = env.Reset(rng);
+  const int n = env.num_users();
+  std::vector<double> totals(n, 0.0);
+  std::vector<uint8_t> finished(n, 0);
+  for (int t = 0; t < env.horizon(); ++t) {
+    const nn::Tensor actions = policy_fn(obs);
+    StepResult step = env.Step(actions, rng);
+    for (int i = 0; i < n; ++i) {
+      if (!finished[i]) totals[i] += step.rewards[i];
+      if (step.dones[i]) finished[i] = 1;
+    }
+    obs = step.next_obs;
+    if (step.horizon_reached) break;
+  }
+  double sum = 0.0;
+  for (double v : totals) sum += v;
+  return sum / n;
+}
+
+}  // namespace envs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_ENVS_ENV_H_

@@ -1,0 +1,102 @@
+#include "envs/lts_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace envs {
+namespace {
+
+double Sigmoid(double x) {
+  return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                : std::exp(x) / (1.0 + std::exp(x));
+}
+
+}  // namespace
+
+LtsEnv::LtsEnv(const LtsConfig& config) : config_(config) {
+  S2R_CHECK(config.num_users > 0);
+  S2R_CHECK(config.horizon > 0);
+  Rng init_rng(config.user_seed);
+  DrawUsers(init_rng);
+  npe_.assign(config_.num_users, 0.0);
+  sat_.assign(config_.num_users, 0.5);
+  last_engagement_.assign(config_.num_users, 0.0);
+}
+
+void LtsEnv::DrawUsers(Rng& rng) {
+  users_.resize(config_.num_users);
+  for (auto& u : users_) {
+    const double omega_u =
+        config_.omega_u_range > 0.0
+            ? rng.Uniform(-config_.omega_u_range, config_.omega_u_range)
+            : 0.0;
+    u.mu_k = config_.mu_k_ref + omega_u;
+    u.h_s = rng.Uniform(config_.h_s_min, config_.h_s_max);
+    u.gamma_n = rng.Uniform(config_.gamma_n_min, config_.gamma_n_max);
+  }
+}
+
+nn::Tensor LtsEnv::MakeObs(Rng&) const {
+  nn::Tensor obs(config_.num_users, kLtsObsDim);
+  for (int i = 0; i < config_.num_users; ++i) {
+    obs(i, 0) = sat_[i];
+    obs(i, 1) = group_obs_[i];
+    obs(i, 2) = last_engagement_[i] / config_.mu_c_ref;
+    obs(i, 3) = static_cast<double>(t_) / config_.horizon;
+  }
+  return obs;
+}
+
+nn::Tensor LtsEnv::Reset(Rng& rng) {
+  if (config_.resample_users_on_reset) DrawUsers(rng);
+  group_obs_.resize(config_.num_users);
+  const double group_mu_c = mu_c();
+  for (int i = 0; i < config_.num_users; ++i) {
+    npe_[i] = rng.Uniform(-1.0, 1.0);
+    sat_[i] = Sigmoid(users_[i].h_s * npe_[i]);
+    last_engagement_[i] = 0.0;
+    group_obs_[i] = rng.Normal(group_mu_c, config_.obs_noise);
+  }
+  t_ = 0;
+  return MakeObs(rng);
+}
+
+StepResult LtsEnv::Step(const nn::Tensor& actions, Rng& rng) {
+  S2R_CHECK(actions.rows() == config_.num_users && actions.cols() == 1);
+  StepResult out;
+  out.rewards.resize(config_.num_users);
+  out.dones.assign(config_.num_users, 0);
+  const double group_mu_c = mu_c();
+
+  for (int i = 0; i < config_.num_users; ++i) {
+    const double a = std::clamp(actions(i, 0), 0.0, 1.0);
+    const UserParams& u = users_[i];
+    // Net positive exposure and satisfaction update (paper Sec. V-B1).
+    npe_[i] = u.gamma_n * npe_[i] - 2.0 * (a - 0.5);
+    sat_[i] = Sigmoid(u.h_s * npe_[i]);
+    const double mu = (a * group_mu_c + (1.0 - a) * u.mu_k) * sat_[i];
+    const double sigma = a * config_.sigma_c + (1.0 - a) * config_.sigma_k;
+    const double engagement = rng.Normal(mu, sigma);
+    out.rewards[i] = engagement;
+    last_engagement_[i] = engagement;
+  }
+
+  ++t_;
+  out.horizon_reached = (t_ >= config_.horizon);
+  out.next_obs = MakeObs(rng);
+  return out;
+}
+
+std::vector<double> LtsTaskOmegas(int alpha) {
+  S2R_CHECK(alpha >= 1);
+  std::vector<double> omegas;
+  // 6 <= 14 + omega_g < 22  =>  omega_g in [-8, 7].
+  for (int w = -8; w <= 7; ++w) {
+    if (std::abs(w) >= alpha) omegas.push_back(static_cast<double>(w));
+  }
+  return omegas;
+}
+
+}  // namespace envs
+}  // namespace sim2rec

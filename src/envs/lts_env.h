@@ -1,0 +1,117 @@
+#ifndef SIM2REC_ENVS_LTS_ENV_H_
+#define SIM2REC_ENVS_LTS_ENV_H_
+
+#include <vector>
+
+#include "envs/env.h"
+
+namespace sim2rec {
+namespace envs {
+
+/// Configuration of the long-term satisfaction (Choc/Kale) environment,
+/// our from-scratch implementation of the RecSim synthetic environment the
+/// paper evaluates on (Sec. V-B1).
+///
+/// Per-user dynamics, with action a in [0, 1] (clickbaitiness):
+///   NPE_t = gamma_n * NPE_{t-1} - 2 (a_t - 0.5)
+///   SAT_t = sigmoid(h_s * NPE_t)
+///   engagement_t ~ N(mu_t, sigma_t^2)
+///   mu_t    = (a_t * mu_c + (1 - a_t) * mu_k) * SAT_t
+///   sigma_t =  a_t * sigma_c + (1 - a_t) * sigma_k
+///
+/// Environment parameters omega = [omega_u, omega_g] shift the hidden
+/// means:  mu_c = 14 + omega_g (group-level),  mu_k = 4 + omega_u
+/// (user-level). The "real" deployment environment is omega = [0, 0].
+struct LtsConfig {
+  int num_users = 64;
+  int horizon = 60;
+
+  /// Group-level reality-gap parameter (shifts mu_c).
+  double omega_g = 0.0;
+  /// User-level gap: each user draws omega_u ~ U[-omega_u_range,
+  /// +omega_u_range]. 0 disables per-user gaps (LTS1-LTS3).
+  double omega_u_range = 0.0;
+  /// When true (the paper's "unlimited-user" simulators, Fig. 7b), user
+  /// parameters including omega_u are re-drawn on every Reset; when
+  /// false, a fixed population is drawn once at construction (the
+  /// "500-user" setting, Fig. 7a).
+  bool resample_users_on_reset = false;
+
+  // Reference hidden means (paper: mu_c,r = 14, mu_k,r = 4).
+  double mu_c_ref = 14.0;
+  double mu_k_ref = 4.0;
+  double sigma_c = 1.0;
+  double sigma_k = 1.0;
+
+  // Per-user hidden-state ranges (drawn uniformly at init, per paper).
+  double h_s_min = 0.2;
+  double h_s_max = 0.4;
+  double gamma_n_min = 0.85;
+  double gamma_n_max = 0.95;
+
+  /// Stddev of the noisy group observation o_i ~ N(mu_c, obs_noise^2)
+  /// (paper uses variance 4).
+  double obs_noise = 2.0;
+
+  uint64_t user_seed = 1234;
+};
+
+/// Observation layout of LtsEnv.
+///   [0] SAT_t            (the user's visible satisfaction)
+///   [1] o_i ~ N(mu_c,4)  (noisy static group signal, drawn per user at
+///                         Reset — a user *feature*, so no single agent
+///                         can average the noise away over time; only
+///                         cross-user pooling, i.e. SADAE, can)
+///   [2] previous engagement (normalized by mu_c_ref)
+///   [3] t / horizon
+inline constexpr int kLtsObsDim = 4;
+
+class LtsEnv : public GroupBatchEnv {
+ public:
+  explicit LtsEnv(const LtsConfig& config);
+
+  int num_users() const override { return config_.num_users; }
+  int obs_dim() const override { return kLtsObsDim; }
+  int action_dim() const override { return 1; }
+  int horizon() const override { return config_.horizon; }
+
+  nn::Tensor Reset(Rng& rng) override;
+  StepResult Step(const nn::Tensor& actions, Rng& rng) override;
+
+  std::vector<double> action_low() const override { return {0.0}; }
+  std::vector<double> action_high() const override { return {1.0}; }
+
+  const LtsConfig& config() const { return config_; }
+  /// Hidden satisfaction of each user (tests / diagnostics only).
+  const std::vector<double>& satisfaction() const { return sat_; }
+  /// Effective mu_c of the group (mu_c_ref + omega_g).
+  double mu_c() const { return config_.mu_c_ref + config_.omega_g; }
+
+ private:
+  struct UserParams {
+    double mu_k;      // mu_k_ref + omega_u
+    double h_s;
+    double gamma_n;
+  };
+
+  void DrawUsers(Rng& rng);
+  nn::Tensor MakeObs(Rng& rng) const;
+
+  LtsConfig config_;
+  std::vector<UserParams> users_;
+  std::vector<double> npe_;
+  std::vector<double> sat_;
+  std::vector<double> last_engagement_;
+  std::vector<double> group_obs_;  // per-user static o_i
+  int t_ = 0;
+};
+
+/// The training simulator sets of Sec. V-B1. Level alpha in {2, 3, 4}
+/// (LTS1..LTS3): all integer omega_g with |omega_g| >= alpha and
+/// 6 <= mu_c_ref + omega_g < 22.
+std::vector<double> LtsTaskOmegas(int alpha);
+
+}  // namespace envs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_ENVS_LTS_ENV_H_

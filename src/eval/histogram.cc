@@ -1,0 +1,64 @@
+#include "eval/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace eval {
+
+Histogram MakeHistogram(const std::vector<double>& values, double lo,
+                        double hi, int bins) {
+  S2R_CHECK(bins >= 1);
+  S2R_CHECK(hi > lo);
+  Histogram hist;
+  hist.bin_edges.resize(bins + 1);
+  const double width = (hi - lo) / bins;
+  for (int b = 0; b <= bins; ++b) hist.bin_edges[b] = lo + b * width;
+  hist.counts.assign(bins, 0);
+  for (double v : values) {
+    int b = static_cast<int>(std::floor((v - lo) / width));
+    b = std::clamp(b, 0, bins - 1);
+    ++hist.counts[b];
+  }
+  hist.densities.resize(bins);
+  const double total = std::max<double>(1.0, values.size());
+  for (int b = 0; b < bins; ++b) {
+    hist.densities[b] = hist.counts[b] / (total * width);
+  }
+  return hist;
+}
+
+void MakePairedHistograms(const std::vector<double>& real,
+                          const std::vector<double>& reconstructed,
+                          int bins, Histogram* real_hist,
+                          Histogram* recon_hist) {
+  S2R_CHECK(!real.empty() && !reconstructed.empty());
+  double lo = real[0], hi = real[0];
+  for (double v : real) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : reconstructed) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  *real_hist = MakeHistogram(real, lo, hi, bins);
+  *recon_hist = MakeHistogram(reconstructed, lo, hi, bins);
+}
+
+double HistogramL1(const Histogram& a, const Histogram& b) {
+  S2R_CHECK(a.densities.size() == b.densities.size());
+  S2R_CHECK(a.bin_edges.size() == b.bin_edges.size());
+  double l1 = 0.0;
+  for (size_t i = 0; i < a.densities.size(); ++i) {
+    const double width = a.bin_edges[i + 1] - a.bin_edges[i];
+    l1 += std::abs(a.densities[i] - b.densities[i]) * width;
+  }
+  return l1;
+}
+
+}  // namespace eval
+}  // namespace sim2rec

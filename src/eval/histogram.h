@@ -1,0 +1,39 @@
+#ifndef SIM2REC_EVAL_HISTOGRAM_H_
+#define SIM2REC_EVAL_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace eval {
+
+/// Fixed-bin 1-D histogram used by the reconstruction figures (Fig. 5 and
+/// Fig. 8) to compare real vs. reconstructed feature marginals.
+struct Histogram {
+  std::vector<double> bin_edges;   // size bins + 1
+  std::vector<double> densities;   // normalized so the area integrates to 1
+  std::vector<int64_t> counts;
+};
+
+/// Builds a histogram of `values` over [lo, hi] with `bins` equal bins.
+/// Out-of-range values are clamped into the boundary bins.
+Histogram MakeHistogram(const std::vector<double>& values, double lo,
+                        double hi, int bins);
+
+/// Histogram over the joint range of both datasets; convenient for
+/// overlaying real vs. reconstructed marginals.
+void MakePairedHistograms(const std::vector<double>& real,
+                          const std::vector<double>& reconstructed,
+                          int bins, Histogram* real_hist,
+                          Histogram* recon_hist);
+
+/// L1 distance between two density histograms on identical bins, in
+/// [0, 2]; 0 means identical marginals.
+double HistogramL1(const Histogram& a, const Histogram& b);
+
+}  // namespace eval
+}  // namespace sim2rec
+
+#endif  // SIM2REC_EVAL_HISTOGRAM_H_

@@ -1,0 +1,77 @@
+#include "eval/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace eval {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+constexpr double kMinBandwidth = 1e-3;
+
+}  // namespace
+
+KernelDensity::KernelDensity(const nn::Tensor& samples,
+                             double bandwidth_scale)
+    : samples_(samples), bandwidths_(1, samples.cols()) {
+  S2R_CHECK(samples.rows() > 0 && samples.cols() > 0);
+  S2R_CHECK(bandwidth_scale > 0.0);
+  const int n = samples.rows();
+  const int d = samples.cols();
+  const nn::Tensor sigma = nn::ColStd(samples);
+  const double factor = std::pow(static_cast<double>(n),
+                                 -1.0 / (d + 4.0));
+  double log_h_sum = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double h =
+        std::max(sigma(0, j) * factor * bandwidth_scale, kMinBandwidth);
+    bandwidths_(0, j) = h;
+    log_h_sum += std::log(h);
+  }
+  // Kernel normalization: each Gaussian kernel contributes
+  // (2*pi)^(-d/2) / prod_j h_j; averaging over n adds -log n.
+  log_norm_ = -0.5 * d * kLog2Pi - log_h_sum -
+              std::log(static_cast<double>(n));
+}
+
+double KernelDensity::LogPdf(const nn::Tensor& x) const {
+  S2R_CHECK(x.rows() == 1 && x.cols() == samples_.cols());
+  const int n = samples_.rows();
+  const int d = samples_.cols();
+  // log f(x) = log_norm_ + logsumexp_i( -0.5 * sum_j z_ij^2 )
+  double max_exponent = -1e300;
+  std::vector<double> exponents(n);
+  for (int i = 0; i < n; ++i) {
+    double sq = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double z = (x(0, j) - samples_(i, j)) / bandwidths_(0, j);
+      sq += z * z;
+    }
+    exponents[i] = -0.5 * sq;
+    max_exponent = std::max(max_exponent, exponents[i]);
+  }
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::exp(exponents[i] - max_exponent);
+  return log_norm_ + max_exponent + std::log(sum);
+}
+
+double KernelDensity::Pdf(const nn::Tensor& x) const {
+  return std::exp(LogPdf(x));
+}
+
+double KdeKlDivergence(const nn::Tensor& data_a, const nn::Tensor& data_b,
+                       double bandwidth_scale) {
+  S2R_CHECK(data_a.cols() == data_b.cols());
+  const KernelDensity fa(data_a, bandwidth_scale);
+  const KernelDensity fb(data_b, bandwidth_scale);
+  double sum = 0.0;
+  for (int i = 0; i < data_a.rows(); ++i) {
+    const nn::Tensor x = data_a.Row(i);
+    sum += fa.LogPdf(x) - fb.LogPdf(x);
+  }
+  return sum / data_a.rows();
+}
+
+}  // namespace eval
+}  // namespace sim2rec

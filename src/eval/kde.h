@@ -1,0 +1,48 @@
+#ifndef SIM2REC_EVAL_KDE_H_
+#define SIM2REC_EVAL_KDE_H_
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace eval {
+
+/// Gaussian-product-kernel density estimator over a sample matrix
+/// [n x d], the paper's tool for computing dataset-level KL divergence
+/// (Eq. 9) when the state-action distribution is too complex for a closed
+/// form (DPR tasks, Sec. V-A3).
+///
+/// Bandwidths follow Scott's rule per dimension:
+///   h_j = sigma_j * n^(-1 / (d + 4))
+/// with a small floor so degenerate (constant) dimensions stay finite.
+class KernelDensity {
+ public:
+  /// Fits the estimator; `bandwidth_scale` multiplies the rule-of-thumb
+  /// bandwidths (1.0 = Scott's rule).
+  explicit KernelDensity(const nn::Tensor& samples,
+                         double bandwidth_scale = 1.0);
+
+  /// Probability density at a point given as a [1 x d] row.
+  double Pdf(const nn::Tensor& x) const;
+  /// Log density, computed stably via log-sum-exp over kernels.
+  double LogPdf(const nn::Tensor& x) const;
+
+  int dim() const { return samples_.cols(); }
+  int num_samples() const { return samples_.rows(); }
+  const nn::Tensor& bandwidths() const { return bandwidths_; }
+
+ private:
+  nn::Tensor samples_;     // [n x d]
+  nn::Tensor bandwidths_;  // [1 x d]
+  double log_norm_;        // log of the kernel normalization constant
+};
+
+/// Sample-based KL divergence between two datasets (paper Eq. 9):
+///   KLD(Da, Db) = (1/|Da|) sum_{x in Da} log( f_a(x) / f_b(x) )
+/// where f_a, f_b are KDE fits of the two datasets. Rows are samples.
+double KdeKlDivergence(const nn::Tensor& data_a, const nn::Tensor& data_b,
+                       double bandwidth_scale = 1.0);
+
+}  // namespace eval
+}  // namespace sim2rec
+
+#endif  // SIM2REC_EVAL_KDE_H_

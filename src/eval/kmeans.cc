@@ -1,0 +1,107 @@
+#include "eval/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sim2rec {
+namespace eval {
+namespace {
+
+double SquaredDistance(const nn::Tensor& data, int row,
+                       const nn::Tensor& centers, int center) {
+  double sq = 0.0;
+  for (int j = 0; j < data.cols(); ++j) {
+    const double d = data(row, j) - centers(center, j);
+    sq += d * d;
+  }
+  return sq;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const nn::Tensor& data, int k, Rng& rng,
+                    int max_iterations, double tol) {
+  const int n = data.rows();
+  const int d = data.cols();
+  S2R_CHECK(k >= 1 && k <= n);
+
+  KMeansResult result;
+  result.centers = nn::Tensor(k, d);
+
+  // k-means++ seeding.
+  std::vector<double> min_sq(n, std::numeric_limits<double>::max());
+  int first = rng.UniformInt(n);
+  result.centers.SetRow(0, data.Row(first));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      min_sq[i] = std::min(min_sq[i],
+                           SquaredDistance(data, i, result.centers, c - 1));
+      total += min_sq[i];
+    }
+    int chosen = 0;
+    if (total > 0.0) {
+      double r = rng.Uniform() * total;
+      for (int i = 0; i < n; ++i) {
+        r -= min_sq[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformInt(n);
+    }
+    result.centers.SetRow(c, data.Row(chosen));
+  }
+
+  result.assignments.assign(n, -1);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_sq = SquaredDistance(data, i, result.centers, 0);
+      for (int c = 1; c < k; ++c) {
+        const double sq = SquaredDistance(data, i, result.centers, c);
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = c;
+        }
+      }
+      result.assignments[i] = best;
+      inertia += best_sq;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    nn::Tensor sums(k, d, 0.0);
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      for (int j = 0; j < d; ++j) sums(c, j) += data(i, j);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centers.SetRow(c, data.Row(rng.UniformInt(n)));
+        continue;
+      }
+      for (int j = 0; j < d; ++j)
+        result.centers(c, j) = sums(c, j) / counts[c];
+    }
+
+    if (prev_inertia - inertia <= tol * std::max(1.0, prev_inertia)) break;
+    prev_inertia = inertia;
+  }
+
+  result.cluster_sizes.assign(k, 0);
+  for (int c : result.assignments) ++result.cluster_sizes[c];
+  return result;
+}
+
+}  // namespace eval
+}  // namespace sim2rec

@@ -1,0 +1,30 @@
+#ifndef SIM2REC_EVAL_KMEANS_H_
+#define SIM2REC_EVAL_KMEANS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace eval {
+
+/// Result of a k-means clustering run.
+struct KMeansResult {
+  nn::Tensor centers;            // [k x d]
+  std::vector<int> assignments;  // one cluster id per data row
+  std::vector<int> cluster_sizes;
+  double inertia = 0.0;          // sum of squared distances to centers
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding, used for the paper's Fig. 10
+/// intervention test (clustering drivers' response vectors to bonus
+/// shifts into 5 patterns).
+KMeansResult KMeans(const nn::Tensor& data, int k, Rng& rng,
+                    int max_iterations = 100, double tol = 1e-7);
+
+}  // namespace eval
+}  // namespace sim2rec
+
+#endif  // SIM2REC_EVAL_KMEANS_H_

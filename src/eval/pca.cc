@@ -1,0 +1,126 @@
+#include "eval/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sim2rec {
+namespace eval {
+
+void SymmetricEigen(const nn::Tensor& matrix,
+                    std::vector<double>* eigenvalues,
+                    nn::Tensor* eigenvectors) {
+  const int n = matrix.rows();
+  S2R_CHECK(matrix.cols() == n);
+  nn::Tensor a = matrix;
+  nn::Tensor v = nn::Tensor::Identity(n);
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-24) break;
+
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to A on both sides and accumulate into V.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](int i, int j) { return a(i, i) > a(j, j); });
+
+  eigenvalues->resize(n);
+  *eigenvectors = nn::Tensor(n, n);
+  for (int j = 0; j < n; ++j) {
+    (*eigenvalues)[j] = a(order[j], order[j]);
+    for (int i = 0; i < n; ++i) (*eigenvectors)(i, j) = v(i, order[j]);
+  }
+}
+
+Pca::Pca(const nn::Tensor& data) {
+  S2R_CHECK(data.rows() >= 2);
+  const int n = data.rows();
+  const int d = data.cols();
+  mean_ = nn::ColMean(data);
+  nn::Tensor cov(d, d, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int p = 0; p < d; ++p) {
+      const double dp = data(i, p) - mean_(0, p);
+      for (int q = p; q < d; ++q) {
+        cov(p, q) += dp * (data(i, q) - mean_(0, q));
+      }
+    }
+  }
+  for (int p = 0; p < d; ++p) {
+    for (int q = p; q < d; ++q) {
+      cov(p, q) /= (n - 1);
+      cov(q, p) = cov(p, q);
+    }
+  }
+  SymmetricEigen(cov, &eigenvalues_, &components_);
+  // Numerical noise can make tiny eigenvalues slightly negative.
+  for (double& ev : eigenvalues_) ev = std::max(ev, 0.0);
+}
+
+std::vector<double> Pca::CumulativeEnergyRatio() const {
+  std::vector<double> out(eigenvalues_.size());
+  double total = 0.0;
+  for (double ev : eigenvalues_) total += ev;
+  if (total <= 0.0) total = 1.0;
+  double acc = 0.0;
+  for (size_t k = 0; k < eigenvalues_.size(); ++k) {
+    acc += eigenvalues_[k];
+    out[k] = acc / total;
+  }
+  return out;
+}
+
+nn::Tensor Pca::Project(const nn::Tensor& data, int k) const {
+  S2R_CHECK(k >= 1 && k <= dim());
+  S2R_CHECK(data.cols() == dim());
+  nn::Tensor out(data.rows(), k);
+  for (int i = 0; i < data.rows(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      double dot = 0.0;
+      for (int p = 0; p < dim(); ++p) {
+        dot += (data(i, p) - mean_(0, p)) * components_(p, j);
+      }
+      out(i, j) = dot;
+    }
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace sim2rec

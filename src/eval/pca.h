@@ -1,0 +1,47 @@
+#ifndef SIM2REC_EVAL_PCA_H_
+#define SIM2REC_EVAL_PCA_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace eval {
+
+/// Symmetric eigendecomposition by the cyclic Jacobi method.
+/// `matrix` must be symmetric [d x d]. Outputs eigenvalues (descending)
+/// and the matching eigenvectors as columns of `eigenvectors`.
+void SymmetricEigen(const nn::Tensor& matrix,
+                    std::vector<double>* eigenvalues,
+                    nn::Tensor* eigenvectors);
+
+/// Principal component analysis of a sample matrix [n x d], used in the
+/// paper for Fig. 3 (cumulative energy of SADAE latents) and Fig. 12 (2-D
+/// projection of `v` against the ground-truth omega_g).
+class Pca {
+ public:
+  /// Fits the mean and principal axes from data rows.
+  explicit Pca(const nn::Tensor& data);
+
+  /// Eigenvalues of the covariance matrix, descending.
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Cumulative energy ratio per component count:
+  ///   out[k] = sum(eigenvalues[0..k]) / sum(all).
+  std::vector<double> CumulativeEnergyRatio() const;
+
+  /// Projects data rows onto the first `k` principal components -> [n x k].
+  nn::Tensor Project(const nn::Tensor& data, int k) const;
+
+  int dim() const { return static_cast<int>(eigenvalues_.size()); }
+
+ private:
+  nn::Tensor mean_;       // [1 x d]
+  nn::Tensor components_; // [d x d], eigenvectors as columns
+  std::vector<double> eigenvalues_;
+};
+
+}  // namespace eval
+}  // namespace sim2rec
+
+#endif  // SIM2REC_EVAL_PCA_H_

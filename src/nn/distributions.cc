@@ -1,0 +1,124 @@
+#include "nn/distributions.h"
+
+#include <cmath>
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+}  // namespace
+
+Var DiagGaussian::LogProb(const Tensor& x) const {
+  Tape* tape = mean.tape;
+  S2R_CHECK(x.SameShape(mean.value()));
+  S2R_CHECK(log_std.value().SameShape(mean.value()));
+  Var xv = tape->Constant(x);
+  Var inv_std = ExpV(NegV(log_std));
+  Var z = MulV(SubV(xv, mean), inv_std);
+  // -0.5 * z^2 - log_std - 0.5*log(2pi), summed over dims.
+  Var per_dim = SubV(ScaleV(SquareV(z), -0.5), log_std);
+  per_dim = AddScalarV(per_dim, -0.5 * kLog2Pi);
+  return RowSumV(per_dim);
+}
+
+Var DiagGaussian::Entropy() const {
+  // H = sum_d (log_std_d + 0.5*(1 + log 2pi))
+  Var per_dim = AddScalarV(log_std, 0.5 * (1.0 + kLog2Pi));
+  return RowSumV(per_dim);
+}
+
+Var DiagGaussian::Rsample(Rng& rng) const {
+  Tape* tape = mean.tape;
+  const Tensor& mv = mean.value();
+  Tensor eps = Tensor::Randn(mv.rows(), mv.cols(), rng);
+  Var eps_v = tape->Constant(eps);
+  return AddV(mean, MulV(eps_v, ExpV(log_std)));
+}
+
+Tensor DiagGaussian::Sample(Rng& rng) const {
+  const Tensor& mv = mean.value();
+  const Tensor& lsv = log_std.value();
+  Tensor out = mv;
+  for (int i = 0; i < out.size(); ++i)
+    out[i] += rng.Normal() * std::exp(lsv[i]);
+  return out;
+}
+
+Var DiagGaussian::Kl(const DiagGaussian& p, const DiagGaussian& q) {
+  // KL = sum_d [ log(sq/sp) + (sp^2 + (mp-mq)^2) / (2 sq^2) - 0.5 ]
+  Var log_ratio = SubV(q.log_std, p.log_std);
+  Var var_p = ExpV(ScaleV(p.log_std, 2.0));
+  Var inv_var_q = ExpV(ScaleV(q.log_std, -2.0));
+  Var mean_diff_sq = SquareV(SubV(p.mean, q.mean));
+  Var num = AddV(var_p, mean_diff_sq);
+  Var per_dim = AddScalarV(
+      AddV(log_ratio, ScaleV(MulV(num, inv_var_q), 0.5)), -0.5);
+  return RowSumV(per_dim);
+}
+
+Var DiagGaussian::KlToStandardNormal() const {
+  // KL(N(m, s^2) || N(0,1)) = 0.5 * sum_d (s^2 + m^2 - 1 - 2 log s)
+  Var var = ExpV(ScaleV(log_std, 2.0));
+  Var term = SubV(AddV(var, SquareV(mean)), ScaleV(log_std, 2.0));
+  Var per_dim = ScaleV(AddScalarV(term, -1.0), 0.5);
+  return RowSumV(per_dim);
+}
+
+Var CategoricalDist::LogProb(const std::vector<int>& actions) const {
+  Var lse = RowLogSumExpV(logits);
+  Var picked = PickPerRowV(logits, actions);
+  return SubV(picked, lse);
+}
+
+Var CategoricalDist::Entropy() const {
+  Var log_probs = LogSoftmaxV(logits);
+  Var probs = ExpV(log_probs);
+  return NegV(RowSumV(MulV(probs, log_probs)));
+}
+
+std::vector<int> CategoricalDist::Sample(Rng& rng) const {
+  const Tensor& lg = logits.value();
+  std::vector<int> out(lg.rows());
+  std::vector<double> w(lg.cols());
+  for (int r = 0; r < lg.rows(); ++r) {
+    double mx = lg(r, 0);
+    for (int c = 1; c < lg.cols(); ++c) mx = std::max(mx, lg(r, c));
+    for (int c = 0; c < lg.cols(); ++c) w[c] = std::exp(lg(r, c) - mx);
+    out[r] = rng.Categorical(w);
+  }
+  return out;
+}
+
+std::vector<int> CategoricalDist::Mode() const {
+  const Tensor& lg = logits.value();
+  std::vector<int> out(lg.rows());
+  for (int r = 0; r < lg.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < lg.cols(); ++c) {
+      if (lg(r, c) > lg(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double GaussianKlValue(const Tensor& mean_p, const Tensor& std_p,
+                       const Tensor& mean_q, const Tensor& std_q) {
+  S2R_CHECK(mean_p.SameShape(mean_q));
+  S2R_CHECK(std_p.SameShape(std_q));
+  S2R_CHECK(mean_p.SameShape(std_p));
+  double kl = 0.0;
+  for (int i = 0; i < mean_p.size(); ++i) {
+    const double sp = std_p[i];
+    const double sq = std_q[i];
+    S2R_CHECK(sp > 0.0 && sq > 0.0);
+    const double md = mean_p[i] - mean_q[i];
+    kl += std::log(sq / sp) + (sp * sp + md * md) / (2.0 * sq * sq) - 0.5;
+  }
+  return kl;
+}
+
+}  // namespace nn
+}  // namespace sim2rec

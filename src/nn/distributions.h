@@ -1,0 +1,58 @@
+#ifndef SIM2REC_NN_DISTRIBUTIONS_H_
+#define SIM2REC_NN_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Diagonal Gaussian over continuous actions / decoded features.
+///
+/// Both `mean` and `log_std` are [N x D] graph nodes (state-independent
+/// log-stds must be tiled by the caller, see TileRowsV). All densities are
+/// per-row: LogProb/Entropy return [N x 1].
+struct DiagGaussian {
+  Var mean;
+  Var log_std;
+
+  /// log N(x | mean, exp(log_std)^2) summed over the D dimensions.
+  Var LogProb(const Tensor& x) const;
+  /// Differential entropy per row: sum_d (log_std + 0.5 log(2*pi*e)).
+  Var Entropy() const;
+  /// Reparameterized sample: mean + eps * std, with eps ~ N(0, I) drawn
+  /// now; the returned Var keeps gradients flowing to mean and log_std
+  /// (used by the SADAE reparameterization trick).
+  Var Rsample(Rng& rng) const;
+  /// Non-differentiable sample of current values.
+  Tensor Sample(Rng& rng) const;
+  Tensor Mode() const { return mean.value(); }
+
+  /// KL(p || q) per row, closed form.
+  static Var Kl(const DiagGaussian& p, const DiagGaussian& q);
+  /// KL(p || N(0, I)) per row, the SADAE prior term.
+  Var KlToStandardNormal() const;
+};
+
+/// Categorical over K classes parameterized by unnormalized logits
+/// [N x K].
+struct CategoricalDist {
+  Var logits;
+
+  Var LogProb(const std::vector<int>& actions) const;  // [N x 1]
+  Var Entropy() const;                                 // [N x 1]
+  std::vector<int> Sample(Rng& rng) const;
+  std::vector<int> Mode() const;
+};
+
+/// Closed-form scalar KL between two diagonal Gaussians given as plain
+/// tensors ([1 x D] mean/std each); used by evaluation code.
+double GaussianKlValue(const Tensor& mean_p, const Tensor& std_p,
+                       const Tensor& mean_q, const Tensor& std_q);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_DISTRIBUTIONS_H_

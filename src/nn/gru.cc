@@ -1,0 +1,84 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace sim2rec {
+namespace nn {
+
+GruCell::GruCell(const std::string& name, int in_dim, int hidden_dim,
+                 Rng& rng)
+    : in_dim_(in_dim), hidden_dim_(hidden_dim) {
+  S2R_CHECK(in_dim > 0 && hidden_dim > 0);
+  w_rz_ = AddParameter(
+      name + ".Wrz", XavierUniform(in_dim + hidden_dim, 2 * hidden_dim,
+                                   rng));
+  b_rz_ = AddParameter(name + ".brz", Tensor::Zeros(1, 2 * hidden_dim));
+  w_xn_ = AddParameter(name + ".Wxn",
+                       XavierUniform(in_dim, hidden_dim, rng));
+  w_hn_ = AddParameter(name + ".Whn",
+                       XavierUniform(hidden_dim, hidden_dim, rng));
+  b_n_ = AddParameter(name + ".bn", Tensor::Zeros(1, hidden_dim));
+}
+
+Var GruCell::Forward(Tape& tape, Var x, Var h) {
+  S2R_CHECK(x.value().cols() == in_dim_);
+  S2R_CHECK(h.value().cols() == hidden_dim_);
+  Var w_rz = tape.Leaf(w_rz_);
+  Var b_rz = tape.Leaf(b_rz_);
+  Var w_xn = tape.Leaf(w_xn_);
+  Var w_hn = tape.Leaf(w_hn_);
+  Var b_n = tape.Leaf(b_n_);
+
+  Var xh = ConcatColsV({x, h});
+  Var rz = SigmoidV(AddRowBroadcastV(MatMulV(xh, w_rz), b_rz));
+  Var r = SliceColsV(rz, 0, hidden_dim_);
+  Var z = SliceColsV(rz, hidden_dim_, 2 * hidden_dim_);
+  Var n = TanhV(AddRowBroadcastV(
+      AddV(MatMulV(x, w_xn), MulV(r, MatMulV(h, w_hn))), b_n));
+  // h' = (1 - z) * n + z * h = n + z * (h - n)
+  return AddV(n, MulV(z, SubV(h, n)));
+}
+
+Tensor GruCell::ForwardValue(const Tensor& x, const Tensor& h) const {
+  S2R_CHECK(x.cols() == in_dim_);
+  S2R_CHECK(h.cols() == hidden_dim_);
+  const int batch = x.rows();
+  const int hd = hidden_dim_;
+  auto sigmoid = [](double v) {
+    return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                  : std::exp(v) / (1.0 + std::exp(v));
+  };
+
+  Tensor xh = HStack({x, h});
+  Tensor rz = MatMul(xh, w_rz_->value);
+  for (int i = 0; i < batch; ++i)
+    for (int c = 0; c < 2 * hd; ++c) rz(i, c) += b_rz_->value(0, c);
+  rz.Apply(sigmoid);
+
+  const Tensor xn = MatMul(x, w_xn_->value);
+  const Tensor hn = MatMul(h, w_hn_->value);
+  Tensor out(batch, hd);
+  for (int i = 0; i < batch; ++i) {
+    for (int c = 0; c < hd; ++c) {
+      const double r = rz(i, c);
+      const double z = rz(i, hd + c);
+      const double n =
+          std::tanh(xn(i, c) + r * hn(i, c) + b_n_->value(0, c));
+      out(i, c) = n + z * (h(i, c) - n);
+    }
+  }
+  return out;
+}
+
+Var GruCell::InitialState(Tape& tape, int n) const {
+  return tape.Constant(Tensor::Zeros(n, hidden_dim_));
+}
+
+Tensor GruCell::InitialStateValue(int n) const {
+  return Tensor::Zeros(n, hidden_dim_);
+}
+
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,49 @@
+#ifndef SIM2REC_NN_GRU_H_
+#define SIM2REC_NN_GRU_H_
+
+#include <string>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Gated recurrent unit (Cho et al. 2014) — the alternative recurrent
+/// extractor cell (the paper's RNN citation [19] is the GRU paper; its
+/// implementation uses an LSTM). Provided for the extractor-cell
+/// ablation.
+///
+///   [r z] = sigmoid([x h] W_rz + b_rz)
+///   n     = tanh(x W_xn + b_n + r * (h W_hn))
+///   h'    = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(const std::string& name, int in_dim, int hidden_dim, Rng& rng);
+
+  /// One differentiable step; x: [N x in], h: [N x hidden].
+  Var Forward(Tape& tape, Var x, Var h);
+
+  /// Inference-only step.
+  Tensor ForwardValue(const Tensor& x, const Tensor& h) const;
+
+  Var InitialState(Tape& tape, int n) const;
+  Tensor InitialStateValue(int n) const;
+
+  int in_dim() const { return in_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int in_dim_;
+  int hidden_dim_;
+  Parameter* w_rz_;   // [in+hidden x 2*hidden]
+  Parameter* b_rz_;   // [1 x 2*hidden]
+  Parameter* w_xn_;   // [in x hidden]
+  Parameter* w_hn_;   // [hidden x hidden]
+  Parameter* b_n_;    // [1 x hidden]
+};
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_GRU_H_

@@ -1,0 +1,49 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace sim2rec {
+namespace nn {
+
+Tensor XavierUniform(int fan_in, int fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  return Tensor::Rand(fan_in, fan_out, rng, -limit, limit);
+}
+
+Tensor KaimingNormal(int fan_in, int fan_out, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / fan_in);
+  return Tensor::Randn(fan_in, fan_out, rng, 0.0, stddev);
+}
+
+Tensor Orthogonal(int rows, int cols, Rng& rng, double gain) {
+  // Orthonormalize the rows of the wide orientation, then transpose back.
+  const bool transpose = rows < cols;
+  const int n = transpose ? cols : rows;  // long side
+  const int m = transpose ? rows : cols;  // short side
+  Tensor a = Tensor::Randn(n, m, rng);
+
+  // Modified Gram-Schmidt on the columns of a (n x m, n >= m).
+  for (int c = 0; c < m; ++c) {
+    for (int prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) dot += a(r, c) * a(r, prev);
+      for (int r = 0; r < n; ++r) a(r, c) -= dot * a(r, prev);
+    }
+    double norm = 0.0;
+    for (int r = 0; r < n; ++r) norm += a(r, c) * a(r, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate draw: re-seed this column with a basis vector.
+      for (int r = 0; r < n; ++r) a(r, c) = (r == c % n) ? 1.0 : 0.0;
+      norm = 1.0;
+    }
+    for (int r = 0; r < n; ++r) a(r, c) /= norm;
+  }
+
+  Tensor out = transpose ? a.Transposed() : a;
+  for (int i = 0; i < out.size(); ++i) out[i] *= gain;
+  return out;
+}
+
+}  // namespace nn
+}  // namespace sim2rec

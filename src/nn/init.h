@@ -1,0 +1,25 @@
+#ifndef SIM2REC_NN_INIT_H_
+#define SIM2REC_NN_INIT_H_
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Xavier/Glorot uniform initialization for a [fan_in x fan_out] weight.
+Tensor XavierUniform(int fan_in, int fan_out, Rng& rng);
+
+/// Kaiming/He normal initialization (ReLU gain).
+Tensor KaimingNormal(int fan_in, int fan_out, Rng& rng);
+
+/// Orthogonal initialization with a gain, the standard PPO policy/value
+/// head initializer. Produced via Gram-Schmidt on a Gaussian matrix; for
+/// non-square shapes the rows (or columns) of the larger side are
+/// orthonormal.
+Tensor Orthogonal(int rows, int cols, Rng& rng, double gain = 1.0);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_INIT_H_

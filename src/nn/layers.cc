@@ -1,0 +1,117 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace sim2rec {
+namespace nn {
+
+Var Activate(Var x, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kTanh:
+      return TanhV(x);
+    case Activation::kRelu:
+      return ReluV(x);
+    case Activation::kSigmoid:
+      return SigmoidV(x);
+    case Activation::kSoftplus:
+      return SoftplusV(x);
+  }
+  S2R_CHECK_MSG(false, "unknown activation");
+  return x;
+}
+
+namespace {
+
+Tensor ActivateValue(Tensor x, Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kTanh:
+      x.Apply([](double v) { return std::tanh(v); });
+      return x;
+    case Activation::kRelu:
+      x.Apply([](double v) { return v > 0 ? v : 0.0; });
+      return x;
+    case Activation::kSigmoid:
+      x.Apply([](double v) {
+        return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                      : std::exp(v) / (1.0 + std::exp(v));
+      });
+      return x;
+    case Activation::kSoftplus:
+      x.Apply([](double v) {
+        return std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+      });
+      return x;
+  }
+  S2R_CHECK_MSG(false, "unknown activation");
+  return x;
+}
+
+}  // namespace
+
+Linear::Linear(const std::string& name, int in_dim, int out_dim, Rng& rng,
+               double gain)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  S2R_CHECK(in_dim > 0 && out_dim > 0);
+  Tensor w = std::isnan(gain) ? XavierUniform(in_dim, out_dim, rng)
+                              : Orthogonal(in_dim, out_dim, rng, gain);
+  weight_ = AddParameter(name + ".W", std::move(w));
+  bias_ = AddParameter(name + ".b", Tensor::Zeros(1, out_dim));
+}
+
+Var Linear::Forward(Tape& tape, Var x) {
+  S2R_CHECK(x.value().cols() == in_dim_);
+  Var w = tape.Leaf(weight_);
+  Var b = tape.Leaf(bias_);
+  return AddRowBroadcastV(MatMulV(x, w), b);
+}
+
+Tensor Linear::ForwardValue(const Tensor& x) const {
+  S2R_CHECK(x.cols() == in_dim_);
+  Tensor out = MatMul(x, weight_->value);
+  for (int r = 0; r < out.rows(); ++r)
+    for (int c = 0; c < out.cols(); ++c) out(r, c) += bias_->value(0, c);
+  return out;
+}
+
+Mlp::Mlp(const std::string& name, int in_dim,
+         const std::vector<int>& hidden_dims, int out_dim, Rng& rng,
+         Activation hidden_act, Activation out_act, double out_gain)
+    : in_dim_(in_dim), out_dim_(out_dim), hidden_act_(hidden_act),
+      out_act_(out_act) {
+  int prev = in_dim;
+  const double hidden_gain = std::sqrt(2.0);
+  for (size_t i = 0; i < hidden_dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(
+        name + ".l" + std::to_string(i), prev, hidden_dims[i], rng,
+        hidden_gain));
+    prev = hidden_dims[i];
+  }
+  layers_.push_back(std::make_unique<Linear>(
+      name + ".out", prev, out_dim, rng, out_gain));
+  for (auto& l : layers_) AddChild(l.get());
+}
+
+Var Mlp::Forward(Tape& tape, Var x) {
+  Var h = x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = Activate(layers_[i]->Forward(tape, h), hidden_act_);
+  }
+  return Activate(layers_.back()->Forward(tape, h), out_act_);
+}
+
+Tensor Mlp::ForwardValue(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = ActivateValue(layers_[i]->ForwardValue(h), hidden_act_);
+  }
+  return ActivateValue(layers_.back()->ForwardValue(h), out_act_);
+}
+
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,73 @@
+#ifndef SIM2REC_NN_LAYERS_H_
+#define SIM2REC_NN_LAYERS_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Pointwise nonlinearity selector shared by Mlp and the heads.
+enum class Activation { kIdentity, kTanh, kRelu, kSigmoid, kSoftplus };
+
+/// Applies an activation to a graph node.
+Var Activate(Var x, Activation act);
+
+/// Affine layer y = x W + b with W: [in x out], b: [1 x out].
+class Linear : public Module {
+ public:
+  /// `gain` scales the orthogonal initializer; PPO convention is
+  /// sqrt(2) for hidden layers, 0.01 for the policy head, 1.0 for values.
+  Linear(const std::string& name, int in_dim, int out_dim, Rng& rng,
+         double gain = std::numeric_limits<double>::quiet_NaN());
+
+  Var Forward(Tape& tape, Var x);
+  /// Inference-only forward pass without building graph nodes.
+  Tensor ForwardValue(const Tensor& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  Parameter* weight() { return weight_; }
+  Parameter* bias() { return bias_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Parameter* weight_;
+  Parameter* bias_;
+};
+
+/// Multi-layer perceptron: Linear layers with a hidden activation, and a
+/// configurable (default identity) output activation.
+class Mlp : public Module {
+ public:
+  Mlp(const std::string& name, int in_dim,
+      const std::vector<int>& hidden_dims, int out_dim, Rng& rng,
+      Activation hidden_act = Activation::kTanh,
+      Activation out_act = Activation::kIdentity,
+      double out_gain = std::numeric_limits<double>::quiet_NaN());
+
+  Var Forward(Tape& tape, Var x);
+  Tensor ForwardValue(const Tensor& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+ private:
+  int in_dim_;
+  int out_dim_;
+  Activation hidden_act_;
+  Activation out_act_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_LAYERS_H_

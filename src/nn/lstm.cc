@@ -1,0 +1,79 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace sim2rec {
+namespace nn {
+
+LstmCell::LstmCell(const std::string& name, int in_dim, int hidden_dim,
+                   Rng& rng)
+    : in_dim_(in_dim), hidden_dim_(hidden_dim) {
+  S2R_CHECK(in_dim > 0 && hidden_dim > 0);
+  weight_ = AddParameter(
+      name + ".W", XavierUniform(in_dim + hidden_dim, 4 * hidden_dim, rng));
+  Tensor b = Tensor::Zeros(1, 4 * hidden_dim);
+  // Forget gate occupies the second block of columns.
+  for (int c = hidden_dim; c < 2 * hidden_dim; ++c) b(0, c) = 1.0;
+  bias_ = AddParameter(name + ".b", std::move(b));
+}
+
+LstmState LstmCell::Forward(Tape& tape, Var x, const LstmState& state) {
+  S2R_CHECK(x.value().cols() == in_dim_);
+  S2R_CHECK(state.h.value().cols() == hidden_dim_);
+  Var w = tape.Leaf(weight_);
+  Var b = tape.Leaf(bias_);
+  Var xh = ConcatColsV({x, state.h});
+  Var gates = AddRowBroadcastV(MatMulV(xh, w), b);
+  const int hd = hidden_dim_;
+  Var i = SigmoidV(SliceColsV(gates, 0, hd));
+  Var f = SigmoidV(SliceColsV(gates, hd, 2 * hd));
+  Var g = TanhV(SliceColsV(gates, 2 * hd, 3 * hd));
+  Var o = SigmoidV(SliceColsV(gates, 3 * hd, 4 * hd));
+  Var c_next = AddV(MulV(f, state.c), MulV(i, g));
+  Var h_next = MulV(o, TanhV(c_next));
+  return LstmState{h_next, c_next};
+}
+
+LstmStateValue LstmCell::ForwardValue(const Tensor& x,
+                                      const LstmStateValue& state) const {
+  S2R_CHECK(x.cols() == in_dim_);
+  const int n = x.rows();
+  const int hd = hidden_dim_;
+  Tensor xh = HStack({x, state.h});
+  Tensor gates = MatMul(xh, weight_->value);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < 4 * hd; ++c) gates(r, c) += bias_->value(0, c);
+
+  auto sigmoid = [](double v) {
+    return v >= 0 ? 1.0 / (1.0 + std::exp(-v))
+                  : std::exp(v) / (1.0 + std::exp(v));
+  };
+  LstmStateValue next{Tensor(n, hd), Tensor(n, hd)};
+  for (int r = 0; r < n; ++r) {
+    for (int k = 0; k < hd; ++k) {
+      const double i = sigmoid(gates(r, k));
+      const double f = sigmoid(gates(r, hd + k));
+      const double g = std::tanh(gates(r, 2 * hd + k));
+      const double o = sigmoid(gates(r, 3 * hd + k));
+      const double c_next = f * state.c(r, k) + i * g;
+      next.c(r, k) = c_next;
+      next.h(r, k) = o * std::tanh(c_next);
+    }
+  }
+  return next;
+}
+
+LstmState LstmCell::InitialState(Tape& tape, int n) const {
+  return LstmState{tape.Constant(Tensor::Zeros(n, hidden_dim_)),
+                   tape.Constant(Tensor::Zeros(n, hidden_dim_))};
+}
+
+LstmStateValue LstmCell::InitialStateValue(int n) const {
+  return LstmStateValue{Tensor::Zeros(n, hidden_dim_),
+                        Tensor::Zeros(n, hidden_dim_)};
+}
+
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,60 @@
+#ifndef SIM2REC_NN_LSTM_H_
+#define SIM2REC_NN_LSTM_H_
+
+#include <string>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Hidden/cell pair threaded through an LSTM unroll.
+struct LstmState {
+  Var h;
+  Var c;
+};
+
+/// Plain-value counterpart of LstmState for inference-time stepping.
+struct LstmStateValue {
+  Tensor h;
+  Tensor c;
+};
+
+/// Single-layer LSTM cell (Hochreiter & Schmidhuber 1997), the recurrent
+/// unit of the environment-parameter extractor phi (paper Sec. IV-B).
+///
+/// Gates are computed from one fused affine map on [x, h]:
+///   [i f g o] = [x h] W + b,  i,f,o -> sigmoid, g -> tanh
+///   c' = f * c + i * g,  h' = o * tanh(c')
+/// The forget-gate bias is initialized to 1 (standard trick for gradient
+/// flow over long unrolls).
+class LstmCell : public Module {
+ public:
+  LstmCell(const std::string& name, int in_dim, int hidden_dim, Rng& rng);
+
+  /// One differentiable step; x: [N x in], state h/c: [N x hidden].
+  LstmState Forward(Tape& tape, Var x, const LstmState& state);
+
+  /// Inference-only step without graph construction.
+  LstmStateValue ForwardValue(const Tensor& x,
+                              const LstmStateValue& state) const;
+
+  /// Zero state for a batch of n sequences, as graph constants.
+  LstmState InitialState(Tape& tape, int n) const;
+  LstmStateValue InitialStateValue(int n) const;
+
+  int in_dim() const { return in_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int in_dim_;
+  int hidden_dim_;
+  Parameter* weight_;  // [in+hidden x 4*hidden], gate order i,f,g,o
+  Parameter* bias_;    // [1 x 4*hidden]
+};
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_LSTM_H_

@@ -1,0 +1,67 @@
+#include "nn/module.h"
+
+namespace sim2rec {
+namespace nn {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& p : owned_) out.push_back(p.get());
+  for (Module* child : children_) {
+    const auto child_params = child->Parameters();
+    out.insert(out.end(), child_params.begin(), child_params.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+int64_t Module::NumParams() {
+  int64_t n = 0;
+  for (Parameter* p : Parameters()) n += p->value.size();
+  return n;
+}
+
+void Module::CopyParametersFrom(Module& other) {
+  const auto dst = Parameters();
+  const auto src = other.Parameters();
+  S2R_CHECK_MSG(dst.size() == src.size(),
+                "CopyParametersFrom: parameter count mismatch");
+  for (size_t i = 0; i < dst.size(); ++i) {
+    S2R_CHECK(dst[i]->value.SameShape(src[i]->value));
+    dst[i]->value = src[i]->value;
+  }
+}
+
+std::vector<double> Module::FlatParams() {
+  std::vector<double> flat;
+  for (Parameter* p : Parameters()) {
+    flat.insert(flat.end(), p->value.vec().begin(), p->value.vec().end());
+  }
+  return flat;
+}
+
+void Module::SetFlatParams(const std::vector<double>& flat) {
+  size_t offset = 0;
+  for (Parameter* p : Parameters()) {
+    const size_t n = static_cast<size_t>(p->value.size());
+    S2R_CHECK(offset + n <= flat.size());
+    for (size_t i = 0; i < n; ++i) p->value[i] = flat[offset + i];
+    offset += n;
+  }
+  S2R_CHECK_MSG(offset == flat.size(), "SetFlatParams: size mismatch");
+}
+
+Parameter* Module::AddParameter(const std::string& name, Tensor init) {
+  owned_.push_back(std::make_unique<Parameter>(name, std::move(init)));
+  return owned_.back().get();
+}
+
+void Module::AddChild(Module* child) {
+  S2R_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace nn
+}  // namespace sim2rec

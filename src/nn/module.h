@@ -1,0 +1,59 @@
+#ifndef SIM2REC_NN_MODULE_H_
+#define SIM2REC_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Base class for anything that owns trainable Parameters. Modules form a
+/// tree (e.g. an actor-critic owns MLPs which own Linears); Parameters()
+/// flattens the tree in deterministic order, which (de)serialization and
+/// the optimizers rely on.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules hand out raw Parameter pointers, so they must stay put.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children, in
+  /// registration order (depth-first).
+  std::vector<Parameter*> Parameters();
+
+  /// Zeroes every parameter gradient in the subtree.
+  void ZeroGrad();
+
+  /// Total number of scalar parameters in the subtree.
+  int64_t NumParams();
+
+  /// Copies parameter values from another module with an identical
+  /// parameter layout (shapes checked).
+  void CopyParametersFrom(Module& other);
+
+  /// Flattens all parameter values into one vector / restores them.
+  /// Used by tests and by the simulator-ensemble distance diagnostics.
+  std::vector<double> FlatParams();
+  void SetFlatParams(const std::vector<double>& flat);
+
+ protected:
+  /// Takes ownership of a new parameter.
+  Parameter* AddParameter(const std::string& name, Tensor init);
+  /// Registers a child whose lifetime this module (or its owner) manages.
+  void AddChild(Module* child);
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> owned_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_MODULE_H_

@@ -1,0 +1,557 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+void CheckSameTape(Var a, Var b) {
+  S2R_CHECK(a.valid() && b.valid());
+  S2R_CHECK_MSG(a.tape == b.tape, "ops must not mix tapes");
+}
+
+// Helper for unary elementwise ops: value = f(a), da += dout * dfda where
+// dfda is computed from the *output* value (for sigmoid/tanh/exp) or the
+// input value, whichever `local` encodes.
+Var UnaryOp(Var a, Tensor value,
+            std::function<double(double in, double out)> local_grad) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  return tape->NewNode(
+      std::move(value), {a_id},
+      [a_id, local_grad](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        const Tensor& in = t->value(a_id);
+        const Tensor& out = t->value(self);
+        Tensor* da = t->GradRef(a_id);
+        for (int i = 0; i < dout.size(); ++i)
+          (*da)[i] += dout[i] * local_grad(in[i], out[i]);
+      });
+}
+
+}  // namespace
+
+Var MatMulV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  Tensor value = MatMul(tape->value(a), tape->value(b));
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(std::move(value), {a_id, b_id},
+                       [a_id, b_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         if (t->requires_grad(a_id)) {
+                           Tensor da = MatMulTransB(dout, t->value(b_id));
+                           AddScaled(t->GradRef(a_id), da, 1.0);
+                         }
+                         if (t->requires_grad(b_id)) {
+                           Tensor db = MatMulTransA(t->value(a_id), dout);
+                           AddScaled(t->GradRef(b_id), db, 1.0);
+                         }
+                       });
+}
+
+Var AddV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(tape->value(a) + tape->value(b), {a_id, b_id},
+                       [a_id, b_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         if (t->requires_grad(a_id))
+                           AddScaled(t->GradRef(a_id), dout, 1.0);
+                         if (t->requires_grad(b_id))
+                           AddScaled(t->GradRef(b_id), dout, 1.0);
+                       });
+}
+
+Var SubV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(tape->value(a) - tape->value(b), {a_id, b_id},
+                       [a_id, b_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         if (t->requires_grad(a_id))
+                           AddScaled(t->GradRef(a_id), dout, 1.0);
+                         if (t->requires_grad(b_id))
+                           AddScaled(t->GradRef(b_id), dout, -1.0);
+                       });
+}
+
+Var MulV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(tape->value(a) * tape->value(b), {a_id, b_id},
+                       [a_id, b_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         if (t->requires_grad(a_id)) {
+                           Tensor da = dout * t->value(b_id);
+                           AddScaled(t->GradRef(a_id), da, 1.0);
+                         }
+                         if (t->requires_grad(b_id)) {
+                           Tensor db = dout * t->value(a_id);
+                           AddScaled(t->GradRef(b_id), db, 1.0);
+                         }
+                       });
+}
+
+Var DivV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const Tensor& av = tape->value(a);
+  const Tensor& bv = tape->value(b);
+  S2R_CHECK(av.SameShape(bv));
+  Tensor value = av;
+  for (int i = 0; i < value.size(); ++i) value[i] /= bv[i];
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(
+      std::move(value), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        const Tensor& av = t->value(a_id);
+        const Tensor& bv = t->value(b_id);
+        if (t->requires_grad(a_id)) {
+          Tensor* da = t->GradRef(a_id);
+          for (int i = 0; i < dout.size(); ++i)
+            (*da)[i] += dout[i] / bv[i];
+        }
+        if (t->requires_grad(b_id)) {
+          Tensor* db = t->GradRef(b_id);
+          for (int i = 0; i < dout.size(); ++i)
+            (*db)[i] -= dout[i] * av[i] / (bv[i] * bv[i]);
+        }
+      });
+}
+
+Var AddScalarV(Var a, double s) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  return tape->NewNode(tape->value(a) + s, {a_id},
+                       [a_id](Tape* t, int self) {
+                         AddScaled(t->GradRef(a_id), t->grad(self), 1.0);
+                       });
+}
+
+Var ScaleV(Var a, double s) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  return tape->NewNode(tape->value(a) * s, {a_id},
+                       [a_id, s](Tape* t, int self) {
+                         AddScaled(t->GradRef(a_id), t->grad(self), s);
+                       });
+}
+
+Var NegV(Var a) { return ScaleV(a, -1.0); }
+
+Var AddRowBroadcastV(Var a, Var row) {
+  CheckSameTape(a, row);
+  Tape* tape = a.tape;
+  const Tensor& av = tape->value(a);
+  const Tensor& rv = tape->value(row);
+  S2R_CHECK(rv.rows() == 1 && rv.cols() == av.cols());
+  Tensor value = av;
+  for (int r = 0; r < value.rows(); ++r)
+    for (int c = 0; c < value.cols(); ++c) value(r, c) += rv(0, c);
+  const int a_id = a.id, row_id = row.id;
+  return tape->NewNode(
+      std::move(value), {a_id, row_id}, [a_id, row_id](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        if (t->requires_grad(a_id))
+          AddScaled(t->GradRef(a_id), dout, 1.0);
+        if (t->requires_grad(row_id)) {
+          Tensor* drow = t->GradRef(row_id);
+          for (int r = 0; r < dout.rows(); ++r)
+            for (int c = 0; c < dout.cols(); ++c)
+              (*drow)(0, c) += dout(r, c);
+        }
+      });
+}
+
+Var TileRowsV(Var row, int n) {
+  Tape* tape = row.tape;
+  const Tensor& rv = tape->value(row);
+  S2R_CHECK(rv.rows() == 1);
+  S2R_CHECK(n >= 1);
+  Tensor value(n, rv.cols());
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < rv.cols(); ++c) value(r, c) = rv(0, c);
+  const int row_id = row.id;
+  return tape->NewNode(std::move(value), {row_id},
+                       [row_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* drow = t->GradRef(row_id);
+                         for (int r = 0; r < dout.rows(); ++r)
+                           for (int c = 0; c < dout.cols(); ++c)
+                             (*drow)(0, c) += dout(r, c);
+                       });
+}
+
+Var SigmoidV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) {
+    if (x >= 0) {
+      const double e = std::exp(-x);
+      return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+  });
+  return UnaryOp(a, std::move(value),
+                 [](double, double out) { return out * (1.0 - out); });
+}
+
+Var TanhV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return std::tanh(x); });
+  return UnaryOp(a, std::move(value),
+                 [](double, double out) { return 1.0 - out * out; });
+}
+
+Var ReluV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return x > 0 ? x : 0.0; });
+  return UnaryOp(a, std::move(value),
+                 [](double in, double) { return in > 0 ? 1.0 : 0.0; });
+}
+
+Var ExpV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return std::exp(x); });
+  return UnaryOp(a, std::move(value),
+                 [](double, double out) { return out; });
+}
+
+Var LogV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return std::log(x); });
+  return UnaryOp(a, std::move(value),
+                 [](double in, double) { return 1.0 / in; });
+}
+
+Var SoftplusV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) {
+    // log(1 + e^x) = max(x, 0) + log(1 + e^-|x|)
+    return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+  });
+  return UnaryOp(a, std::move(value), [](double in, double) {
+    if (in >= 0) return 1.0 / (1.0 + std::exp(-in));
+    const double e = std::exp(in);
+    return e / (1.0 + e);
+  });
+}
+
+Var SquareV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return x * x; });
+  return UnaryOp(a, std::move(value),
+                 [](double in, double) { return 2.0 * in; });
+}
+
+Var SqrtV(Var a) {
+  Tensor value = a.tape->value(a);
+  value.Apply([](double x) { return std::sqrt(x); });
+  return UnaryOp(a, std::move(value),
+                 [](double, double out) { return 0.5 / out; });
+}
+
+Var ClipV(Var a, double lo, double hi) {
+  S2R_CHECK(lo <= hi);
+  Tensor value = a.tape->value(a);
+  value.Apply([lo, hi](double x) { return std::min(std::max(x, lo), hi); });
+  return UnaryOp(a, std::move(value), [lo, hi](double in, double) {
+    return (in > lo && in < hi) ? 1.0 : 0.0;
+  });
+}
+
+Var MinV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const Tensor& av = tape->value(a);
+  const Tensor& bv = tape->value(b);
+  S2R_CHECK(av.SameShape(bv));
+  Tensor value = av;
+  for (int i = 0; i < value.size(); ++i) value[i] = std::min(av[i], bv[i]);
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(
+      std::move(value), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        const Tensor& av = t->value(a_id);
+        const Tensor& bv = t->value(b_id);
+        Tensor* da = t->requires_grad(a_id) ? t->GradRef(a_id) : nullptr;
+        Tensor* db = t->requires_grad(b_id) ? t->GradRef(b_id) : nullptr;
+        for (int i = 0; i < dout.size(); ++i) {
+          if (av[i] <= bv[i]) {
+            if (da != nullptr) (*da)[i] += dout[i];
+          } else if (db != nullptr) {
+            (*db)[i] += dout[i];
+          }
+        }
+      });
+}
+
+Var MaxV(Var a, Var b) {
+  CheckSameTape(a, b);
+  Tape* tape = a.tape;
+  const Tensor& av = tape->value(a);
+  const Tensor& bv = tape->value(b);
+  S2R_CHECK(av.SameShape(bv));
+  Tensor value = av;
+  for (int i = 0; i < value.size(); ++i) value[i] = std::max(av[i], bv[i]);
+  const int a_id = a.id, b_id = b.id;
+  return tape->NewNode(
+      std::move(value), {a_id, b_id}, [a_id, b_id](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        const Tensor& av = t->value(a_id);
+        const Tensor& bv = t->value(b_id);
+        Tensor* da = t->requires_grad(a_id) ? t->GradRef(a_id) : nullptr;
+        Tensor* db = t->requires_grad(b_id) ? t->GradRef(b_id) : nullptr;
+        for (int i = 0; i < dout.size(); ++i) {
+          if (av[i] >= bv[i]) {
+            if (da != nullptr) (*da)[i] += dout[i];
+          } else if (db != nullptr) {
+            (*db)[i] += dout[i];
+          }
+        }
+      });
+}
+
+Var SumV(Var a) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  Tensor value(1, 1);
+  value(0, 0) = tape->value(a).Sum();
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id](Tape* t, int self) {
+                         const double g = t->grad(self)(0, 0);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int i = 0; i < da->size(); ++i) (*da)[i] += g;
+                       });
+}
+
+Var MeanV(Var a) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const int n = tape->value(a).size();
+  S2R_CHECK(n > 0);
+  Tensor value(1, 1);
+  value(0, 0) = tape->value(a).MeanAll();
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id, n](Tape* t, int self) {
+                         const double g = t->grad(self)(0, 0) / n;
+                         Tensor* da = t->GradRef(a_id);
+                         for (int i = 0; i < da->size(); ++i) (*da)[i] += g;
+                       });
+}
+
+Var RowSumV(Var a) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const Tensor& av = tape->value(a);
+  Tensor value(av.rows(), 1, 0.0);
+  for (int r = 0; r < av.rows(); ++r)
+    for (int c = 0; c < av.cols(); ++c) value(r, 0) += av(r, c);
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int r = 0; r < da->rows(); ++r)
+                           for (int c = 0; c < da->cols(); ++c)
+                             (*da)(r, c) += dout(r, 0);
+                       });
+}
+
+Var RowMeanV(Var a) {
+  const int c = a.tape->value(a).cols();
+  S2R_CHECK(c > 0);
+  return ScaleV(RowSumV(a), 1.0 / c);
+}
+
+Var ColMeanV(Var a) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const Tensor& av = tape->value(a);
+  const int n = av.rows();
+  S2R_CHECK(n > 0);
+  Tensor value = ColMean(av);
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id, n](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int r = 0; r < da->rows(); ++r)
+                           for (int c = 0; c < da->cols(); ++c)
+                             (*da)(r, c) += dout(0, c) / n;
+                       });
+}
+
+Var RowLogSumExpV(Var a) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const Tensor& av = tape->value(a);
+  Tensor value(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    double mx = av(r, 0);
+    for (int c = 1; c < av.cols(); ++c) mx = std::max(mx, av(r, c));
+    double s = 0.0;
+    for (int c = 0; c < av.cols(); ++c) s += std::exp(av(r, c) - mx);
+    value(r, 0) = mx + std::log(s);
+  }
+  return tape->NewNode(
+      std::move(value), {a_id}, [a_id](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        const Tensor& av = t->value(a_id);
+        const Tensor& lse = t->value(self);
+        Tensor* da = t->GradRef(a_id);
+        for (int r = 0; r < av.rows(); ++r) {
+          for (int c = 0; c < av.cols(); ++c) {
+            (*da)(r, c) += dout(r, 0) * std::exp(av(r, c) - lse(r, 0));
+          }
+        }
+      });
+}
+
+Var ConcatColsV(const std::vector<Var>& parts) {
+  S2R_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape;
+  std::vector<Tensor> values;
+  std::vector<int> ids;
+  std::vector<int> offsets;
+  int offset = 0;
+  for (const Var& p : parts) {
+    S2R_CHECK(p.tape == tape);
+    values.push_back(tape->value(p));
+    ids.push_back(p.id);
+    offsets.push_back(offset);
+    offset += values.back().cols();
+  }
+  Tensor value = HStack(values);
+  return tape->NewNode(
+      std::move(value), ids, [ids, offsets](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        for (size_t k = 0; k < ids.size(); ++k) {
+          if (!t->requires_grad(ids[k])) continue;
+          Tensor* dk = t->GradRef(ids[k]);
+          const int c0 = offsets[k];
+          for (int r = 0; r < dk->rows(); ++r)
+            for (int c = 0; c < dk->cols(); ++c)
+              (*dk)(r, c) += dout(r, c0 + c);
+        }
+      });
+}
+
+Var ConcatRowsV(const std::vector<Var>& parts) {
+  S2R_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape;
+  std::vector<Tensor> values;
+  std::vector<int> ids;
+  std::vector<int> offsets;
+  int offset = 0;
+  for (const Var& p : parts) {
+    S2R_CHECK(p.tape == tape);
+    values.push_back(tape->value(p));
+    ids.push_back(p.id);
+    offsets.push_back(offset);
+    offset += values.back().rows();
+  }
+  Tensor value = VStack(values);
+  return tape->NewNode(
+      std::move(value), ids, [ids, offsets](Tape* t, int self) {
+        const Tensor& dout = t->grad(self);
+        for (size_t k = 0; k < ids.size(); ++k) {
+          if (!t->requires_grad(ids[k])) continue;
+          Tensor* dk = t->GradRef(ids[k]);
+          const int r0 = offsets[k];
+          for (int r = 0; r < dk->rows(); ++r)
+            for (int c = 0; c < dk->cols(); ++c)
+              (*dk)(r, c) += dout(r0 + r, c);
+        }
+      });
+}
+
+Var SliceColsV(Var a, int begin, int end) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  Tensor value = tape->value(a).SliceCols(begin, end);
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id, begin](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int r = 0; r < dout.rows(); ++r)
+                           for (int c = 0; c < dout.cols(); ++c)
+                             (*da)(r, begin + c) += dout(r, c);
+                       });
+}
+
+Var SliceRowsV(Var a, int begin, int end) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  Tensor value = tape->value(a).SliceRows(begin, end);
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id, begin](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int r = 0; r < dout.rows(); ++r)
+                           for (int c = 0; c < dout.cols(); ++c)
+                             (*da)(begin + r, c) += dout(r, c);
+                       });
+}
+
+Var PickPerRowV(Var a, const std::vector<int>& idx) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const Tensor& av = tape->value(a);
+  S2R_CHECK(static_cast<int>(idx.size()) == av.rows());
+  Tensor value(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    S2R_CHECK(idx[r] >= 0 && idx[r] < av.cols());
+    value(r, 0) = av(r, idx[r]);
+  }
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id, idx](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         for (int r = 0; r < dout.rows(); ++r)
+                           (*da)(r, idx[r]) += dout(r, 0);
+                       });
+}
+
+Var BroadcastScalarV(Var a, int rows, int cols) {
+  Tape* tape = a.tape;
+  const int a_id = a.id;
+  const Tensor& av = tape->value(a);
+  S2R_CHECK(av.rows() == 1 && av.cols() == 1);
+  Tensor value(rows, cols, av(0, 0));
+  return tape->NewNode(std::move(value), {a_id},
+                       [a_id](Tape* t, int self) {
+                         const Tensor& dout = t->grad(self);
+                         Tensor* da = t->GradRef(a_id);
+                         (*da)(0, 0) += dout.Sum();
+                       });
+}
+
+Var SoftmaxV(Var a) {
+  Var lse = RowLogSumExpV(a);                       // N x 1
+  const int cols = a.tape->value(a).cols();
+  // probs = exp(a - lse) with lse broadcast across columns.
+  std::vector<Var> lse_cols(cols, lse);
+  Var lse_full = ConcatColsV(lse_cols);             // N x C
+  return ExpV(SubV(a, lse_full));
+}
+
+Var LogSoftmaxV(Var a) {
+  Var lse = RowLogSumExpV(a);
+  const int cols = a.tape->value(a).cols();
+  std::vector<Var> lse_cols(cols, lse);
+  Var lse_full = ConcatColsV(lse_cols);
+  return SubV(a, lse_full);
+}
+
+Var MseLossV(Var a, const Tensor& target) {
+  Tape* tape = a.tape;
+  Var t = tape->Constant(target);
+  return MeanV(SquareV(SubV(a, t)));
+}
+
+}  // namespace nn
+}  // namespace sim2rec

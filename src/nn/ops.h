@@ -1,0 +1,87 @@
+#ifndef SIM2REC_NN_OPS_H_
+#define SIM2REC_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace sim2rec {
+namespace nn {
+
+// Differentiable operations over Tape nodes. Every function creates a new
+// node on the tape owning its operands; mixing tapes is a checked error.
+// Naming: the V suffix distinguishes graph ops from the plain Tensor
+// helpers in tensor.h.
+
+/// Matrix product: [N x K] * [K x M] -> [N x M].
+Var MatMulV(Var a, Var b);
+
+/// Elementwise sum/difference/product of equal shapes.
+Var AddV(Var a, Var b);
+Var SubV(Var a, Var b);
+Var MulV(Var a, Var b);
+/// Elementwise quotient; caller guarantees b is bounded away from zero.
+Var DivV(Var a, Var b);
+
+/// a + s, a * s with scalar s.
+Var AddScalarV(Var a, double s);
+Var ScaleV(Var a, double s);
+Var NegV(Var a);
+
+/// Bias add: [N x C] + broadcast [1 x C].
+Var AddRowBroadcastV(Var a, Var row);
+/// Replicates a [1 x C] row n times -> [N x C]; gradient column-sums back.
+Var TileRowsV(Var row, int n);
+
+// Pointwise nonlinearities.
+Var SigmoidV(Var a);
+Var TanhV(Var a);
+Var ReluV(Var a);
+Var ExpV(Var a);
+/// Natural log; caller guarantees positivity.
+Var LogV(Var a);
+/// log(1 + e^x), computed overflow-safe.
+Var SoftplusV(Var a);
+Var SquareV(Var a);
+Var SqrtV(Var a);
+
+/// Clamp to [lo, hi]; gradient passes only strictly inside the interval.
+Var ClipV(Var a, double lo, double hi);
+/// Elementwise min/max of equal shapes; ties route the gradient to a.
+Var MinV(Var a, Var b);
+Var MaxV(Var a, Var b);
+
+// Reductions.
+/// Sum / mean over all entries -> [1 x 1].
+Var SumV(Var a);
+Var MeanV(Var a);
+/// Per-row sum / mean -> [N x 1].
+Var RowSumV(Var a);
+Var RowMeanV(Var a);
+/// Per-column mean -> [1 x C] (set pooling).
+Var ColMeanV(Var a);
+/// Numerically stable log(sum_j exp(a_ij)) -> [N x 1].
+Var RowLogSumExpV(Var a);
+
+// Structural ops.
+Var ConcatColsV(const std::vector<Var>& parts);
+Var ConcatRowsV(const std::vector<Var>& parts);
+Var SliceColsV(Var a, int begin, int end);
+Var SliceRowsV(Var a, int begin, int end);
+/// Selects a[i, idx[i]] for each row -> [N x 1]; gradient scatters back.
+Var PickPerRowV(Var a, const std::vector<int>& idx);
+/// Replicates a [1 x 1] scalar into [rows x cols]; gradient sums back.
+Var BroadcastScalarV(Var a, int rows, int cols);
+
+// Convenience compositions (no custom backward).
+/// Row-wise softmax probabilities.
+Var SoftmaxV(Var a);
+/// Row-wise log-softmax.
+Var LogSoftmaxV(Var a);
+/// mean((a - target)^2) against a constant target.
+Var MseLossV(Var a, const Tensor& target);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_OPS_H_

@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace sim2rec {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+    v_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (int i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i] + weight_decay_ * p->value[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      p->value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0) {
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols(), 0.0);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    if (momentum_ != 0.0) {
+      Tensor& vel = velocity_[k];
+      for (int i = 0; i < p->value.size(); ++i) {
+        vel[i] = momentum_ * vel[i] + p->grad[i];
+        p->value[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (int i = 0; i < p->value.size(); ++i) {
+        p->value[i] -= lr_ * p->grad[i];
+      }
+    }
+  }
+}
+
+double GlobalGradNorm(const std::vector<Parameter*>& params) {
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    for (int i = 0; i < p->grad.size(); ++i) sq += p->grad[i] * p->grad[i];
+  }
+  return std::sqrt(sq);
+}
+
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm) {
+  S2R_CHECK(max_norm > 0.0);
+  const double norm = GlobalGradNorm(params);
+  if (norm > max_norm) {
+    const double scale = max_norm / (norm + 1e-12);
+    for (Parameter* p : params) {
+      for (int i = 0; i < p->grad.size(); ++i) p->grad[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace sim2rec

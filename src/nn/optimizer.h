@@ -1,0 +1,73 @@
+#ifndef SIM2REC_NN_OPTIMIZER_H_
+#define SIM2REC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tape.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double lr_ = 1e-3;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction — the optimizer used for
+/// every network in the paper (Table II).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void Step() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;  // L2 penalty added to gradients (paper's "L2
+                         // regularization weight" for SADAE).
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Plain SGD, optionally with momentum. Used by tests and ablations.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// L2 norm of all gradients concatenated.
+double GlobalGradNorm(const std::vector<Parameter*>& params);
+
+/// Rescales gradients so the global norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Parameter*>& params, double max_norm);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_OPTIMIZER_H_

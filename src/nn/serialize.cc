@@ -1,0 +1,78 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x53325231;  // "S2R1"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t n = 0;
+  if (!ReadU32(in, &n)) return false;
+  s->resize(n);
+  in.read(s->data(), n);
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveModule(const std::string& path, Module& module) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  const auto params = module.Parameters();
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WriteString(out, p->name);
+    WriteU32(out, static_cast<uint32_t>(p->value.rows()));
+    WriteU32(out, static_cast<uint32_t>(p->value.cols()));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() *
+                                           sizeof(double)));
+  }
+  return out.good();
+}
+
+bool LoadModule(const std::string& path, Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) return false;
+  if (!ReadU32(in, &count)) return false;
+  const auto params = module.Parameters();
+  if (params.size() != count) return false;
+  for (Parameter* p : params) {
+    std::string name;
+    uint32_t rows = 0, cols = 0;
+    if (!ReadString(in, &name)) return false;
+    if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) return false;
+    if (name != p->name || static_cast<int>(rows) != p->value.rows() ||
+        static_cast<int>(cols) != p->value.cols()) {
+      return false;
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,24 @@
+#ifndef SIM2REC_NN_SERIALIZE_H_
+#define SIM2REC_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sim2rec {
+namespace nn {
+
+/// Writes all parameters of a module (names, shapes, values) to a simple
+/// binary container. Returns false on I/O failure.
+bool SaveModule(const std::string& path, Module& module);
+
+/// Restores parameters saved with SaveModule. The module must already have
+/// the identical parameter layout (names and shapes are verified).
+/// Returns false on I/O failure or layout mismatch.
+bool LoadModule(const std::string& path, Module& module);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_SERIALIZE_H_

@@ -1,0 +1,115 @@
+#include "nn/tape.h"
+
+namespace sim2rec {
+namespace nn {
+
+const Tensor& Var::value() const {
+  S2R_CHECK(valid());
+  return tape->value(id);
+}
+
+Var Tape::Constant(Tensor value) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = false;
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::Input(Tensor value) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = true;
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::Leaf(Parameter* param) {
+  S2R_CHECK(param != nullptr);
+  Node node;
+  node.value = param->value;
+  node.requires_grad = true;
+  node.param = param;
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::NewNode(Tensor value, std::vector<int> inputs,
+                  BackwardFn backward) {
+  Node node;
+  node.value = std::move(value);
+  node.inputs = std::move(inputs);
+  for (int in : node.inputs) {
+    S2R_CHECK(in >= 0 && in < num_nodes());
+    if (nodes_[in].requires_grad) node.requires_grad = true;
+  }
+  if (node.requires_grad) node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+const Tensor& Tape::value(int id) const {
+  S2R_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[id].value;
+}
+
+const Tensor& Tape::grad(int id) const {
+  S2R_CHECK(id >= 0 && id < num_nodes());
+  const Node& node = nodes_[id];
+  if (!node.grad_alloc) {
+    // Nodes that never received a gradient report zeros of the right shape.
+    Node& mutable_node = const_cast<Node&>(node);
+    mutable_node.grad = Tensor::Zeros(node.value.rows(), node.value.cols());
+    mutable_node.grad_alloc = true;
+  }
+  return node.grad;
+}
+
+Tensor* Tape::GradRef(int id) {
+  S2R_CHECK(id >= 0 && id < num_nodes());
+  EnsureGrad(id);
+  return &nodes_[id].grad;
+}
+
+bool Tape::requires_grad(int id) const {
+  S2R_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[id].requires_grad;
+}
+
+void Tape::EnsureGrad(int id) {
+  Node& node = nodes_[id];
+  if (!node.grad_alloc) {
+    node.grad = Tensor::Zeros(node.value.rows(), node.value.cols());
+    node.grad_alloc = true;
+  }
+}
+
+void Tape::Backward(Var loss) {
+  S2R_CHECK(loss.tape == this);
+  S2R_CHECK(!backward_done_);
+  backward_done_ = true;
+  const Tensor& lv = value(loss.id);
+  S2R_CHECK_MSG(lv.rows() == 1 && lv.cols() == 1,
+                "Backward expects a scalar (1x1) loss node");
+  EnsureGrad(loss.id);
+  nodes_[loss.id].grad(0, 0) = 1.0;
+
+  for (int id = loss.id; id >= 0; --id) {
+    Node& node = nodes_[id];
+    if (!node.requires_grad || !node.grad_alloc) continue;
+    if (node.backward) node.backward(this, id);
+    if (node.param != nullptr) {
+      S2R_CHECK(node.param->grad.SameShape(node.grad));
+      for (int i = 0; i < node.grad.size(); ++i)
+        node.param->grad[i] += node.grad[i];
+    }
+  }
+}
+
+void Tape::Clear() {
+  nodes_.clear();
+  backward_done_ = false;
+}
+
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,123 @@
+#ifndef SIM2REC_NN_TAPE_H_
+#define SIM2REC_NN_TAPE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace nn {
+
+class Tape;
+
+/// A trainable tensor with an accumulated gradient. Parameters live in
+/// Modules and survive across tape lifetimes; the tape only references
+/// them via Leaf().
+struct Parameter {
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols(), 0.0) {}
+
+  void ZeroGrad() { grad.Fill(0.0); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+/// Lightweight handle to a node on a Tape. Copyable; only valid while the
+/// owning tape is alive and not cleared.
+struct Var {
+  Tape* tape = nullptr;
+  int id = -1;
+
+  bool valid() const { return tape != nullptr && id >= 0; }
+  const Tensor& value() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+};
+
+/// Reverse-mode automatic differentiation tape.
+///
+/// Usage pattern (define-by-run):
+///
+///   Tape tape;
+///   Var x = tape.Constant(batch);          // no gradient
+///   Var w = tape.Leaf(&linear_weight);     // gradient -> parameter
+///   Var y = Tanh(MatMulV(x, w));
+///   Var loss = MeanV(SquareV(SubV(y, target)));
+///   tape.Backward(loss);                   // parameter.grad accumulated
+///
+/// Nodes are created in topological order, so backward is a single reverse
+/// sweep. A tape is intended to live for one forward/backward pass; call
+/// Clear() (or destroy it) afterwards. Gradients of non-parameter inputs
+/// can be inspected with grad() after Backward() when the node was created
+/// with Input().
+class Tape {
+ public:
+  using BackwardFn = std::function<void(Tape*, int node_id)>;
+
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Node with no gradient tracking (e.g. an observation batch).
+  Var Constant(Tensor value);
+
+  /// Node with gradient tracking whose gradient is readable after
+  /// Backward() but flows into no parameter (used in tests and for
+  /// gradient-through-input architectures).
+  Var Input(Tensor value);
+
+  /// Node bound to a parameter: after Backward(), d loss / d param is
+  /// accumulated into param->grad.
+  Var Leaf(Parameter* param);
+
+  /// Creates an interior node. `inputs` are node ids this op consumed;
+  /// `backward` receives the tape and this node's id and must add into
+  /// the inputs' gradients via GradRef(). Called only when the node
+  /// requires grad.
+  Var NewNode(Tensor value, std::vector<int> inputs, BackwardFn backward);
+
+  const Tensor& value(int id) const;
+  const Tensor& value(Var v) const { return value(v.id); }
+  /// Gradient of a node; zero tensor when the node never received one.
+  const Tensor& grad(int id) const;
+  const Tensor& grad(Var v) const { return grad(v.id); }
+  /// Mutable gradient accumulator used by backward functions.
+  Tensor* GradRef(int id);
+  bool requires_grad(int id) const;
+
+  /// Runs the reverse sweep from a 1x1 loss node and accumulates
+  /// parameter gradients. May be called once per tape.
+  void Backward(Var loss);
+
+  /// Drops all nodes; invalidates outstanding Vars.
+  void Clear();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;           // allocated lazily during Backward
+    bool grad_alloc = false;
+    bool requires_grad = false;
+    Parameter* param = nullptr;
+    std::vector<int> inputs;
+    BackwardFn backward;
+  };
+
+  void EnsureGrad(int id);
+
+  std::vector<Node> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_TAPE_H_

@@ -1,0 +1,153 @@
+#ifndef SIM2REC_NN_TENSOR_H_
+#define SIM2REC_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+
+class Rng;
+
+namespace nn {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the single numeric container of the library: network
+/// activations (batch x features), parameters, environment observation
+/// batches, and logged datasets all use it. Rank-1 data is represented as
+/// a 1 x n or n x 1 matrix. Doubles are used throughout: the experiments
+/// are small enough that the 2x memory cost is irrelevant, and double
+/// precision makes the finite-difference gradient checks in the test
+/// suite unambiguous.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int rows, int cols, double fill = 0.0);
+  Tensor(int rows, int cols, std::vector<double> data);
+
+  static Tensor Zeros(int rows, int cols) { return Tensor(rows, cols, 0.0); }
+  static Tensor Ones(int rows, int cols) { return Tensor(rows, cols, 1.0); }
+  static Tensor Full(int rows, int cols, double v) {
+    return Tensor(rows, cols, v);
+  }
+  static Tensor Identity(int n);
+  /// 1 x n row vector.
+  static Tensor RowVector(const std::vector<double>& values);
+  /// n x 1 column vector.
+  static Tensor ColVector(const std::vector<double>& values);
+  /// Entries drawn i.i.d. from N(mean, stddev^2).
+  static Tensor Randn(int rows, int cols, Rng& rng, double mean = 0.0,
+                      double stddev = 1.0);
+  /// Entries drawn i.i.d. from U[lo, hi).
+  static Tensor Rand(int rows, int cols, Rng& rng, double lo = 0.0,
+                     double hi = 1.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& operator()(int r, int c) {
+    S2R_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    S2R_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked flat access, row-major.
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& vec() const { return data_; }
+
+  /// Copies row r into a new 1 x cols tensor.
+  Tensor Row(int r) const;
+  /// Copies column c into a new rows x 1 tensor.
+  Tensor Col(int c) const;
+  void SetRow(int r, const Tensor& row);
+  std::vector<double> RowVecStd(int r) const;
+
+  /// Returns the contiguous column slice [begin, end).
+  Tensor SliceCols(int begin, int end) const;
+  /// Returns the row slice [begin, end).
+  Tensor SliceRows(int begin, int end) const;
+
+  Tensor Transposed() const;
+
+  /// In-place elementwise map.
+  void Apply(const std::function<double(double)>& f);
+
+  /// Fills with a constant.
+  void Fill(double v);
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sum / mean / min / max over all entries.
+  double Sum() const;
+  double MeanAll() const;
+  double MinAll() const;
+  double MaxAll() const;
+  /// Frobenius norm.
+  double Norm() const;
+  /// True if any entry is NaN or infinite.
+  bool HasNonFinite() const;
+
+  std::string ShapeString() const;
+  /// Debug dump (small tensors only).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b (matrix product). Shapes must be compatible.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// out = a^T * b without materializing the transpose.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// out = a * b^T without materializing the transpose.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+Tensor operator+(const Tensor& a, const Tensor& b);
+Tensor operator-(const Tensor& a, const Tensor& b);
+/// Elementwise product.
+Tensor operator*(const Tensor& a, const Tensor& b);
+Tensor operator*(const Tensor& a, double s);
+Tensor operator*(double s, const Tensor& a);
+Tensor operator+(const Tensor& a, double s);
+Tensor operator-(const Tensor& a, double s);
+
+/// a += s * b (axpy).
+void AddScaled(Tensor* a, const Tensor& b, double s);
+
+/// Stacks tensors with equal column counts vertically.
+Tensor VStack(const std::vector<Tensor>& parts);
+/// Stacks tensors with equal row counts horizontally.
+Tensor HStack(const std::vector<Tensor>& parts);
+
+/// Column means: 1 x C.
+Tensor ColMean(const Tensor& a);
+/// Column standard deviations (population): 1 x C.
+Tensor ColStd(const Tensor& a);
+
+/// Max absolute elementwise difference; shapes must match.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// True when all entries differ by at most tol.
+bool AllClose(const Tensor& a, const Tensor& b, double tol = 1e-9);
+
+}  // namespace nn
+}  // namespace sim2rec
+
+#endif  // SIM2REC_NN_TENSOR_H_

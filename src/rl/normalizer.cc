@@ -1,0 +1,60 @@
+#include "rl/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace rl {
+
+ObservationNormalizer::ObservationNormalizer(int dim, double clip)
+    : dim_(dim), clip_(clip), mean_(1, dim, 0.0), m2_(1, dim, 0.0) {
+  S2R_CHECK(dim > 0);
+  S2R_CHECK(clip > 0.0);
+}
+
+void ObservationNormalizer::CopyFrom(const ObservationNormalizer& other) {
+  S2R_CHECK(other.dim_ == dim_);
+  count_ = other.count_;
+  mean_ = other.mean_;
+  m2_ = other.m2_;
+}
+
+void ObservationNormalizer::Update(const nn::Tensor& batch) {
+  if (frozen_) return;
+  S2R_CHECK(batch.cols() == dim_);
+  for (int r = 0; r < batch.rows(); ++r) {
+    ++count_;
+    for (int c = 0; c < dim_; ++c) {
+      const double delta = batch(r, c) - mean_(0, c);
+      mean_(0, c) += delta / static_cast<double>(count_);
+      m2_(0, c) += delta * (batch(r, c) - mean_(0, c));
+    }
+  }
+}
+
+nn::Tensor ObservationNormalizer::Stddev() const {
+  nn::Tensor sd(1, dim_, 1.0);
+  if (count_ < 2) return sd;
+  for (int c = 0; c < dim_; ++c) {
+    sd(0, c) = std::max(
+        1e-6, std::sqrt(m2_(0, c) / static_cast<double>(count_)));
+  }
+  return sd;
+}
+
+nn::Tensor ObservationNormalizer::Normalize(const nn::Tensor& batch) const {
+  S2R_CHECK(batch.cols() == dim_);
+  if (count_ < 2) return batch;
+  const nn::Tensor sd = Stddev();
+  nn::Tensor out = batch;
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < dim_; ++c) {
+      out(r, c) = std::clamp((batch(r, c) - mean_(0, c)) / sd(0, c),
+                             -clip_, clip_);
+    }
+  }
+  return out;
+}
+
+}  // namespace rl
+}  // namespace sim2rec

@@ -1,0 +1,49 @@
+#ifndef SIM2REC_RL_NORMALIZER_H_
+#define SIM2REC_RL_NORMALIZER_H_
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace rl {
+
+/// Per-feature running observation normalizer (Welford over columns),
+/// standard practice for PPO on raw-scale observations like DPR order
+/// counts. Normalization: clip((x - mean) / std, -clip, +clip).
+class ObservationNormalizer {
+ public:
+  explicit ObservationNormalizer(int dim, double clip = 10.0);
+
+  /// Accumulates statistics from a batch of rows.
+  void Update(const nn::Tensor& batch);
+
+  /// Normalizes a batch with the current statistics.
+  nn::Tensor Normalize(const nn::Tensor& batch) const;
+
+  /// Stops Update() from changing statistics (evaluation / deployment).
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Copies another normalizer's running statistics (used when
+  /// restoring a checkpointed agent: parameters go through
+  /// nn::LoadModule, the normalizer state through this).
+  void CopyFrom(const ObservationNormalizer& other);
+
+  int dim() const { return dim_; }
+  int64_t count() const { return count_; }
+  const nn::Tensor& mean() const { return mean_; }
+  /// Per-feature standard deviation (floored at 1e-6).
+  nn::Tensor Stddev() const;
+
+ private:
+  int dim_;
+  double clip_;
+  bool frozen_ = false;
+  int64_t count_ = 0;
+  nn::Tensor mean_;  // [1 x dim]
+  nn::Tensor m2_;    // [1 x dim]
+};
+
+}  // namespace rl
+}  // namespace sim2rec
+
+#endif  // SIM2REC_RL_NORMALIZER_H_

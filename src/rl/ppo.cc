@@ -1,0 +1,134 @@
+#include "rl/ppo.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace sim2rec {
+namespace rl {
+namespace {
+
+/// Flattens [T][N] per-step vectors into a [(T*N) x 1] tensor, t-major —
+/// matching Agent::ForwardRollout ordering.
+nn::Tensor FlattenTMajor(const std::vector<std::vector<double>>& data) {
+  const int t_max = static_cast<int>(data.size());
+  S2R_CHECK(t_max > 0);
+  const int n = static_cast<int>(data[0].size());
+  nn::Tensor out(t_max * n, 1);
+  for (int t = 0; t < t_max; ++t) {
+    for (int i = 0; i < n; ++i) out(t * n + i, 0) = data[t][i];
+  }
+  return out;
+}
+
+/// Masked mean: sum(x * mask) / sum(mask).
+nn::Var MaskedMean(nn::Var x, nn::Var mask, double mask_sum) {
+  S2R_CHECK(mask_sum > 0.0);
+  return nn::ScaleV(nn::SumV(nn::MulV(x, mask)), 1.0 / mask_sum);
+}
+
+}  // namespace
+
+PpoTrainer::PpoTrainer(Agent* agent, const PpoConfig& config)
+    : agent_(agent), config_(config) {
+  S2R_CHECK(agent != nullptr);
+  optimizer_ = std::make_unique<nn::Adam>(agent->TrainableParameters(),
+                                          config.learning_rate);
+}
+
+PpoTrainer::UpdateStats PpoTrainer::Update(Rollout* rollout) {
+  S2R_CHECK(rollout != nullptr);
+  S2R_CHECK(rollout->num_steps > 0);
+  if (config_.reward_scale != 1.0) {
+    for (auto& step : rollout->rewards) {
+      for (double& r : step) r *= config_.reward_scale;
+    }
+  }
+  ComputeGae(rollout, config_.gamma, config_.gae_lambda);
+
+  UpdateStats stats;
+  stats.mean_return = rollout->MeanReturn() / config_.reward_scale;
+
+  const double mask_sum = rollout->MaskSum();
+  if (mask_sum <= 0.0) return stats;
+
+  nn::Tensor old_log_probs = FlattenTMajor(rollout->log_probs);
+  nn::Tensor advantages = FlattenTMajor(rollout->advantages);
+  nn::Tensor returns = FlattenTMajor(rollout->returns);
+  nn::Tensor mask_t = FlattenTMajor(rollout->mask);
+
+  if (config_.normalize_advantages) {
+    // Masked mean/std normalization.
+    double mean = 0.0;
+    for (int i = 0; i < advantages.size(); ++i)
+      mean += advantages[i] * mask_t[i];
+    mean /= mask_sum;
+    double var = 0.0;
+    for (int i = 0; i < advantages.size(); ++i) {
+      const double d = (advantages[i] - mean) * mask_t[i];
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / mask_sum) + 1e-8;
+    for (int i = 0; i < advantages.size(); ++i) {
+      advantages[i] = (advantages[i] - mean) / stddev * mask_t[i];
+    }
+  }
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    nn::Tape tape;
+    Agent::SequenceForward forward = agent_->ForwardRollout(tape, *rollout);
+
+    nn::Var old_lp = tape.Constant(old_log_probs);
+    nn::Var adv = tape.Constant(advantages);
+    nn::Var ret = tape.Constant(returns);
+    nn::Var mask = tape.Constant(mask_t);
+
+    nn::Var ratio = nn::ExpV(nn::SubV(forward.log_probs, old_lp));
+    nn::Var surrogate1 = nn::MulV(ratio, adv);
+    nn::Var surrogate2 = nn::MulV(
+        nn::ClipV(ratio, 1.0 - config_.clip_ratio,
+                  1.0 + config_.clip_ratio),
+        adv);
+    nn::Var policy_loss =
+        nn::NegV(MaskedMean(nn::MinV(surrogate1, surrogate2), mask,
+                            mask_sum));
+    nn::Var value_loss = MaskedMean(
+        nn::SquareV(nn::SubV(forward.values, ret)), mask, mask_sum);
+    nn::Var entropy = MaskedMean(forward.entropy, mask, mask_sum);
+
+    nn::Var loss = nn::SubV(
+        nn::AddV(policy_loss,
+                 nn::ScaleV(value_loss, config_.value_coef)),
+        nn::ScaleV(entropy, config_.entropy_coef));
+
+    // Approximate KL for early stopping, from current values.
+    double approx_kl = 0.0;
+    {
+      const nn::Tensor& new_lp = forward.log_probs.value();
+      for (int i = 0; i < new_lp.size(); ++i) {
+        approx_kl += (old_log_probs[i] - new_lp[i]) * mask_t[i];
+      }
+      approx_kl /= mask_sum;
+    }
+    if (config_.target_kl > 0.0 && epoch > 0 &&
+        approx_kl > config_.target_kl) {
+      break;
+    }
+
+    optimizer_->ZeroGrad();
+    tape.Backward(loss);
+    stats.grad_norm =
+        nn::ClipGradNorm(agent_->TrainableParameters(), config_.grad_clip);
+    optimizer_->Step();
+
+    stats.policy_loss = policy_loss.value()(0, 0);
+    stats.value_loss = value_loss.value()(0, 0);
+    stats.entropy = entropy.value()(0, 0);
+    stats.approx_kl = approx_kl;
+    stats.epochs_run = epoch + 1;
+  }
+  return stats;
+}
+
+}  // namespace rl
+}  // namespace sim2rec

@@ -1,0 +1,67 @@
+#ifndef SIM2REC_RL_PPO_H_
+#define SIM2REC_RL_PPO_H_
+
+#include <memory>
+
+#include "nn/optimizer.h"
+#include "rl/rollout.h"
+
+namespace sim2rec {
+namespace rl {
+
+/// Proximal Policy Optimization hyper-parameters (Schulman et al. 2017),
+/// the policy learner the paper uses (Sec. V-A1). Scaled-down defaults
+/// for CPU; the paper-scale values live in the experiment configs.
+struct PpoConfig {
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip_ratio = 0.2;
+  double value_coef = 0.5;
+  double entropy_coef = 0.01;
+  int epochs = 4;
+  double learning_rate = 3e-4;
+  double grad_clip = 0.5;
+  bool normalize_advantages = true;
+  /// Early-stop the epoch loop when approximate KL exceeds this; 0
+  /// disables.
+  double target_kl = 0.03;
+  /// Internal reward scaling applied before GAE so value-loss gradients
+  /// stay O(1) on raw-reward environments (order counts). Reported
+  /// returns remain in raw units.
+  double reward_scale = 1.0;
+};
+
+/// Full-batch recurrent PPO: every update re-runs the agent's sequence
+/// forward pass (BPTT through the extractor LSTM) over the whole rollout.
+class PpoTrainer {
+ public:
+  PpoTrainer(Agent* agent, const PpoConfig& config);
+
+  struct UpdateStats {
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+    double approx_kl = 0.0;
+    double grad_norm = 0.0;
+    int epochs_run = 0;
+    double mean_return = 0.0;
+  };
+
+  /// Computes GAE on the rollout and applies `config.epochs` clipped
+  /// policy-gradient steps.
+  UpdateStats Update(Rollout* rollout);
+
+  void set_learning_rate(double lr) { optimizer_->set_learning_rate(lr); }
+  double learning_rate() const { return optimizer_->learning_rate(); }
+  const PpoConfig& config() const { return config_; }
+
+ private:
+  Agent* agent_;
+  PpoConfig config_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace rl
+}  // namespace sim2rec
+
+#endif  // SIM2REC_RL_PPO_H_

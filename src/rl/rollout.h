@@ -1,0 +1,104 @@
+#ifndef SIM2REC_RL_ROLLOUT_H_
+#define SIM2REC_RL_ROLLOUT_H_
+
+#include <vector>
+
+#include "envs/env.h"
+#include "nn/tape.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace rl {
+
+/// One synchronous rollout of N users for T steps in a GroupBatchEnv,
+/// plus the per-step statistics PPO needs. Step t is "valid" for user i
+/// until (and including) the step at which the user's done flag first
+/// fires; `mask` encodes this and weights every loss term.
+struct Rollout {
+  int num_steps = 0;
+  int num_users = 0;
+
+  std::vector<nn::Tensor> obs;      // T entries of [N x obs_dim]
+  nn::Tensor last_obs;              // [N x obs_dim], s_T for bootstrap
+  std::vector<nn::Tensor> actions;  // T entries of [N x act_dim]
+  std::vector<std::vector<double>> rewards;    // [T][N]
+  std::vector<std::vector<uint8_t>> dones;     // [T][N]
+  std::vector<std::vector<double>> values;     // [T][N]
+  std::vector<double> last_values;             // [N], V(s_T)
+  std::vector<std::vector<double>> log_probs;  // [T][N]
+
+  // Filled by ComputeGae.
+  std::vector<std::vector<double>> advantages;  // [T][N]
+  std::vector<std::vector<double>> returns;     // [T][N]
+  std::vector<std::vector<double>> mask;        // [T][N], 0 or 1
+
+  /// Sum of mask entries (number of valid transitions).
+  double MaskSum() const;
+  /// Mean episode return over users (sum of masked rewards).
+  double MeanReturn() const;
+};
+
+/// Generalized advantage estimation (Schulman et al. 2016) with masking:
+/// a done flag stops bootstrap; steps after a user's first done get
+/// mask 0. Truncation at the rollout end bootstraps from last_values.
+void ComputeGae(Rollout* rollout, double gamma, double lambda);
+
+/// Policy interface the rollout collector and PPO train against.
+/// Implementations: the context-aware Sim2Rec agent (src/core) and the
+/// plain feed-forward agent used by DIRECT / DR-UNI / upper bound.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual int obs_dim() const = 0;
+  virtual int action_dim() const = 0;
+
+  /// Resets recurrent state (and prev-action memory) for a batch of n
+  /// users. Called by the collector before every episode.
+  virtual void BeginEpisode(int n) = 0;
+
+  struct StepOutput {
+    nn::Tensor actions;             // [N x act_dim]
+    std::vector<double> log_probs;  // N
+    std::vector<double> values;     // N
+  };
+  /// One inference-time step (no gradient graph). When `deterministic`
+  /// the mode of the action distribution is returned.
+  virtual StepOutput Step(const nn::Tensor& obs, Rng& rng,
+                          bool deterministic) = 0;
+
+  /// Value estimate of a final observation (bootstrap).
+  virtual std::vector<double> Values(const nn::Tensor& obs) = 0;
+
+  struct SequenceForward {
+    nn::Var log_probs;  // [(T*N) x 1], ordered t-major (t0 users, t1 ...)
+    nn::Var values;     // [(T*N) x 1]
+    nn::Var entropy;    // [(T*N) x 1]
+  };
+  /// Re-runs the policy differentiably over a stored rollout (full BPTT
+  /// for recurrent agents). Must follow the same t-major flattening as
+  /// the constants PPO builds from the rollout.
+  virtual SequenceForward ForwardRollout(nn::Tape& tape,
+                                         const Rollout& rollout) = 0;
+
+  /// Parameters PPO optimizes.
+  virtual std::vector<nn::Parameter*> TrainableParameters() = 0;
+};
+
+/// Runs the agent in the environment for min(num_steps, env.horizon())
+/// steps from a fresh Reset and records everything PPO needs
+/// (GAE not yet applied).
+Rollout CollectRollout(envs::GroupBatchEnv& env, Agent& agent,
+                       int num_steps, Rng& rng);
+
+/// Average per-user episode return of the agent over full sessions.
+/// `deterministic` selects the action-distribution mode (deployment
+/// behaviour); stochastic evaluation matches training behaviour.
+double EvaluateAgentReturn(envs::GroupBatchEnv& env, Agent& agent,
+                           int episodes, Rng& rng,
+                           bool deterministic = true);
+
+}  // namespace rl
+}  // namespace sim2rec
+
+#endif  // SIM2REC_RL_ROLLOUT_H_

@@ -1,0 +1,82 @@
+#include "sadae/probe.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace sim2rec {
+namespace sadae {
+
+KlProbe::KlProbe(int latent_dim, Rng& rng) {
+  net_ = std::make_unique<nn::Mlp>("probe", 2 * latent_dim,
+                                   std::vector<int>{32}, 1, rng,
+                                   nn::Activation::kTanh);
+  AddChild(net_.get());
+}
+
+double KlProbe::Train(const nn::Tensor& embedding_pairs,
+                      const nn::Tensor& target_kls, int epochs, double lr,
+                      Rng& rng) {
+  S2R_CHECK(embedding_pairs.rows() == target_kls.rows());
+  S2R_CHECK(embedding_pairs.rows() > 0);
+  nn::Adam optimizer(Parameters(), lr);
+  const int n = embedding_pairs.rows();
+  const int batch = std::min(64, n);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const std::vector<int> order = rng.Permutation(n);
+    for (int start = 0; start + batch <= n; start += batch) {
+      nn::Tensor bx(batch, embedding_pairs.cols());
+      nn::Tensor by(batch, 1);
+      for (int k = 0; k < batch; ++k) {
+        bx.SetRow(k, embedding_pairs.Row(order[start + k]));
+        by(k, 0) = target_kls(order[start + k], 0);
+      }
+      nn::Tape tape;
+      nn::Var pred = net_->Forward(tape, tape.Constant(bx));
+      nn::Var loss = nn::MseLossV(pred, by);
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      nn::ClipGradNorm(Parameters(), 5.0);
+      optimizer.Step();
+    }
+  }
+  return EvaluateMae(embedding_pairs, target_kls);
+}
+
+double KlProbe::EvaluateMae(const nn::Tensor& embedding_pairs,
+                            const nn::Tensor& target_kls) const {
+  S2R_CHECK(embedding_pairs.rows() == target_kls.rows());
+  const nn::Tensor pred = net_->ForwardValue(embedding_pairs);
+  double mae = 0.0;
+  for (int r = 0; r < pred.rows(); ++r) {
+    mae += std::abs(pred(r, 0) - target_kls(r, 0));
+  }
+  return mae / pred.rows();
+}
+
+void BuildProbeDataset(const nn::Tensor& embeddings,
+                       const nn::Tensor& pairwise_kl,
+                       nn::Tensor* embedding_pairs,
+                       nn::Tensor* target_kls) {
+  const int m = embeddings.rows();
+  S2R_CHECK(pairwise_kl.rows() == m && pairwise_kl.cols() == m);
+  const int latent = embeddings.cols();
+  const int pairs = m * (m - 1);
+  *embedding_pairs = nn::Tensor(pairs, 2 * latent);
+  *target_kls = nn::Tensor(pairs, 1);
+  int row = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      for (int c = 0; c < latent; ++c) {
+        (*embedding_pairs)(row, c) = embeddings(i, c);
+        (*embedding_pairs)(row, latent + c) = embeddings(j, c);
+      }
+      (*target_kls)(row, 0) = pairwise_kl(i, j);
+      ++row;
+    }
+  }
+}
+
+}  // namespace sadae
+}  // namespace sim2rec

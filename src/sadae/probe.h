@@ -1,0 +1,51 @@
+#ifndef SIM2REC_SADAE_PROBE_H_
+#define SIM2REC_SADAE_PROBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "sadae/sadae.h"
+
+namespace sim2rec {
+namespace sadae {
+
+/// The hidden-state prediction experiment of the paper (Sec. V-C4,
+/// Fig. 9b): a small probe network is trained to predict the KDE-based
+/// KL divergence between two datasets (X_i, X_j) from their embeddings
+/// (v_i, v_j). If the embeddings store distributional information, the
+/// probe's mean absolute error falls as SADAE trains.
+class KlProbe : public nn::Module {
+ public:
+  /// `latent_dim` is the SADAE latent size; the probe input is the
+  /// concatenation [v_i, v_j]. Architecture follows the paper: one
+  /// 32-unit tanh hidden layer into a linear output.
+  KlProbe(int latent_dim, Rng& rng);
+
+  /// Trains the probe from scratch (re-initialization is the caller's
+  /// job: construct a fresh probe per evaluation, as the paper retrains
+  /// it every 100 SADAE iterations). Returns the final training MAE.
+  double Train(const nn::Tensor& embedding_pairs,
+               const nn::Tensor& target_kls, int epochs, double lr,
+               Rng& rng);
+
+  /// Mean absolute error on a labeled pair set.
+  double EvaluateMae(const nn::Tensor& embedding_pairs,
+                     const nn::Tensor& target_kls) const;
+
+ private:
+  std::unique_ptr<nn::Mlp> net_;
+};
+
+/// Builds the probe's supervised dataset from per-set embeddings
+/// [M x latent] and a precomputed pairwise KLD matrix [M x M]:
+/// all ordered pairs (i, j), i != j.
+void BuildProbeDataset(const nn::Tensor& embeddings,
+                       const nn::Tensor& pairwise_kl,
+                       nn::Tensor* embedding_pairs,
+                       nn::Tensor* target_kls);
+
+}  // namespace sadae
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SADAE_PROBE_H_

@@ -1,0 +1,192 @@
+#include "sadae/sadae.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace sadae {
+namespace {
+
+constexpr double kLogStdMin = -4.0;
+constexpr double kLogStdMax = 2.0;
+
+}  // namespace
+
+Sadae::Sadae(const SadaeConfig& config, Rng& rng) : config_(config) {
+  S2R_CHECK(config.state_dim >= 1);
+  S2R_CHECK(config.categorical_dim >= 0);
+  S2R_CHECK(config.action_dim >= 0);
+  S2R_CHECK(config.latent_dim >= 1);
+
+  encoder_ = std::make_unique<nn::Mlp>(
+      "sadae.enc", config.input_dim(), config.encoder_hidden,
+      2 * config.latent_dim, rng, nn::Activation::kRelu);
+  AddChild(encoder_.get());
+
+  // State decoder outputs Gaussian parameters for the continuous block
+  // plus class logits for the categorical block.
+  const int state_out = 2 * config.state_dim + config.categorical_dim;
+  state_decoder_ = std::make_unique<nn::Mlp>(
+      "sadae.dec_s", config.latent_dim, config.decoder_hidden, state_out,
+      rng, nn::Activation::kRelu);
+  AddChild(state_decoder_.get());
+
+  if (config.action_dim > 0) {
+    const int action_in =
+        config.latent_dim + config.state_dim + config.categorical_dim;
+    action_decoder_ = std::make_unique<nn::Mlp>(
+        "sadae.dec_a", action_in, config.decoder_hidden,
+        2 * config.action_dim, rng, nn::Activation::kRelu);
+    AddChild(action_decoder_.get());
+  }
+}
+
+nn::DiagGaussian Sadae::PoolPosterior(nn::Var enc_out, int n) const {
+  const int latent = config_.latent_dim;
+  nn::Var mu_i = nn::SliceColsV(enc_out, 0, latent);           // [N x L]
+  nn::Var log_std_i = nn::ClipV(
+      nn::SliceColsV(enc_out, latent, 2 * latent), kLogStdMin,
+      kLogStdMax);
+  // Product of Gaussians: precision sums, precision-weighted mean.
+  nn::Var precision_i = nn::ExpV(nn::ScaleV(log_std_i, -2.0));
+  nn::Var precision = nn::ScaleV(nn::ColMeanV(precision_i),
+                                 static_cast<double>(n));  // [1 x L]
+  nn::Var weighted = nn::ScaleV(
+      nn::ColMeanV(nn::MulV(precision_i, mu_i)), static_cast<double>(n));
+  nn::Var mean = nn::DivV(weighted, precision);
+  nn::Var log_std = nn::ScaleV(nn::LogV(precision), -0.5);
+  return nn::DiagGaussian{mean, log_std};
+}
+
+nn::DiagGaussian Sadae::EncodeSet(nn::Tape& tape, const nn::Tensor& x) {
+  S2R_CHECK(x.cols() == config_.input_dim());
+  S2R_CHECK(x.rows() >= 1);
+  nn::Var input = tape.Constant(x);
+  nn::Var enc_out = encoder_->Forward(tape, input);
+  return PoolPosterior(enc_out, x.rows());
+}
+
+nn::Tensor Sadae::EncodeSetValue(const nn::Tensor& x) const {
+  S2R_CHECK(x.cols() == config_.input_dim());
+  const int n = x.rows();
+  const int latent = config_.latent_dim;
+  const nn::Tensor enc_out = encoder_->ForwardValue(x);
+  // Value-mode product of Gaussians.
+  nn::Tensor mean(1, latent, 0.0);
+  nn::Tensor precision(1, latent, 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < latent; ++c) {
+      const double log_std = std::clamp(enc_out(r, latent + c),
+                                        kLogStdMin, kLogStdMax);
+      const double p = std::exp(-2.0 * log_std);
+      precision(0, c) += p;
+      mean(0, c) += p * enc_out(r, c);
+    }
+  }
+  for (int c = 0; c < latent; ++c) mean(0, c) /= precision(0, c);
+  return mean;
+}
+
+nn::Var Sadae::NegElbo(nn::Tape& tape, const nn::Tensor& x, Rng& rng) {
+  S2R_CHECK(x.cols() == config_.input_dim());
+  const int n = x.rows();
+  const int sd = config_.state_dim;
+  const int cd = config_.categorical_dim;
+  const int ad = config_.action_dim;
+
+  nn::DiagGaussian posterior = EncodeSet(tape, x);
+  nn::Var v = posterior.Rsample(rng);       // [1 x latent]
+  nn::Var v_tiled = nn::TileRowsV(v, n);    // [N x latent]
+
+  // --- log p_theta(s_i | v) ---
+  nn::Var dec_s = state_decoder_->Forward(tape, v_tiled);
+  nn::Var s_mean = nn::SliceColsV(dec_s, 0, sd);
+  nn::Var s_log_std =
+      nn::ClipV(nn::SliceColsV(dec_s, sd, 2 * sd), kLogStdMin, kLogStdMax);
+  const nn::Tensor states = x.SliceCols(0, sd);
+  nn::Var recon = nn::SumV(
+      nn::DiagGaussian{s_mean, s_log_std}.LogProb(states));
+
+  if (cd > 0) {
+    nn::Var cat_logits = nn::SliceColsV(dec_s, 2 * sd, 2 * sd + cd);
+    std::vector<int> labels(n, 0);
+    for (int r = 0; r < n; ++r) {
+      int best = 0;
+      for (int k = 1; k < cd; ++k) {
+        if (x(r, sd + k) > x(r, sd + best)) best = k;
+      }
+      labels[r] = best;
+    }
+    recon = nn::AddV(
+        recon, nn::SumV(nn::CategoricalDist{cat_logits}.LogProb(labels)));
+  }
+
+  // --- log p_theta(a_i | v, s_i) ---
+  if (ad > 0) {
+    const nn::Tensor state_block = x.SliceCols(0, sd + cd);
+    nn::Var s_input = tape.Constant(state_block);
+    nn::Var dec_a_in = nn::ConcatColsV({v_tiled, s_input});
+    nn::Var dec_a = action_decoder_->Forward(tape, dec_a_in);
+    nn::Var a_mean = nn::SliceColsV(dec_a, 0, ad);
+    nn::Var a_log_std = nn::ClipV(nn::SliceColsV(dec_a, ad, 2 * ad),
+                                  kLogStdMin, kLogStdMax);
+    const nn::Tensor actions = x.SliceCols(sd + cd, sd + cd + ad);
+    recon = nn::AddV(
+        recon, nn::SumV(nn::DiagGaussian{a_mean, a_log_std}.LogProb(
+                   actions)));
+  }
+
+  nn::Var kl = nn::SumV(posterior.KlToStandardNormal());  // scalar
+  // Negative ELBO, normalized by the set size for scale stability.
+  nn::Var neg_elbo = nn::AddV(nn::NegV(recon),
+                              nn::ScaleV(kl, config_.kl_weight));
+  return nn::ScaleV(neg_elbo, 1.0 / n);
+}
+
+DecodedDistribution Sadae::DecodeValue(const nn::Tensor& v) const {
+  S2R_CHECK(v.rows() == 1 && v.cols() == config_.latent_dim);
+  const int sd = config_.state_dim;
+  const int cd = config_.categorical_dim;
+  const nn::Tensor out = state_decoder_->ForwardValue(v);
+
+  DecodedDistribution decoded;
+  decoded.state_mean = out.SliceCols(0, sd);
+  decoded.state_std = out.SliceCols(sd, 2 * sd);
+  decoded.state_std.Apply([](double raw) {
+    return std::exp(std::clamp(raw, kLogStdMin, kLogStdMax));
+  });
+  if (cd > 0) {
+    nn::Tensor logits = out.SliceCols(2 * sd, 2 * sd + cd);
+    double mx = logits.MaxAll();
+    double sum = 0.0;
+    decoded.cat_probs = nn::Tensor(1, cd);
+    for (int k = 0; k < cd; ++k) {
+      decoded.cat_probs(0, k) = std::exp(logits(0, k) - mx);
+      sum += decoded.cat_probs(0, k);
+    }
+    for (int k = 0; k < cd; ++k) decoded.cat_probs(0, k) /= sum;
+  }
+  return decoded;
+}
+
+nn::Tensor Sadae::SampleReconstructedStates(const nn::Tensor& v, int n,
+                                            Rng& rng) const {
+  const DecodedDistribution decoded = DecodeValue(v);
+  const int sd = config_.state_dim;
+  const int cd = config_.categorical_dim;
+  nn::Tensor out(n, sd + cd, 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < sd; ++c) {
+      out(r, c) = rng.Normal(decoded.state_mean(0, c),
+                             decoded.state_std(0, c));
+    }
+    if (cd > 0) {
+      const int k = rng.Categorical(decoded.cat_probs.RowVecStd(0));
+      out(r, sd + k) = 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace sadae
+}  // namespace sim2rec

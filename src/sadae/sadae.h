@@ -1,0 +1,86 @@
+#ifndef SIM2REC_SADAE_SADAE_H_
+#define SIM2REC_SADAE_SADAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/distributions.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace sim2rec {
+namespace sadae {
+
+/// Configuration of the State-Action Distributional variational
+/// AutoEncoder (paper Sec. IV-B).
+///
+/// Input rows are laid out [continuous state | categorical one-hot |
+/// action]; any of the last two blocks may be absent. The LTS experiments
+/// use the state-only variant (Sec. V-B2), DPR uses continuous +
+/// categorical states and continuous actions (Sec. V-C2).
+struct SadaeConfig {
+  int state_dim = 0;        // continuous state features
+  int categorical_dim = 0;  // size of the one-hot block (0 = none)
+  int action_dim = 0;       // continuous action features (0 = none)
+  int latent_dim = 5;       // units of the latent code v
+  std::vector<int> encoder_hidden = {64, 64};
+  std::vector<int> decoder_hidden = {64, 64};
+  /// Weight of the KL term in the (negative) ELBO.
+  double kl_weight = 1.0;
+
+  int input_dim() const { return state_dim + categorical_dim + action_dim; }
+};
+
+/// Decoded per-set distribution parameters psi (plain values).
+struct DecodedDistribution {
+  nn::Tensor state_mean;  // [1 x state_dim]
+  nn::Tensor state_std;   // [1 x state_dim]
+  nn::Tensor cat_probs;   // [1 x categorical_dim] (empty if unused)
+};
+
+/// SADAE embeds a *set* X of state-action pairs into a single latent
+/// Gaussian posterior q_kappa(v | X) = prod_i q_kappa(v | s_i, a_i)
+/// (product of per-pair Gaussians, paper Eq. 6), and reconstructs the
+/// generating distribution parameters psi via decoders p_theta(psi_s | v)
+/// and p_theta(psi_a | v, s) (Theorem 4.1).
+class Sadae : public nn::Module {
+ public:
+  Sadae(const SadaeConfig& config, Rng& rng);
+
+  const SadaeConfig& config() const { return config_; }
+  int latent_dim() const { return config_.latent_dim; }
+
+  /// Differentiable set encoding: returns the pooled posterior as a
+  /// [1 x latent] DiagGaussian on the tape. X is [N x input_dim].
+  nn::DiagGaussian EncodeSet(nn::Tape& tape, const nn::Tensor& x);
+
+  /// Inference-only encoding; returns the posterior mean [1 x latent].
+  nn::Tensor EncodeSetValue(const nn::Tensor& x) const;
+
+  /// Negative tractable ELBO of one set (Theorem 4.1), normalized by the
+  /// set size. `rng` drives the reparameterized latent sample.
+  nn::Var NegElbo(nn::Tape& tape, const nn::Tensor& x, Rng& rng);
+
+  /// Decodes the state-distribution parameters from a latent mean
+  /// [1 x latent] (no graph).
+  DecodedDistribution DecodeValue(const nn::Tensor& v) const;
+
+  /// Draws n reconstructed full-state rows (continuous ~ the decoded
+  /// Gaussian, categorical ~ the decoded class distribution as one-hot).
+  nn::Tensor SampleReconstructedStates(const nn::Tensor& v, int n,
+                                       Rng& rng) const;
+
+ private:
+  /// Per-pair posterior heads and product-of-Gaussians pooling.
+  nn::DiagGaussian PoolPosterior(nn::Var enc_out, int n) const;
+
+  SadaeConfig config_;
+  std::unique_ptr<nn::Mlp> encoder_;        // q_kappa(v | s, a)
+  std::unique_ptr<nn::Mlp> state_decoder_;  // p_theta(psi_s | v)
+  std::unique_ptr<nn::Mlp> action_decoder_; // p_theta(psi_a | v, s)
+};
+
+}  // namespace sadae
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SADAE_SADAE_H_

@@ -1,0 +1,88 @@
+#include "sadae/sadae_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sim2rec {
+namespace sadae {
+
+SadaeTrainer::SadaeTrainer(Sadae* model, const SadaeTrainConfig& config)
+    : model_(model), config_(config) {
+  S2R_CHECK(model != nullptr);
+  optimizer_ = std::make_unique<nn::Adam>(
+      model->Parameters(), config.learning_rate, 0.9, 0.999, 1e-8,
+      config.weight_decay);
+}
+
+nn::Tensor SadaeTrainer::SubsamplePairs(const nn::Tensor& set,
+                                        Rng& rng) const {
+  if (set.rows() <= config_.max_pairs_per_set) return set;
+  const std::vector<int> order = rng.Permutation(set.rows());
+  nn::Tensor out(config_.max_pairs_per_set, set.cols());
+  for (int r = 0; r < config_.max_pairs_per_set; ++r) {
+    out.SetRow(r, set.Row(order[r]));
+  }
+  return out;
+}
+
+double SadaeTrainer::TrainStep(const std::vector<nn::Tensor>& sets,
+                               const std::vector<int>& indices, Rng& rng) {
+  S2R_CHECK(!indices.empty());
+  nn::Tape tape;
+  nn::Var total;
+  bool first = true;
+  for (int idx : indices) {
+    S2R_CHECK(idx >= 0 && idx < static_cast<int>(sets.size()));
+    const nn::Tensor batch = SubsamplePairs(sets[idx], rng);
+    nn::Var neg_elbo = model_->NegElbo(tape, batch, rng);
+    total = first ? neg_elbo : nn::AddV(total, neg_elbo);
+    first = false;
+  }
+  nn::Var loss = nn::ScaleV(total, 1.0 / indices.size());
+  optimizer_->ZeroGrad();
+  tape.Backward(loss);
+  nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
+  optimizer_->Step();
+  return loss.value()(0, 0);
+}
+
+double SadaeTrainer::TrainEpoch(const std::vector<nn::Tensor>& sets,
+                                Rng& rng) {
+  S2R_CHECK(!sets.empty());
+  const std::vector<int> order =
+      rng.Permutation(static_cast<int>(sets.size()));
+  double total_loss = 0.0;
+  int steps = 0;
+  for (size_t start = 0; start < order.size();
+       start += config_.sets_per_step) {
+    std::vector<int> batch;
+    for (size_t k = start;
+         k < order.size() &&
+         k < start + static_cast<size_t>(config_.sets_per_step);
+         ++k) {
+      batch.push_back(order[k]);
+    }
+    total_loss += TrainStep(sets, batch, rng);
+    ++steps;
+  }
+  return steps > 0 ? total_loss / steps : 0.0;
+}
+
+double DecodedFeatureKl(const Sadae& model, const nn::Tensor& set,
+                        int feature_index, double true_mean,
+                        double true_std) {
+  S2R_CHECK(feature_index >= 0 &&
+            feature_index < model.config().state_dim);
+  S2R_CHECK(true_std > 0.0);
+  const nn::Tensor v = model.EncodeSetValue(set);
+  const DecodedDistribution decoded = model.DecodeValue(v);
+  const double mean_q = decoded.state_mean(0, feature_index);
+  const double std_q = std::max(decoded.state_std(0, feature_index), 1e-6);
+  // KL(true || decoded) for 1-D Gaussians.
+  const double md = true_mean - mean_q;
+  return std::log(std_q / true_std) +
+         (true_std * true_std + md * md) / (2.0 * std_q * std_q) - 0.5;
+}
+
+}  // namespace sadae
+}  // namespace sim2rec

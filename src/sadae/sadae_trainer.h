@@ -1,0 +1,59 @@
+#ifndef SIM2REC_SADAE_SADAE_TRAINER_H_
+#define SIM2REC_SADAE_SADAE_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "sadae/sadae.h"
+
+namespace sim2rec {
+namespace sadae {
+
+/// Training hyper-parameters for SADAE (paper Table II, scaled).
+struct SadaeTrainConfig {
+  int sets_per_step = 8;
+  /// Each set is subsampled to at most this many pairs per step, keeping
+  /// the ELBO cost bounded for large groups.
+  int max_pairs_per_set = 64;
+  double learning_rate = 1e-3;
+  /// L2 regularization weight (paper uses 0.1 / 0.001).
+  double weight_decay = 1e-3;
+  double grad_clip = 5.0;
+};
+
+/// Minibatch Adam trainer over a corpus of group step sets
+/// {X_t^g : g, 0 < t <= T}.
+class SadaeTrainer {
+ public:
+  SadaeTrainer(Sadae* model, const SadaeTrainConfig& config);
+
+  /// One pass over `sets` in random order; returns the mean negative
+  /// ELBO per set.
+  double TrainEpoch(const std::vector<nn::Tensor>& sets, Rng& rng);
+
+  /// A single gradient step on a batch of set indices.
+  double TrainStep(const std::vector<nn::Tensor>& sets,
+                   const std::vector<int>& indices, Rng& rng);
+
+  Sadae* model() { return model_; }
+
+ private:
+  nn::Tensor SubsamplePairs(const nn::Tensor& set, Rng& rng) const;
+
+  Sadae* model_;
+  SadaeTrainConfig config_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+/// Closed-form diagnostic for the LTS experiments (paper Fig. 4): KL
+/// divergence between the decoded Gaussian of one state feature and the
+/// true generating Gaussian N(true_mean, true_std^2).
+double DecodedFeatureKl(const Sadae& model, const nn::Tensor& set,
+                        int feature_index, double true_mean,
+                        double true_std);
+
+}  // namespace sadae
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SADAE_SADAE_TRAINER_H_

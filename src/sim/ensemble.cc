@@ -1,0 +1,80 @@
+#include "sim/ensemble.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace sim {
+
+SimulatorEnsemble SimulatorEnsemble::Build(
+    const data::LoggedDataset& dataset, int count,
+    const SimulatorTrainConfig& base_config, Rng& rng) {
+  S2R_CHECK(count >= 1);
+  SimulatorEnsemble ensemble;
+  for (int k = 0; k < count; ++k) {
+    SimulatorTrainConfig config = base_config;
+    config.seed = rng.NextU64();
+    Rng subset_rng = rng.Split(k + 1);
+    const data::LoggedDataset subset =
+        dataset.SampleSubset(config.data_fraction, subset_rng);
+    nn::Tensor inputs, targets;
+    subset.FlattenForSimulator(&inputs, &targets);
+    double nll = 0.0;
+    ensemble.simulators_.push_back(
+        TrainSimulator(inputs, targets, dataset.obs_dim(),
+                       dataset.action_dim(), config, &nll));
+    ensemble.train_nlls_.push_back(nll);
+    S2R_LOG_INFO("ensemble member %d/%d trained, NLL=%.4f", k + 1, count,
+                 nll);
+  }
+  return ensemble;
+}
+
+UserSimulator& SimulatorEnsemble::simulator(int i) {
+  S2R_CHECK(i >= 0 && i < size());
+  return *simulators_[i];
+}
+
+const UserSimulator& SimulatorEnsemble::simulator(int i) const {
+  S2R_CHECK(i >= 0 && i < size());
+  return *simulators_[i];
+}
+
+void SimulatorEnsemble::AddSimulator(
+    std::unique_ptr<UserSimulator> simulator) {
+  S2R_CHECK(simulator != nullptr);
+  simulators_.push_back(std::move(simulator));
+  train_nlls_.push_back(0.0);
+}
+
+std::vector<nn::Tensor> SimulatorEnsemble::AllMeans(
+    const nn::Tensor& inputs) const {
+  std::vector<nn::Tensor> means;
+  means.reserve(simulators_.size());
+  for (const auto& simulator : simulators_) {
+    means.push_back(simulator->Predict(inputs).mean);
+  }
+  return means;
+}
+
+std::vector<double> SimulatorEnsemble::Uncertainty(
+    const nn::Tensor& inputs) const {
+  S2R_CHECK(size() >= 1);
+  const std::vector<nn::Tensor> means = AllMeans(inputs);
+  const int n = inputs.rows();
+  std::vector<double> uncertainty(n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    double mean_of_means = 0.0;
+    for (const auto& m : means) mean_of_means += m(r, 0);
+    mean_of_means /= size();
+    double disagreement = 0.0;
+    for (const auto& m : means)
+      disagreement += std::abs(m(r, 0) - mean_of_means);
+    uncertainty[r] = disagreement / size();
+  }
+  return uncertainty;
+}
+
+}  // namespace sim
+}  // namespace sim2rec

@@ -1,0 +1,53 @@
+#ifndef SIM2REC_SIM_ENSEMBLE_H_
+#define SIM2REC_SIM_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/user_simulator.h"
+
+namespace sim2rec {
+namespace sim {
+
+/// The feasible parameter set Omega' of Sec. IV-C: an ensemble of user
+/// simulators trained by H(D', lambda) with varied data subsets and
+/// seeds. Also provides the ensemble-disagreement uncertainty U(s, a)
+/// used as a reward penalty (paper Sec. V-C2:
+/// U = E_i[ ||mu_i(s,a) - mu_bar(s,a)||_2 ]).
+class SimulatorEnsemble {
+ public:
+  SimulatorEnsemble() = default;
+
+  /// Trains `count` simulators on the dataset, each with its own seed and
+  /// data subset D' (data_fraction of trajectories).
+  static SimulatorEnsemble Build(const data::LoggedDataset& dataset,
+                                 int count,
+                                 const SimulatorTrainConfig& base_config,
+                                 Rng& rng);
+
+  int size() const { return static_cast<int>(simulators_.size()); }
+  UserSimulator& simulator(int i);
+  const UserSimulator& simulator(int i) const;
+
+  /// Adds a pre-trained simulator (used by tests).
+  void AddSimulator(std::unique_ptr<UserSimulator> simulator);
+
+  /// Mean prediction of every member: [count][N x 1].
+  std::vector<nn::Tensor> AllMeans(const nn::Tensor& inputs) const;
+
+  /// Per-row disagreement U(s, a) = mean_i |mu_i - mu_bar|.
+  std::vector<double> Uncertainty(const nn::Tensor& inputs) const;
+
+  /// Final training NLL of each member (diagnostics).
+  const std::vector<double>& train_nlls() const { return train_nlls_; }
+
+ private:
+  std::vector<std::unique_ptr<UserSimulator>> simulators_;
+  std::vector<double> train_nlls_;
+};
+
+}  // namespace sim
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SIM_ENSEMBLE_H_

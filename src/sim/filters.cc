@@ -1,0 +1,100 @@
+#include "sim/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sim2rec {
+namespace sim {
+
+std::vector<InterventionResponse> RunInterventionTest(
+    const UserSimulator& simulator, const data::LoggedDataset& dataset,
+    const std::vector<double>& bonus_deltas, int bonus_action_index) {
+  S2R_CHECK(!bonus_deltas.empty());
+  S2R_CHECK(bonus_action_index >= 0 &&
+            bonus_action_index < dataset.action_dim());
+  const int obs_dim = dataset.obs_dim();
+  const int action_dim = dataset.action_dim();
+
+  std::vector<InterventionResponse> out;
+  out.reserve(dataset.size());
+  for (int idx = 0; idx < dataset.size(); ++idx) {
+    const data::UserTrajectory& traj = dataset.trajectory(idx);
+    const int len = traj.length();
+    InterventionResponse resp;
+    resp.trajectory_index = idx;
+    resp.response.resize(bonus_deltas.size());
+
+    nn::Tensor inputs(len, obs_dim + action_dim);
+    for (size_t k = 0; k < bonus_deltas.size(); ++k) {
+      for (int t = 0; t < len; ++t) {
+        for (int c = 0; c < obs_dim; ++c)
+          inputs(t, c) = traj.observations(t, c);
+        for (int c = 0; c < action_dim; ++c) {
+          double a = traj.actions(t, c);
+          if (c == bonus_action_index) {
+            a = std::clamp(a + bonus_deltas[k], 0.0, 1.0);
+          }
+          inputs(t, obs_dim + c) = a;
+        }
+      }
+      const FeedbackPrediction pred = simulator.Predict(inputs);
+      resp.response[k] = pred.mean.MeanAll();
+    }
+    // Report increments relative to the first grid point (Fig. 10).
+    const double base = resp.response[0];
+    for (double& v : resp.response) v -= base;
+    resp.slope = LeastSquaresSlope(bonus_deltas, resp.response);
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+std::vector<int> TrendFilter(const SimulatorEnsemble& ensemble,
+                             const data::LoggedDataset& dataset,
+                             const std::vector<double>& bonus_deltas,
+                             int bonus_action_index, double min_slope) {
+  S2R_CHECK(ensemble.size() >= 1);
+  // slopes[user][member]
+  std::vector<std::vector<double>> slopes(
+      dataset.size(), std::vector<double>(ensemble.size()));
+  for (int m = 0; m < ensemble.size(); ++m) {
+    const auto responses = RunInterventionTest(
+        ensemble.simulator(m), dataset, bonus_deltas, bonus_action_index);
+    for (int u = 0; u < dataset.size(); ++u) {
+      slopes[u][m] = responses[u].slope;
+    }
+  }
+  std::vector<int> keep;
+  for (int u = 0; u < dataset.size(); ++u) {
+    std::vector<double> s = slopes[u];
+    std::nth_element(s.begin(), s.begin() + s.size() / 2, s.end());
+    const double median = s[s.size() / 2];
+    if (median > min_slope) keep.push_back(u);
+  }
+  return keep;
+}
+
+data::LoggedDataset SelectTrajectories(const data::LoggedDataset& dataset,
+                                       const std::vector<int>& keep) {
+  data::LoggedDataset out(dataset.obs_dim(), dataset.action_dim());
+  for (int idx : keep) out.Add(dataset.trajectory(idx));
+  return out;
+}
+
+bool ActionExecutable(const data::ActionRange& range,
+                      const std::vector<double>& action,
+                      double tolerance) {
+  S2R_CHECK(range.low.size() == action.size());
+  for (size_t c = 0; c < action.size(); ++c) {
+    if (action[c] < range.low[c] - tolerance ||
+        action[c] > range.high[c] + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sim
+}  // namespace sim2rec

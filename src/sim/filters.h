@@ -1,0 +1,53 @@
+#ifndef SIM2REC_SIM_FILTERS_H_
+#define SIM2REC_SIM_FILTERS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/ensemble.h"
+
+namespace sim2rec {
+namespace sim {
+
+/// Result of probing a simulator with counterfactual bonus shifts
+/// (the paper's intervention test, Fig. 10): for one user, the predicted
+/// order increment at each Delta-B relative to the first grid point.
+struct InterventionResponse {
+  int trajectory_index = -1;
+  std::vector<double> response;  // one entry per delta in the grid
+  double slope = 0.0;            // least-squares slope of response vs delta
+};
+
+/// Runs the intervention test for every trajectory in the dataset against
+/// one simulator: bonus actions in the user's logged states are shifted
+/// by each delta, the predicted feedback is averaged over the states, and
+/// the result is reported relative to the first grid entry (matching
+/// Fig. 10's normalization at Delta B = -0.5).
+std::vector<InterventionResponse> RunInterventionTest(
+    const UserSimulator& simulator, const data::LoggedDataset& dataset,
+    const std::vector<double>& bonus_deltas, int bonus_action_index);
+
+/// F_trend (Sec. IV-C): removes users whose simulated bonus elasticity
+/// violates the prior "more bonus never yields fewer orders". A user is
+/// dropped when the median response slope across the ensemble members is
+/// <= `min_slope`. Returns the kept trajectory indices.
+std::vector<int> TrendFilter(const SimulatorEnsemble& ensemble,
+                             const data::LoggedDataset& dataset,
+                             const std::vector<double>& bonus_deltas,
+                             int bonus_action_index,
+                             double min_slope = 0.0);
+
+/// Builds the filtered dataset from kept indices.
+data::LoggedDataset SelectTrajectories(const data::LoggedDataset& dataset,
+                                       const std::vector<int>& keep);
+
+/// F_exec helper: true when `action` lies inside the user's executable
+/// box [low - tolerance, high + tolerance] in every dimension.
+bool ActionExecutable(const data::ActionRange& range,
+                      const std::vector<double>& action,
+                      double tolerance = 0.02);
+
+}  // namespace sim
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SIM_FILTERS_H_

@@ -1,0 +1,93 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace sim2rec {
+namespace sim {
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+}  // namespace
+
+SimulatorMetrics EvaluateSimulator(const UserSimulator& simulator,
+                                   const nn::Tensor& inputs,
+                                   const nn::Tensor& targets) {
+  S2R_CHECK(inputs.rows() == targets.rows());
+  S2R_CHECK(inputs.rows() > 0);
+  const FeedbackPrediction pred = simulator.Predict(inputs);
+  SimulatorMetrics metrics;
+  const int n = inputs.rows();
+  for (int i = 0; i < n; ++i) {
+    const double mean = pred.mean(i, 0);
+    const double sd = pred.std(i, 0);
+    const double y = targets(i, 0);
+    const double err = y - mean;
+    const double z = err / sd;
+    metrics.nll += 0.5 * z * z + std::log(sd) + 0.5 * kLog2Pi;
+    metrics.rmse += err * err;
+    metrics.mae += std::abs(err);
+    if (std::abs(z) <= 1.0) metrics.coverage_1sd += 1.0;
+    if (std::abs(z) <= 2.0) metrics.coverage_2sd += 1.0;
+  }
+  metrics.nll /= n;
+  metrics.rmse = std::sqrt(metrics.rmse / n);
+  metrics.mae /= n;
+  metrics.coverage_1sd /= n;
+  metrics.coverage_2sd /= n;
+  return metrics;
+}
+
+SimulatorMetrics EvaluateSimulatorOnDataset(
+    const UserSimulator& simulator, const data::LoggedDataset& dataset) {
+  nn::Tensor inputs, targets;
+  dataset.FlattenForSimulator(&inputs, &targets);
+  return EvaluateSimulator(simulator, inputs, targets);
+}
+
+EnsembleMetrics EvaluateEnsemble(const SimulatorEnsemble& ensemble,
+                                 const data::LoggedDataset& dataset) {
+  S2R_CHECK(ensemble.size() >= 1);
+  nn::Tensor inputs, targets;
+  dataset.FlattenForSimulator(&inputs, &targets);
+
+  EnsembleMetrics metrics;
+  const std::vector<nn::Tensor> means = ensemble.AllMeans(inputs);
+  for (int m = 0; m < ensemble.size(); ++m) {
+    metrics.members.push_back(
+        EvaluateSimulator(ensemble.simulator(m), inputs, targets));
+    metrics.mean_member_rmse += metrics.members.back().rmse;
+  }
+  metrics.mean_member_rmse /= ensemble.size();
+
+  // Ensemble-mean predictor.
+  double ens_sq = 0.0;
+  for (int i = 0; i < inputs.rows(); ++i) {
+    double mu = 0.0;
+    for (const auto& m : means) mu += m(i, 0);
+    mu /= ensemble.size();
+    const double err = targets(i, 0) - mu;
+    ens_sq += err * err;
+  }
+  metrics.ensemble_mean_rmse = std::sqrt(ens_sq / inputs.rows());
+
+  // Pairwise member disagreement.
+  int pairs = 0;
+  for (int a = 0; a < ensemble.size(); ++a) {
+    for (int b = a + 1; b < ensemble.size(); ++b) {
+      double sq = 0.0;
+      for (int i = 0; i < inputs.rows(); ++i) {
+        const double d = means[a](i, 0) - means[b](i, 0);
+        sq += d * d;
+      }
+      metrics.mean_pairwise_disagreement +=
+          std::sqrt(sq / inputs.rows());
+      ++pairs;
+    }
+  }
+  if (pairs > 0) metrics.mean_pairwise_disagreement /= pairs;
+  return metrics;
+}
+
+}  // namespace sim
+}  // namespace sim2rec

@@ -1,0 +1,57 @@
+#ifndef SIM2REC_SIM_METRICS_H_
+#define SIM2REC_SIM_METRICS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/ensemble.h"
+
+namespace sim2rec {
+namespace sim {
+
+/// Validation metrics of a learned user simulator against held-out
+/// logged data. The paper discusses simulator fidelity qualitatively
+/// (approximation vs extrapolation error, Sec. IV-C); these quantify it
+/// and back the ensemble-size / uncertainty ablations.
+struct SimulatorMetrics {
+  /// Gaussian negative log-likelihood of the held-out feedback.
+  double nll = 0.0;
+  /// Root mean squared error of the predicted mean.
+  double rmse = 0.0;
+  /// Mean absolute error of the predicted mean.
+  double mae = 0.0;
+  /// Fraction of held-out targets within one predicted stddev of the
+  /// mean (~0.68 for a calibrated Gaussian).
+  double coverage_1sd = 0.0;
+  /// Fraction within two stddevs (~0.95 when calibrated).
+  double coverage_2sd = 0.0;
+};
+
+/// Evaluates one simulator on a flattened (inputs, targets) pair.
+SimulatorMetrics EvaluateSimulator(const UserSimulator& simulator,
+                                   const nn::Tensor& inputs,
+                                   const nn::Tensor& targets);
+
+/// Convenience: evaluates on the flattened transitions of a dataset.
+SimulatorMetrics EvaluateSimulatorOnDataset(
+    const UserSimulator& simulator, const data::LoggedDataset& dataset);
+
+/// Per-member metrics plus the ensemble-mean predictor's RMSE (which
+/// should beat the average individual RMSE — the variance-reduction
+/// rationale for the ensemble).
+struct EnsembleMetrics {
+  std::vector<SimulatorMetrics> members;
+  double mean_member_rmse = 0.0;
+  double ensemble_mean_rmse = 0.0;
+  /// Average pairwise L2 distance between member mean-predictions on
+  /// the evaluation inputs: the spread of Omega'.
+  double mean_pairwise_disagreement = 0.0;
+};
+
+EnsembleMetrics EvaluateEnsemble(const SimulatorEnsemble& ensemble,
+                                 const data::LoggedDataset& dataset);
+
+}  // namespace sim
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SIM_METRICS_H_

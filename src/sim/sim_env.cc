@@ -1,0 +1,155 @@
+#include "sim/sim_env.h"
+
+#include <algorithm>
+
+namespace sim2rec {
+namespace sim {
+
+envs::DriverStatic StaticsFromObsRow(const nn::Tensor& obs, int row) {
+  envs::DriverStatic st;
+  st.skill_obs = obs(row, 0);
+  st.tolerance_obs = obs(row, 1);
+  st.tenure = obs(row, 2);
+  st.city_signal = obs(row, 6);
+  st.responsiveness_obs = obs(row, 12);
+  st.tier = 0;
+  for (int k = 1; k < envs::kDprTierCount; ++k) {
+    if (obs(row, envs::kDprContinuousObsDim + k) >
+        obs(row, envs::kDprContinuousObsDim + st.tier)) {
+      st.tier = k;
+    }
+  }
+  return st;
+}
+
+SimGroupEnv::SimGroupEnv(const data::LoggedDataset* dataset, int group_id,
+                         const SimulatorEnsemble* ensemble,
+                         const SimEnvConfig& config)
+    : dataset_(dataset), group_id_(group_id), ensemble_(ensemble),
+      config_(config) {
+  S2R_CHECK(dataset != nullptr);
+  S2R_CHECK(ensemble != nullptr && ensemble->size() >= 1);
+  S2R_CHECK(config.rollout_users >= 1);
+  S2R_CHECK(config.truncated_horizon >= 1);
+  group_members_ = dataset->GroupMembers(group_id);
+  S2R_CHECK_MSG(!group_members_.empty(),
+                "SimGroupEnv: group has no logged trajectories");
+  logged_horizon_ = dataset->trajectory(group_members_[0]).length();
+}
+
+nn::Tensor SimGroupEnv::MakeObs() const {
+  const int n = num_users();
+  nn::Tensor obs(n, envs::kDprObsDim);
+  for (int i = 0; i < n; ++i) {
+    envs::WriteDprObsRow(&obs, i, statics_[i], histories_[i], t0_ + t_,
+                         logged_horizon_);
+  }
+  return obs;
+}
+
+nn::Tensor SimGroupEnv::Reset(Rng& rng) {
+  const int n = num_users();
+  selected_.resize(n);
+  statics_.resize(n);
+  histories_.resize(n);
+  exec_ranges_.resize(n);
+  done_.assign(n, 0);
+
+  // Draw tau^r: one logged trajectory per rollout slot (with replacement
+  // when the group is small).
+  for (int i = 0; i < n; ++i) {
+    selected_[i] = group_members_[rng.UniformInt(
+        static_cast<int>(group_members_.size()))];
+  }
+  // Random start state from the logged data (Sec. IV-C: initial states
+  // are drawn from the dataset, rollouts truncated to T_c).
+  const int max_start =
+      std::max(0, logged_horizon_ - config_.truncated_horizon);
+  t0_ = config_.random_start_states && max_start > 0
+            ? rng.UniformInt(max_start + 1)
+            : 0;
+  t_ = 0;
+
+  for (int i = 0; i < n; ++i) {
+    const data::UserTrajectory& traj = dataset_->trajectory(selected_[i]);
+    statics_[i] = StaticsFromObsRow(traj.observations, t0_);
+    histories_[i].ResetFrom(
+        traj.observations(t0_, 3) * envs::kDprOrderScale,
+        traj.observations(t0_, 4) * envs::kDprOrderScale,
+        traj.observations(t0_, 5) * envs::kDprOrderScale,
+        traj.observations(t0_, 10), traj.observations(t0_, 11));
+    exec_ranges_[i] = dataset_->UserActionRange(selected_[i]);
+  }
+  return MakeObs();
+}
+
+envs::StepResult SimGroupEnv::Step(const nn::Tensor& actions, Rng& rng) {
+  const int n = num_users();
+  S2R_CHECK(actions.rows() == n && actions.cols() == envs::kDprActionDim);
+  S2R_CHECK(!selected_.empty());
+
+  envs::StepResult out;
+  out.rewards.assign(n, 0.0);
+  out.dones.assign(n, 0);
+  last_orders_.assign(n, 0.0);
+  last_costs_.assign(n, 0.0);
+
+  // Build the (s, a) batch for the simulator with clipped actions.
+  const nn::Tensor obs = MakeObs();
+  nn::Tensor inputs(n, envs::kDprObsDim + envs::kDprActionDim);
+  nn::Tensor clipped(n, envs::kDprActionDim);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < envs::kDprObsDim; ++c) inputs(i, c) = obs(i, c);
+    for (int c = 0; c < envs::kDprActionDim; ++c) {
+      clipped(i, c) = std::clamp(actions(i, c), 0.0, 1.0);
+      inputs(i, envs::kDprObsDim + c) = clipped(i, c);
+    }
+  }
+
+  const UserSimulator& simulator = ensemble_->simulator(active_simulator_);
+  const nn::Tensor y = simulator.SampleFeedback(inputs, rng);
+  std::vector<double> uncertainty;
+  if (config_.uncertainty_alpha > 0.0) {
+    uncertainty = ensemble_->Uncertainty(inputs);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    if (done_[i]) {
+      out.dones[i] = 1;
+      continue;
+    }
+    const double bonus = clipped(i, 1);
+    const double difficulty = clipped(i, 0);
+
+    // F_exec: leaving the executable action subspace ends the episode
+    // with the floored reward (Sec. IV-C).
+    if (config_.use_exec_filter &&
+        !ActionExecutable(exec_ranges_[i], {difficulty, bonus},
+                          config_.exec_tolerance)) {
+      out.rewards[i] = config_.r_min / (1.0 - config_.gamma);
+      out.dones[i] = 1;
+      done_[i] = 1;
+      continue;
+    }
+
+    const double orders = y(i, 0) * envs::kDprOrderScale;
+    const double cost = bonus * config_.cost_factor * orders;
+    last_orders_[i] = orders;
+    last_costs_[i] = cost;
+    double reward = orders - cost;
+    if (config_.uncertainty_alpha > 0.0) {
+      reward -= config_.uncertainty_alpha * uncertainty[i] *
+                envs::kDprOrderScale;
+    }
+    out.rewards[i] = reward;
+    histories_[i].Update(orders, bonus, difficulty);
+  }
+
+  ++t_;
+  out.horizon_reached = (t_ >= config_.truncated_horizon);
+  out.next_obs = MakeObs();
+  return out;
+}
+
+}  // namespace sim
+}  // namespace sim2rec

@@ -1,0 +1,108 @@
+#ifndef SIM2REC_SIM_SIM_ENV_H_
+#define SIM2REC_SIM_SIM_ENV_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "envs/dpr_features.h"
+#include "envs/env.h"
+#include "sim/ensemble.h"
+#include "sim/filters.h"
+
+namespace sim2rec {
+namespace sim {
+
+/// Configuration of the simulator-backed environment.
+struct SimEnvConfig {
+  /// Users drawn from the group's logged trajectories per episode.
+  int rollout_users = 32;
+  /// Truncated rollout horizon T_c (paper uses 5 in DPR).
+  int truncated_horizon = 5;
+
+  /// Uncertainty penalty coefficient alpha: r <- r - alpha * U(s, a),
+  /// with U in raw order units. 0 disables (Sim2Rec-PE ablation).
+  double uncertainty_alpha = 0.1;
+  /// Whether episodes start at random logged states (true) or only at
+  /// session starts (false). Random starts mitigate compounding error.
+  bool random_start_states = true;
+
+  /// F_exec: end the episode with the floored reward when the policy
+  /// leaves the user's executable action box. Disabled in the
+  /// Sim2Rec-EE ablation.
+  bool use_exec_filter = true;
+  double exec_tolerance = 0.05;
+  /// Reward assigned on an F_exec violation: r_min / (1 - gamma).
+  double r_min = 0.0;
+  double gamma = 0.9;
+
+  /// Platform accounting: cost = bonus * cost_factor * orders. Known to
+  /// the platform, so the simulator environment may use it directly.
+  double cost_factor = 0.8;
+};
+
+/// GroupBatchEnv realizing the paper's simulator transition P_{M, tau^r}
+/// (Sec. III-B): the learned simulator M predicts only the user feedback
+/// y; the history/statistics part of the state is updated from the
+/// predicted feedback, while user, group and time features are loaded
+/// from the real logged trajectory tau^r.
+///
+/// One instance is bound to a single group g; the active simulator
+/// M_omega is swappable so the trainer can draw omega ~ p(Omega') per
+/// episode (Algorithm 1, line 4).
+class SimGroupEnv : public envs::GroupBatchEnv {
+ public:
+  SimGroupEnv(const data::LoggedDataset* dataset, int group_id,
+              const SimulatorEnsemble* ensemble, const SimEnvConfig& config);
+
+  /// Selects the active simulator M_omega by ensemble index.
+  void set_active_simulator(int index) { active_simulator_ = index; }
+  int active_simulator() const { return active_simulator_; }
+  int group_id() const { return group_id_; }
+
+  int num_users() const override { return config_.rollout_users; }
+  int obs_dim() const override { return envs::kDprObsDim; }
+  int action_dim() const override { return envs::kDprActionDim; }
+  int horizon() const override { return config_.truncated_horizon; }
+
+  nn::Tensor Reset(Rng& rng) override;
+  envs::StepResult Step(const nn::Tensor& actions, Rng& rng) override;
+
+  std::vector<double> action_low() const override { return {0.0, 0.0}; }
+  std::vector<double> action_high() const override { return {1.0, 1.0}; }
+
+  /// Raw simulated orders / platform cost per user at the last step
+  /// (zero for users already done). Valid after Step().
+  const std::vector<double>& last_orders() const { return last_orders_; }
+  const std::vector<double>& last_costs() const { return last_costs_; }
+
+ private:
+  nn::Tensor MakeObs() const;
+
+  const data::LoggedDataset* dataset_;
+  int group_id_;
+  const SimulatorEnsemble* ensemble_;
+  SimEnvConfig config_;
+  std::vector<int> group_members_;
+
+  int active_simulator_ = 0;
+  // Per-episode state.
+  std::vector<int> selected_;                    // trajectory indices
+  std::vector<envs::DriverStatic> statics_;
+  std::vector<envs::DriverHistory> histories_;
+  std::vector<data::ActionRange> exec_ranges_;
+  std::vector<uint8_t> done_;
+  std::vector<double> last_orders_;
+  std::vector<double> last_costs_;
+  int logged_horizon_ = 0;
+  int t0_ = 0;  // logged start step of this episode
+  int t_ = 0;   // steps taken within the episode
+};
+
+/// Extracts the static driver features embedded in a logged DPR
+/// observation row (inverse of WriteDprObsRow for the static fields).
+envs::DriverStatic StaticsFromObsRow(const nn::Tensor& obs, int row);
+
+}  // namespace sim
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SIM_SIM_ENV_H_

@@ -1,0 +1,111 @@
+#include "sim/user_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/distributions.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace sim {
+namespace {
+
+constexpr double kLogStdMin = -4.0;
+constexpr double kLogStdMax = 0.5;
+
+}  // namespace
+
+UserSimulator::UserSimulator(const std::string& name, int obs_dim,
+                             int action_dim,
+                             const std::vector<int>& hidden_dims, Rng& rng)
+    : obs_dim_(obs_dim), action_dim_(action_dim) {
+  net_ = std::make_unique<nn::Mlp>(name, obs_dim + action_dim, hidden_dims,
+                                   2, rng, nn::Activation::kRelu);
+  AddChild(net_.get());
+}
+
+void UserSimulator::ForwardHeads(nn::Tape& tape, nn::Var x, nn::Var* mean,
+                                 nn::Var* log_std) {
+  nn::Var out = net_->Forward(tape, x);
+  *mean = nn::SliceColsV(out, 0, 1);
+  *log_std = nn::ClipV(nn::SliceColsV(out, 1, 2), kLogStdMin, kLogStdMax);
+}
+
+FeedbackPrediction UserSimulator::Predict(const nn::Tensor& inputs) const {
+  S2R_CHECK(inputs.cols() == input_dim());
+  const nn::Tensor out = net_->ForwardValue(inputs);
+  FeedbackPrediction pred;
+  pred.mean = out.SliceCols(0, 1);
+  pred.std = out.SliceCols(1, 2);
+  pred.std.Apply([](double raw_log_std) {
+    return std::exp(std::clamp(raw_log_std, kLogStdMin, kLogStdMax));
+  });
+  return pred;
+}
+
+nn::Tensor UserSimulator::SampleFeedback(const nn::Tensor& inputs,
+                                         Rng& rng) const {
+  const FeedbackPrediction pred = Predict(inputs);
+  nn::Tensor y = pred.mean;
+  for (int i = 0; i < y.size(); ++i) {
+    y[i] = std::max(0.0, y[i] + rng.Normal() * pred.std[i]);
+  }
+  return y;
+}
+
+nn::Var UserSimulator::NllLoss(nn::Tape& tape, const nn::Tensor& inputs,
+                               const nn::Tensor& targets) {
+  S2R_CHECK(inputs.cols() == input_dim());
+  S2R_CHECK(targets.rows() == inputs.rows() && targets.cols() == 1);
+  nn::Var x = tape.Constant(inputs);
+  nn::Var mean, log_std;
+  ForwardHeads(tape, x, &mean, &log_std);
+  nn::DiagGaussian dist{mean, log_std};
+  return nn::NegV(nn::MeanV(dist.LogProb(targets)));
+}
+
+std::unique_ptr<UserSimulator> TrainSimulator(
+    const nn::Tensor& inputs, const nn::Tensor& targets, int obs_dim,
+    int action_dim, const SimulatorTrainConfig& config,
+    double* final_nll) {
+  S2R_CHECK(inputs.rows() == targets.rows());
+  S2R_CHECK(inputs.rows() > 0);
+  S2R_CHECK(obs_dim + action_dim == inputs.cols());
+  Rng rng(config.seed);
+
+  auto simulator = std::make_unique<UserSimulator>(
+      "usersim", obs_dim, action_dim, config.hidden_dims, rng);
+  nn::Adam optimizer(simulator->Parameters(), config.learning_rate);
+
+  const int n = inputs.rows();
+  const int batch = std::min(config.batch_size, n);
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<int> order = rng.Permutation(n);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int start = 0; start + batch <= n; start += batch) {
+      nn::Tensor bx(batch, inputs.cols());
+      nn::Tensor by(batch, 1);
+      for (int k = 0; k < batch; ++k) {
+        bx.SetRow(k, inputs.Row(order[start + k]));
+        by(k, 0) = targets(order[start + k], 0);
+      }
+      nn::Tape tape;
+      nn::Var loss = simulator->NllLoss(tape, bx, by);
+      optimizer.ZeroGrad();
+      tape.Backward(loss);
+      nn::ClipGradNorm(simulator->Parameters(), config.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.value()(0, 0);
+      ++batches;
+    }
+    last_loss = batches > 0 ? epoch_loss / batches : 0.0;
+  }
+  if (final_nll != nullptr) *final_nll = last_loss;
+  return simulator;
+}
+
+}  // namespace sim
+}  // namespace sim2rec

@@ -1,0 +1,82 @@
+#ifndef SIM2REC_SIM_USER_SIMULATOR_H_
+#define SIM2REC_SIM_USER_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace sim {
+
+/// Gaussian prediction of user feedback for a batch of (s, a) inputs.
+struct FeedbackPrediction {
+  nn::Tensor mean;  // [N x 1]
+  nn::Tensor std;   // [N x 1]
+};
+
+/// Data-driven user simulator M_omega: an MLP mapping (s, a) to a
+/// heteroscedastic Gaussian over the user's feedback y (normalized orders
+/// in DPR). This is our substitute for DEMER [Shang et al. 2019]: the
+/// adversarial imitation objective is replaced by maximum-likelihood
+/// behaviour cloning, which preserves the property the paper actually
+/// relies on — an ensemble of *imperfect* learned models whose weights
+/// omega span a feasible parameter set Omega'.
+class UserSimulator : public nn::Module {
+ public:
+  UserSimulator(const std::string& name, int obs_dim, int action_dim,
+                const std::vector<int>& hidden_dims, Rng& rng);
+
+  int obs_dim() const { return obs_dim_; }
+  int action_dim() const { return action_dim_; }
+  int input_dim() const { return obs_dim_ + action_dim_; }
+
+  /// Predicts feedback for [N x (obs+act)] inputs (no graph).
+  FeedbackPrediction Predict(const nn::Tensor& inputs) const;
+
+  /// Samples feedback values around the predicted Gaussian; results are
+  /// clamped to be non-negative (orders cannot be negative).
+  nn::Tensor SampleFeedback(const nn::Tensor& inputs, Rng& rng) const;
+
+  /// Differentiable Gaussian negative log-likelihood of targets [N x 1],
+  /// averaged over the batch.
+  nn::Var NllLoss(nn::Tape& tape, const nn::Tensor& inputs,
+                  const nn::Tensor& targets);
+
+ private:
+  /// Mean and log-std graph heads; log-std clipped to a sane band.
+  void ForwardHeads(nn::Tape& tape, nn::Var x, nn::Var* mean,
+                    nn::Var* log_std);
+
+  int obs_dim_;
+  int action_dim_;
+  std::unique_ptr<nn::Mlp> net_;  // outputs [mean, raw_log_std]
+};
+
+/// Hyper-parameters lambda of the simulator-learning algorithm H.
+struct SimulatorTrainConfig {
+  std::vector<int> hidden_dims = {64, 64};
+  double learning_rate = 1e-3;
+  int epochs = 40;
+  int batch_size = 256;
+  double grad_clip = 5.0;
+  /// Fraction of logged trajectories used (the D' subset of Sec. IV-C).
+  double data_fraction = 0.8;
+  uint64_t seed = 0;
+};
+
+/// The simulator-learning algorithm H(D', lambda): behaviour-cloning MLE
+/// on a trajectory subset. Returns the trained simulator and (optionally)
+/// the final training NLL via `final_nll`.
+std::unique_ptr<UserSimulator> TrainSimulator(
+    const nn::Tensor& inputs, const nn::Tensor& targets, int obs_dim,
+    int action_dim, const SimulatorTrainConfig& config,
+    double* final_nll = nullptr);
+
+}  // namespace sim
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SIM_USER_SIMULATOR_H_

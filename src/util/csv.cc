@@ -1,0 +1,55 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace sim2rec {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return std::string(buf);
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), num_columns_(columns.size()) {
+  ok_ = out_.good();
+  if (!ok_) return;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& values) {
+  assert(values.size() == num_columns_);
+  if (!ok_) return;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << FormatDouble(values[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& values) {
+  assert(values.size() == num_columns_);
+  if (!ok_) return;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::string& label,
+                         const std::vector<double>& values) {
+  assert(values.size() + 1 == num_columns_);
+  if (!ok_) return;
+  out_ << label;
+  for (double v : values) out_ << ',' << FormatDouble(v);
+  out_ << '\n';
+}
+
+}  // namespace sim2rec

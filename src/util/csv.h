@@ -1,0 +1,39 @@
+#ifndef SIM2REC_UTIL_CSV_H_
+#define SIM2REC_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sim2rec {
+
+/// Minimal CSV writer used by the experiment harnesses to dump the series
+/// behind every figure/table (so plots can be regenerated externally).
+/// Values are written with full double precision; strings are not quoted,
+/// so callers must avoid commas inside fields.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// ok() reports whether the file could be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  bool ok() const { return ok_; }
+
+  void WriteRow(const std::vector<double>& values);
+  void WriteRow(const std::vector<std::string>& values);
+
+  /// Convenience for mixed rows: a string label followed by numbers.
+  void WriteRow(const std::string& label, const std::vector<double>& values);
+
+ private:
+  std::ofstream out_;
+  size_t num_columns_;
+  bool ok_ = false;
+};
+
+/// Formats a double compactly (up to 10 significant digits).
+std::string FormatDouble(double v);
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_CSV_H_

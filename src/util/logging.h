@@ -1,0 +1,53 @@
+#ifndef SIM2REC_UTIL_LOGGING_H_
+#define SIM2REC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sim2rec {
+
+/// Log verbosity. Experiments default to kInfo; tests lower it to kWarn.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging to stderr with a level prefix; messages below the
+/// current level are dropped.
+void LogMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define S2R_LOG_DEBUG(...) \
+  ::sim2rec::LogMessage(::sim2rec::LogLevel::kDebug, __VA_ARGS__)
+#define S2R_LOG_INFO(...) \
+  ::sim2rec::LogMessage(::sim2rec::LogLevel::kInfo, __VA_ARGS__)
+#define S2R_LOG_WARN(...) \
+  ::sim2rec::LogMessage(::sim2rec::LogLevel::kWarn, __VA_ARGS__)
+#define S2R_LOG_ERROR(...) \
+  ::sim2rec::LogMessage(::sim2rec::LogLevel::kError, __VA_ARGS__)
+
+/// Fatal invariant check: active in all build types (unlike assert), since
+/// a silent numerical corruption in the training stack is far more costly
+/// than the branch. Prints the failing expression and aborts.
+#define S2R_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,     \
+                     __LINE__, #cond);                                    \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (0)
+
+#define S2R_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n",          \
+                     __FILE__, __LINE__, #cond, (msg));                   \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (0)
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_LOGGING_H_

@@ -1,0 +1,132 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sim2rec {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size()));
+}
+
+double StandardError(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return Stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double Min(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double LeastSquaresSlope(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  if (den <= 0.0) return 0.0;
+  return num / den;
+}
+
+SeriesBand AggregateSeries(const std::vector<std::vector<double>>& series) {
+  SeriesBand band;
+  if (series.empty()) return band;
+  const size_t len = series[0].size();
+  for (const auto& s : series) {
+    assert(s.size() == len);
+    (void)s;
+  }
+  band.mean.resize(len);
+  band.stderr_.resize(len);
+  band.min.resize(len);
+  band.max.resize(len);
+  std::vector<double> point(series.size());
+  for (size_t t = 0; t < len; ++t) {
+    for (size_t i = 0; i < series.size(); ++i) point[i] = series[i][t];
+    band.mean[t] = Mean(point);
+    band.stderr_[t] = StandardError(point);
+    band.min[t] = Min(point);
+    band.max[t] = Max(point);
+  }
+  return band;
+}
+
+}  // namespace sim2rec

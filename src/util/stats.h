@@ -1,0 +1,68 @@
+#ifndef SIM2REC_UTIL_STATS_H_
+#define SIM2REC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sim2rec {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double x);
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; zero until two samples are seen.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample vector. Returns 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a sample vector.
+double Stddev(const std::vector<double>& xs);
+
+/// Standard error of the mean: stddev / sqrt(n).
+double StandardError(const std::vector<double>& xs);
+
+/// Minimum / maximum of a non-empty vector.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length vectors.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Simple least-squares slope of y on x (used by the trend filter).
+double LeastSquaresSlope(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// Aggregates per-seed series (each `series[i]` is one seed's curve) into
+/// mean / standard-error / min / max per point, as plotted in the paper's
+/// shaded learning curves.
+struct SeriesBand {
+  std::vector<double> mean;
+  std::vector<double> stderr_;
+  std::vector<double> min;
+  std::vector<double> max;
+};
+SeriesBand AggregateSeries(const std::vector<std::vector<double>>& series);
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_STATS_H_

@@ -1,0 +1,27 @@
+#ifndef SIM2REC_UTIL_STOPWATCH_H_
+#define SIM2REC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sim2rec {
+
+/// Wall-clock stopwatch used by the experiment harnesses to report runtime
+/// and to honor soft time budgets in quick mode.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_STOPWATCH_H_

@@ -1,0 +1,69 @@
+#include "util/string_util.h"
+
+#include <cstdlib>
+
+namespace sim2rec {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+std::string GetFlagValue(int argc, char** argv, const std::string& name,
+                         const std::string& default_value) {
+  const std::string eq_prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, eq_prefix)) return arg.substr(eq_prefix.size());
+    if (arg == name && i + 1 < argc) return argv[i + 1];
+  }
+  return default_value;
+}
+
+int GetFlagInt(int argc, char** argv, const std::string& name,
+               int default_value) {
+  const std::string v = GetFlagValue(argc, argv, name, "");
+  if (v.empty()) return default_value;
+  return std::atoi(v.c_str());
+}
+
+double GetFlagDouble(int argc, char** argv, const std::string& name,
+                     double default_value) {
+  const std::string v = GetFlagValue(argc, argv, name, "");
+  if (v.empty()) return default_value;
+  return std::atof(v.c_str());
+}
+
+}  // namespace sim2rec

@@ -1,0 +1,34 @@
+#ifndef SIM2REC_UTIL_STRING_UTIL_H_
+#define SIM2REC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sim2rec {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Joins strings with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Command-line helper shared by benches/examples: returns true when `flag`
+/// (e.g. "--full") appears in argv.
+bool HasFlag(int argc, char** argv, const std::string& flag);
+
+/// Returns the value following "--name=value" or "--name value", or
+/// `default_value` when absent.
+std::string GetFlagValue(int argc, char** argv, const std::string& name,
+                         const std::string& default_value);
+int GetFlagInt(int argc, char** argv, const std::string& name,
+               int default_value);
+double GetFlagDouble(int argc, char** argv, const std::string& name,
+                     double default_value);
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/supervised.h"
+
+namespace sim2rec {
+namespace baselines {
+namespace {
+
+/// Builds a regression dataset y = f(s, a) for obs_dim=2, action_dim=1.
+void MakeDataset(int n, const std::function<double(double, double,
+                                                   double)>& f,
+                 uint64_t seed, nn::Tensor* inputs, nn::Tensor* targets) {
+  Rng rng(seed);
+  *inputs = nn::Tensor(n, 3);
+  *targets = nn::Tensor(n, 1);
+  for (int i = 0; i < n; ++i) {
+    const double s0 = rng.Uniform(-1.0, 1.0);
+    const double s1 = rng.Uniform(-1.0, 1.0);
+    const double a = rng.Uniform(0.0, 1.0);
+    (*inputs)(i, 0) = s0;
+    (*inputs)(i, 1) = s1;
+    (*inputs)(i, 2) = a;
+    (*targets)(i, 0) = f(s0, s1, a);
+  }
+}
+
+TEST(ActionGrids, Shapes) {
+  const auto grid1 = ActionGrid1D(0.0, 1.0, 5);
+  EXPECT_EQ(grid1.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid1.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(grid1.back()[0], 1.0);
+  const auto grid2 = ActionGrid2D(0.0, 1.0, 4);
+  EXPECT_EQ(grid2.size(), 16u);
+  EXPECT_EQ(grid2[0].size(), 2u);
+}
+
+TEST(WideDeep, FitsInteractionFunction) {
+  nn::Tensor inputs, targets;
+  // A function with a state-action interaction that the wide cross
+  // features capture directly.
+  MakeDataset(512, [](double s0, double s1, double a) {
+    return 2.0 * s0 * a - s1 + 0.5 * a;
+  }, 1, &inputs, &targets);
+
+  Rng rng(2);
+  WideDeep model(2, 1, {16}, rng);
+  SupervisedRecommender::TrainConfig config;
+  config.epochs = 150;
+  config.learning_rate = 3e-3;
+  const double final_loss = model.Train(inputs, targets, config);
+  EXPECT_LT(final_loss, 0.02);
+}
+
+TEST(DeepFm, FitsInteractionFunction) {
+  nn::Tensor inputs, targets;
+  MakeDataset(512, [](double s0, double s1, double a) {
+    return 1.5 * s0 * a + 0.8 * s1 * s0;
+  }, 3, &inputs, &targets);
+
+  Rng rng(4);
+  DeepFm model(2, 1, /*embedding_dim=*/4, {16}, rng);
+  SupervisedRecommender::TrainConfig config;
+  config.epochs = 60;
+  config.learning_rate = 3e-3;
+  const double final_loss = model.Train(inputs, targets, config);
+  EXPECT_LT(final_loss, 0.05);
+}
+
+TEST(SupervisedRecommender, ActPicksArgmaxCandidate) {
+  // Train WideDeep on a function whose optimum in a is known:
+  // y = -(a - 0.5 - 0.3 * s0)^2, so a*(s0) = 0.5 + 0.3 * s0.
+  nn::Tensor inputs, targets;
+  MakeDataset(1024, [](double s0, double, double a) {
+    const double best = 0.5 + 0.3 * s0;
+    return -(a - best) * (a - best);
+  }, 5, &inputs, &targets);
+
+  Rng rng(6);
+  WideDeep model(2, 1, {32, 32}, rng);
+  SupervisedRecommender::TrainConfig config;
+  config.epochs = 80;
+  config.learning_rate = 3e-3;
+  model.Train(inputs, targets, config);
+
+  const auto grid = ActionGrid1D(0.0, 1.0, 21);
+  nn::Tensor obs(2, 2, 0.0);
+  obs(0, 0) = -1.0;  // a* = 0.2
+  obs(1, 0) = 1.0;   // a* = 0.8
+  const nn::Tensor actions = model.Act(obs, grid);
+  EXPECT_NEAR(actions(0, 0), 0.2, 0.15);
+  EXPECT_NEAR(actions(1, 0), 0.8, 0.15);
+  EXPECT_GT(actions(1, 0), actions(0, 0));
+}
+
+TEST(DeepFm, SecondOrderTermMatchesManual) {
+  // With a single nonzero feature the FM second-order term is zero.
+  Rng rng(7);
+  DeepFm model(1, 1, 3, {4}, rng);
+  // Zero out deep and first-order parts to isolate the FM term:
+  for (nn::Parameter* p : model.Parameters()) {
+    if (p->name.find("deepfm.V") == std::string::npos) p->value.Fill(0.0);
+  }
+  nn::Tensor one_feature(1, 2, {2.0, 0.0});
+  const double pred = model.Predict(one_feature)(0, 0);
+  EXPECT_NEAR(pred, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace sim2rec

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "data/generation.h"
+
+namespace sim2rec {
+namespace data {
+namespace {
+
+envs::DprConfig SmallDpr() {
+  envs::DprConfig config;
+  config.num_cities = 2;
+  config.drivers_per_city = 6;
+  config.horizon = 5;
+  return config;
+}
+
+TEST(LoggedDataset, AddValidatesShapes) {
+  LoggedDataset dataset(3, 1);
+  UserTrajectory traj;
+  traj.user_id = 0;
+  traj.group_id = 0;
+  traj.observations = nn::Tensor(4, 3);
+  traj.actions = nn::Tensor(3, 1);
+  traj.feedback.assign(3, 0.0);
+  traj.rewards.assign(3, 0.0);
+  dataset.Add(std::move(traj));
+  EXPECT_EQ(dataset.size(), 1);
+  EXPECT_EQ(dataset.trajectory(0).length(), 3);
+}
+
+TEST(GenerateDprDataset, ShapesAndGroups) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(1);
+  const LoggedDataset dataset = GenerateDprDataset(world, 2, rng);
+  // 2 cities x 6 drivers x 2 sessions.
+  EXPECT_EQ(dataset.size(), 24);
+  EXPECT_EQ(dataset.GroupIds(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(dataset.GroupMembers(0).size(), 12u);
+  const UserTrajectory& traj = dataset.trajectory(0);
+  EXPECT_EQ(traj.observations.rows(), 6);
+  EXPECT_EQ(traj.actions.rows(), 5);
+  // Feedback is normalized orders; should be positive on average.
+  double mean_feedback = 0.0;
+  for (double y : traj.feedback) mean_feedback += y;
+  EXPECT_GT(mean_feedback / 5, 0.0);
+}
+
+TEST(GenerateDprDataset, ActionsWithinBehaviorEnvelope) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(2);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  for (const auto& traj : dataset.trajectories()) {
+    for (int t = 0; t < traj.length(); ++t) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_GE(traj.actions(t, c), 0.05);
+        EXPECT_LE(traj.actions(t, c), 0.90);
+      }
+    }
+  }
+}
+
+TEST(LoggedDataset, FlattenForSimulator) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(3);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  nn::Tensor inputs, targets;
+  dataset.FlattenForSimulator(&inputs, &targets);
+  EXPECT_EQ(inputs.rows(), 12 * 5);
+  EXPECT_EQ(inputs.cols(), envs::kDprObsDim + envs::kDprActionDim);
+  EXPECT_EQ(targets.rows(), inputs.rows());
+  // Spot-check one row against the source trajectory.
+  const UserTrajectory& traj = dataset.trajectory(0);
+  EXPECT_DOUBLE_EQ(inputs(1, 0), traj.observations(1, 0));
+  EXPECT_DOUBLE_EQ(inputs(1, envs::kDprObsDim), traj.actions(1, 0));
+  EXPECT_DOUBLE_EQ(targets(1, 0), traj.feedback[1]);
+}
+
+TEST(LoggedDataset, GroupStepSetLayout) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(4);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  const nn::Tensor set0 = dataset.GroupStepSet(0, 0);
+  EXPECT_EQ(set0.rows(), 6);
+  EXPECT_EQ(set0.cols(), envs::kDprObsDim + envs::kDprActionDim);
+  // At t = 0 the previous action block is zero.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(set0(i, envs::kDprObsDim), 0.0);
+    EXPECT_DOUBLE_EQ(set0(i, envs::kDprObsDim + 1), 0.0);
+  }
+  const nn::Tensor set2 = dataset.GroupStepSet(0, 2);
+  const auto members = dataset.GroupMembers(0);
+  const UserTrajectory& first = dataset.trajectory(members[0]);
+  EXPECT_DOUBLE_EQ(set2(0, 0), first.observations(2, 0));
+  EXPECT_DOUBLE_EQ(set2(0, envs::kDprObsDim), first.actions(1, 0));
+}
+
+TEST(LoggedDataset, AllGroupStepSetsCount) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(5);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  // T sets per group (t = 1..T), 2 groups, T = 5.
+  EXPECT_EQ(dataset.AllGroupStepSets().size(), 10u);
+}
+
+TEST(LoggedDataset, UserActionRange) {
+  LoggedDataset dataset(2, 1);
+  UserTrajectory traj;
+  traj.user_id = 0;
+  traj.group_id = 0;
+  traj.observations = nn::Tensor(4, 2);
+  traj.actions = nn::Tensor(3, 1, {0.3, 0.7, 0.5});
+  traj.feedback.assign(3, 0.0);
+  traj.rewards.assign(3, 0.0);
+  dataset.Add(std::move(traj));
+  const ActionRange range = dataset.UserActionRange(0);
+  EXPECT_DOUBLE_EQ(range.low[0], 0.3);
+  EXPECT_DOUBLE_EQ(range.high[0], 0.7);
+}
+
+TEST(LoggedDataset, SplitUsersKeepsAllGroups) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(6);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  LoggedDataset train(0, 0), test(0, 0);
+  dataset.SplitUsers(0.75, rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), dataset.size());
+  EXPECT_EQ(train.GroupIds(), dataset.GroupIds());
+  EXPECT_EQ(test.GroupIds(), dataset.GroupIds());
+  EXPECT_GT(train.size(), test.size());
+}
+
+TEST(LoggedDataset, SampleSubsetNonEmpty) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(7);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  const LoggedDataset subset = dataset.SampleSubset(0.5, rng);
+  EXPECT_GT(subset.size(), 0);
+  EXPECT_LT(subset.size(), dataset.size());
+}
+
+TEST(LoggedDataset, AllObservationsShape) {
+  envs::DprWorld world(SmallDpr());
+  Rng rng(8);
+  const LoggedDataset dataset = GenerateDprDataset(world, 1, rng);
+  const nn::Tensor all = dataset.AllObservations();
+  EXPECT_EQ(all.rows(), 12 * 6);  // 12 trajectories x (5+1) rows
+  EXPECT_EQ(all.cols(), envs::kDprObsDim);
+}
+
+TEST(GenerateLtsDataset, ShapesAndFeedback) {
+  envs::LtsConfig config;
+  config.num_users = 8;
+  config.horizon = 6;
+  envs::LtsEnv env(config);
+  Rng rng(9);
+  const LoggedDataset dataset = GenerateLtsDataset(env, 2, 3, rng);
+  EXPECT_EQ(dataset.size(), 16);
+  EXPECT_EQ(dataset.GroupIds(), (std::vector<int>{3}));
+  for (const auto& traj : dataset.trajectories()) {
+    for (double y : traj.feedback) {
+      EXPECT_GT(y, 0.0);
+      EXPECT_LT(y, 1.0);  // satisfaction
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace sim2rec

@@ -1,0 +1,178 @@
+#include "nn/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+using ::sim2rec::testing::GradCheck;
+
+double GaussianLogPdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) -
+         0.5 * std::log(2.0 * M_PI);
+}
+
+TEST(DiagGaussian, LogProbMatchesClosedForm) {
+  Tape tape;
+  const Tensor mean(2, 2, {0.0, 1.0, -1.0, 2.0});
+  const Tensor log_std(2, 2, {0.0, std::log(0.5), std::log(2.0), 0.0});
+  DiagGaussian dist{tape.Constant(mean), tape.Constant(log_std)};
+  const Tensor x(2, 2, {0.5, 0.5, 0.0, 3.0});
+  const Tensor lp = dist.LogProb(x).value();
+  for (int r = 0; r < 2; ++r) {
+    double expected = 0.0;
+    for (int c = 0; c < 2; ++c) {
+      expected += GaussianLogPdf(x(r, c), mean(r, c),
+                                 std::exp(log_std(r, c)));
+    }
+    EXPECT_NEAR(lp(r, 0), expected, 1e-10);
+  }
+}
+
+TEST(DiagGaussian, EntropyMatchesClosedForm) {
+  Tape tape;
+  const Tensor mean = Tensor::Zeros(1, 3);
+  const Tensor log_std(1, 3, {0.0, 1.0, -1.0});
+  DiagGaussian dist{tape.Constant(mean), tape.Constant(log_std)};
+  const double expected =
+      (0.0 + 1.0 - 1.0) + 3.0 * 0.5 * (1.0 + std::log(2.0 * M_PI));
+  EXPECT_NEAR(dist.Entropy().value()(0, 0), expected, 1e-10);
+}
+
+TEST(DiagGaussian, KlOfIdenticalIsZero) {
+  Tape tape;
+  Rng rng(1);
+  const Tensor mean = Tensor::Randn(3, 2, rng);
+  const Tensor log_std = Tensor::Randn(3, 2, rng, 0.0, 0.3);
+  DiagGaussian p{tape.Constant(mean), tape.Constant(log_std)};
+  DiagGaussian q{tape.Constant(mean), tape.Constant(log_std)};
+  const Tensor kl = DiagGaussian::Kl(p, q).value();
+  for (int r = 0; r < 3; ++r) EXPECT_NEAR(kl(r, 0), 0.0, 1e-12);
+}
+
+TEST(DiagGaussian, KlToStandardNormalMatchesGeneralKl) {
+  Tape tape;
+  Rng rng(2);
+  const Tensor mean = Tensor::Randn(2, 3, rng);
+  const Tensor log_std = Tensor::Randn(2, 3, rng, 0.0, 0.3);
+  DiagGaussian p{tape.Constant(mean), tape.Constant(log_std)};
+  DiagGaussian std_normal{tape.Constant(Tensor::Zeros(2, 3)),
+                          tape.Constant(Tensor::Zeros(2, 3))};
+  const Tensor a = p.KlToStandardNormal().value();
+  const Tensor b = DiagGaussian::Kl(p, std_normal).value();
+  EXPECT_TRUE(AllClose(a, b, 1e-10));
+}
+
+TEST(DiagGaussian, KlIsNonNegative) {
+  Tape tape;
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    DiagGaussian p{tape.Constant(Tensor::Randn(1, 4, rng)),
+                   tape.Constant(Tensor::Randn(1, 4, rng, 0.0, 0.5))};
+    DiagGaussian q{tape.Constant(Tensor::Randn(1, 4, rng)),
+                   tape.Constant(Tensor::Randn(1, 4, rng, 0.0, 0.5))};
+    EXPECT_GE(DiagGaussian::Kl(p, q).value()(0, 0), -1e-12);
+  }
+}
+
+TEST(DiagGaussian, SampleMomentsMatch) {
+  Tape tape;
+  DiagGaussian dist{tape.Constant(Tensor::Full(1, 1, 3.0)),
+                    tape.Constant(Tensor::Full(1, 1, std::log(0.5)))};
+  Rng rng(4);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) stat.Add(dist.Sample(rng)(0, 0));
+  EXPECT_NEAR(stat.mean(), 3.0, 0.02);
+  EXPECT_NEAR(stat.stddev(), 0.5, 0.02);
+}
+
+TEST(DiagGaussian, RsampleGradientFlowsToMean) {
+  // d E[(mean + eps*std)^2] / d mean must be nonzero.
+  Rng rng(5);
+  auto f = [&rng](Tape& tape, Var x) {
+    DiagGaussian dist{x, tape.Constant(Tensor::Zeros(1, 2))};
+    Rng local(42);  // fixed noise for the finite-difference check
+    return SumV(SquareV(dist.Rsample(local)));
+  };
+  EXPECT_LT(GradCheck(f, Tensor::Randn(1, 2, rng)), 1e-5);
+}
+
+TEST(DiagGaussian, LogProbGradientWrtMeanAndLogStd) {
+  Rng rng(6);
+  const Tensor x_sample = Tensor::Randn(3, 2, rng);
+  auto f_mean = [&x_sample](Tape& tape, Var mean) {
+    DiagGaussian dist{mean, tape.Constant(Tensor::Zeros(3, 2))};
+    return SumV(dist.LogProb(x_sample));
+  };
+  EXPECT_LT(GradCheck(f_mean, Tensor::Randn(3, 2, rng)), 1e-5);
+
+  auto f_std = [&x_sample](Tape& tape, Var log_std) {
+    DiagGaussian dist{tape.Constant(Tensor::Zeros(3, 2)), log_std};
+    return SumV(dist.LogProb(x_sample));
+  };
+  EXPECT_LT(GradCheck(f_std, Tensor::Randn(3, 2, rng, 0.0, 0.3)), 1e-5);
+}
+
+TEST(Categorical, LogProbMatchesManualSoftmax) {
+  Tape tape;
+  const Tensor logits(2, 3, {1.0, 2.0, 0.5, -1.0, 0.0, 1.0});
+  CategoricalDist dist{tape.Constant(logits)};
+  const std::vector<int> actions = {1, 2};
+  const Tensor lp = dist.LogProb(actions).value();
+  for (int r = 0; r < 2; ++r) {
+    double lse = 0.0;
+    for (int c = 0; c < 3; ++c) lse += std::exp(logits(r, c));
+    const double expected = logits(r, actions[r]) - std::log(lse);
+    EXPECT_NEAR(lp(r, 0), expected, 1e-10);
+  }
+}
+
+TEST(Categorical, EntropyUniformIsLogK) {
+  Tape tape;
+  CategoricalDist dist{tape.Constant(Tensor::Zeros(1, 5))};
+  EXPECT_NEAR(dist.Entropy().value()(0, 0), std::log(5.0), 1e-10);
+}
+
+TEST(Categorical, SampleFrequenciesMatchProbabilities) {
+  Tape tape;
+  const Tensor logits(1, 3, {0.0, std::log(2.0), std::log(4.0)});
+  CategoricalDist dist{tape.Constant(logits)};
+  Rng rng(7);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(rng)[0]];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 2.0 / 7, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 4.0 / 7, 0.015);
+}
+
+TEST(Categorical, ModePicksArgmax) {
+  Tape tape;
+  const Tensor logits(2, 3, {0.1, 5.0, 0.2, 3.0, 1.0, 2.0});
+  CategoricalDist dist{tape.Constant(logits)};
+  const std::vector<int> mode = dist.Mode();
+  EXPECT_EQ(mode[0], 1);
+  EXPECT_EQ(mode[1], 0);
+}
+
+TEST(GaussianKlValue, MatchesClosedForm) {
+  const Tensor mp = Tensor::Full(1, 1, 1.0);
+  const Tensor sp = Tensor::Full(1, 1, 2.0);
+  const Tensor mq = Tensor::Full(1, 1, 0.0);
+  const Tensor sq = Tensor::Full(1, 1, 1.0);
+  const double expected =
+      std::log(1.0 / 2.0) + (4.0 + 1.0) / 2.0 - 0.5;
+  EXPECT_NEAR(GaussianKlValue(mp, sp, mq, sq), expected, 1e-12);
+  EXPECT_NEAR(GaussianKlValue(mp, sp, mp, sp), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "envs/dpr_world.h"
+#include "envs/lts_env.h"
+
+namespace sim2rec {
+namespace envs {
+namespace {
+
+LtsConfig SmallLtsConfig() {
+  LtsConfig config;
+  config.num_users = 16;
+  config.horizon = 30;
+  return config;
+}
+
+TEST(LtsEnv, ShapesAndBounds) {
+  LtsEnv env(SmallLtsConfig());
+  Rng rng(1);
+  const nn::Tensor obs = env.Reset(rng);
+  EXPECT_EQ(obs.rows(), 16);
+  EXPECT_EQ(obs.cols(), kLtsObsDim);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GT(obs(i, 0), 0.0);
+    EXPECT_LT(obs(i, 0), 1.0);
+  }
+}
+
+TEST(LtsEnv, FullClickbaitErodesSatisfaction) {
+  LtsEnv env(SmallLtsConfig());
+  Rng rng(2);
+  env.Reset(rng);
+  const nn::Tensor clickbait = nn::Tensor::Ones(16, 1);
+  for (int t = 0; t < 30; ++t) env.Step(clickbait, rng);
+  // Steady-state satisfaction under pure clickbait: sigmoid of
+  // -h_s / (1 - gamma_n), at most ~0.21 for the weakest user.
+  for (double sat : env.satisfaction()) EXPECT_LT(sat, 0.25);
+}
+
+TEST(LtsEnv, KaleBuildsSatisfaction) {
+  LtsEnv env(SmallLtsConfig());
+  Rng rng(3);
+  env.Reset(rng);
+  const nn::Tensor kale = nn::Tensor::Zeros(16, 1);
+  for (int t = 0; t < 30; ++t) env.Step(kale, rng);
+  for (double sat : env.satisfaction()) EXPECT_GT(sat, 0.75);
+}
+
+TEST(LtsEnv, MixedPolicyBeatsExtremesForDefaultGroup) {
+  // With mu_c = 14 >> mu_k = 4, the reward-maximizing policy must keep
+  // satisfaction alive while serving mostly clickbait: both pure
+  // strategies are suboptimal against a = 0.5.
+  auto total_reward = [](double action_value) {
+    LtsConfig config = SmallLtsConfig();
+    config.num_users = 64;
+    LtsEnv env(config);
+    Rng rng(4);
+    env.Reset(rng);
+    const nn::Tensor a = nn::Tensor::Full(64, 1, action_value);
+    double total = 0.0;
+    for (int t = 0; t < config.horizon; ++t) {
+      const StepResult step = env.Step(a, rng);
+      for (double r : step.rewards) total += r;
+    }
+    return total / 64;
+  };
+  const double pure_kale = total_reward(0.0);
+  const double mixed = total_reward(0.5);
+  const double pure_choc = total_reward(1.0);
+  EXPECT_GT(mixed, pure_kale);
+  EXPECT_GT(mixed, pure_choc);
+}
+
+TEST(LtsEnv, OmegaGShiftsGroupObservation) {
+  LtsConfig config = SmallLtsConfig();
+  config.num_users = 200;
+  config.omega_g = 6.0;
+  LtsEnv env(config);
+  EXPECT_DOUBLE_EQ(env.mu_c(), 20.0);
+  Rng rng(5);
+  const nn::Tensor obs = env.Reset(rng);
+  double mean_o = 0.0;
+  for (int i = 0; i < 200; ++i) mean_o += obs(i, 1);
+  mean_o /= 200;
+  EXPECT_NEAR(mean_o, 20.0, 0.6);
+  // o_i is a static user feature: constant through the episode.
+  const StepResult step = env.Step(nn::Tensor::Full(200, 1, 0.5), rng);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(step.next_obs(i, 1), obs(i, 1));
+  }
+}
+
+TEST(LtsEnv, HorizonReachedFlag) {
+  LtsConfig config = SmallLtsConfig();
+  config.horizon = 3;
+  LtsEnv env(config);
+  Rng rng(6);
+  env.Reset(rng);
+  const nn::Tensor a = nn::Tensor::Full(16, 1, 0.5);
+  EXPECT_FALSE(env.Step(a, rng).horizon_reached);
+  EXPECT_FALSE(env.Step(a, rng).horizon_reached);
+  EXPECT_TRUE(env.Step(a, rng).horizon_reached);
+}
+
+TEST(LtsEnv, ResampleUsersChangesPopulation) {
+  LtsConfig config = SmallLtsConfig();
+  config.omega_u_range = 2.0;
+  config.resample_users_on_reset = true;
+  LtsEnv env(config);
+  Rng rng(7);
+  env.Reset(rng);
+  const nn::Tensor a = nn::Tensor::Full(16, 1, 0.7);
+  const StepResult first = env.Step(a, rng);
+  env.Reset(rng);
+  const StepResult second = env.Step(a, rng);
+  // Rewards differ because both noise and user parameters changed.
+  EXPECT_GT(std::abs(first.rewards[0] - second.rewards[0]), 1e-9);
+}
+
+TEST(LtsTaskOmegas, MatchPaperDefinitions) {
+  const auto lts1 = LtsTaskOmegas(2);
+  // omega_g in [-8, 7] minus {-1, 0, 1}: 13 values.
+  EXPECT_EQ(lts1.size(), 13u);
+  for (double w : lts1) {
+    EXPECT_GE(std::abs(w), 2.0);
+    EXPECT_GE(14.0 + w, 6.0);
+    EXPECT_LT(14.0 + w, 22.0);
+  }
+  EXPECT_EQ(LtsTaskOmegas(3).size(), 11u);
+  EXPECT_EQ(LtsTaskOmegas(4).size(), 9u);
+}
+
+DprConfig SmallDprConfig() {
+  DprConfig config;
+  config.num_cities = 3;
+  config.drivers_per_city = 10;
+  config.horizon = 7;
+  return config;
+}
+
+TEST(DprWorld, CityDemandSpansRange) {
+  DprWorld world(SmallDprConfig());
+  EXPECT_NEAR(world.city(0).demand, 3.0, 1e-9);
+  EXPECT_NEAR(world.city(2).demand, 18.0, 1e-9);
+  EXPECT_GT(world.city(1).demand, world.city(0).demand);
+  EXPECT_LT(world.city(1).demand, world.city(2).demand);
+}
+
+TEST(DprWorld, OrdersIncreaseWithBonus) {
+  DprWorld world(SmallDprConfig());
+  const DriverPersona& driver = world.drivers(1)[0];
+  const double low = world.ExpectedOrders(1, driver, 1.0, 0.4, 0.1, 0);
+  const double high = world.ExpectedOrders(1, driver, 1.0, 0.4, 0.8, 0);
+  EXPECT_GT(high, low);
+}
+
+TEST(DprWorld, OrdersHaveInvertedUInDifficulty) {
+  DprWorld world(SmallDprConfig());
+  DriverPersona driver = world.drivers(1)[0];
+  driver.tolerance = 0.6;
+  const double at_tolerance =
+      world.ExpectedOrders(1, driver, 1.0, 0.45, 0.3, 0);
+  const double too_easy = world.ExpectedOrders(1, driver, 1.0, 0.0, 0.3, 0);
+  const double too_hard = world.ExpectedOrders(1, driver, 1.0, 1.0, 0.3, 0);
+  EXPECT_GT(at_tolerance, too_easy);
+  EXPECT_GT(at_tolerance, too_hard);
+}
+
+TEST(DprWorld, EngagementDynamicsBoundedAndResponsive) {
+  DprWorld world(SmallDprConfig());
+  DriverPersona driver = world.drivers(0)[0];
+  driver.tolerance = 0.5;
+  // Frustrating tasks erode engagement.
+  double e = 1.0;
+  for (int t = 0; t < 50; ++t) e = world.NextEngagement(driver, e, 0.95, 0.0);
+  EXPECT_LT(e, 0.5);
+  EXPECT_GE(e, 0.3);
+  // Reasonable tasks plus bonus rebuild it.
+  for (int t = 0; t < 50; ++t) e = world.NextEngagement(driver, e, 0.3, 0.6);
+  EXPECT_GT(e, 1.0);
+  EXPECT_LE(e, 1.4);
+}
+
+TEST(DprWorld, RewardSubtractsCost) {
+  DprWorld world(SmallDprConfig());
+  const double orders = 10.0;
+  const double reward = world.Reward(0, 0.5, orders);
+  EXPECT_NEAR(reward, orders - world.Cost(0, 0.5, orders), 1e-12);
+  EXPECT_LT(reward, orders);
+  EXPECT_DOUBLE_EQ(world.Cost(0, 0.0, orders), 0.0);
+}
+
+TEST(DprGroundTruthEnv, StepShapesAndObsSanity) {
+  DprWorld world(SmallDprConfig());
+  auto env = world.MakeEnv(1);
+  Rng rng(8);
+  const nn::Tensor obs = env->Reset(rng);
+  EXPECT_EQ(obs.rows(), 10);
+  EXPECT_EQ(obs.cols(), kDprObsDim);
+  // Tier one-hot sums to 1.
+  for (int i = 0; i < 10; ++i) {
+    double tier_sum = 0.0;
+    for (int k = 0; k < kDprTierCount; ++k)
+      tier_sum += obs(i, kDprContinuousObsDim + k);
+    EXPECT_DOUBLE_EQ(tier_sum, 1.0);
+  }
+  nn::Tensor actions(10, 2, 0.4);
+  const StepResult step = env->Step(actions, rng);
+  EXPECT_EQ(step.next_obs.rows(), 10);
+  for (double r : step.rewards) EXPECT_GT(r, 0.0);
+}
+
+TEST(DprGroundTruthEnv, HistoryTracksOrders) {
+  DprWorld world(SmallDprConfig());
+  auto env = world.MakeEnv(2);
+  Rng rng(9);
+  env->Reset(rng);
+  nn::Tensor actions(10, 2);
+  for (int i = 0; i < 10; ++i) {
+    actions(i, 0) = 0.3;
+    actions(i, 1) = 0.5;
+  }
+  const StepResult step = env->Step(actions, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(step.next_obs(i, 3) * kDprOrderScale,
+                env->last_orders()[i], 1e-9);
+    EXPECT_DOUBLE_EQ(step.next_obs(i, 10), 0.5);  // last bonus
+    EXPECT_DOUBLE_EQ(step.next_obs(i, 11), 0.3);  // last difficulty
+  }
+}
+
+TEST(DprGroundTruthEnv, BiggerCityYieldsMoreOrders) {
+  DprWorld world(SmallDprConfig());
+  auto small_city = world.MakeEnv(0);
+  auto big_city = world.MakeEnv(2);
+  Rng rng(10);
+  auto mean_reward = [&rng](GroupBatchEnv& env) {
+    env.Reset(rng);
+    nn::Tensor actions(env.num_users(), 2, 0.4);
+    double total = 0.0;
+    for (int t = 0; t < 5; ++t) {
+      const StepResult step = env.Step(actions, rng);
+      for (double r : step.rewards) total += r;
+    }
+    return total / (5 * env.num_users());
+  };
+  EXPECT_GT(mean_reward(*big_city), 2.0 * mean_reward(*small_city));
+}
+
+TEST(DriverHistory, ResetFromMatchesStatistics) {
+  DriverHistory history;
+  history.ResetFrom(8.0, 6.0, 5.0, 0.4, 0.3);
+  EXPECT_DOUBLE_EQ(history.last_orders(), 8.0);
+  EXPECT_NEAR(history.Mean3(), 6.0, 1e-9);
+  EXPECT_NEAR(history.Mean7(), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(history.last_bonus(), 0.4);
+  EXPECT_DOUBLE_EQ(history.last_difficulty(), 0.3);
+}
+
+TEST(DriverHistory, UpdateShiftsWindow) {
+  DriverHistory history;
+  history.Reset(5.0);
+  EXPECT_DOUBLE_EQ(history.Mean7(), 5.0);
+  history.Update(12.0, 0.2, 0.1);
+  EXPECT_DOUBLE_EQ(history.last_orders(), 12.0);
+  EXPECT_NEAR(history.Mean7(), (6.0 * 5.0 + 12.0) / 7.0, 1e-12);
+  EXPECT_NEAR(history.Mean3(), (5.0 + 5.0 + 12.0) / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace envs
+}  // namespace sim2rec

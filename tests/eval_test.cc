@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/histogram.h"
+#include "eval/kde.h"
+#include "eval/kmeans.h"
+#include "eval/pca.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace eval {
+namespace {
+
+nn::Tensor GaussianSamples(int n, double mean, double stddev,
+                           uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor out(n, 1);
+  for (int i = 0; i < n; ++i) out(i, 0) = rng.Normal(mean, stddev);
+  return out;
+}
+
+TEST(Kde, PdfIntegratesToOne) {
+  const nn::Tensor samples = GaussianSamples(400, 0.0, 1.0, 1);
+  KernelDensity kde(samples);
+  // Trapezoidal integration over [-6, 6].
+  double integral = 0.0;
+  const int grid = 600;
+  const double dx = 12.0 / grid;
+  for (int i = 0; i <= grid; ++i) {
+    const double x = -6.0 + i * dx;
+    const double w = (i == 0 || i == grid) ? 0.5 : 1.0;
+    integral += w * kde.Pdf(nn::Tensor::Full(1, 1, x)) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PdfPeaksNearMean) {
+  const nn::Tensor samples = GaussianSamples(500, 2.0, 0.5, 2);
+  KernelDensity kde(samples);
+  const double at_mean = kde.Pdf(nn::Tensor::Full(1, 1, 2.0));
+  const double far = kde.Pdf(nn::Tensor::Full(1, 1, 5.0));
+  EXPECT_GT(at_mean, 10.0 * far);
+}
+
+TEST(Kde, LogPdfConsistentWithPdf) {
+  const nn::Tensor samples = GaussianSamples(100, 0.0, 1.0, 3);
+  KernelDensity kde(samples);
+  const nn::Tensor x = nn::Tensor::Full(1, 1, 0.7);
+  EXPECT_NEAR(std::exp(kde.LogPdf(x)), kde.Pdf(x), 1e-12);
+}
+
+TEST(Kde, KlOfIdenticalDatasetsNearZero) {
+  const nn::Tensor a = GaussianSamples(300, 0.0, 1.0, 4);
+  EXPECT_NEAR(KdeKlDivergence(a, a), 0.0, 1e-9);
+}
+
+TEST(Kde, KlGrowsWithMeanShift) {
+  const nn::Tensor a = GaussianSamples(300, 0.0, 1.0, 5);
+  const nn::Tensor b_near = GaussianSamples(300, 0.5, 1.0, 6);
+  const nn::Tensor b_far = GaussianSamples(300, 3.0, 1.0, 7);
+  const double kl_near = KdeKlDivergence(a, b_near);
+  const double kl_far = KdeKlDivergence(a, b_far);
+  EXPECT_GT(kl_far, kl_near);
+  EXPECT_GT(kl_far, 1.0);
+}
+
+TEST(Kde, ApproximatesGaussianKlClosedForm) {
+  // KL(N(0,1) || N(1,1)) = 0.5.
+  const nn::Tensor a = GaussianSamples(2000, 0.0, 1.0, 8);
+  const nn::Tensor b = GaussianSamples(2000, 1.0, 1.0, 9);
+  EXPECT_NEAR(KdeKlDivergence(a, b), 0.5, 0.15);
+}
+
+TEST(Kde, HandlesMultivariate) {
+  Rng rng(10);
+  nn::Tensor a(200, 3), b(200, 3);
+  for (int i = 0; i < 200; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      a(i, c) = rng.Normal(0.0, 1.0);
+      b(i, c) = rng.Normal(2.0, 1.0);
+    }
+  }
+  EXPECT_GT(KdeKlDivergence(a, b), 1.0);
+}
+
+TEST(Kde, DegenerateDimensionStaysFinite) {
+  nn::Tensor a(50, 2);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    a(i, 0) = 1.0;  // constant feature
+    a(i, 1) = rng.Normal();
+  }
+  KernelDensity kde(a);
+  EXPECT_TRUE(std::isfinite(kde.LogPdf(a.Row(0))));
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  nn::Tensor m(3, 3, 0.0);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  std::vector<double> values;
+  nn::Tensor vectors;
+  SymmetricEigen(m, &values, &vectors);
+  EXPECT_NEAR(values[0], 5.0, 1e-10);
+  EXPECT_NEAR(values[1], 3.0, 1e-10);
+  EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  Rng rng(12);
+  const nn::Tensor a = nn::Tensor::Randn(4, 4, rng);
+  const nn::Tensor sym = MatMulTransA(a, a);  // a^T a, symmetric PSD
+  std::vector<double> values;
+  nn::Tensor v;
+  SymmetricEigen(sym, &values, &v);
+  // sym == V diag(values) V^T
+  nn::Tensor diag(4, 4, 0.0);
+  for (int i = 0; i < 4; ++i) diag(i, i) = values[i];
+  const nn::Tensor recon = MatMul(MatMul(v, diag), v.Transposed());
+  EXPECT_LT(MaxAbsDiff(recon, sym), 1e-8);
+}
+
+TEST(Pca, FindsDominantDirection) {
+  // Data along (1, 1) with small orthogonal noise.
+  Rng rng(13);
+  nn::Tensor data(300, 2);
+  for (int i = 0; i < 300; ++i) {
+    const double t = rng.Normal(0.0, 3.0);
+    const double noise = rng.Normal(0.0, 0.1);
+    data(i, 0) = t + noise;
+    data(i, 1) = t - noise;
+  }
+  Pca pca(data);
+  const auto energy = pca.CumulativeEnergyRatio();
+  EXPECT_GT(energy[0], 0.99);
+  EXPECT_NEAR(energy.back(), 1.0, 1e-12);
+}
+
+TEST(Pca, ProjectionPreservesOrdering) {
+  Rng rng(14);
+  nn::Tensor data(100, 3);
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 0.1;
+    data(i, 0) = 2.0 * t + rng.Normal(0.0, 0.01);
+    data(i, 1) = -t;
+    data(i, 2) = rng.Normal(0.0, 0.01);
+  }
+  Pca pca(data);
+  const nn::Tensor proj = pca.Project(data, 1);
+  // First PC should be monotone in t (up to sign).
+  const double sign = proj(99, 0) > proj(0, 0) ? 1.0 : -1.0;
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_GT(sign * (proj(i, 0) - proj(i - 1, 0)), -0.15);
+  }
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  Rng data_rng(15);
+  nn::Tensor data(90, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int i = 0; i < 90; ++i) {
+    const int c = i / 30;
+    data(i, 0) = centers[c][0] + data_rng.Normal(0.0, 0.5);
+    data(i, 1) = centers[c][1] + data_rng.Normal(0.0, 0.5);
+  }
+  Rng rng(16);
+  const KMeansResult result = KMeans(data, 3, rng);
+  // Every cluster should have exactly 30 members.
+  std::vector<int> sizes = result.cluster_sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 30);
+  EXPECT_EQ(sizes[1], 30);
+  EXPECT_EQ(sizes[2], 30);
+  // Points within one true cluster share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 1; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[c * 30 + i],
+                result.assignments[c * 30]);
+    }
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng data_rng(17);
+  const nn::Tensor data = nn::Tensor::Randn(100, 2, data_rng);
+  Rng rng1(18), rng2(18);
+  const double inertia2 = KMeans(data, 2, rng1).inertia;
+  const double inertia8 = KMeans(data, 8, rng2).inertia;
+  EXPECT_LT(inertia8, inertia2);
+}
+
+TEST(KMeans, SingleClusterCenterIsMean) {
+  Rng data_rng(19);
+  const nn::Tensor data = nn::Tensor::Randn(50, 2, data_rng, 3.0, 1.0);
+  Rng rng(20);
+  const KMeansResult result = KMeans(data, 1, rng);
+  const nn::Tensor mean = nn::ColMean(data);
+  EXPECT_LT(MaxAbsDiff(result.centers, mean), 1e-9);
+}
+
+TEST(Histogram, CountsAndDensity) {
+  const std::vector<double> values = {0.1, 0.2, 0.9, 1.5, 1.9};
+  const Histogram h = MakeHistogram(values, 0.0, 2.0, 2);
+  EXPECT_EQ(h.counts[0], 3);
+  EXPECT_EQ(h.counts[1], 2);
+  // Densities integrate to 1.
+  double integral = 0.0;
+  for (size_t b = 0; b < h.densities.size(); ++b) {
+    integral += h.densities[b] * (h.bin_edges[b + 1] - h.bin_edges[b]);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  const std::vector<double> values = {-5.0, 10.0};
+  const Histogram h = MakeHistogram(values, 0.0, 1.0, 4);
+  EXPECT_EQ(h.counts[0], 1);
+  EXPECT_EQ(h.counts[3], 1);
+}
+
+TEST(Histogram, PairedHistogramsShareBins) {
+  Histogram real, recon;
+  MakePairedHistograms({0.0, 1.0}, {0.5, 2.0}, 4, &real, &recon);
+  EXPECT_EQ(real.bin_edges, recon.bin_edges);
+  EXPECT_DOUBLE_EQ(real.bin_edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(real.bin_edges.back(), 2.0);
+}
+
+TEST(Histogram, L1DistanceZeroForIdentical) {
+  Histogram a, b;
+  MakePairedHistograms({0.0, 0.5, 1.0}, {0.0, 0.5, 1.0}, 4, &a, &b);
+  EXPECT_NEAR(HistogramL1(a, b), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace sim2rec

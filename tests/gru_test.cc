@@ -1,0 +1,163 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/context_agent.h"
+#include "envs/lts_env.h"
+#include "nn/serialize.h"
+#include "rl/ppo.h"
+#include "rl/rollout.h"
+#include "tests/test_util.h"
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+using ::sim2rec::testing::GradCheck;
+
+TEST(Gru, ValueAndGraphForwardAgree) {
+  Rng rng(1);
+  GruCell gru("g", 3, 5, rng);
+  const Tensor x = Tensor::Randn(4, 3, rng);
+
+  Tensor hv = gru.InitialStateValue(4);
+  hv = gru.ForwardValue(x, hv);
+
+  Tape tape;
+  Var h = gru.InitialState(tape, 4);
+  h = gru.Forward(tape, tape.Constant(x), h);
+  EXPECT_TRUE(AllClose(h.value(), hv, 1e-12));
+}
+
+TEST(Gru, MultiStepConsistency) {
+  Rng rng(2);
+  GruCell gru("g", 2, 4, rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 6; ++t) xs.push_back(Tensor::Randn(3, 2, rng));
+
+  Tensor hv = gru.InitialStateValue(3);
+  for (const auto& x : xs) hv = gru.ForwardValue(x, hv);
+
+  Tape tape;
+  Var h = gru.InitialState(tape, 3);
+  for (const auto& x : xs) h = gru.Forward(tape, tape.Constant(x), h);
+  EXPECT_TRUE(AllClose(h.value(), hv, 1e-12));
+}
+
+TEST(Gru, GradientThroughUnrollMatchesFiniteDifferences) {
+  Rng rng(3);
+  GruCell gru("g", 2, 3, rng);
+  auto f = [&gru](Tape& tape, Var x0) {
+    Var h = gru.InitialState(tape, 2);
+    h = gru.Forward(tape, x0, h);
+    Var filler = tape.Constant(Tensor::Full(2, 2, 0.2));
+    h = gru.Forward(tape, filler, h);
+    h = gru.Forward(tape, filler, h);
+    return SumV(SquareV(h));
+  };
+  Rng input_rng(4);
+  EXPECT_LT(GradCheck(f, Tensor::Randn(2, 2, input_rng)), 1e-5);
+}
+
+TEST(Gru, StateBounded) {
+  Rng rng(5);
+  GruCell gru("g", 2, 4, rng);
+  Tensor h = gru.InitialStateValue(2);
+  for (int t = 0; t < 200; ++t) {
+    h = gru.ForwardValue(Tensor::Full(2, 2, 10.0), h);
+  }
+  // h' is a convex combination of tanh outputs and prior h.
+  EXPECT_LE(h.MaxAll(), 1.0 + 1e-9);
+  EXPECT_GE(h.MinAll(), -1.0 - 1e-9);
+}
+
+TEST(Gru, ZeroUpdateGateKeepsCandidateOnly) {
+  // With all weights zero and b_rz strongly negative for z, the new
+  // state equals tanh(b_n).
+  Rng rng(6);
+  GruCell gru("g", 1, 2, rng);
+  auto params = gru.Parameters();
+  for (Parameter* p : params) p->value.Fill(0.0);
+  // z = sigmoid(0) = 0.5, r = 0.5, n = tanh(b_n) = tanh(0.5).
+  for (Parameter* p : params) {
+    if (p->name == "g.bn") p->value.Fill(0.5);
+  }
+  const Tensor h =
+      gru.ForwardValue(Tensor::Zeros(1, 1), gru.InitialStateValue(1));
+  // h' = n + z (h - n) with h = 0: (1 - 0.5) * tanh(0.5).
+  EXPECT_NEAR(h(0, 0), 0.5 * std::tanh(0.5), 1e-12);
+}
+
+TEST(GruAgent, StepAndForwardRolloutConsistent) {
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.extractor_cell = core::ContextAgentConfig::ExtractorCell::kGru;
+  config.lstm_hidden = 8;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  config.normalize_observations = false;
+  Rng rng(7);
+  core::ContextAgent agent(config, nullptr, rng);
+
+  envs::LtsConfig env_config;
+  env_config.num_users = 5;
+  env_config.horizon = 4;
+  envs::LtsEnv env(env_config);
+  Rng env_rng(8);
+  rl::Rollout rollout = rl::CollectRollout(env, agent, 10, env_rng);
+
+  Tape tape;
+  const rl::Agent::SequenceForward forward =
+      agent.ForwardRollout(tape, rollout);
+  const Tensor& lp = forward.log_probs.value();
+  for (int t = 0; t < rollout.num_steps; ++t) {
+    for (int i = 0; i < rollout.num_users; ++i) {
+      EXPECT_NEAR(lp(t * rollout.num_users + i, 0),
+                  rollout.log_probs[t][i], 1e-8);
+    }
+  }
+}
+
+TEST(GruAgent, TrainsWithPpo) {
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.extractor_cell = core::ContextAgentConfig::ExtractorCell::kGru;
+  config.lstm_hidden = 8;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  config.action_bias = {0.5};
+  Rng rng(9);
+  core::ContextAgent agent(config, nullptr, rng);
+
+  envs::LtsConfig env_config;
+  env_config.num_users = 6;
+  env_config.horizon = 5;
+  envs::LtsEnv env(env_config);
+  Rng env_rng(10);
+  rl::PpoTrainer trainer(&agent, rl::PpoConfig{});
+  rl::Rollout rollout = rl::CollectRollout(env, agent, 10, env_rng);
+  const auto stats = trainer.Update(&rollout);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_GT(stats.epochs_run, 0);
+}
+
+TEST(Gru, SerializeRoundTrip) {
+  Rng rng(11);
+  GruCell a("g", 3, 4, rng);
+  const std::string path = ::testing::TempDir() + "/gru.bin";
+  ASSERT_TRUE(SaveModule(path, a));
+  Rng rng2(12);
+  GruCell b("g", 3, 4, rng2);
+  ASSERT_TRUE(LoadModule(path, b));
+  EXPECT_EQ(a.FlatParams(), b.FlatParams());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace sim2rec

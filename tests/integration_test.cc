@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiments/dpr_pipeline.h"
+#include "experiments/lts_experiment.h"
+
+namespace sim2rec {
+namespace experiments {
+namespace {
+
+LtsExperimentConfig TinyLtsConfig() {
+  LtsExperimentConfig config;
+  config.num_users = 12;
+  config.horizon = 12;
+  config.iterations = 8;
+  config.eval_every = 4;
+  config.eval_episodes = 1;
+  config.lstm_hidden = 8;
+  config.f_hidden = {8};
+  config.f_out = 4;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  config.sadae_latent = 3;
+  config.sadae_hidden = {16};
+  config.sadae_pretrain_epochs = 3;
+  config.seed = 7;
+  return config;
+}
+
+TEST(LtsExperiment, CollectStateSetsShape) {
+  LtsExperimentConfig config = TinyLtsConfig();
+  Rng rng(1);
+  const auto sets = CollectLtsStateSets({-4.0, 4.0}, config, rng);
+  // horizon + 1 sets per omega.
+  EXPECT_EQ(sets.size(), 2u * (config.horizon + 1));
+  EXPECT_EQ(sets[0].rows(), config.num_users);
+  EXPECT_EQ(sets[0].cols(), envs::kLtsObsDim);
+}
+
+TEST(LtsExperiment, AllVariantsRun) {
+  const std::vector<double> omegas = {-4.0, 4.0};
+  for (const auto variant :
+       {baselines::AgentVariant::kSim2Rec,
+        baselines::AgentVariant::kDrOsi,
+        baselines::AgentVariant::kDrUni,
+        baselines::AgentVariant::kDirect,
+        baselines::AgentVariant::kUpperBound}) {
+    const LtsRunResult result =
+        RunLtsVariant(variant, omegas, TinyLtsConfig());
+    EXPECT_FALSE(result.eval_returns.empty())
+        << baselines::AgentVariantName(variant);
+    EXPECT_TRUE(std::isfinite(result.final_return));
+  }
+}
+
+TEST(LtsExperiment, UpperBoundTrainingImprovesReturn) {
+  // Training directly on the target environment for longer should end
+  // above where it started (PPO sanity at the experiment scale).
+  LtsExperimentConfig config = TinyLtsConfig();
+  config.iterations = 40;
+  config.eval_every = 5;
+  config.num_users = 24;
+  const LtsRunResult result = RunLtsVariant(
+      baselines::AgentVariant::kUpperBound, {0.0}, config);
+  EXPECT_GT(result.eval_returns.back(), result.eval_returns.front());
+}
+
+DprPipelineConfig TinyDprConfig() {
+  DprPipelineConfig config;
+  config.world.num_cities = 2;
+  config.world.drivers_per_city = 8;
+  config.world.horizon = 6;
+  config.sessions_per_city = 1;
+  config.ensemble_size = 3;
+  config.train_simulators = 2;
+  config.sim_train.epochs = 10;
+  config.sim_train.hidden_dims = {24, 24};
+  config.sim_env.rollout_users = 6;
+  config.sim_env.truncated_horizon = 3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(DprPipeline, BuildProducesCoherentPieces) {
+  const DprPipeline pipeline = BuildDprPipeline(TinyDprConfig());
+  EXPECT_EQ(pipeline.ensemble.size(), 3);
+  EXPECT_EQ(pipeline.train_sim_indices.size(), 2u);
+  EXPECT_EQ(pipeline.heldout_sim_indices.size(), 1u);
+  EXPECT_GT(pipeline.train_data.size(), 0);
+  EXPECT_GT(pipeline.test_data.size(), 0);
+  EXPECT_GT(pipeline.filtered_train.size(), 0);
+  EXPECT_FALSE(pipeline.sadae_sets.empty());
+  // Every group survives filtering.
+  EXPECT_EQ(pipeline.filtered_train.GroupIds(),
+            pipeline.train_data.GroupIds());
+}
+
+TEST(DprPipeline, TrainAndEvaluateVariants) {
+  const DprPipeline pipeline = BuildDprPipeline(TinyDprConfig());
+  DprTrainOptions options;
+  options.iterations = 4;
+  options.eval_every = 2;
+  options.lstm_hidden = 8;
+  options.f_hidden = {8};
+  options.f_out = 4;
+  options.policy_hidden = {16};
+  options.value_hidden = {16};
+  options.sadae_latent = 4;
+  options.sadae_hidden = {16};
+  options.sadae_pretrain_epochs = 2;
+  options.seed = 5;
+
+  for (const auto variant : {baselines::AgentVariant::kSim2Rec,
+                             baselines::AgentVariant::kDirect}) {
+    options.variant = variant;
+    DprTrainedPolicy trained = TrainDprPolicy(pipeline, options);
+    ASSERT_EQ(trained.logs.size(), 4u);
+    Rng rng(6);
+    const double score = EvaluateAgentOnSimulator(
+        pipeline, pipeline.test_data,
+        pipeline.heldout_sim_indices[0], *trained.agent, rng, 1);
+    EXPECT_TRUE(std::isfinite(score));
+  }
+}
+
+TEST(DprPipeline, AblationSwitchesChangeEnvironmentBehaviour) {
+  const DprPipeline pipeline = BuildDprPipeline(TinyDprConfig());
+  DprTrainOptions options;
+  options.iterations = 2;
+  options.eval_every = 0;
+  options.policy_hidden = {16};
+  options.value_hidden = {16};
+  options.lstm_hidden = 8;
+  options.sadae_pretrain_epochs = 1;
+  options.seed = 7;
+
+  options.prediction_error_guards = false;  // Sim2Rec-PE
+  EXPECT_NO_FATAL_FAILURE(TrainDprPolicy(pipeline, options));
+  options.prediction_error_guards = true;
+  options.extrapolation_error_guards = false;  // Sim2Rec-EE
+  EXPECT_NO_FATAL_FAILURE(TrainDprPolicy(pipeline, options));
+}
+
+TEST(DprPipeline, OrdersAndCostEvaluation) {
+  const DprPipeline pipeline = BuildDprPipeline(TinyDprConfig());
+  Rng rng(8);
+  // Behaviour policy baseline.
+  const OrdersAndCost base = EvaluateOrdersAndCost(
+      pipeline, pipeline.test_data, pipeline.heldout_sim_indices[0],
+      nullptr, rng, 1);
+  EXPECT_GT(base.orders_per_step, 0.0);
+  EXPECT_GT(base.cost_per_step, 0.0);
+  EXPECT_LT(base.cost_per_step, base.orders_per_step);
+
+  // A "zero bonus" policy should cut costs to ~0.
+  auto frugal = [](const nn::Tensor& obs) {
+    nn::Tensor actions(obs.rows(), 2, 0.0);
+    for (int i = 0; i < obs.rows(); ++i) actions(i, 0) = 0.3;
+    return actions;
+  };
+  const OrdersAndCost cheap = EvaluateOrdersAndCost(
+      pipeline, pipeline.test_data, pipeline.heldout_sim_indices[0],
+      frugal, rng, 1);
+  EXPECT_LT(cheap.cost_per_step, 0.2 * base.cost_per_step);
+}
+
+}  // namespace
+}  // namespace experiments
+}  // namespace sim2rec

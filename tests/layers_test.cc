@@ -1,0 +1,212 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "tests/test_util.h"
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+using ::sim2rec::testing::GradCheck;
+
+TEST(Init, OrthogonalColumnsAreOrthonormal) {
+  Rng rng(1);
+  const Tensor w = Orthogonal(8, 4, rng);
+  for (int c1 = 0; c1 < 4; ++c1) {
+    for (int c2 = 0; c2 < 4; ++c2) {
+      double dot = 0.0;
+      for (int r = 0; r < 8; ++r) dot += w(r, c1) * w(r, c2);
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Init, OrthogonalGainScalesNorm) {
+  Rng rng(2);
+  const Tensor w = Orthogonal(6, 3, rng, 2.0);
+  double dot = 0.0;
+  for (int r = 0; r < 6; ++r) dot += w(r, 0) * w(r, 0);
+  EXPECT_NEAR(dot, 4.0, 1e-10);
+}
+
+TEST(Init, XavierBounds) {
+  Rng rng(3);
+  const Tensor w = XavierUniform(10, 20, rng);
+  const double limit = std::sqrt(6.0 / 30.0);
+  EXPECT_LE(w.MaxAll(), limit);
+  EXPECT_GE(w.MinAll(), -limit);
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(4);
+  Linear layer("l", 3, 2, rng);
+  layer.bias()->value(0, 0) = 0.5;
+  const Tensor x(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor y = layer.ForwardValue(x);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      double expected = layer.bias()->value(0, c);
+      for (int k = 0; k < 3; ++k)
+        expected += x(r, k) * layer.weight()->value(k, c);
+      EXPECT_NEAR(y(r, c), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Linear, GraphAndValueForwardAgree) {
+  Rng rng(5);
+  Linear layer("l", 4, 3, rng);
+  const Tensor x = Tensor::Randn(5, 4, rng);
+  Tape tape;
+  Var out = layer.Forward(tape, tape.Constant(x));
+  EXPECT_TRUE(AllClose(out.value(), layer.ForwardValue(x), 1e-12));
+}
+
+TEST(Linear, GradientFlowsToParameters) {
+  Rng rng(6);
+  Linear layer("l", 2, 2, rng);
+  const Tensor x = Tensor::Randn(3, 2, rng);
+  Tape tape;
+  Var out = layer.Forward(tape, tape.Constant(x));
+  tape.Backward(SumV(SquareV(out)));
+  EXPECT_GT(layer.weight()->grad.Norm(), 0.0);
+  EXPECT_GT(layer.bias()->grad.Norm(), 0.0);
+}
+
+TEST(Mlp, GraphAndValueForwardAgree) {
+  Rng rng(7);
+  Mlp mlp("m", 3, {8, 8}, 2, rng, Activation::kTanh);
+  const Tensor x = Tensor::Randn(4, 3, rng);
+  Tape tape;
+  Var out = mlp.Forward(tape, tape.Constant(x));
+  EXPECT_TRUE(AllClose(out.value(), mlp.ForwardValue(x), 1e-12));
+}
+
+TEST(Mlp, OutputActivationApplies) {
+  Rng rng(8);
+  Mlp mlp("m", 2, {4}, 3, rng, Activation::kRelu, Activation::kSigmoid);
+  const Tensor x = Tensor::Randn(5, 2, rng);
+  const Tensor y = mlp.ForwardValue(x);
+  EXPECT_GT(y.MinAll(), 0.0);
+  EXPECT_LT(y.MaxAll(), 1.0);
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  Rng rng(9);
+  Mlp mlp("m", 3, {8, 4}, 2, rng);
+  // (3*8 + 8) + (8*4 + 4) + (4*2 + 2) = 32 + 36 + 10
+  EXPECT_EQ(mlp.NumParams(), 78);
+}
+
+TEST(Mlp, FitsLinearFunction) {
+  Rng rng(10);
+  Mlp mlp("m", 1, {16}, 1, rng);
+  // Overfit y = 2x + 1 on a small grid with plain gradient descent.
+  Tensor x(16, 1), y(16, 1);
+  for (int i = 0; i < 16; ++i) {
+    x(i, 0) = -1.0 + 2.0 * i / 15.0;
+    y(i, 0) = 2.0 * x(i, 0) + 1.0;
+  }
+  Adam adam(mlp.Parameters(), 0.02);
+  double loss = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    Tape tape;
+    Var out = mlp.Forward(tape, tape.Constant(x));
+    Var l = MseLossV(out, y);
+    adam.ZeroGrad();
+    tape.Backward(l);
+    adam.Step();
+    loss = l.value()(0, 0);
+  }
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(Lstm, ValueAndGraphForwardAgree) {
+  Rng rng(11);
+  LstmCell lstm("lstm", 3, 5, rng);
+  const Tensor x = Tensor::Randn(4, 3, rng);
+
+  LstmStateValue sv = lstm.InitialStateValue(4);
+  sv = lstm.ForwardValue(x, sv);
+
+  Tape tape;
+  LstmState sg = lstm.InitialState(tape, 4);
+  sg = lstm.Forward(tape, tape.Constant(x), sg);
+  EXPECT_TRUE(AllClose(sg.h.value(), sv.h, 1e-12));
+  EXPECT_TRUE(AllClose(sg.c.value(), sv.c, 1e-12));
+}
+
+TEST(Lstm, MultiStepConsistency) {
+  Rng rng(12);
+  LstmCell lstm("lstm", 2, 4, rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 5; ++t) xs.push_back(Tensor::Randn(3, 2, rng));
+
+  LstmStateValue sv = lstm.InitialStateValue(3);
+  for (const auto& x : xs) sv = lstm.ForwardValue(x, sv);
+
+  Tape tape;
+  LstmState sg = lstm.InitialState(tape, 3);
+  for (const auto& x : xs) sg = lstm.Forward(tape, tape.Constant(x), sg);
+  EXPECT_TRUE(AllClose(sg.h.value(), sv.h, 1e-12));
+}
+
+TEST(Lstm, GradientThroughUnrollMatchesFiniteDifferences) {
+  Rng rng(13);
+  LstmCell lstm("lstm", 2, 3, rng);
+  // Check d loss / d x0 through a 3-step unroll.
+  auto f = [&lstm](Tape& tape, Var x0) {
+    LstmState s = lstm.InitialState(tape, 2);
+    s = lstm.Forward(tape, x0, s);
+    Var x1 = tape.Constant(Tensor::Full(2, 2, 0.3));
+    s = lstm.Forward(tape, x1, s);
+    s = lstm.Forward(tape, x1, s);
+    return SumV(SquareV(s.h));
+  };
+  Rng input_rng(14);
+  EXPECT_LT(GradCheck(f, Tensor::Randn(2, 2, input_rng)), 1e-5);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(15);
+  LstmCell lstm("lstm", 2, 3, rng);
+  const auto params = lstm.Parameters();
+  // Second parameter is the bias; forget block = columns [hd, 2*hd).
+  const Tensor& bias = params[1]->value;
+  for (int c = 3; c < 6; ++c) EXPECT_DOUBLE_EQ(bias(0, c), 1.0);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(bias(0, c), 0.0);
+}
+
+TEST(Lstm, StateStaysBounded) {
+  Rng rng(16);
+  LstmCell lstm("lstm", 2, 4, rng);
+  LstmStateValue s = lstm.InitialStateValue(2);
+  for (int t = 0; t < 100; ++t) {
+    s = lstm.ForwardValue(Tensor::Full(2, 2, 5.0), s);
+  }
+  EXPECT_LT(std::abs(s.h.MaxAll()), 1.0 + 1e-9);
+  EXPECT_FALSE(s.c.HasNonFinite());
+}
+
+TEST(Module, CopyParametersFromAndFlatRoundTrip) {
+  Rng rng1(17), rng2(18);
+  Mlp a("m", 3, {4}, 2, rng1);
+  Mlp b("m", 3, {4}, 2, rng2);
+  b.CopyParametersFrom(a);
+  EXPECT_EQ(a.FlatParams(), b.FlatParams());
+
+  auto flat = a.FlatParams();
+  for (double& v : flat) v += 1.0;
+  a.SetFlatParams(flat);
+  EXPECT_EQ(a.FlatParams(), flat);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace sim2rec

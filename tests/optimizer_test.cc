@@ -1,0 +1,120 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+// Minimizes f(w) = sum((w - target)^2) and checks convergence.
+void MinimizeQuadratic(Optimizer& optimizer, Parameter* w,
+                       const Tensor& target, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    Tape tape;
+    Var wv = tape.Leaf(w);
+    Var loss = SumV(SquareV(SubV(wv, tape.Constant(target))));
+    optimizer.ZeroGrad();
+    tape.Backward(loss);
+    optimizer.Step();
+  }
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Parameter w("w", Tensor::Full(1, 3, 5.0));
+  const Tensor target(1, 3, {1.0, -2.0, 0.5});
+  Adam adam({&w}, 0.1);
+  MinimizeQuadratic(adam, &w, target, 300);
+  EXPECT_TRUE(AllClose(w.value, target, 1e-3));
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Parameter w("w", Tensor::Full(1, 2, 4.0));
+  const Tensor target(1, 2, {1.0, 2.0});
+  Sgd sgd({&w}, 0.1);
+  MinimizeQuadratic(sgd, &w, target, 200);
+  EXPECT_TRUE(AllClose(w.value, target, 1e-3));
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Parameter a("a", Tensor::Full(1, 1, 10.0));
+  Parameter b("b", Tensor::Full(1, 1, 10.0));
+  const Tensor target = Tensor::Zeros(1, 1);
+  Sgd plain({&a}, 0.01);
+  Sgd momentum({&b}, 0.01, 0.9);
+  MinimizeQuadratic(plain, &a, target, 50);
+  MinimizeQuadratic(momentum, &b, target, 50);
+  EXPECT_LT(std::abs(b.value(0, 0)), std::abs(a.value(0, 0)));
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  // With zero data gradient, weight decay alone should shrink weights.
+  Parameter w("w", Tensor::Full(1, 1, 1.0));
+  Adam adam({&w}, 0.01, 0.9, 0.999, 1e-8, /*weight_decay=*/0.1);
+  for (int i = 0; i < 100; ++i) {
+    w.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(w.value(0, 0)), 1.0);
+}
+
+TEST(GradNorm, ComputedAndClipped) {
+  Parameter w("w", Tensor::Zeros(1, 2));
+  w.grad(0, 0) = 3.0;
+  w.grad(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(GlobalGradNorm({&w}), 5.0);
+  const double pre = ClipGradNorm({&w}, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(GlobalGradNorm({&w}), 1.0, 1e-9);
+  // A norm under the cap is untouched.
+  const double pre2 = ClipGradNorm({&w}, 10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-9);
+  EXPECT_NEAR(GlobalGradNorm({&w}), 1.0, 1e-9);
+}
+
+TEST(Adam, LearningRateSetter) {
+  Parameter w("w", Tensor::Zeros(1, 1));
+  Adam adam({&w}, 1e-3);
+  adam.set_learning_rate(5e-4);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 5e-4);
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Mlp a("m", 3, {5}, 2, rng);
+  const std::string path = ::testing::TempDir() + "/module.bin";
+  ASSERT_TRUE(SaveModule(path, a));
+
+  Rng rng2(99);
+  Mlp b("m", 3, {5}, 2, rng2);
+  EXPECT_NE(a.FlatParams(), b.FlatParams());
+  ASSERT_TRUE(LoadModule(path, b));
+  EXPECT_EQ(a.FlatParams(), b.FlatParams());
+}
+
+TEST(Serialize, LoadRejectsMismatchedLayout) {
+  Rng rng(2);
+  Mlp a("m", 3, {5}, 2, rng);
+  const std::string path = ::testing::TempDir() + "/module2.bin";
+  ASSERT_TRUE(SaveModule(path, a));
+  Mlp c("m", 3, {6}, 2, rng);  // different hidden width
+  EXPECT_FALSE(LoadModule(path, c));
+  Mlp d("x", 3, {5}, 2, rng);  // different parameter names
+  EXPECT_FALSE(LoadModule(path, d));
+}
+
+TEST(Serialize, LoadRejectsMissingFile) {
+  Rng rng(3);
+  Mlp a("m", 2, {3}, 1, rng);
+  EXPECT_FALSE(LoadModule("/nonexistent/path/file.bin", a));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace sim2rec

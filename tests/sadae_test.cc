@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/kde.h"
+#include "sadae/probe.h"
+#include "sadae/sadae_trainer.h"
+
+namespace sim2rec {
+namespace sadae {
+namespace {
+
+/// Builds a set of N rows sampled from N(mean, std) per dimension, with
+/// an optional categorical block and action block.
+nn::Tensor MakeGaussianSet(int n, const std::vector<double>& means,
+                           double stddev, Rng& rng, int cat_dim = 0,
+                           int action_dim = 0) {
+  const int sd = static_cast<int>(means.size());
+  nn::Tensor out(n, sd + cat_dim + action_dim, 0.0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < sd; ++c)
+      out(r, c) = rng.Normal(means[c], stddev);
+    if (cat_dim > 0) out(r, sd + rng.UniformInt(cat_dim)) = 1.0;
+    for (int c = 0; c < action_dim; ++c)
+      out(r, sd + cat_dim + c) = rng.Uniform();
+  }
+  return out;
+}
+
+SadaeConfig StateOnlyConfig() {
+  SadaeConfig config;
+  config.state_dim = 2;
+  config.latent_dim = 3;
+  config.encoder_hidden = {32, 32};
+  config.decoder_hidden = {32, 32};
+  return config;
+}
+
+TEST(Sadae, EncodeSetValueMatchesGraphPosteriorMean) {
+  Rng rng(1);
+  Sadae model(StateOnlyConfig(), rng);
+  const nn::Tensor set = MakeGaussianSet(16, {1.0, -1.0}, 0.5, rng);
+  const nn::Tensor value_mean = model.EncodeSetValue(set);
+  nn::Tape tape;
+  const nn::DiagGaussian posterior = model.EncodeSet(tape, set);
+  EXPECT_TRUE(AllClose(value_mean, posterior.mean.value(), 1e-9));
+}
+
+TEST(Sadae, PosteriorPrecisionGrowsWithSetSize) {
+  // Product of Gaussians: more evidence -> tighter posterior.
+  Rng rng(2);
+  Sadae model(StateOnlyConfig(), rng);
+  const nn::Tensor big = MakeGaussianSet(64, {0.5, 0.5}, 0.3, rng);
+  const nn::Tensor small = big.SliceRows(0, 4);
+  nn::Tape tape;
+  const nn::DiagGaussian p_small = model.EncodeSet(tape, small);
+  const nn::DiagGaussian p_big = model.EncodeSet(tape, big);
+  // Mean posterior std must shrink.
+  EXPECT_LT(p_big.log_std.value().MeanAll(),
+            p_small.log_std.value().MeanAll());
+}
+
+TEST(Sadae, NegElboFiniteAndDifferentiable) {
+  Rng rng(3);
+  Sadae model(StateOnlyConfig(), rng);
+  const nn::Tensor set = MakeGaussianSet(16, {0.0, 2.0}, 1.0, rng);
+  nn::Tape tape;
+  nn::Var loss = model.NegElbo(tape, set, rng);
+  EXPECT_TRUE(std::isfinite(loss.value()(0, 0)));
+  model.ZeroGrad();
+  tape.Backward(loss);
+  double grad_norm = 0.0;
+  for (const nn::Parameter* p : model.Parameters())
+    grad_norm += p->grad.Norm();
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(Sadae, TrainingReducesNegElbo) {
+  Rng rng(4);
+  Sadae model(StateOnlyConfig(), rng);
+  // Two distinct "groups" with different means.
+  std::vector<nn::Tensor> sets;
+  for (int k = 0; k < 10; ++k) {
+    const double mean = k % 2 == 0 ? -2.0 : 2.0;
+    sets.push_back(MakeGaussianSet(32, {mean, mean * 0.5}, 0.4, rng));
+  }
+  SadaeTrainConfig train_config;
+  train_config.learning_rate = 3e-3;
+  SadaeTrainer trainer(&model, train_config);
+  const double first = trainer.TrainEpoch(sets, rng);
+  double last = first;
+  for (int epoch = 0; epoch < 60; ++epoch)
+    last = trainer.TrainEpoch(sets, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(Sadae, EmbeddingsSeparateDistinctDistributions) {
+  Rng rng(5);
+  Sadae model(StateOnlyConfig(), rng);
+  std::vector<nn::Tensor> sets;
+  for (int k = 0; k < 12; ++k) {
+    const double mean = k % 2 == 0 ? -2.0 : 2.0;
+    sets.push_back(MakeGaussianSet(32, {mean, 0.0}, 0.4, rng));
+  }
+  SadaeTrainConfig train_config;
+  train_config.learning_rate = 3e-3;
+  SadaeTrainer trainer(&model, train_config);
+  for (int epoch = 0; epoch < 80; ++epoch) trainer.TrainEpoch(sets, rng);
+
+  // Embeddings of same-group sets must be closer than cross-group.
+  const nn::Tensor va = model.EncodeSetValue(
+      MakeGaussianSet(32, {-2.0, 0.0}, 0.4, rng));
+  const nn::Tensor va2 = model.EncodeSetValue(
+      MakeGaussianSet(32, {-2.0, 0.0}, 0.4, rng));
+  const nn::Tensor vb = model.EncodeSetValue(
+      MakeGaussianSet(32, {2.0, 0.0}, 0.4, rng));
+  const double within = (va - va2).Norm();
+  const double between = (va - vb).Norm();
+  EXPECT_LT(within, between);
+}
+
+TEST(Sadae, ReconstructionApproachesTrueDistribution) {
+  Rng rng(6);
+  Sadae model(StateOnlyConfig(), rng);
+  std::vector<nn::Tensor> sets;
+  for (int k = 0; k < 8; ++k) {
+    sets.push_back(MakeGaussianSet(48, {1.5, -0.5}, 0.6, rng));
+  }
+  SadaeTrainConfig train_config;
+  train_config.learning_rate = 3e-3;
+  SadaeTrainer trainer(&model, train_config);
+  for (int epoch = 0; epoch < 120; ++epoch) trainer.TrainEpoch(sets, rng);
+
+  const double kl = DecodedFeatureKl(model, sets[0], 0, 1.5, 0.6);
+  EXPECT_LT(kl, 0.5);
+}
+
+TEST(Sadae, HandlesCategoricalAndActionBlocks) {
+  SadaeConfig config;
+  config.state_dim = 2;
+  config.categorical_dim = 3;
+  config.action_dim = 2;
+  config.latent_dim = 4;
+  config.encoder_hidden = {32};
+  config.decoder_hidden = {32};
+  Rng rng(7);
+  Sadae model(config, rng);
+  const nn::Tensor set =
+      MakeGaussianSet(16, {0.0, 1.0}, 0.5, rng, 3, 2);
+  nn::Tape tape;
+  nn::Var loss = model.NegElbo(tape, set, rng);
+  EXPECT_TRUE(std::isfinite(loss.value()(0, 0)));
+  model.ZeroGrad();
+  tape.Backward(loss);
+
+  const nn::Tensor v = model.EncodeSetValue(set);
+  const DecodedDistribution decoded = model.DecodeValue(v);
+  EXPECT_EQ(decoded.cat_probs.cols(), 3);
+  double prob_sum = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GT(decoded.cat_probs(0, k), 0.0);
+    prob_sum += decoded.cat_probs(0, k);
+  }
+  EXPECT_NEAR(prob_sum, 1.0, 1e-9);
+}
+
+TEST(Sadae, SampleReconstructedStatesShape) {
+  SadaeConfig config;
+  config.state_dim = 2;
+  config.categorical_dim = 2;
+  Rng rng(8);
+  Sadae model(config, rng);
+  const nn::Tensor set =
+      MakeGaussianSet(8, {0.0, 0.0}, 1.0, rng, 2, 0);
+  const nn::Tensor v = model.EncodeSetValue(set);
+  const nn::Tensor samples = model.SampleReconstructedStates(v, 20, rng);
+  EXPECT_EQ(samples.rows(), 20);
+  EXPECT_EQ(samples.cols(), 4);
+  for (int r = 0; r < 20; ++r) {
+    EXPECT_NEAR(samples(r, 2) + samples(r, 3), 1.0, 1e-12);
+  }
+}
+
+TEST(KlProbe, LearnsPairwiseKl) {
+  // Embeddings that encode a scalar "mean"; target KL is a simple
+  // function of the two means. The probe should fit it far better than
+  // an untrained probe.
+  Rng rng(9);
+  const int m = 12;
+  nn::Tensor embeddings(m, 2);
+  for (int i = 0; i < m; ++i) {
+    embeddings(i, 0) = -1.0 + 2.0 * i / (m - 1);
+    embeddings(i, 1) = 0.5;
+  }
+  nn::Tensor pairwise(m, m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const double d = embeddings(i, 0) - embeddings(j, 0);
+      pairwise(i, j) = 0.5 * d * d;
+    }
+  }
+  nn::Tensor pairs, targets;
+  BuildProbeDataset(embeddings, pairwise, &pairs, &targets);
+  EXPECT_EQ(pairs.rows(), m * (m - 1));
+
+  KlProbe fresh(2, rng);
+  const double untrained_mae = fresh.EvaluateMae(pairs, targets);
+  KlProbe trained(2, rng);
+  const double trained_mae = trained.Train(pairs, targets, 200, 3e-3, rng);
+  EXPECT_LT(trained_mae, 0.5 * untrained_mae);
+}
+
+}  // namespace
+}  // namespace sadae
+}  // namespace sim2rec

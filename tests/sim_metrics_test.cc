@@ -1,0 +1,101 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generation.h"
+
+namespace sim2rec {
+namespace sim {
+namespace {
+
+envs::DprConfig SmallDpr() {
+  envs::DprConfig config;
+  config.num_cities = 2;
+  config.drivers_per_city = 8;
+  config.horizon = 8;
+  return config;
+}
+
+class SimMetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new envs::DprWorld(SmallDpr());
+    Rng rng(1);
+    dataset_ = new data::LoggedDataset(
+        data::GenerateDprDataset(*world_, 2, rng));
+    SimulatorTrainConfig config;
+    config.hidden_dims = {32, 32};
+    config.epochs = 25;
+    Rng ensemble_rng(2);
+    ensemble_ = new SimulatorEnsemble(
+        SimulatorEnsemble::Build(*dataset_, 3, config, ensemble_rng));
+  }
+  static void TearDownTestSuite() {
+    delete ensemble_;
+    delete dataset_;
+    delete world_;
+    ensemble_ = nullptr;
+    dataset_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static envs::DprWorld* world_;
+  static data::LoggedDataset* dataset_;
+  static SimulatorEnsemble* ensemble_;
+};
+
+envs::DprWorld* SimMetricsTest::world_ = nullptr;
+data::LoggedDataset* SimMetricsTest::dataset_ = nullptr;
+SimulatorEnsemble* SimMetricsTest::ensemble_ = nullptr;
+
+TEST_F(SimMetricsTest, MetricsFiniteAndPlausible) {
+  const SimulatorMetrics metrics =
+      EvaluateSimulatorOnDataset(ensemble_->simulator(0), *dataset_);
+  EXPECT_TRUE(std::isfinite(metrics.nll));
+  EXPECT_GT(metrics.rmse, 0.0);
+  EXPECT_GT(metrics.mae, 0.0);
+  EXPECT_LE(metrics.mae, metrics.rmse + 1e-12);
+  EXPECT_GT(metrics.coverage_1sd, 0.2);
+  EXPECT_LE(metrics.coverage_1sd, 1.0);
+  EXPECT_GE(metrics.coverage_2sd, metrics.coverage_1sd);
+}
+
+TEST_F(SimMetricsTest, CalibrationRoughlyGaussian) {
+  // A maximum-likelihood Gaussian head should be roughly calibrated on
+  // its own training distribution.
+  const SimulatorMetrics metrics =
+      EvaluateSimulatorOnDataset(ensemble_->simulator(1), *dataset_);
+  EXPECT_GT(metrics.coverage_1sd, 0.45);
+  EXPECT_GT(metrics.coverage_2sd, 0.80);
+}
+
+TEST_F(SimMetricsTest, EnsembleMeanAtLeastCompetitive) {
+  const EnsembleMetrics metrics =
+      EvaluateEnsemble(*ensemble_, *dataset_);
+  ASSERT_EQ(metrics.members.size(), 3u);
+  // Variance reduction: ensemble mean never much worse than the
+  // average member.
+  EXPECT_LE(metrics.ensemble_mean_rmse,
+            metrics.mean_member_rmse * 1.05);
+  EXPECT_GT(metrics.mean_pairwise_disagreement, 0.0);
+}
+
+TEST_F(SimMetricsTest, PerfectPredictorScoresZeroError) {
+  // A synthetic check of the metric arithmetic itself: evaluate a
+  // simulator against its own mean predictions as targets.
+  nn::Tensor inputs, targets;
+  dataset_->FlattenForSimulator(&inputs, &targets);
+  const FeedbackPrediction pred =
+      ensemble_->simulator(0).Predict(inputs);
+  const SimulatorMetrics metrics =
+      EvaluateSimulator(ensemble_->simulator(0), inputs, pred.mean);
+  EXPECT_NEAR(metrics.rmse, 0.0, 1e-12);
+  EXPECT_NEAR(metrics.mae, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics.coverage_1sd, 1.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace sim2rec

@@ -1,0 +1,149 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace nn {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t(2, 3, 1.5);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_DOUBLE_EQ(t(1, 2), 1.5);
+  t(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(Tensor, Identity) {
+  const Tensor id = Tensor::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Tensor, RowAndColVectors) {
+  const Tensor row = Tensor::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 3);
+  const Tensor col = Tensor::ColVector({4, 5});
+  EXPECT_EQ(col.rows(), 2);
+  EXPECT_EQ(col.cols(), 1);
+  EXPECT_DOUBLE_EQ(col(1, 0), 5.0);
+}
+
+TEST(Tensor, MatMulAgainstHandComputed) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Tensor, MatMulTransposedVariantsAgree) {
+  Rng rng(5);
+  const Tensor a = Tensor::Randn(4, 3, rng);
+  const Tensor b = Tensor::Randn(4, 5, rng);
+  // a^T * b via explicit transpose.
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b),
+                       MatMul(a.Transposed(), b), 1e-12));
+  const Tensor c = Tensor::Randn(6, 3, rng);
+  const Tensor d = Tensor::Randn(2, 3, rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(c, d),
+                       MatMul(c, d.Transposed()), 1e-12));
+}
+
+TEST(Tensor, ElementwiseOps) {
+  const Tensor a(1, 3, {1, 2, 3});
+  const Tensor b(1, 3, {4, 5, 6});
+  EXPECT_TRUE(AllClose(a + b, Tensor(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(b - a, Tensor(1, 3, {3, 3, 3})));
+  EXPECT_TRUE(AllClose(a * b, Tensor(1, 3, {4, 10, 18})));
+  EXPECT_TRUE(AllClose(a * 2.0, Tensor(1, 3, {2, 4, 6})));
+  EXPECT_TRUE(AllClose(a + 1.0, Tensor(1, 3, {2, 3, 4})));
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a(1, 2, {1, 2});
+  const Tensor b(1, 2, {10, 20});
+  AddScaled(&a, b, 0.5);
+  EXPECT_TRUE(AllClose(a, Tensor(1, 2, {6, 12})));
+}
+
+TEST(Tensor, SliceAndStack) {
+  const Tensor a(2, 4, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor mid = a.SliceCols(1, 3);
+  EXPECT_EQ(mid.cols(), 2);
+  EXPECT_DOUBLE_EQ(mid(1, 0), 6.0);
+  const Tensor top = a.SliceRows(0, 1);
+  EXPECT_EQ(top.rows(), 1);
+
+  const Tensor v = VStack({top, top});
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_DOUBLE_EQ(v(1, 3), 4.0);
+  const Tensor h = HStack({mid, mid});
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_DOUBLE_EQ(h(0, 2), 2.0);
+}
+
+TEST(Tensor, RowColHelpers) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  const Tensor r = a.Row(1);
+  EXPECT_DOUBLE_EQ(r(0, 0), 3.0);
+  const Tensor c = a.Col(1);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  a.SetRow(0, Tensor::RowVector({9, 8}));
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+}
+
+TEST(Tensor, ColMeanAndStd) {
+  const Tensor a(2, 2, {0, 1, 4, 3});
+  const Tensor mean = ColMean(a);
+  EXPECT_DOUBLE_EQ(mean(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(mean(0, 1), 2.0);
+  const Tensor sd = ColStd(a);
+  EXPECT_DOUBLE_EQ(sd(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sd(0, 1), 1.0);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor a(2, 2, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(a.MeanAll(), 1.5);
+  EXPECT_DOUBLE_EQ(a.MinAll(), -2.0);
+  EXPECT_DOUBLE_EQ(a.MaxAll(), 4.0);
+  EXPECT_NEAR(a.Norm(), std::sqrt(30.0), 1e-12);
+}
+
+TEST(Tensor, HasNonFinite) {
+  Tensor a(1, 2, {1.0, 2.0});
+  EXPECT_FALSE(a.HasNonFinite());
+  a(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(a.HasNonFinite());
+}
+
+TEST(Tensor, TransposedRoundTrip) {
+  Rng rng(9);
+  const Tensor a = Tensor::Randn(3, 5, rng);
+  EXPECT_TRUE(AllClose(a.Transposed().Transposed(), a));
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(21);
+  const Tensor a = Tensor::Randn(200, 200, rng, 1.0, 0.5);
+  EXPECT_NEAR(a.MeanAll(), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace sim2rec

@@ -1,0 +1,55 @@
+#ifndef SIM2REC_TESTS_TEST_UTIL_H_
+#define SIM2REC_TESTS_TEST_UTIL_H_
+
+#include <functional>
+
+#include "nn/ops.h"
+#include "nn/tape.h"
+
+namespace sim2rec {
+namespace testing {
+
+/// Builds a scalar loss from a single input tensor via `f`, and compares
+/// the analytic gradient (reverse mode) against central finite
+/// differences. Returns the maximum absolute element difference.
+///
+/// `f` must be a pure function of its Var argument (it may create
+/// constants but must not capture Parameters that change).
+inline double GradCheck(
+    const std::function<nn::Var(nn::Tape&, nn::Var)>& f,
+    const nn::Tensor& x0, double eps = 1e-6) {
+  // Analytic gradient.
+  nn::Tensor analytic;
+  {
+    nn::Tape tape;
+    nn::Var x = tape.Input(x0);
+    nn::Var loss = f(tape, x);
+    tape.Backward(loss);
+    analytic = tape.grad(x);
+  }
+  // Central differences.
+  double max_diff = 0.0;
+  for (int i = 0; i < x0.size(); ++i) {
+    nn::Tensor xp = x0;
+    nn::Tensor xm = x0;
+    xp[i] += eps;
+    xm[i] -= eps;
+    double fp, fm;
+    {
+      nn::Tape tape;
+      fp = f(tape, tape.Input(xp)).value()(0, 0);
+    }
+    {
+      nn::Tape tape;
+      fm = f(tape, tape.Input(xm)).value()(0, 0);
+    }
+    const double numeric = (fp - fm) / (2.0 * eps);
+    max_diff = std::max(max_diff, std::abs(analytic[i] - numeric));
+  }
+  return max_diff;
+}
+
+}  // namespace testing
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.Normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(rng.Normal(5.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(23);
+  const auto p = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(29);
+  Rng c1 = parent.Split(1);
+  Rng c2 = parent.Split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat stat;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+  for (double x : xs) stat.Add(x);
+  EXPECT_EQ(stat.count(), 4);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.75);
+  EXPECT_NEAR(stat.variance(), 7.1875, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 8.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  RunningStat a, b, all;
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.Normal(-1.0, 0.5);
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(Stats, MeanStddevStderr) {
+  const std::vector<double> xs = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 4.0);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(StandardError(xs), Stddev(xs) / std::sqrt(3.0), 1e-12);
+}
+
+TEST(Stats, PearsonCorrelationPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  const std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, LeastSquaresSlope) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};
+  EXPECT_NEAR(LeastSquaresSlope(x, y), 2.0, 1e-12);
+}
+
+TEST(Stats, AggregateSeriesBands) {
+  const std::vector<std::vector<double>> series = {{1.0, 2.0},
+                                                   {3.0, 6.0}};
+  const SeriesBand band = AggregateSeries(series);
+  ASSERT_EQ(band.mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(band.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.mean[1], 4.0);
+  EXPECT_DOUBLE_EQ(band.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(band.max[1], 6.0);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/test_csv.csv";
+  {
+    CsvWriter writer(path, {"a", "b"});
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow(std::vector<double>{1.5, 2.0});
+    writer.WriteRow("label", {3.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "label,3.25");
+}
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+}
+
+TEST(StringUtil, Flags) {
+  const char* argv[] = {"prog", "--full", "--seed=7", "--alpha", "0.5"};
+  char** argv_mut = const_cast<char**>(argv);
+  EXPECT_TRUE(HasFlag(5, argv_mut, "--full"));
+  EXPECT_FALSE(HasFlag(5, argv_mut, "--quick"));
+  EXPECT_EQ(GetFlagInt(5, argv_mut, "--seed", 0), 7);
+  EXPECT_DOUBLE_EQ(GetFlagDouble(5, argv_mut, "--alpha", 0.0), 0.5);
+  EXPECT_EQ(GetFlagInt(5, argv_mut, "--missing", 42), 42);
+}
+
+}  // namespace
+}  // namespace sim2rec
