@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_uncertainty.dir/abl01_uncertainty.cc.o"
+  "CMakeFiles/abl01_uncertainty.dir/abl01_uncertainty.cc.o.d"
+  "abl01_uncertainty"
+  "abl01_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_identification.dir/abl02_identification.cc.o"
+  "CMakeFiles/abl02_identification.dir/abl02_identification.cc.o.d"
+  "abl02_identification"
+  "abl02_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_extractor_cell.dir/abl03_extractor_cell.cc.o"
+  "CMakeFiles/abl03_extractor_cell.dir/abl03_extractor_cell.cc.o.d"
+  "abl03_extractor_cell"
+  "abl03_extractor_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_extractor_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

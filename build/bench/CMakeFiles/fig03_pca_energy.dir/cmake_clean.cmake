@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pca_energy.dir/fig03_pca_energy.cc.o"
+  "CMakeFiles/fig03_pca_energy.dir/fig03_pca_energy.cc.o.d"
+  "fig03_pca_energy"
+  "fig03_pca_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pca_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sadae_kld_lts.dir/fig04_sadae_kld_lts.cc.o"
+  "CMakeFiles/fig04_sadae_kld_lts.dir/fig04_sadae_kld_lts.cc.o.d"
+  "fig04_sadae_kld_lts"
+  "fig04_sadae_kld_lts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sadae_kld_lts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

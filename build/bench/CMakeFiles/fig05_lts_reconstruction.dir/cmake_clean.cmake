@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_lts_reconstruction.dir/fig05_lts_reconstruction.cc.o"
+  "CMakeFiles/fig05_lts_reconstruction.dir/fig05_lts_reconstruction.cc.o.d"
+  "fig05_lts_reconstruction"
+  "fig05_lts_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_lts_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

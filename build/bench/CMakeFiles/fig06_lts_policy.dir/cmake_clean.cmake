@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lts_policy.dir/fig06_lts_policy.cc.o"
+  "CMakeFiles/fig06_lts_policy.dir/fig06_lts_policy.cc.o.d"
+  "fig06_lts_policy"
+  "fig06_lts_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lts_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

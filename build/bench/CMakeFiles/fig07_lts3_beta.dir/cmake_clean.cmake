@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lts3_beta.dir/fig07_lts3_beta.cc.o"
+  "CMakeFiles/fig07_lts3_beta.dir/fig07_lts3_beta.cc.o.d"
+  "fig07_lts3_beta"
+  "fig07_lts3_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lts3_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_lts3_beta.
+# This may be replaced when dependencies are built.

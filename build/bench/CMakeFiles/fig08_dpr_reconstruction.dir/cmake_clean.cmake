@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dpr_reconstruction.dir/fig08_dpr_reconstruction.cc.o"
+  "CMakeFiles/fig08_dpr_reconstruction.dir/fig08_dpr_reconstruction.cc.o.d"
+  "fig08_dpr_reconstruction"
+  "fig08_dpr_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dpr_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

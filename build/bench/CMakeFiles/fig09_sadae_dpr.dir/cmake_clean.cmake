@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sadae_dpr.dir/fig09_sadae_dpr.cc.o"
+  "CMakeFiles/fig09_sadae_dpr.dir/fig09_sadae_dpr.cc.o.d"
+  "fig09_sadae_dpr"
+  "fig09_sadae_dpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sadae_dpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

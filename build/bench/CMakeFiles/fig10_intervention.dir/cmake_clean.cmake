@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_intervention.dir/fig10_intervention.cc.o"
+  "CMakeFiles/fig10_intervention.dir/fig10_intervention.cc.o.d"
+  "fig10_intervention"
+  "fig10_intervention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_intervention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

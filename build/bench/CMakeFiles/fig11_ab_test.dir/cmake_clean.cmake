@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ab_test.dir/fig11_ab_test.cc.o"
+  "CMakeFiles/fig11_ab_test.dir/fig11_ab_test.cc.o.d"
+  "fig11_ab_test"
+  "fig11_ab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

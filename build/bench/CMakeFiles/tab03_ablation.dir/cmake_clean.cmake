@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_ablation.dir/tab03_ablation.cc.o"
+  "CMakeFiles/tab03_ablation.dir/tab03_ablation.cc.o.d"
+  "tab03_ablation"
+  "tab03_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_offline.dir/tab04_offline.cc.o"
+  "CMakeFiles/tab04_offline.dir/tab04_offline.cc.o.d"
+  "tab04_offline"
+  "tab04_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpr_campaign.dir/dpr_campaign.cpp.o"
+  "CMakeFiles/dpr_campaign.dir/dpr_campaign.cpp.o.d"
+  "dpr_campaign"
+  "dpr_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpr_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_transfer.dir/lts_transfer.cpp.o"
+  "CMakeFiles/lts_transfer.dir/lts_transfer.cpp.o.d"
+  "lts_transfer"
+  "lts_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadae_embedding.dir/sadae_embedding.cpp.o"
+  "CMakeFiles/sadae_embedding.dir/sadae_embedding.cpp.o.d"
+  "sadae_embedding"
+  "sadae_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadae_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/factories.cc" "src/baselines/CMakeFiles/sim2rec_baselines.dir/factories.cc.o" "gcc" "src/baselines/CMakeFiles/sim2rec_baselines.dir/factories.cc.o.d"
+  "/root/repo/src/baselines/supervised.cc" "src/baselines/CMakeFiles/sim2rec_baselines.dir/supervised.cc.o" "gcc" "src/baselines/CMakeFiles/sim2rec_baselines.dir/supervised.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sim2rec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/sim2rec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadae/CMakeFiles/sim2rec_sadae.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/sim2rec_envs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

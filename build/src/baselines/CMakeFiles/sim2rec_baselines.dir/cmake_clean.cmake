@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_baselines.dir/factories.cc.o"
+  "CMakeFiles/sim2rec_baselines.dir/factories.cc.o.d"
+  "CMakeFiles/sim2rec_baselines.dir/supervised.cc.o"
+  "CMakeFiles/sim2rec_baselines.dir/supervised.cc.o.d"
+  "libsim2rec_baselines.a"
+  "libsim2rec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_core.dir/context_agent.cc.o"
+  "CMakeFiles/sim2rec_core.dir/context_agent.cc.o.d"
+  "CMakeFiles/sim2rec_core.dir/sim2rec_trainer.cc.o"
+  "CMakeFiles/sim2rec_core.dir/sim2rec_trainer.cc.o.d"
+  "libsim2rec_core.a"
+  "libsim2rec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/behavior_policy.cc" "src/data/CMakeFiles/sim2rec_data.dir/behavior_policy.cc.o" "gcc" "src/data/CMakeFiles/sim2rec_data.dir/behavior_policy.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/sim2rec_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/sim2rec_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generation.cc" "src/data/CMakeFiles/sim2rec_data.dir/generation.cc.o" "gcc" "src/data/CMakeFiles/sim2rec_data.dir/generation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/envs/CMakeFiles/sim2rec_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_data.dir/behavior_policy.cc.o"
+  "CMakeFiles/sim2rec_data.dir/behavior_policy.cc.o.d"
+  "CMakeFiles/sim2rec_data.dir/dataset.cc.o"
+  "CMakeFiles/sim2rec_data.dir/dataset.cc.o.d"
+  "CMakeFiles/sim2rec_data.dir/generation.cc.o"
+  "CMakeFiles/sim2rec_data.dir/generation.cc.o.d"
+  "libsim2rec_data.a"
+  "libsim2rec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

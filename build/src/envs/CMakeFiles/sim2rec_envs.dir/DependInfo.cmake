@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envs/dpr_features.cc" "src/envs/CMakeFiles/sim2rec_envs.dir/dpr_features.cc.o" "gcc" "src/envs/CMakeFiles/sim2rec_envs.dir/dpr_features.cc.o.d"
+  "/root/repo/src/envs/dpr_world.cc" "src/envs/CMakeFiles/sim2rec_envs.dir/dpr_world.cc.o" "gcc" "src/envs/CMakeFiles/sim2rec_envs.dir/dpr_world.cc.o.d"
+  "/root/repo/src/envs/lts_env.cc" "src/envs/CMakeFiles/sim2rec_envs.dir/lts_env.cc.o" "gcc" "src/envs/CMakeFiles/sim2rec_envs.dir/lts_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

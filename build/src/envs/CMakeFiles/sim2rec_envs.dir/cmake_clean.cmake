@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_envs.dir/dpr_features.cc.o"
+  "CMakeFiles/sim2rec_envs.dir/dpr_features.cc.o.d"
+  "CMakeFiles/sim2rec_envs.dir/dpr_world.cc.o"
+  "CMakeFiles/sim2rec_envs.dir/dpr_world.cc.o.d"
+  "CMakeFiles/sim2rec_envs.dir/lts_env.cc.o"
+  "CMakeFiles/sim2rec_envs.dir/lts_env.cc.o.d"
+  "libsim2rec_envs.a"
+  "libsim2rec_envs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_envs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

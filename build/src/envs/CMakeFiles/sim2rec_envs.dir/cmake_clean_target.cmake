@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsim2rec_envs.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/histogram.cc" "src/eval/CMakeFiles/sim2rec_eval.dir/histogram.cc.o" "gcc" "src/eval/CMakeFiles/sim2rec_eval.dir/histogram.cc.o.d"
+  "/root/repo/src/eval/kde.cc" "src/eval/CMakeFiles/sim2rec_eval.dir/kde.cc.o" "gcc" "src/eval/CMakeFiles/sim2rec_eval.dir/kde.cc.o.d"
+  "/root/repo/src/eval/kmeans.cc" "src/eval/CMakeFiles/sim2rec_eval.dir/kmeans.cc.o" "gcc" "src/eval/CMakeFiles/sim2rec_eval.dir/kmeans.cc.o.d"
+  "/root/repo/src/eval/pca.cc" "src/eval/CMakeFiles/sim2rec_eval.dir/pca.cc.o" "gcc" "src/eval/CMakeFiles/sim2rec_eval.dir/pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_eval.dir/histogram.cc.o"
+  "CMakeFiles/sim2rec_eval.dir/histogram.cc.o.d"
+  "CMakeFiles/sim2rec_eval.dir/kde.cc.o"
+  "CMakeFiles/sim2rec_eval.dir/kde.cc.o.d"
+  "CMakeFiles/sim2rec_eval.dir/kmeans.cc.o"
+  "CMakeFiles/sim2rec_eval.dir/kmeans.cc.o.d"
+  "CMakeFiles/sim2rec_eval.dir/pca.cc.o"
+  "CMakeFiles/sim2rec_eval.dir/pca.cc.o.d"
+  "libsim2rec_eval.a"
+  "libsim2rec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

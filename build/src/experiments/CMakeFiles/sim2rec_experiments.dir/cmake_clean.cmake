@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_experiments.dir/dpr_pipeline.cc.o"
+  "CMakeFiles/sim2rec_experiments.dir/dpr_pipeline.cc.o.d"
+  "CMakeFiles/sim2rec_experiments.dir/lts_experiment.cc.o"
+  "CMakeFiles/sim2rec_experiments.dir/lts_experiment.cc.o.d"
+  "libsim2rec_experiments.a"
+  "libsim2rec_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

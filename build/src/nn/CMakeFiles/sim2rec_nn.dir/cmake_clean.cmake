@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_nn.dir/distributions.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/distributions.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/gru.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/gru.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/init.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/init.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/layers.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/layers.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/lstm.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/module.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/module.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/ops.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/ops.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/serialize.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/tape.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/tape.cc.o.d"
+  "CMakeFiles/sim2rec_nn.dir/tensor.cc.o"
+  "CMakeFiles/sim2rec_nn.dir/tensor.cc.o.d"
+  "libsim2rec_nn.a"
+  "libsim2rec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/normalizer.cc" "src/rl/CMakeFiles/sim2rec_rl.dir/normalizer.cc.o" "gcc" "src/rl/CMakeFiles/sim2rec_rl.dir/normalizer.cc.o.d"
+  "/root/repo/src/rl/ppo.cc" "src/rl/CMakeFiles/sim2rec_rl.dir/ppo.cc.o" "gcc" "src/rl/CMakeFiles/sim2rec_rl.dir/ppo.cc.o.d"
+  "/root/repo/src/rl/rollout.cc" "src/rl/CMakeFiles/sim2rec_rl.dir/rollout.cc.o" "gcc" "src/rl/CMakeFiles/sim2rec_rl.dir/rollout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/envs/CMakeFiles/sim2rec_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

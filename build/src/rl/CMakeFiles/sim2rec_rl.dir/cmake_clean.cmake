@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_rl.dir/normalizer.cc.o"
+  "CMakeFiles/sim2rec_rl.dir/normalizer.cc.o.d"
+  "CMakeFiles/sim2rec_rl.dir/ppo.cc.o"
+  "CMakeFiles/sim2rec_rl.dir/ppo.cc.o.d"
+  "CMakeFiles/sim2rec_rl.dir/rollout.cc.o"
+  "CMakeFiles/sim2rec_rl.dir/rollout.cc.o.d"
+  "libsim2rec_rl.a"
+  "libsim2rec_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sadae/probe.cc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/probe.cc.o" "gcc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/probe.cc.o.d"
+  "/root/repo/src/sadae/sadae.cc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/sadae.cc.o" "gcc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/sadae.cc.o.d"
+  "/root/repo/src/sadae/sadae_trainer.cc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/sadae_trainer.cc.o" "gcc" "src/sadae/CMakeFiles/sim2rec_sadae.dir/sadae_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_sadae.dir/probe.cc.o"
+  "CMakeFiles/sim2rec_sadae.dir/probe.cc.o.d"
+  "CMakeFiles/sim2rec_sadae.dir/sadae.cc.o"
+  "CMakeFiles/sim2rec_sadae.dir/sadae.cc.o.d"
+  "CMakeFiles/sim2rec_sadae.dir/sadae_trainer.cc.o"
+  "CMakeFiles/sim2rec_sadae.dir/sadae_trainer.cc.o.d"
+  "libsim2rec_sadae.a"
+  "libsim2rec_sadae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_sadae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ensemble.cc" "src/sim/CMakeFiles/sim2rec_sim.dir/ensemble.cc.o" "gcc" "src/sim/CMakeFiles/sim2rec_sim.dir/ensemble.cc.o.d"
+  "/root/repo/src/sim/filters.cc" "src/sim/CMakeFiles/sim2rec_sim.dir/filters.cc.o" "gcc" "src/sim/CMakeFiles/sim2rec_sim.dir/filters.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/sim2rec_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/sim2rec_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/sim_env.cc" "src/sim/CMakeFiles/sim2rec_sim.dir/sim_env.cc.o" "gcc" "src/sim/CMakeFiles/sim2rec_sim.dir/sim_env.cc.o.d"
+  "/root/repo/src/sim/user_simulator.cc" "src/sim/CMakeFiles/sim2rec_sim.dir/user_simulator.cc.o" "gcc" "src/sim/CMakeFiles/sim2rec_sim.dir/user_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/sim2rec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/sim2rec_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_sim.dir/ensemble.cc.o"
+  "CMakeFiles/sim2rec_sim.dir/ensemble.cc.o.d"
+  "CMakeFiles/sim2rec_sim.dir/filters.cc.o"
+  "CMakeFiles/sim2rec_sim.dir/filters.cc.o.d"
+  "CMakeFiles/sim2rec_sim.dir/metrics.cc.o"
+  "CMakeFiles/sim2rec_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/sim2rec_sim.dir/sim_env.cc.o"
+  "CMakeFiles/sim2rec_sim.dir/sim_env.cc.o.d"
+  "CMakeFiles/sim2rec_sim.dir/user_simulator.cc.o"
+  "CMakeFiles/sim2rec_sim.dir/user_simulator.cc.o.d"
+  "libsim2rec_sim.a"
+  "libsim2rec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim2rec_util.dir/csv.cc.o"
+  "CMakeFiles/sim2rec_util.dir/csv.cc.o.d"
+  "CMakeFiles/sim2rec_util.dir/logging.cc.o"
+  "CMakeFiles/sim2rec_util.dir/logging.cc.o.d"
+  "CMakeFiles/sim2rec_util.dir/rng.cc.o"
+  "CMakeFiles/sim2rec_util.dir/rng.cc.o.d"
+  "CMakeFiles/sim2rec_util.dir/stats.cc.o"
+  "CMakeFiles/sim2rec_util.dir/stats.cc.o.d"
+  "CMakeFiles/sim2rec_util.dir/string_util.cc.o"
+  "CMakeFiles/sim2rec_util.dir/string_util.cc.o.d"
+  "libsim2rec_util.a"
+  "libsim2rec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim2rec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/autodiff_test.dir/autodiff_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/sim2rec_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sim2rec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sim2rec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sadae/CMakeFiles/sim2rec_sadae.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/sim2rec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim2rec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sim2rec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/envs/CMakeFiles/sim2rec_envs.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sim2rec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sim2rec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sim2rec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

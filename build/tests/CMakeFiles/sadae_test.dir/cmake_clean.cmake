@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sadae_test.dir/sadae_test.cc.o"
+  "CMakeFiles/sadae_test.dir/sadae_test.cc.o.d"
+  "sadae_test"
+  "sadae_test.pdb"
+  "sadae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sadae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
