@@ -1,0 +1,139 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sim2rec {
+namespace core {
+namespace {
+
+/// True while the current thread is executing iterations of some batch;
+/// nested ParallelFor calls detect this and run inline.
+thread_local bool t_inside_parallel = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_participants_(std::max(1, num_threads)) {
+  workers_.reserve(num_participants_ - 1);
+  for (int w = 1; w < num_participants_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("SIM2REC_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return std::min(parsed, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (n == 1 || workers_.empty() || t_inside_parallel) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  const int p = num_participants_;
+  batch.ranges.reserve(p);
+  for (int k = 0; k < p; ++k) {
+    auto range = std::make_unique<Range>();
+    range->next.store(static_cast<int>(
+        static_cast<int64_t>(n) * k / p));
+    range->end = static_cast<int>(
+        static_cast<int64_t>(n) * (k + 1) / p);
+    batch.ranges.push_back(std::move(range));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+    ++generation_;
+    workers_active_ = static_cast<int>(workers_.size());
+  }
+  work_cv_.notify_all();
+
+  RunParticipant(&batch, 0);
+
+  // The caller has drained every range, but workers may still be mid-
+  // iteration (or not yet woken); wait until each has cycled so `batch`
+  // can safely leave scope.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+    batch_ = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::WorkerLoop(int participant) {
+  uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen;
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      batch = batch_;
+    }
+    if (batch != nullptr) RunParticipant(batch, participant);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunParticipant(Batch* batch, int participant) {
+  t_inside_parallel = true;
+  const auto run = [batch](int i) {
+    if (!batch->cancelled.load(std::memory_order_acquire)) {
+      try {
+        (*batch->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->error_mutex);
+        if (!batch->error) batch->error = std::current_exception();
+        batch->cancelled.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  // Own range first, then steal iterations from every other range.
+  const int p = static_cast<int>(batch->ranges.size());
+  for (int offset = 0; offset < p; ++offset) {
+    Range& range = *batch->ranges[(participant + offset) % p];
+    for (;;) {
+      const int i = range.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= range.end) break;
+      run(i);
+    }
+  }
+  t_inside_parallel = false;
+}
+
+}  // namespace core
+}  // namespace sim2rec

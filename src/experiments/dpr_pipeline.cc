@@ -57,6 +57,9 @@ DprPipeline BuildDprPipeline(const DprPipelineConfig& config) {
   pipeline.ensemble = sim::SimulatorEnsemble::Build(
       pipeline.train_data, config.ensemble_size, config.sim_train,
       ensemble_rng);
+  if (config.parallel_ensemble) {
+    pipeline.ensemble.set_thread_pool(&core::ThreadPool::Global());
+  }
   S2R_CHECK(config.train_simulators >= 1 &&
             config.train_simulators < config.ensemble_size);
   for (int i = 0; i < config.ensemble_size; ++i) {
@@ -175,6 +178,8 @@ DprTrainedPolicy TrainDprPolicy(const DprPipeline& pipeline,
   // The paper anneals the learning rate (1e-4 -> 1e-6, Table II).
   loop.final_learning_rate = options.ppo.learning_rate * 0.05;
   loop.sadae_steps_per_iteration = use_sadae ? 1 : 0;
+  loop.parallelism = options.parallelism;
+  loop.rollout_shards = options.rollout_shards;
   loop.seed = rng.NextU64();
 
   core::ZeroShotTrainer trainer(

@@ -43,6 +43,11 @@ struct DprPipelineConfig {
   std::vector<double> trend_deltas = {-0.2, -0.1, 0.0, 0.1, 0.2};
   bool apply_trend_filter = true;
 
+  /// Attach the global thread pool (sized by SIM2REC_THREADS) to the
+  /// ensemble so per-member predictions for U(s, a) fan out in
+  /// parallel. Bit-identical to serial in either case.
+  bool parallel_ensemble = true;
+
   uint64_t seed = 123;
 };
 
@@ -94,6 +99,11 @@ struct DprTrainOptions {
   int sadae_latent = 8;
   std::vector<int> sadae_hidden = {64, 64};
   int sadae_pretrain_epochs = 15;
+  /// Parallel rollout engine (see core::TrainLoopConfig): 0 = legacy
+  /// serial loop, >= 1 = engine threads, -1 = SIM2REC_THREADS.
+  int parallelism = 0;
+  /// (Simulator-draw x group) shards per iteration under the engine.
+  int rollout_shards = 1;
   uint64_t seed = 0;
 };
 

@@ -114,6 +114,8 @@ LtsRunResult RunLtsVariant(baselines::AgentVariant variant,
   loop.eval_episodes = config.eval_episodes;
   loop.ppo = config.ppo;
   loop.sadae_steps_per_iteration = sadae_model != nullptr ? 1 : 0;
+  loop.parallelism = config.parallelism;
+  loop.rollout_shards = config.rollout_shards;
   loop.seed = rng.NextU64();
 
   core::ZeroShotTrainer trainer(&agent, training_envs, loop,

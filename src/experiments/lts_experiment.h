@@ -41,6 +41,14 @@ struct LtsExperimentConfig {
 
   rl::PpoConfig ppo;
 
+  /// Parallel rollout engine (see core::TrainLoopConfig): 0 = legacy
+  /// serial loop, >= 1 = engine with that many threads, -1 =
+  /// SIM2REC_THREADS. Results are thread-count invariant for any
+  /// non-zero setting.
+  int parallelism = 0;
+  /// Training envs rolled out per iteration when the engine is active.
+  int rollout_shards = 1;
+
   uint64_t seed = 0;
 };
 

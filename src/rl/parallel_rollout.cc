@@ -1,0 +1,124 @@
+#include "rl/parallel_rollout.h"
+
+#include <algorithm>
+
+namespace sim2rec {
+namespace rl {
+namespace {
+
+/// Salt for deriving the per-call substream root from the caller's rng
+/// (advances the caller's stream so successive Collect calls differ).
+constexpr uint64_t kShardStreamSalt = 0x70617261;  // "para"
+
+}  // namespace
+
+Rollout ParallelRolloutCollector::Collect(
+    const std::vector<RolloutShard>& shards, Agent& agent, int num_steps,
+    Rng& rng) const {
+  Rollout rollout;
+  if (shards.empty()) return rollout;  // empty group: nothing to collect
+
+  const int num_shards = static_cast<int>(shards.size());
+  const int obs_dim = agent.obs_dim();
+  const int act_dim = agent.action_dim();
+  int horizon = shards[0].env->horizon();
+  for (int k = 0; k < num_shards; ++k) {
+    envs::GroupBatchEnv* env = shards[k].env;
+    S2R_CHECK(env != nullptr);
+    S2R_CHECK(env->obs_dim() == obs_dim);
+    S2R_CHECK(env->action_dim() == act_dim);
+    S2R_CHECK_MSG(env->horizon() == horizon,
+                  "parallel shards must share one horizon");
+    for (int j = 0; j < k; ++j) {
+      S2R_CHECK_MSG(shards[j].env != env,
+                    "parallel shards must not alias one environment");
+    }
+  }
+
+  // Canonical row layout: shard k owns rows [offset[k], offset[k+1]).
+  std::vector<int> offsets(num_shards + 1, 0);
+  for (int k = 0; k < num_shards; ++k) {
+    offsets[k + 1] = offsets[k] + shards[k].env->num_users();
+  }
+  const int n = offsets[num_shards];
+  const int t_max = std::min(num_steps, horizon);
+  S2R_CHECK(t_max > 0 && n > 0);
+
+  // Per-shard substreams: pure in (rng state at entry, shard index) so
+  // the decomposition is identical for every thread count. The serial
+  // Split advances the caller's rng, separating successive calls.
+  Rng stream_root = rng.Split(kShardStreamSalt);
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(num_shards);
+  for (int k = 0; k < num_shards; ++k) {
+    shard_rngs.push_back(stream_root.Substream(k));
+  }
+
+  const auto parallel_for = [this](int count,
+                                   const std::function<void(int)>& fn) {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(count, fn);
+    } else {
+      for (int i = 0; i < count; ++i) fn(i);
+    }
+  };
+
+  rollout.num_users = n;
+  agent.BeginEpisode(n);
+
+  // Reset every shard with its own stream, merge in shard order.
+  std::vector<nn::Tensor> shard_obs(num_shards);
+  parallel_for(num_shards, [&](int k) {
+    if (shards[k].on_reset) shards[k].on_reset(shards[k].env, shard_rngs[k]);
+    shard_obs[k] = shards[k].env->Reset(shard_rngs[k]);
+  });
+  nn::Tensor obs = nn::VStack(shard_obs);
+
+  std::vector<envs::StepResult> results(num_shards);
+  for (int t = 0; t < t_max; ++t) {
+    // Serial, canonical-order action sampling on the caller's rng.
+    Agent::StepOutput step = agent.Step(obs, rng, /*deterministic=*/false);
+
+    parallel_for(num_shards, [&](int k) {
+      const nn::Tensor actions =
+          step.actions.SliceRows(offsets[k], offsets[k + 1]);
+      results[k] = shards[k].env->Step(actions, shard_rngs[k]);
+    });
+
+    envs::StepResult merged;
+    merged.rewards.reserve(n);
+    merged.dones.reserve(n);
+    std::vector<nn::Tensor> next_parts;
+    next_parts.reserve(num_shards);
+    merged.horizon_reached = results[0].horizon_reached;
+    for (int k = 0; k < num_shards; ++k) {
+      S2R_CHECK_MSG(results[k].horizon_reached == merged.horizon_reached,
+                    "parallel shards diverged on horizon_reached");
+      merged.rewards.insert(merged.rewards.end(),
+                            results[k].rewards.begin(),
+                            results[k].rewards.end());
+      merged.dones.insert(merged.dones.end(), results[k].dones.begin(),
+                          results[k].dones.end());
+      next_parts.push_back(results[k].next_obs);
+    }
+    merged.next_obs = nn::VStack(next_parts);
+
+    rollout.obs.push_back(obs);
+    rollout.actions.push_back(step.actions);
+    rollout.values.push_back(step.values);
+    rollout.log_probs.push_back(step.log_probs);
+    rollout.rewards.push_back(merged.rewards);
+    rollout.dones.push_back(merged.dones);
+
+    obs = merged.next_obs;
+    rollout.num_steps = t + 1;
+    if (merged.horizon_reached) break;
+  }
+
+  rollout.last_obs = obs;
+  rollout.last_values = agent.Values(obs);
+  return rollout;
+}
+
+}  // namespace rl
+}  // namespace sim2rec

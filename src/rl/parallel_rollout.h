@@ -1,0 +1,68 @@
+#ifndef SIM2REC_RL_PARALLEL_ROLLOUT_H_
+#define SIM2REC_RL_PARALLEL_ROLLOUT_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "rl/rollout.h"
+
+namespace sim2rec {
+namespace rl {
+
+/// One unit of parallel trajectory collection: an environment bound to
+/// a (simulator-ensemble member x user group) pair. Shards must point
+/// at distinct environment objects — the engine steps them
+/// concurrently.
+struct RolloutShard {
+  envs::GroupBatchEnv* env = nullptr;
+  /// Optional hook run with the shard's private rng before Reset (e.g.
+  /// re-draw the active simulator omega ~ p(Omega'), Algorithm 1
+  /// line 4).
+  std::function<void(envs::GroupBatchEnv*, Rng&)> on_reset;
+};
+
+/// Deterministic parallel rollout engine.
+///
+/// Fans one agent's trajectory collection out across shards and merges
+/// the per-shard buffers into a single Rollout whose user axis is
+/// ordered canonically: shard 0's users first, then shard 1's, etc.
+/// Determinism is by construction, not by locking discipline:
+///
+///  * Environment transitions of shard k draw from the substream
+///    rng.Split(salt).Substream(k) — a pure function of the caller's
+///    rng state, never of scheduling.
+///  * The agent steps the *merged* observation batch serially on the
+///    calling thread, consuming the caller's rng in canonical row
+///    order (the recurrent state is per-row, so this is equivalent to
+///    stepping each shard separately; only the SADAE group posterior
+///    pools across the merged set — see DESIGN.md).
+///  * Each shard's StepResult lands in its own slot and is merged in
+///    shard order.
+///
+/// Hence for a fixed seed the result is bit-identical for any thread
+/// count, including the null pool (serial).
+class ParallelRolloutCollector {
+ public:
+  /// `pool` may be null (serial collection; still canonical). The pool
+  /// must outlive the collector.
+  explicit ParallelRolloutCollector(core::ThreadPool* pool = nullptr)
+      : pool_(pool) {}
+
+  /// Collects min(num_steps, horizon) lock-steps from every shard.
+  /// All shard envs must share obs/action dims and horizon; an empty
+  /// shard list yields an empty Rollout (num_steps == num_users == 0)
+  /// rather than crashing — callers skip the PPO update.
+  Rollout Collect(const std::vector<RolloutShard>& shards, Agent& agent,
+                  int num_steps, Rng& rng) const;
+
+  core::ThreadPool* pool() const { return pool_; }
+
+ private:
+  core::ThreadPool* pool_;
+};
+
+}  // namespace rl
+}  // namespace sim2rec
+
+#endif  // SIM2REC_RL_PARALLEL_ROLLOUT_H_

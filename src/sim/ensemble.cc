@@ -50,10 +50,15 @@ void SimulatorEnsemble::AddSimulator(
 
 std::vector<nn::Tensor> SimulatorEnsemble::AllMeans(
     const nn::Tensor& inputs) const {
-  std::vector<nn::Tensor> means;
-  means.reserve(simulators_.size());
-  for (const auto& simulator : simulators_) {
-    means.push_back(simulator->Predict(inputs).mean);
+  std::vector<nn::Tensor> means(simulators_.size());
+  if (pool_ != nullptr && size() > 1) {
+    pool_->ParallelFor(size(), [this, &inputs, &means](int i) {
+      means[i] = simulators_[i]->Predict(inputs).mean;
+    });
+  } else {
+    for (int i = 0; i < size(); ++i) {
+      means[i] = simulators_[i]->Predict(inputs).mean;
+    }
   }
   return means;
 }

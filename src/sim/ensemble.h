@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "data/dataset.h"
 #include "sim/user_simulator.h"
 
@@ -33,6 +34,13 @@ class SimulatorEnsemble {
   /// Adds a pre-trained simulator (used by tests).
   void AddSimulator(std::unique_ptr<UserSimulator> simulator);
 
+  /// Fans AllMeans / Uncertainty out across members on `pool` (null =>
+  /// serial). Member forward passes are const and land in per-member
+  /// slots, so parallel and serial results are bit-identical. The pool
+  /// must outlive the ensemble.
+  void set_thread_pool(core::ThreadPool* pool) { pool_ = pool; }
+  core::ThreadPool* thread_pool() const { return pool_; }
+
   /// Mean prediction of every member: [count][N x 1].
   std::vector<nn::Tensor> AllMeans(const nn::Tensor& inputs) const;
 
@@ -45,6 +53,7 @@ class SimulatorEnsemble {
  private:
   std::vector<std::unique_ptr<UserSimulator>> simulators_;
   std::vector<double> train_nlls_;
+  core::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sim

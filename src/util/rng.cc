@@ -15,9 +15,16 @@ uint64_t SplitMix64(uint64_t* state) {
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
+/// SplitMix64 finalizer: a bijective 64-bit mix.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
 }
@@ -97,6 +104,17 @@ std::vector<int> Rng::Permutation(int n) {
 
 Rng Rng::Split(uint64_t salt) {
   const uint64_t child_seed = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(child_seed);
+}
+
+Rng Rng::Substream(uint64_t stream_id) const {
+  // Domain-separate the root seed, then inject the counter through an
+  // odd-constant multiply (injective mod 2^64) and finalize. Distinct
+  // stream ids therefore yield distinct child seeds for a fixed root,
+  // and nearby ids land in decorrelated xoshiro orbits.
+  const uint64_t root = Mix64(seed_ ^ 0xd2b74407b1ce6e93ULL);
+  const uint64_t child_seed =
+      Mix64(root + 0x9e3779b97f4a7c15ULL * (stream_id + 1));
   return Rng(child_seed);
 }
 

@@ -48,7 +48,21 @@ class Rng {
   /// Derives an independent child generator; deterministic in (state, salt).
   Rng Split(uint64_t salt);
 
+  /// Counter-based substream derivation: a pure function of the seed
+  /// this generator was *constructed* with and `stream_id` — drawing
+  /// from this generator (or from any other substream) never changes
+  /// what Substream(k) returns. This is what makes parallel shard
+  /// decomposition thread-count invariant: shard k's stream depends
+  /// only on (root seed, k), not on scheduling or construction order.
+  /// Contrast with Split(), which consumes state and therefore depends
+  /// on every draw made before it.
+  Rng Substream(uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with (substream root).
+  uint64_t seed() const { return seed_; }
+
  private:
+  uint64_t seed_;
   uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/context_agent.h"
 #include "data/generation.h"
+#include "rl/parallel_rollout.h"
 #include "sim/ensemble.h"
 #include "sim/filters.h"
 #include "sim/sim_env.h"
@@ -238,6 +240,84 @@ TEST_F(SimTest, ActiveSimulatorSwappable) {
   env.Reset(rng);
   nn::Tensor actions(6, 2, 0.4);
   EXPECT_NO_FATAL_FAILURE(env.Step(actions, rng));
+}
+
+TEST_F(SimTest, ExecFilterExactToleranceBoundary) {
+  // The executable box is [low - tol, high + tol] with *inclusive*
+  // boundaries: ActionExecutable uses strict comparisons, so an action
+  // landing exactly on the tolerance edge still executes. The range and
+  // tolerance are chosen to be exactly representable in binary so the
+  // boundary arithmetic is bit-exact.
+  data::ActionRange range;
+  range.low = {0.25};
+  range.high = {0.75};
+  const double tol = 0.125;
+  EXPECT_TRUE(ActionExecutable(range, {0.25 - tol}, tol));  // on lower edge
+  EXPECT_TRUE(ActionExecutable(range, {0.75 + tol}, tol));  // on upper edge
+  EXPECT_FALSE(ActionExecutable(range, {std::nextafter(0.25 - tol, 0.0)},
+                                tol));
+  EXPECT_FALSE(ActionExecutable(range, {std::nextafter(0.75 + tol, 1.0)},
+                                tol));
+  // Zero tolerance degenerates to the raw logged envelope, edges included.
+  EXPECT_TRUE(ActionExecutable(range, {0.25}, 0.0));
+  EXPECT_TRUE(ActionExecutable(range, {0.75}, 0.0));
+  EXPECT_FALSE(ActionExecutable(range, {std::nextafter(0.25, 0.0)}, 0.0));
+}
+
+TEST_F(SimTest, ExecFilterFloorRewardAppliedOncePerTermination) {
+  SimEnvConfig config = QuickSimEnvConfig();
+  config.gamma = 0.5;
+  config.r_min = -1.0;
+  // A negative tolerance shrinks every executable box to the empty set,
+  // so the very first step violates F_exec for all users regardless of
+  // the logged envelopes.
+  config.exec_tolerance = -10.0;
+  SimGroupEnv env(dataset_, 0, ensemble_, config);
+  Rng rng(9);
+  env.Reset(rng);
+  nn::Tensor actions(6, 2, 0.4);
+
+  const double floor = config.r_min / (1.0 - config.gamma);  // -2.0
+  const envs::StepResult first = env.Step(actions, rng);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(first.dones[i], 1);
+    EXPECT_DOUBLE_EQ(first.rewards[i], floor);
+  }
+  // The floor is a terminal payout, not an absorbing-state annuity:
+  // already-done users collect reward 0 on subsequent steps.
+  const envs::StepResult second = env.Step(actions, rng);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(second.dones[i], 1);
+    EXPECT_DOUBLE_EQ(second.rewards[i], 0.0);
+  }
+}
+
+TEST_F(SimTest, TrendFilterAllViolatingGroupYieldsEmptySelection) {
+  // With an unattainable slope requirement every driver violates F_trend.
+  const std::vector<double> deltas = {-0.2, -0.1, 0.0, 0.1, 0.2};
+  const auto keep =
+      TrendFilter(*ensemble_, *dataset_, deltas, 1, /*min_slope=*/1e9);
+  EXPECT_TRUE(keep.empty());
+
+  // Selecting an empty keep-set must yield an empty (but valid) dataset...
+  const data::LoggedDataset filtered = SelectTrajectories(*dataset_, keep);
+  EXPECT_EQ(filtered.size(), 0);
+
+  // ...and downstream consumers must cope: the parallel rollout collector
+  // treats a groupless shard list as an empty rollout instead of crashing.
+  core::ContextAgentConfig agent_config;
+  agent_config.obs_dim = envs::kDprObsDim;
+  agent_config.action_dim = envs::kDprActionDim;
+  agent_config.policy_hidden = {8};
+  agent_config.value_hidden = {8};
+  Rng agent_rng(10);
+  core::ContextAgent agent(agent_config, nullptr, agent_rng);
+  rl::ParallelRolloutCollector collector(nullptr);
+  Rng rollout_rng(11);
+  const rl::Rollout rollout =
+      collector.Collect({}, agent, /*num_steps=*/4, rollout_rng);
+  EXPECT_EQ(rollout.num_steps, 0);
+  EXPECT_EQ(rollout.num_users, 0);
 }
 
 TEST_F(SimTest, StaticsFromObsRowRoundTrip) {
