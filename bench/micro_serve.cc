@@ -1,0 +1,216 @@
+// Microbenchmark of the policy-serving subsystem (src/serve): a closed
+// loop of N simulated LTS users driving a micro-batched InferenceServer
+// that serves a checkpoint exported by the LTS experiment pipeline.
+//
+// Two things are measured / asserted:
+//   1. Correctness: with micro-batching on, the per-user observation
+//      streams collected during the concurrent run are replayed through
+//      serial single-request inference; every action must match
+//      bit-for-bit (ServeStep is row-decomposable, so micro-batch
+//      composition must never leak into any user's answer).
+//   2. Throughput: requests/sec and latency quantiles (p50/p95/p99) at
+//      1/2/4/8 concurrent client threads, each thread driving its own
+//      slice of users round-robin.
+//
+// Note: on a single-core container the thread counts collapse to ~1x;
+// the bitwise check is load-bearing regardless.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/factories.h"
+#include "envs/lts_env.h"
+#include "experiments/lts_experiment.h"
+#include "serve/checkpoint.h"
+#include "serve/inference_server.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace sim2rec {
+namespace {
+
+bool BitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(double) * static_cast<size_t>(a.size())) == 0;
+}
+
+/// One simulated user: a single-user LTS deployment environment plus its
+/// current observation, advanced by the guarded action the server
+/// returns (exactly what a live recommender loop would do).
+struct SimUser {
+  std::unique_ptr<envs::LtsEnv> env;
+  std::unique_ptr<Rng> rng;
+  nn::Tensor obs;  // [1 x obs_dim]
+};
+
+SimUser MakeUser(uint64_t user_id) {
+  envs::LtsConfig config;
+  config.num_users = 1;
+  config.horizon = 1 << 20;  // the bench controls episode length
+  config.user_seed = 9000 + user_id;
+  SimUser user;
+  user.env = std::make_unique<envs::LtsEnv>(config);
+  user.rng = std::make_unique<Rng>(500 + user_id);
+  user.obs = user.env->Reset(*user.rng);
+  return user;
+}
+
+serve::InferenceServerConfig ServerConfig(bool micro_batching,
+                                          int max_batch_size) {
+  serve::InferenceServerConfig config;
+  config.micro_batching = micro_batching;
+  config.max_batch_size = max_batch_size;
+  config.max_queue_delay_us = 200;
+  config.action_low = {0.0};
+  config.action_high = {1.0};
+  return config;
+}
+
+/// Drives `num_users` users for `steps` steps each from `num_clients`
+/// concurrent threads (users partitioned across clients, round-robin
+/// within a client). Optionally records every user's observation and
+/// action stream.
+void DriveClosedLoop(serve::InferenceServer& server, int num_users,
+                     int num_clients, int steps,
+                     std::vector<std::vector<nn::Tensor>>* obs_log,
+                     std::vector<std::vector<nn::Tensor>>* action_log) {
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<int> mine;
+      for (int u = c; u < num_users; u += num_clients) mine.push_back(u);
+      std::vector<SimUser> users;
+      for (int u : mine) users.push_back(MakeUser(u));
+      for (int t = 0; t < steps; ++t) {
+        for (size_t k = 0; k < users.size(); ++k) {
+          SimUser& user = users[k];
+          const uint64_t user_id = mine[k];
+          if (obs_log) (*obs_log)[user_id].push_back(user.obs);
+          const serve::ServeReply reply = server.Act(user_id, user.obs);
+          if (action_log) (*action_log)[user_id].push_back(reply.action);
+          const envs::StepResult result =
+              user.env->Step(reply.action, *user.rng);
+          user.obs = result.next_obs;
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+}
+
+int Run(int argc, char** argv) {
+  const bool full = HasFlag(argc, argv, "--full");
+  SetLogLevel(LogLevel::kWarn);
+
+  // --- Train a small Sim2Rec agent and export the serving bundle. -------
+  const std::string checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "sim2rec_micro_serve_ckpt")
+          .string();
+  experiments::LtsExperimentConfig train_config;
+  train_config.num_users = full ? 16 : 8;
+  train_config.horizon = full ? 16 : 8;
+  train_config.iterations = full ? 8 : 3;
+  train_config.eval_every = train_config.iterations;  // one cheap eval
+  train_config.eval_episodes = 1;
+  train_config.sadae_pretrain_epochs = full ? 6 : 3;
+  train_config.export_checkpoint_dir = checkpoint_dir;
+  train_config.seed = 17;
+  std::printf("micro_serve — policy-serving throughput\n");
+  std::printf("training Sim2Rec (%d iters) and exporting to %s ...\n",
+              train_config.iterations, checkpoint_dir.c_str());
+  experiments::RunLtsVariant(baselines::AgentVariant::kSim2Rec, {-4.0, 4.0},
+                             train_config);
+
+  std::unique_ptr<serve::LoadedPolicy> policy =
+      serve::LoadCheckpoint(checkpoint_dir);
+  if (!policy) {
+    std::printf("FAIL: could not load the exported checkpoint\n");
+    return 1;
+  }
+  std::printf("loaded checkpoint: variant=%s train_iterations=%d\n\n",
+              policy->metadata.variant.c_str(),
+              policy->metadata.train_iterations);
+
+  // --- Phase 1: batched == serial, bit for bit. -------------------------
+  const int kCheckUsers = 8;
+  const int kCheckSteps = full ? 40 : 20;
+  std::vector<std::vector<nn::Tensor>> obs_log(kCheckUsers);
+  std::vector<std::vector<nn::Tensor>> action_log(kCheckUsers);
+  {
+    serve::InferenceServer batched(
+        policy->agent.get(), ServerConfig(true, kCheckUsers));
+    DriveClosedLoop(batched, kCheckUsers, /*num_clients=*/kCheckUsers,
+                    kCheckSteps, &obs_log, &action_log);
+    const serve::InferenceServerStats stats = batched.stats();
+    std::printf("determinism check: %lld requests in %lld batches "
+                "(mean occupancy %.2f, max %d)\n",
+                static_cast<long long>(stats.requests),
+                static_cast<long long>(stats.batches),
+                stats.mean_batch_occupancy, stats.max_batch);
+  }
+  bool identical = true;
+  {
+    serve::InferenceServer serial(policy->agent.get(),
+                                  ServerConfig(false, 1));
+    for (int u = 0; u < kCheckUsers && identical; ++u) {
+      for (int t = 0; t < kCheckSteps; ++t) {
+        const serve::ServeReply reply = serial.Act(u, obs_log[u][t]);
+        if (!BitwiseEqual(reply.action, action_log[u][t])) {
+          std::printf("FAIL: user %d step %d diverges between batched "
+                      "and serial serving\n", u, t);
+          identical = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!identical) return 1;
+  std::printf("batched output bitwise-identical to serial replay "
+              "(%d users x %d steps)\n\n", kCheckUsers, kCheckSteps);
+
+  // --- Phase 2: throughput at 1/2/4/8 client threads. -------------------
+  const int kSteps = full ? 200 : 60;
+  const int kUsersPerClient = 4;
+  const std::vector<int> client_counts = {1, 2, 4, 8};
+  std::printf("%-9s %-7s %-12s %-9s %-9s %-9s %-10s\n", "clients",
+              "users", "req/sec", "p50(us)", "p95(us)", "p99(us)",
+              "occupancy");
+  CsvWriter csv("results/micro_serve.csv",
+                {"clients", "users", "req_per_sec", "p50_us", "p95_us",
+                 "p99_us", "mean_occupancy"});
+  for (int clients : client_counts) {
+    const int num_users = clients * kUsersPerClient;
+    core::ThreadPool pool(2);  // dedicated to this server's batcher
+    serve::InferenceServer server(
+        policy->agent.get(),
+        ServerConfig(true, /*max_batch_size=*/num_users), &pool);
+    // Warm-up (excluded from timing).
+    DriveClosedLoop(server, num_users, clients, 2, nullptr, nullptr);
+    Stopwatch stopwatch;
+    DriveClosedLoop(server, num_users, clients, kSteps, nullptr, nullptr);
+    const double seconds = stopwatch.ElapsedSeconds();
+    const serve::InferenceServerStats stats = server.stats();
+    const double rate = num_users * static_cast<double>(kSteps) / seconds;
+    std::printf("%-9d %-7d %-12.0f %-9.0f %-9.0f %-9.0f %-10.2f\n",
+                clients, num_users, rate, stats.latency_p50_us,
+                stats.latency_p95_us, stats.latency_p99_us,
+                stats.mean_batch_occupancy);
+    csv.WriteRow({static_cast<double>(clients),
+                  static_cast<double>(num_users), rate,
+                  stats.latency_p50_us, stats.latency_p95_us,
+                  stats.latency_p99_us, stats.mean_batch_occupancy});
+  }
+  std::printf("\nserving checkpoint round trip + micro-batching OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sim2rec
+
+int main(int argc, char** argv) { return sim2rec::Run(argc, argv); }

@@ -156,6 +156,71 @@ rl::Agent::StepOutput ContextAgent::Step(const nn::Tensor& obs, Rng& rng,
   return out;
 }
 
+ContextAgent::ServeBatch ContextAgent::InitialServeBatch(int n) const {
+  S2R_CHECK(n > 0);
+  ServeBatch batch;
+  if (config_.use_extractor) {
+    batch.h = nn::Tensor::Zeros(n, config_.lstm_hidden);
+    if (lstm_ != nullptr) {
+      batch.c = nn::Tensor::Zeros(n, config_.lstm_hidden);
+    }
+  }
+  batch.prev_actions = nn::Tensor::Zeros(n, config_.action_dim);
+  return batch;
+}
+
+ContextAgent::ServeOutput ContextAgent::ServeStep(const nn::Tensor& obs,
+                                                  ServeBatch* state) const {
+  S2R_CHECK(state != nullptr);
+  const int n = obs.rows();
+  S2R_CHECK(n > 0 && obs.cols() == config_.obs_dim);
+  S2R_CHECK(state->prev_actions.rows() == n &&
+            state->prev_actions.cols() == config_.action_dim);
+
+  const nn::Tensor obs_n =
+      normalizer_ != nullptr ? normalizer_->Normalize(obs) : obs;
+
+  ServeOutput out;
+  nn::Tensor ctx;
+  if (config_.use_extractor) {
+    S2R_CHECK(state->h.rows() == n &&
+              state->h.cols() == config_.lstm_hidden);
+    std::vector<nn::Tensor> parts = {obs_n, state->prev_actions};
+    if (sadae_ != nullptr) {
+      // SADAE receives raw (unnormalized) features, matching its
+      // pretraining distribution; each user's embedding comes from their
+      // own singleton set so batch composition cannot leak across rows.
+      out.v = sadae_->EncodeRowsValue(
+          BuildSetInput(obs, state->prev_actions));
+      parts.push_back(f_net_->ForwardValue(out.v));
+    }
+    const nn::Tensor rnn_in = nn::HStack(parts);
+    if (lstm_ != nullptr) {
+      S2R_CHECK(state->c.rows() == n &&
+                state->c.cols() == config_.lstm_hidden);
+      const nn::LstmStateValue next =
+          lstm_->ForwardValue(rnn_in, {state->h, state->c});
+      state->h = next.h;
+      state->c = next.c;
+    } else {
+      state->h = gru_->ForwardValue(rnn_in, state->h);
+    }
+    ctx = nn::HStack({obs_n, state->h});
+  } else {
+    ctx = obs_n;
+  }
+
+  out.actions = policy_net_->ForwardValue(ctx);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < config_.action_dim; ++c) {
+      out.actions(r, c) += action_bias_(0, c);
+    }
+  }
+  out.values = value_net_->ForwardValue(ctx);
+  state->prev_actions = out.actions;
+  return out;
+}
+
 std::vector<double> ContextAgent::Values(const nn::Tensor& obs) {
   // Bootstrap value without committing recurrent state.
   const nn::LstmStateValue saved_state = state_;

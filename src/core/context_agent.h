@@ -92,7 +92,41 @@ class ContextAgent : public rl::Agent, public nn::Module {
 
   const ContextAgentConfig& config() const { return config_; }
   sadae::Sadae* sadae() { return sadae_; }
+  const sadae::Sadae* sadae() const { return sadae_; }
   rl::ObservationNormalizer* normalizer() { return normalizer_.get(); }
+  const rl::ObservationNormalizer* normalizer() const {
+    return normalizer_.get();
+  }
+
+  /// Explicit recurrent serving state for a batch of users, one row per
+  /// user. Rows are gathered from / scattered back to the per-user
+  /// serve::SessionStore, so a user can be served across many
+  /// differently-composed micro-batches.
+  struct ServeBatch {
+    nn::Tensor h;             // [N x lstm_hidden] (empty w/o extractor)
+    nn::Tensor c;             // [N x lstm_hidden] (LSTM cell only)
+    nn::Tensor prev_actions;  // [N x action_dim]
+  };
+  struct ServeOutput {
+    nn::Tensor actions;  // [N x action_dim], deterministic (mean + bias)
+    nn::Tensor values;   // [N x 1], critic diagnostics
+    nn::Tensor v;        // [N x latent] per-user group embedding, or empty
+  };
+
+  /// Zeroed serving state for n users (a fresh session).
+  ServeBatch InitialServeBatch(int n) const;
+
+  /// Deterministic inference step for the serving subsystem. Unlike
+  /// Step(), this is const and side-effect-free: recurrent state and
+  /// previous actions are threaded through `state` explicitly, and the
+  /// observation normalizer is read but never updated. Every row is
+  /// computed independently (the SADAE embedding uses each user's own
+  /// singleton (obs, prev_action) set, not the batch as a group), so
+  /// serving a micro-batch of K users is bitwise-identical to serving
+  /// each user alone — the property bench/micro_serve asserts.
+  /// On return, `state` holds the advanced h/c and the emitted actions
+  /// as prev_actions.
+  ServeOutput ServeStep(const nn::Tensor& obs, ServeBatch* state) const;
 
   /// Current group embedding (diagnostics; valid after a Step with
   /// SADAE attached).

@@ -104,6 +104,12 @@ std::vector<IterationLog> ZeroShotTrainer::Train() {
           "iter %d: train_return=%.3f eval_return=%.3f kl=%.4f", iter,
           log.train_return, log.eval_return, log.approx_kl);
     }
+    if (checkpoint_sink_ &&
+        ((config_.checkpoint_every > 0 &&
+          (iter + 1) % config_.checkpoint_every == 0) ||
+         iter == config_.iterations - 1)) {
+      checkpoint_sink_(iter);
+    }
     logs.push_back(log);
   }
   return logs;

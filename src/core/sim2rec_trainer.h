@@ -33,6 +33,10 @@ struct TrainLoopConfig {
   int eval_every = 10;
   int eval_episodes = 2;
 
+  /// Invoke the checkpoint sink (see set_checkpoint_sink) every this
+  /// many iterations in addition to the final one; 0 = final only.
+  int checkpoint_every = 0;
+
   /// Linear learning-rate decay to `final_learning_rate` over the run
   /// (the paper anneals 1e-4 -> 1e-6). Negative disables decay.
   double final_learning_rate = -1.0;
@@ -104,6 +108,16 @@ class ZeroShotTrainer {
     evaluator_ = std::move(evaluator);
   }
 
+  /// Hook for exporting a serving bundle (serve::SaveCheckpoint) while
+  /// training: called with the 0-based iteration after that iteration's
+  /// updates — every `checkpoint_every` iterations and always after the
+  /// last one. The trainer stays agnostic of the serialization format;
+  /// the experiment pipelines install a sink that writes the
+  /// src/serve checkpoint directory.
+  void set_checkpoint_sink(std::function<void(int)> sink) {
+    checkpoint_sink_ = std::move(sink);
+  }
+
   /// Runs the loop; returns one log entry per iteration.
   std::vector<IterationLog> Train();
 
@@ -119,6 +133,7 @@ class ZeroShotTrainer {
   std::unique_ptr<ThreadPool> pool_;  // engine pool (parallelism != 0)
   std::function<void(envs::GroupBatchEnv*, Rng&)> on_env_selected_;
   std::function<double(rl::Agent&, Rng&)> evaluator_;
+  std::function<void(int)> checkpoint_sink_;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 
 #include "data/behavior_policy.h"
 #include "sadae/sadae_trainer.h"
+#include "serve/checkpoint.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -180,6 +181,7 @@ DprTrainedPolicy TrainDprPolicy(const DprPipeline& pipeline,
   loop.sadae_steps_per_iteration = use_sadae ? 1 : 0;
   loop.parallelism = options.parallelism;
   loop.rollout_shards = options.rollout_shards;
+  loop.checkpoint_every = options.checkpoint_every;
   loop.seed = rng.NextU64();
 
   core::ZeroShotTrainer trainer(
@@ -207,6 +209,21 @@ DprTrainedPolicy TrainDprPolicy(const DprPipeline& pipeline,
                                           eval_sim, agent, eval_rng,
                                           /*episodes_per_group=*/1);
         });
+  }
+
+  if (!options.export_checkpoint_dir.empty()) {
+    serve::CheckpointMetadata metadata;
+    metadata.variant = baselines::AgentVariantName(options.variant);
+    metadata.seed = options.seed;
+    const std::string dir = options.export_checkpoint_dir;
+    core::ContextAgent* agent_ptr = trained.agent.get();
+    trainer.set_checkpoint_sink([dir, metadata, agent_ptr](int iteration) {
+      serve::CheckpointMetadata m = metadata;
+      m.train_iterations = iteration + 1;
+      if (!serve::SaveCheckpoint(dir, *agent_ptr, m)) {
+        S2R_LOG_WARN("checkpoint export to '%s' failed", dir.c_str());
+      }
+    });
   }
 
   trained.logs = trainer.Train();

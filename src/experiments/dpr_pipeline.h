@@ -2,6 +2,7 @@
 #define SIM2REC_EXPERIMENTS_DPR_PIPELINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/factories.h"
@@ -104,6 +105,11 @@ struct DprTrainOptions {
   int parallelism = 0;
   /// (Simulator-draw x group) shards per iteration under the engine.
   int rollout_shards = 1;
+  /// When non-empty, export the trained agent as a serving bundle
+  /// (serve::SaveCheckpoint) into this directory after the final
+  /// iteration — and every `checkpoint_every` iterations when > 0.
+  std::string export_checkpoint_dir;
+  int checkpoint_every = 0;
   uint64_t seed = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include "data/behavior_policy.h"
 #include "sadae/sadae_trainer.h"
+#include "serve/checkpoint.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -116,12 +117,28 @@ LtsRunResult RunLtsVariant(baselines::AgentVariant variant,
   loop.sadae_steps_per_iteration = sadae_model != nullptr ? 1 : 0;
   loop.parallelism = config.parallelism;
   loop.rollout_shards = config.rollout_shards;
+  loop.checkpoint_every = config.checkpoint_every;
   loop.seed = rng.NextU64();
 
   core::ZeroShotTrainer trainer(&agent, training_envs, loop,
                                 sadae_trainer.get(),
                                 sadae_model != nullptr ? &sadae_sets
                                                        : nullptr);
+  if (!config.export_checkpoint_dir.empty()) {
+    serve::CheckpointMetadata metadata;
+    metadata.variant = baselines::AgentVariantName(variant);
+    metadata.seed = config.seed;
+    const std::string dir = config.export_checkpoint_dir;
+    core::ContextAgent* agent_ptr = &agent;
+    trainer.set_checkpoint_sink([dir, metadata, agent_ptr](int iteration) {
+      serve::CheckpointMetadata m = metadata;
+      m.train_iterations = iteration + 1;
+      if (!serve::SaveCheckpoint(dir, *agent_ptr, m)) {
+        S2R_LOG_WARN("checkpoint export to '%s' failed", dir.c_str());
+      }
+    });
+  }
+
   const int eval_episodes = config.eval_episodes;
   trainer.set_evaluator(
       [&target_env, eval_episodes](rl::Agent& eval_agent, Rng& eval_rng) {

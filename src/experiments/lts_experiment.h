@@ -2,6 +2,7 @@
 #define SIM2REC_EXPERIMENTS_LTS_EXPERIMENT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/factories.h"
@@ -48,6 +49,12 @@ struct LtsExperimentConfig {
   int parallelism = 0;
   /// Training envs rolled out per iteration when the engine is active.
   int rollout_shards = 1;
+
+  /// When non-empty, the trained agent is exported as a serving bundle
+  /// (serve::SaveCheckpoint) into this directory after the final
+  /// iteration — and every `checkpoint_every` iterations when > 0.
+  std::string export_checkpoint_dir;
+  int checkpoint_every = 0;
 
   uint64_t seed = 0;
 };

@@ -8,44 +8,75 @@ namespace nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x53325231;  // "S2R1"
+/// Container version; bump when the layout changes. Version 2 added the
+/// header version field itself (version-1 files had none and are no
+/// longer produced anywhere in the tree).
+constexpr uint32_t kVersion = 2;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
+/// Caps on untrusted header fields: a corrupted length prefix must fail
+/// the load, not drive a multi-gigabyte allocation (which would abort
+/// via std::bad_alloc instead of returning false).
+constexpr uint32_t kMaxStringLen = 1u << 16;
+constexpr uint32_t kMaxTensorDim = 1u << 24;
+constexpr uint32_t kMaxParams = 1u << 20;
+
+void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
+bool ReadU32(std::istream& in, uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
+  return in.gcount() == sizeof(*v) && in.good();
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+}  // namespace
+
+void WriteString(std::ostream& out, const std::string& s) {
   WriteU32(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
+bool ReadString(std::istream& in, std::string* s) {
   uint32_t n = 0;
   if (!ReadU32(in, &n)) return false;
+  if (n > kMaxStringLen) return false;
   s->resize(n);
   in.read(s->data(), n);
-  return in.good();
+  return in.gcount() == static_cast<std::streamsize>(n) && !in.bad();
 }
 
-}  // namespace
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  WriteU32(out, static_cast<uint32_t>(t.rows()));
+  WriteU32(out, static_cast<uint32_t>(t.cols()));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(double)));
+}
+
+bool ReadTensor(std::istream& in, Tensor* t) {
+  uint32_t rows = 0, cols = 0;
+  if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) return false;
+  if (rows > kMaxTensorDim || cols > kMaxTensorDim) return false;
+  const uint64_t count = static_cast<uint64_t>(rows) * cols;
+  if (count > static_cast<uint64_t>(kMaxTensorDim)) return false;
+  Tensor out(static_cast<int>(rows), static_cast<int>(cols));
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(count * sizeof(double));
+  in.read(reinterpret_cast<char*>(out.data()), bytes);
+  if (in.gcount() != bytes || in.bad()) return false;
+  *t = std::move(out);
+  return true;
+}
 
 bool SaveModule(const std::string& path, Module& module) {
   std::ofstream out(path, std::ios::binary);
   if (!out.good()) return false;
   const auto params = module.Parameters();
   WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
   WriteU32(out, static_cast<uint32_t>(params.size()));
   for (const Parameter* p : params) {
     WriteString(out, p->name);
-    WriteU32(out, static_cast<uint32_t>(p->value.rows()));
-    WriteU32(out, static_cast<uint32_t>(p->value.cols()));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() *
-                                           sizeof(double)));
+    WriteTensor(out, p->value);
   }
   return out.good();
 }
@@ -53,23 +84,24 @@ bool SaveModule(const std::string& path, Module& module) {
 bool LoadModule(const std::string& path, Module& module) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
-  uint32_t magic = 0, count = 0;
+  uint32_t magic = 0, version = 0, count = 0;
   if (!ReadU32(in, &magic) || magic != kMagic) return false;
-  if (!ReadU32(in, &count)) return false;
+  if (!ReadU32(in, &version) || version != kVersion) return false;
+  if (!ReadU32(in, &count) || count > kMaxParams) return false;
   const auto params = module.Parameters();
   if (params.size() != count) return false;
-  for (Parameter* p : params) {
+  // Stage everything before committing: a truncated or corrupted file
+  // must not leave the module with half of its parameters overwritten.
+  std::vector<Tensor> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
     std::string name;
-    uint32_t rows = 0, cols = 0;
     if (!ReadString(in, &name)) return false;
-    if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) return false;
-    if (name != p->name || static_cast<int>(rows) != p->value.rows() ||
-        static_cast<int>(cols) != p->value.cols()) {
-      return false;
-    }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-    if (!in.good()) return false;
+    if (name != params[i]->name) return false;
+    if (!ReadTensor(in, &staged[i])) return false;
+    if (!staged[i].SameShape(params[i]->value)) return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
   }
   return true;
 }

@@ -1,6 +1,7 @@
 #ifndef SIM2REC_NN_SERIALIZE_H_
 #define SIM2REC_NN_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -10,13 +11,30 @@ namespace sim2rec {
 namespace nn {
 
 /// Writes all parameters of a module (names, shapes, values) to a simple
-/// binary container. Returns false on I/O failure.
+/// binary container. Doubles are written as raw IEEE-754 bytes, so the
+/// round trip is exact (no text formatting, no precision loss).
+/// Returns false on I/O failure.
 bool SaveModule(const std::string& path, Module& module);
 
 /// Restores parameters saved with SaveModule. The module must already have
 /// the identical parameter layout (names and shapes are verified).
-/// Returns false on I/O failure or layout mismatch.
+/// Returns false — never aborts — on I/O failure, layout mismatch, or a
+/// corrupted/truncated file (bad magic, absurd sizes, short reads).
 bool LoadModule(const std::string& path, Module& module);
+
+/// Stream-level tensor helpers shared by SaveModule/LoadModule and the
+/// serving checkpoints (src/serve/checkpoint): rows, cols as uint32
+/// followed by rows*cols raw little-endian doubles. ReadTensor returns
+/// false (without allocating unbounded memory) on truncated or corrupted
+/// input.
+void WriteTensor(std::ostream& out, const Tensor& t);
+bool ReadTensor(std::istream& in, Tensor* t);
+
+/// Length-prefixed string helpers in the same container format. The
+/// length is bounded (kMaxStringLen) so a corrupted prefix cannot trigger
+/// a multi-gigabyte allocation.
+void WriteString(std::ostream& out, const std::string& s);
+bool ReadString(std::istream& in, std::string* s);
 
 }  // namespace nn
 }  // namespace sim2rec

@@ -19,6 +19,17 @@ void ObservationNormalizer::CopyFrom(const ObservationNormalizer& other) {
   m2_ = other.m2_;
 }
 
+void ObservationNormalizer::RestoreStats(int64_t count,
+                                         const nn::Tensor& mean,
+                                         const nn::Tensor& m2) {
+  S2R_CHECK(count >= 0);
+  S2R_CHECK(mean.rows() == 1 && mean.cols() == dim_);
+  S2R_CHECK(m2.rows() == 1 && m2.cols() == dim_);
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+}
+
 void ObservationNormalizer::Update(const nn::Tensor& batch) {
   if (frozen_) return;
   S2R_CHECK(batch.cols() == dim_);

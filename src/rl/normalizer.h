@@ -31,8 +31,15 @@ class ObservationNormalizer {
   int dim() const { return dim_; }
   int64_t count() const { return count_; }
   const nn::Tensor& mean() const { return mean_; }
+  /// Raw second central moment accumulator (serialization).
+  const nn::Tensor& m2() const { return m2_; }
   /// Per-feature standard deviation (floored at 1e-6).
   nn::Tensor Stddev() const;
+
+  /// Overwrites the running statistics with previously saved values
+  /// (serve::Checkpoint restore path). Shapes must be [1 x dim].
+  void RestoreStats(int64_t count, const nn::Tensor& mean,
+                    const nn::Tensor& m2);
 
  private:
   int dim_;

@@ -87,6 +87,13 @@ nn::Tensor Sadae::EncodeSetValue(const nn::Tensor& x) const {
   return mean;
 }
 
+nn::Tensor Sadae::EncodeRowsValue(const nn::Tensor& x) const {
+  S2R_CHECK(x.cols() == config_.input_dim());
+  const nn::Tensor enc_out = encoder_->ForwardValue(x);
+  // Singleton pooling: mean = (p * mu) / p = mu for every row.
+  return enc_out.SliceCols(0, config_.latent_dim);
+}
+
 nn::Var Sadae::NegElbo(nn::Tape& tape, const nn::Tensor& x, Rng& rng) {
   S2R_CHECK(x.cols() == config_.input_dim());
   const int n = x.rows();

@@ -57,6 +57,15 @@ class Sadae : public nn::Module {
   /// Inference-only encoding; returns the posterior mean [1 x latent].
   nn::Tensor EncodeSetValue(const nn::Tensor& x) const;
 
+  /// Per-row singleton-set posterior means: row i of the result is
+  /// EncodeSetValue applied to the set {x_i} alone. For a one-element
+  /// set the product-of-Gaussians pooling reduces to the per-pair
+  /// posterior mean, so this is just the encoder's mean head — one
+  /// batched forward, rows independent. The serving layer uses this so
+  /// a user's group embedding never depends on which other users happen
+  /// to share a micro-batch (see DESIGN.md, "Serving").
+  nn::Tensor EncodeRowsValue(const nn::Tensor& x) const;
+
   /// Negative tractable ELBO of one set (Theorem 4.1), normalized by the
   /// set size. `rng` drives the reparameterized latent sample.
   nn::Var NegElbo(nn::Tape& tape, const nn::Tensor& x, Rng& rng);

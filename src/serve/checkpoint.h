@@ -1,0 +1,56 @@
+#ifndef SIM2REC_SERVE_CHECKPOINT_H_
+#define SIM2REC_SERVE_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/context_agent.h"
+#include "sadae/sadae.h"
+
+namespace sim2rec {
+namespace serve {
+
+/// Informational fields stored alongside the inference bundle (never
+/// required for loading; unknown manifest keys are ignored so old
+/// binaries can read newer checkpoints).
+struct CheckpointMetadata {
+  std::string variant;       // e.g. "Sim2Rec", "DR-OSI"
+  uint64_t seed = 0;         // training seed
+  int train_iterations = 0;  // PPO iterations the bundle was trained for
+};
+
+/// A checkpoint restored into a ready-to-serve agent. The SADAE (when
+/// the bundle has one) is owned here because the ContextAgent only
+/// borrows it.
+struct LoadedPolicy {
+  core::ContextAgentConfig config;
+  CheckpointMetadata metadata;
+  std::unique_ptr<sadae::Sadae> sadae;
+  std::unique_ptr<core::ContextAgent> agent;
+};
+
+/// Saves a full inference bundle into directory `dir` (created if
+/// missing):
+///   manifest.txt    ContextAgentConfig + SadaeConfig + metadata as
+///                   text key/value lines; doubles in hexfloat so the
+///                   round trip is bit-exact
+///   agent.bin       policy + value + extractor LSTM/GRU + f weights
+///                   (nn::SaveModule container)
+///   sadae.bin       SADAE weights (only when the agent has a SADAE)
+///   normalizer.bin  observation-normalizer running stats (count, mean,
+///                   M2), only when normalization is enabled
+/// Returns false on any I/O failure.
+bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
+                    const CheckpointMetadata& metadata = {});
+
+/// Restores a bundle saved with SaveCheckpoint. The agent is rebuilt
+/// from the manifest config, its parameters and normalizer statistics
+/// are loaded bit-exactly, and the normalizer is frozen (deployment
+/// never updates running stats). Returns nullptr on missing files,
+/// corruption, or layout mismatch — never aborts.
+std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir);
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_CHECKPOINT_H_

@@ -1,0 +1,245 @@
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace serve {
+
+SessionDims SessionDimsFor(const core::ContextAgent& agent) {
+  const core::ContextAgentConfig& config = agent.config();
+  SessionDims dims;
+  if (config.use_extractor) {
+    dims.hidden = config.lstm_hidden;
+    dims.has_cell = config.extractor_cell ==
+                    core::ContextAgentConfig::ExtractorCell::kLstm;
+  }
+  dims.action_dim = config.action_dim;
+  dims.latent_dim =
+      agent.sadae() != nullptr ? agent.sadae()->latent_dim() : 0;
+  return dims;
+}
+
+InferenceServer::InferenceServer(const core::ContextAgent* agent,
+                                 const InferenceServerConfig& config,
+                                 core::ThreadPool* pool)
+    : agent_(agent), config_(config), pool_(pool),
+      epoch_(std::chrono::steady_clock::now()) {
+  S2R_CHECK(agent != nullptr);
+  S2R_CHECK(config.max_batch_size >= 1);
+  S2R_CHECK(config.max_queue_delay_us >= 0);
+  S2R_CHECK(config.action_low.size() == config.action_high.size());
+  S2R_CHECK(config.action_low.empty() ||
+            static_cast<int>(config.action_low.size()) ==
+                agent->config().action_dim);
+  store_ = std::make_unique<SessionStore>(SessionDimsFor(*agent),
+                                          config.sessions);
+  if (config_.micro_batching) {
+    batcher_ = std::thread([this] { BatcherLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+void InferenceServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+int64_t InferenceServer::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
+  S2R_CHECK(obs.rows() == 1);
+  S2R_CHECK(obs.cols() == agent_->config().obs_dim);
+  Pending pending;
+  pending.user_id = user_id;
+  pending.obs = &obs;
+  pending.enqueued = std::chrono::steady_clock::now();
+
+  if (!config_.micro_batching) {
+    // Serial reference path: one request, inline on the caller.
+    std::lock_guard<std::mutex> serial(serial_mutex_);
+    ProcessBatch({&pending});
+    latency_.Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - pending.enqueued)
+                        .count());
+    return pending.reply;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    S2R_CHECK_MSG(!stop_, "InferenceServer::Act after Shutdown");
+    queue_.push_back(&pending);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending.done; });
+  return pending.reply;
+}
+
+void InferenceServer::EndSession(uint64_t user_id) {
+  store_->Erase(user_id);
+}
+
+void InferenceServer::BatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;  // drained
+      continue;
+    }
+    // A request is pending: hold the door open briefly for stragglers
+    // so concurrent callers coalesce into one forward pass.
+    if (config_.max_queue_delay_us > 0 &&
+        static_cast<int>(queue_.size()) < config_.max_batch_size) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.max_queue_delay_us);
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stop_ ||
+               static_cast<int>(queue_.size()) >= config_.max_batch_size;
+      });
+    }
+    std::vector<Pending*> batch;
+    const int take = std::min(static_cast<int>(queue_.size()),
+                              config_.max_batch_size);
+    batch.reserve(take);
+    for (int i = 0; i < take; ++i) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    lock.unlock();
+
+    ProcessBatch(batch);
+
+    const auto fulfilled = std::chrono::steady_clock::now();
+    for (const Pending* p : batch) {
+      latency_.Record(std::chrono::duration<double, std::micro>(
+                          fulfilled - p->enqueued)
+                          .count());
+    }
+    lock.lock();
+    for (Pending* p : batch) p->done = true;
+    done_cv_.notify_all();
+  }
+}
+
+void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
+  const int k = static_cast<int>(batch.size());
+  S2R_CHECK(k >= 1);
+  const int64_t now_ms = NowMs();
+  const SessionDims& dims = store_->dims();
+  const core::ContextAgentConfig& config = agent_->config();
+
+  // Gather sessions serially so the store's LRU bookkeeping follows
+  // arrival order deterministically.
+  std::vector<Session> sessions(k);
+  for (int i = 0; i < k; ++i) {
+    sessions[i] = store_->Acquire(batch[i]->user_id, now_ms);
+  }
+
+  const auto run_rows = [&](const std::function<void(int)>& fn) {
+    if (pool_ != nullptr && k > 1) {
+      pool_->ParallelFor(k, fn);
+    } else {
+      for (int i = 0; i < k; ++i) fn(i);
+    }
+  };
+
+  // Pack per-user rows into one batch (row i belongs to request i —
+  // writes never alias, so the pool fan-out is race-free and the
+  // result is independent of the thread count).
+  nn::Tensor obs(k, config.obs_dim);
+  core::ContextAgent::ServeBatch state;
+  if (dims.hidden > 0) {
+    state.h = nn::Tensor(k, dims.hidden);
+    if (dims.has_cell) state.c = nn::Tensor(k, dims.hidden);
+  }
+  state.prev_actions = nn::Tensor(k, dims.action_dim);
+  run_rows([&](int i) {
+    obs.SetRow(i, *batch[i]->obs);
+    if (dims.hidden > 0) {
+      state.h.SetRow(i, sessions[i].h);
+      if (dims.has_cell) state.c.SetRow(i, sessions[i].c);
+    }
+    state.prev_actions.SetRow(i, sessions[i].prev_action);
+  });
+
+  // One coalesced forward pass (policy + value + extractor + SADAE).
+  const core::ContextAgent::ServeOutput out =
+      agent_->ServeStep(obs, &state);
+
+  // Unpack: advance each session, apply the F_exec guard, fill replies.
+  const bool guard = !config_.action_low.empty();
+  run_rows([&](int i) {
+    Session& session = sessions[i];
+    if (dims.hidden > 0) {
+      session.h = state.h.Row(i);
+      if (dims.has_cell) session.c = state.c.Row(i);
+    }
+    session.prev_action = state.prev_actions.Row(i);
+    if (dims.latent_dim > 0) session.v = out.v.Row(i);
+    ++session.steps;
+
+    ServeReply& reply = batch[i]->reply;
+    reply.action = out.actions.Row(i);
+    reply.value = out.values(i, 0);
+    reply.batch_size = k;
+    reply.exec_clamped = false;
+    if (guard) {
+      for (int c = 0; c < dims.action_dim; ++c) {
+        const double lo = config_.action_low[c] - config_.exec_tolerance;
+        const double hi = config_.action_high[c] + config_.exec_tolerance;
+        double& a = reply.action(0, c);
+        if (a < lo) {
+          a = lo;
+          reply.exec_clamped = true;
+        } else if (a > hi) {
+          a = hi;
+          reply.exec_clamped = true;
+        }
+      }
+      if (reply.exec_clamped) {
+        exec_clamps_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Commit serially, again in arrival order.
+  for (int i = 0; i < k; ++i) {
+    store_->Commit(batch[i]->user_id, std::move(sessions[i]), now_ms);
+  }
+  occupancy_.Record(k);
+}
+
+InferenceServerStats InferenceServer::stats() const {
+  InferenceServerStats stats;
+  stats.requests = occupancy_.requests();
+  stats.batches = occupancy_.batches();
+  stats.mean_batch_occupancy = occupancy_.mean();
+  stats.max_batch = occupancy_.max();
+  stats.exec_clamps = exec_clamps_.load(std::memory_order_relaxed);
+  stats.latency_p50_us = latency_.QuantileUs(0.50);
+  stats.latency_p95_us = latency_.QuantileUs(0.95);
+  stats.latency_p99_us = latency_.QuantileUs(0.99);
+  stats.latency_mean_us = latency_.mean_us();
+  stats.latency_max_us = latency_.max_us();
+  stats.sessions = store_->stats();
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace sim2rec

@@ -1,0 +1,152 @@
+#ifndef SIM2REC_SERVE_INFERENCE_SERVER_H_
+#define SIM2REC_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/context_agent.h"
+#include "core/thread_pool.h"
+#include "serve/metrics.h"
+#include "serve/session_store.h"
+
+namespace sim2rec {
+namespace serve {
+
+struct InferenceServerConfig {
+  /// Micro-batching: coalesce up to `max_batch_size` concurrent Act()
+  /// calls into one batched forward pass, waiting at most
+  /// `max_queue_delay_us` for stragglers once a request is pending.
+  /// With micro_batching false every request runs alone, synchronously
+  /// on the calling thread — the serial reference path the batched mode
+  /// is bitwise-checked against.
+  int max_batch_size = 16;
+  int max_queue_delay_us = 200;
+  bool micro_batching = true;
+
+  /// Serving-time F_exec guard (mirrors sim/filters): actions outside
+  /// the executable box [low - tolerance, high + tolerance] are clamped
+  /// into it and flagged. Empty vectors disable the guard. The *raw*
+  /// action is what enters the user's recurrent state (training parity:
+  /// the extractor conditioned on unclamped policy outputs; the
+  /// training envs clip internally).
+  std::vector<double> action_low;
+  std::vector<double> action_high;
+  double exec_tolerance = 0.02;
+
+  SessionStoreConfig sessions;
+};
+
+/// One answered request.
+struct ServeReply {
+  nn::Tensor action;        // [1 x action_dim], after the F_exec guard
+  bool exec_clamped = false;
+  double value = 0.0;       // critic estimate (diagnostics)
+  int batch_size = 0;       // size of the micro-batch this rode in
+};
+
+struct InferenceServerStats {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  double mean_batch_occupancy = 0.0;
+  int max_batch = 0;
+  int64_t exec_clamps = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_mean_us = 0.0;
+  double latency_max_us = 0.0;
+  SessionStore::Stats sessions;
+};
+
+/// Micro-batched policy-serving front end over a checkpointed
+/// ContextAgent: Act(user_id, obs) gathers the user's recurrent state
+/// from the SessionStore, rides a coalesced batched ServeStep, applies
+/// the F_exec guard, commits the advanced state, and returns the
+/// action. Because ServeStep is row-decomposable (each user's SADAE
+/// set is their own singleton), the answers are bitwise-identical to
+/// serving every request alone, whatever batch compositions the queue
+/// happens to produce.
+///
+/// Threading: Act() is safe from any number of client threads; a
+/// single internal batcher thread owns the forward pass. The optional
+/// core::ThreadPool parallelizes batch assembly and post-processing
+/// (gather/scatter/guard) across rows; it must be dedicated to this
+/// server (a ThreadPool allows one driving thread at a time). The
+/// caller keeps ownership of agent and pool; both must outlive the
+/// server. Requests of a single user are expected to be sequential
+/// (session affinity) — concurrent same-user requests stay memory-safe
+/// but race on the session state, last commit wins.
+class InferenceServer {
+ public:
+  InferenceServer(const core::ContextAgent* agent,
+                  const InferenceServerConfig& config,
+                  core::ThreadPool* pool = nullptr);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Serves one observation for one user; blocks until the reply is
+  /// computed. `obs` is [1 x obs_dim].
+  ServeReply Act(uint64_t user_id, const nn::Tensor& obs);
+
+  /// Ends a user's session (drops stored recurrent state).
+  void EndSession(uint64_t user_id);
+
+  /// Stops the batcher thread after draining queued requests. Called by
+  /// the destructor; idempotent.
+  void Shutdown();
+
+  InferenceServerStats stats() const;
+  SessionStore& sessions() { return *store_; }
+  const core::ContextAgent& agent() const { return *agent_; }
+
+ private:
+  struct Pending {
+    uint64_t user_id = 0;
+    const nn::Tensor* obs = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+    ServeReply reply;
+    bool done = false;
+  };
+
+  void BatcherLoop();
+  /// Runs one coalesced batch end-to-end (gather, forward, guard,
+  /// commit) and fills each request's reply. Does not signal waiters.
+  void ProcessBatch(const std::vector<Pending*>& batch);
+  int64_t NowMs() const;
+
+  const core::ContextAgent* agent_;
+  InferenceServerConfig config_;
+  core::ThreadPool* pool_;
+  std::unique_ptr<SessionStore> store_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;  // batcher waits for requests
+  std::condition_variable done_cv_;   // clients wait for replies
+  std::deque<Pending*> queue_;
+  bool stop_ = false;
+  std::thread batcher_;
+  std::mutex serial_mutex_;  // serializes non-batching inline requests
+
+  LatencyHistogram latency_;
+  BatchOccupancy occupancy_;
+  std::atomic<int64_t> exec_clamps_{0};
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Derives the session-state shapes the store needs from an agent.
+SessionDims SessionDimsFor(const core::ContextAgent& agent);
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_INFERENCE_SERVER_H_

@@ -1,0 +1,60 @@
+#ifndef SIM2REC_SERVE_METRICS_H_
+#define SIM2REC_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sim2rec {
+namespace serve {
+
+/// Log-bucketed latency histogram (microseconds): O(1) memory and
+/// record cost regardless of request count, which is what a serving
+/// loop at "millions of users" scale needs — we never keep raw samples.
+/// Buckets double from 1us; quantiles are interpolated linearly inside
+/// the owning bucket, so tail estimates carry bucket-sized error — fine
+/// for p50/p95/p99 reporting, not for asserting exact values.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double micros);
+
+  int64_t count() const;
+  double mean_us() const;
+  double max_us() const;
+  /// q in [0, 1]; returns 0 when empty.
+  double QuantileUs(double q) const;
+
+ private:
+  static constexpr int kBuckets = 40;  // 1us .. ~2^39us (~9 days)
+  int BucketFor(double micros) const;
+
+  mutable std::mutex mutex_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_us_ = 0.0;
+  double max_us_ = 0.0;
+};
+
+/// Micro-batch shape counters: how full the coalesced batches ran.
+class BatchOccupancy {
+ public:
+  void Record(int batch_size);
+
+  int64_t batches() const;
+  int64_t requests() const;
+  double mean() const;
+  int max() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int64_t batches_ = 0;
+  int64_t requests_ = 0;
+  int max_ = 0;
+};
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_METRICS_H_

@@ -1,0 +1,110 @@
+#include "serve/session_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace serve {
+namespace {
+
+/// Fixed per-session container overhead charged against the byte cap:
+/// hash-map node, LRU list node, tensor headers. An estimate — the cap
+/// is a sizing knob, not an allocator contract.
+constexpr size_t kSessionOverheadBytes = 160;
+
+}  // namespace
+
+SessionStore::SessionStore(const SessionDims& dims,
+                           const SessionStoreConfig& config)
+    : dims_(dims), config_(config) {
+  S2R_CHECK(dims.action_dim > 0);
+  S2R_CHECK(dims.hidden >= 0 && dims.latent_dim >= 0);
+  S2R_CHECK(config.max_bytes > 0);
+  S2R_CHECK(config.ttl_ms >= 0);
+  max_sessions_ = std::max<size_t>(1, config.max_bytes / BytesPerSession());
+}
+
+size_t SessionStore::BytesPerSession() const {
+  const size_t doubles =
+      static_cast<size_t>(dims_.hidden) * (dims_.has_cell ? 2 : 1) +
+      static_cast<size_t>(dims_.action_dim) +
+      static_cast<size_t>(dims_.latent_dim);
+  return doubles * sizeof(double) + kSessionOverheadBytes;
+}
+
+Session SessionStore::FreshSession() const {
+  Session session;
+  if (dims_.hidden > 0) {
+    session.h = nn::Tensor::Zeros(1, dims_.hidden);
+    if (dims_.has_cell) session.c = nn::Tensor::Zeros(1, dims_.hidden);
+  }
+  session.prev_action = nn::Tensor::Zeros(1, dims_.action_dim);
+  if (dims_.latent_dim > 0) {
+    session.v = nn::Tensor::Zeros(1, dims_.latent_dim);
+  }
+  return session;
+}
+
+Session SessionStore::Acquire(uint64_t user_id, int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(user_id);
+  if (it != index_.end()) {
+    if (config_.ttl_ms > 0 &&
+        now_ms - it->second->second.last_used_ms > config_.ttl_ms) {
+      // Expired: the user re-enters with fresh zeroed recurrent state.
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.expirations;
+      ++stats_.misses;
+      return FreshSession();
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second.last_used_ms = now_ms;
+    ++stats_.hits;
+    return it->second->second;
+  }
+  ++stats_.misses;
+  return FreshSession();
+}
+
+void SessionStore::Commit(uint64_t user_id, Session session,
+                          int64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  session.last_used_ms = now_ms;
+  auto it = index_.find(user_id);
+  if (it != index_.end()) {
+    it->second->second = std::move(session);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.emplace_front(user_id, std::move(session));
+    index_[user_id] = lru_.begin();
+  }
+  while (lru_.size() > max_sessions_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+bool SessionStore::Erase(uint64_t user_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(user_id);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+size_t SessionStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SessionStore::Stats SessionStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace sim2rec

@@ -1,0 +1,108 @@
+#ifndef SIM2REC_SERVE_SESSION_STORE_H_
+#define SIM2REC_SERVE_SESSION_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "nn/tensor.h"
+
+namespace sim2rec {
+namespace serve {
+
+/// Shapes of the per-user recurrent serving state — the serving analogue
+/// of the rollout collector's batch state, one row per user instead of
+/// one batch per shard.
+struct SessionDims {
+  int hidden = 0;      // extractor hidden units (0 = feed-forward agent)
+  bool has_cell = false;  // LSTM carries a cell tensor, GRU does not
+  int action_dim = 0;
+  int latent_dim = 0;  // SADAE group-embedding width (0 = no SADAE)
+};
+
+/// One user's in-flight session: extractor hidden/cell, the previous
+/// (raw, pre-guard) action the extractor conditions on, and the latest
+/// SADAE group embedding v — everything ContextAgent::ServeStep threads
+/// through, plus bookkeeping for TTL/LRU.
+struct Session {
+  nn::Tensor h;            // [1 x hidden] (empty for feed-forward)
+  nn::Tensor c;            // [1 x hidden] (LSTM only)
+  nn::Tensor prev_action;  // [1 x action_dim]
+  nn::Tensor v;            // [1 x latent_dim] (empty without SADAE)
+  int64_t last_used_ms = 0;
+  int64_t steps = 0;       // serving steps taken in this session
+};
+
+struct SessionStoreConfig {
+  /// Memory cap for resident sessions; the least-recently-used session
+  /// is evicted when a commit would exceed it. At least one session is
+  /// always retained.
+  size_t max_bytes = size_t{16} << 20;
+  /// Sessions idle longer than this are expired on next access and the
+  /// user re-enters with fresh zeroed state; 0 disables expiry.
+  int64_t ttl_ms = 30 * 60 * 1000;
+};
+
+/// Thread-safe per-user session store with O(1) lookup, LRU eviction
+/// under the byte cap, and TTL expiry. Access pattern (per request,
+/// done by the InferenceServer): Acquire -> run the model -> Commit.
+/// State is copied out/in rather than referenced, so concurrent
+/// requests for *different* users never alias; two concurrent requests
+/// for the *same* user are each consistent but last-commit-wins (the
+/// caller is expected to serialize a single user's requests, as a real
+/// session does).
+class SessionStore {
+ public:
+  SessionStore(const SessionDims& dims, const SessionStoreConfig& config);
+
+  /// The user's current session, or a fresh zeroed one on miss / TTL
+  /// expiry. Refreshes the LRU position and last-used time of a hit.
+  Session Acquire(uint64_t user_id, int64_t now_ms);
+
+  /// Stores the advanced session at the front of the LRU list, evicting
+  /// from the cold end while over the byte cap.
+  void Commit(uint64_t user_id, Session session, int64_t now_ms);
+
+  /// Drops a user's session (explicit session end). Returns true when
+  /// one existed.
+  bool Erase(uint64_t user_id);
+
+  /// A zeroed session (what an unseen or expired user starts from).
+  Session FreshSession() const;
+
+  size_t size() const;
+  size_t bytes() const { return BytesPerSession() * size(); }
+  /// Estimated resident bytes of one session (tensor payloads + fixed
+  /// container overhead) — the unit of the max_bytes cap.
+  size_t BytesPerSession() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;    // LRU evictions under the byte cap
+    uint64_t expirations = 0;  // TTL expiries
+  };
+  Stats stats() const;
+
+  const SessionDims& dims() const { return dims_; }
+  const SessionStoreConfig& config() const { return config_; }
+
+ private:
+  using LruList = std::list<std::pair<uint64_t, Session>>;
+
+  SessionDims dims_;
+  SessionStoreConfig config_;
+  size_t max_sessions_ = 0;  // derived from max_bytes / BytesPerSession
+
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<uint64_t, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_SESSION_STORE_H_

@@ -1,0 +1,555 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context_agent.h"
+#include "core/sim2rec_trainer.h"
+#include "envs/lts_env.h"
+#include "nn/layers.h"
+#include "nn/serialize.h"
+#include "serve/checkpoint.h"
+#include "serve/inference_server.h"
+#include "serve/session_store.h"
+
+namespace sim2rec {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test (removed on destruction).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() /
+              ("sim2rec_serve_test_" + name + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+bool BitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  if (!a.SameShape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(double) * static_cast<size_t>(a.size())) == 0;
+}
+
+core::ContextAgentConfig TinySim2RecConfig() {
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.lstm_hidden = 8;
+  config.f_hidden = {8};
+  config.f_out = 4;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  return config;
+}
+
+sadae::SadaeConfig TinySadaeConfig() {
+  sadae::SadaeConfig config;
+  config.state_dim = envs::kLtsObsDim;
+  config.latent_dim = 3;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// nn::SaveModule / nn::LoadModule hardening (satellite 1).
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, ExactDoubleRoundTrip) {
+  ScratchDir dir("serialize_exact");
+  const std::string path = (dir.path() / "mlp.bin").string();
+
+  Rng rng(1);
+  nn::Mlp source("m", 3, {5}, 2, rng);
+  // Values a %g-style text format would mangle: non-terminating binary
+  // fractions, subnormals, negative zero.
+  std::vector<double> flat = source.FlatParams();
+  const double specials[] = {1.0 / 3.0, 0.1, -0.0, 5e-324, 1e300, -2.0 / 7.0};
+  for (size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = specials[i % 6] * (1.0 + static_cast<double>(i));
+  }
+  source.SetFlatParams(flat);
+  ASSERT_TRUE(nn::SaveModule(path, source));
+
+  Rng rng2(99);  // different init => loading must overwrite everything
+  nn::Mlp restored("m", 3, {5}, 2, rng2);
+  ASSERT_TRUE(nn::LoadModule(path, restored));
+
+  const std::vector<double> a = source.FlatParams();
+  const std::vector<double> b = restored.FlatParams();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), sizeof(double) * a.size()), 0);
+}
+
+TEST(Serialize, CorruptedFilesReturnFalseWithoutPartialCommit) {
+  ScratchDir dir("serialize_corrupt");
+  Rng rng(2);
+  nn::Mlp module("m", 4, {6}, 3, rng);
+  const std::vector<double> before = module.FlatParams();
+
+  // Missing file.
+  EXPECT_FALSE(nn::LoadModule((dir.path() / "nope.bin").string(), module));
+
+  // Garbage content (bad magic).
+  const std::string garbage = (dir.path() / "garbage.bin").string();
+  {
+    std::ofstream out(garbage, std::ios::binary);
+    out << "this is not a module container";
+  }
+  EXPECT_FALSE(nn::LoadModule(garbage, module));
+
+  // Truncated valid file.
+  const std::string valid = (dir.path() / "valid.bin").string();
+  ASSERT_TRUE(nn::SaveModule(valid, module));
+  std::string bytes;
+  {
+    std::ifstream in(valid, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  for (const size_t cut : {bytes.size() / 2, bytes.size() - 3, size_t{6}}) {
+    const std::string truncated =
+        (dir.path() / ("trunc_" + std::to_string(cut) + ".bin")).string();
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(nn::LoadModule(truncated, module)) << "cut=" << cut;
+  }
+
+  // Absurd length prefix after a valid header must not allocate or abort.
+  const std::string bloated = (dir.path() / "bloat.bin").string();
+  {
+    std::ofstream out(bloated, std::ios::binary);
+    out.write(bytes.data(), 8);  // magic + version
+    const uint32_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const uint32_t huge = 0xfffffff0u;
+    out.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  EXPECT_FALSE(nn::LoadModule(bloated, module));
+
+  // Every failed load above must leave the module untouched (loads are
+  // staged and committed atomically).
+  const std::vector<double> after = module.FlatParams();
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_EQ(std::memcmp(before.data(), after.data(),
+                        sizeof(double) * before.size()),
+            0);
+}
+
+TEST(Serialize, LayoutMismatchReturnsFalse) {
+  ScratchDir dir("serialize_layout");
+  const std::string path = (dir.path() / "mlp.bin").string();
+  Rng rng(3);
+  nn::Mlp source("m", 3, {5}, 2, rng);
+  ASSERT_TRUE(nn::SaveModule(path, source));
+  nn::Mlp other_shape("m", 3, {7}, 2, rng);
+  EXPECT_FALSE(nn::LoadModule(path, other_shape));
+  nn::Mlp other_name("different", 3, {5}, 2, rng);
+  EXPECT_FALSE(nn::LoadModule(path, other_name));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint round trip (satellite 2).
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripAfterTrainingIsBitwise) {
+  ScratchDir dir("ckpt_roundtrip");
+
+  Rng rng(21);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  // Two real PPO iterations so the exported bundle carries trained
+  // weights and non-trivial normalizer statistics.
+  envs::LtsConfig env_config;
+  env_config.num_users = 6;
+  env_config.horizon = 5;
+  envs::LtsEnv env(env_config);
+  core::TrainLoopConfig loop;
+  loop.iterations = 2;
+  loop.eval_every = 0;
+  loop.sadae_steps_per_iteration = 0;
+  loop.seed = 22;
+  core::ZeroShotTrainer trainer(&agent, {&env}, loop);
+  trainer.Train();
+  ASSERT_GT(agent.normalizer()->count(), 0);
+
+  CheckpointMetadata metadata;
+  metadata.variant = "Sim2Rec";
+  metadata.seed = 21;
+  metadata.train_iterations = 2;
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent, metadata));
+
+  std::unique_ptr<LoadedPolicy> loaded = LoadCheckpoint(dir.str());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->metadata.variant, "Sim2Rec");
+  EXPECT_EQ(loaded->metadata.seed, 21u);
+  EXPECT_EQ(loaded->metadata.train_iterations, 2);
+  ASSERT_NE(loaded->sadae, nullptr);
+
+  // Normalizer running stats restored exactly, and frozen for serving.
+  const rl::ObservationNormalizer* orig = agent.normalizer();
+  const rl::ObservationNormalizer* rest = loaded->agent->normalizer();
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(orig->count(), rest->count());
+  EXPECT_TRUE(BitwiseEqual(orig->mean(), rest->mean()));
+  EXPECT_TRUE(BitwiseEqual(orig->m2(), rest->m2()));
+  EXPECT_TRUE(rest->frozen());
+
+  // Identical serving behaviour on a fixed observation stream, including
+  // the recurrent state carried across steps.
+  const int kUsers = 4;
+  const int kSteps = 6;
+  core::ContextAgent::ServeBatch state_a = agent.InitialServeBatch(kUsers);
+  core::ContextAgent::ServeBatch state_b =
+      loaded->agent->InitialServeBatch(kUsers);
+  Rng obs_rng(23);
+  for (int t = 0; t < kSteps; ++t) {
+    const nn::Tensor obs =
+        nn::Tensor::Randn(kUsers, envs::kLtsObsDim, obs_rng);
+    const auto out_a = agent.ServeStep(obs, &state_a);
+    const auto out_b = loaded->agent->ServeStep(obs, &state_b);
+    EXPECT_TRUE(BitwiseEqual(out_a.actions, out_b.actions)) << "t=" << t;
+    EXPECT_TRUE(BitwiseEqual(out_a.values, out_b.values)) << "t=" << t;
+    EXPECT_TRUE(BitwiseEqual(out_a.v, out_b.v)) << "t=" << t;
+  }
+  EXPECT_TRUE(BitwiseEqual(state_a.h, state_b.h));
+  EXPECT_TRUE(BitwiseEqual(state_a.c, state_b.c));
+  EXPECT_TRUE(BitwiseEqual(state_a.prev_actions, state_b.prev_actions));
+}
+
+TEST(Checkpoint, FeedForwardVariantRoundTrips) {
+  ScratchDir dir("ckpt_ff");
+  core::ContextAgentConfig config = TinySim2RecConfig();
+  config.use_extractor = false;
+  config.normalize_observations = false;
+  Rng rng(31);
+  core::ContextAgent agent(config, nullptr, rng);
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+
+  std::unique_ptr<LoadedPolicy> loaded = LoadCheckpoint(dir.str());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->sadae, nullptr);
+  EXPECT_FALSE(loaded->config.use_extractor);
+
+  core::ContextAgent::ServeBatch sa = agent.InitialServeBatch(3);
+  core::ContextAgent::ServeBatch sb = loaded->agent->InitialServeBatch(3);
+  Rng obs_rng(32);
+  const nn::Tensor obs = nn::Tensor::Randn(3, envs::kLtsObsDim, obs_rng);
+  EXPECT_TRUE(BitwiseEqual(agent.ServeStep(obs, &sa).actions,
+                           loaded->agent->ServeStep(obs, &sb).actions));
+}
+
+TEST(Checkpoint, LoadRejectsMissingAndCorruptBundles) {
+  ScratchDir dir("ckpt_corrupt");
+  EXPECT_EQ(LoadCheckpoint((dir.path() / "absent").string()), nullptr);
+
+  Rng rng(41);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  ASSERT_NE(LoadCheckpoint(dir.str()), nullptr);
+
+  // Corrupt manifest: unparseable numbers must fail cleanly.
+  const fs::path manifest = dir.path() / "manifest.txt";
+  {
+    std::ofstream out(manifest);
+    out << "sim2rec_checkpoint 1\nobs_dim banana\n";
+  }
+  EXPECT_EQ(LoadCheckpoint(dir.str()), nullptr);
+
+  // Restore a valid bundle, then truncate the weight container.
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  const fs::path weights = dir.path() / "agent.bin";
+  const auto full_size = fs::file_size(weights);
+  fs::resize_file(weights, full_size / 2);
+  EXPECT_EQ(LoadCheckpoint(dir.str()), nullptr);
+
+  // And with the weights missing entirely.
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  fs::remove(weights);
+  EXPECT_EQ(LoadCheckpoint(dir.str()), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore (satellite 3).
+// ---------------------------------------------------------------------------
+
+SessionDims SmallDims() {
+  SessionDims dims;
+  dims.hidden = 4;
+  dims.has_cell = true;
+  dims.action_dim = 2;
+  dims.latent_dim = 3;
+  return dims;
+}
+
+TEST(SessionStore, LruEvictionAndFreshReentry) {
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  config.ttl_ms = 0;  // isolate LRU behaviour
+  // Cap the store at exactly three resident sessions.
+  SessionStore sizing(dims, config);
+  config.max_bytes = 3 * sizing.BytesPerSession();
+  SessionStore store(dims, config);
+
+  for (uint64_t user = 1; user <= 3; ++user) {
+    Session s = store.FreshSession();
+    s.h.Fill(static_cast<double>(user));
+    store.Commit(user, std::move(s), /*now_ms=*/static_cast<int64_t>(user));
+  }
+  EXPECT_EQ(store.size(), 3u);
+
+  // A fourth commit evicts the coldest session (user 1).
+  store.Commit(4, store.FreshSession(), 4);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+
+  // The evicted user re-enters with fresh zeroed state.
+  Session reentry = store.Acquire(1, 5);
+  EXPECT_EQ(reentry.steps, 0);
+  EXPECT_EQ(reentry.h.MaxAll(), 0.0);
+  EXPECT_EQ(reentry.h.MinAll(), 0.0);
+
+  // A surviving user's state is intact, and the hit refreshed its LRU
+  // position: committing one more user now evicts 3, not 2.
+  Session hit = store.Acquire(2, 6);
+  EXPECT_EQ(hit.h(0, 0), 2.0);
+  store.Commit(2, std::move(hit), 6);
+  store.Commit(5, store.FreshSession(), 7);
+  Session survivor = store.Acquire(2, 8);
+  EXPECT_EQ(survivor.h(0, 0), 2.0);
+  const auto stats = store.stats();
+  EXPECT_GE(stats.hits, 2u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(SessionStore, TtlExpiryResetsState) {
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  config.ttl_ms = 100;
+  SessionStore store(dims, config);
+
+  Session s = store.FreshSession();
+  s.h.Fill(7.0);
+  s.steps = 12;
+  store.Commit(9, std::move(s), /*now_ms=*/0);
+
+  // Within the TTL: a hit with state preserved.
+  Session hit = store.Acquire(9, 50);
+  EXPECT_EQ(hit.h(0, 0), 7.0);
+  EXPECT_EQ(hit.steps, 12);
+  store.Commit(9, std::move(hit), 50);
+
+  // Past the TTL: the user re-enters fresh and the expiry is counted.
+  Session expired = store.Acquire(9, 50 + 101);
+  EXPECT_EQ(expired.steps, 0);
+  EXPECT_EQ(expired.h.MaxAll(), 0.0);
+  EXPECT_EQ(store.stats().expirations, 1u);
+}
+
+TEST(SessionStore, AlwaysRetainsAtLeastOneSession) {
+  SessionStoreConfig config;
+  config.max_bytes = 1;  // absurdly small cap
+  SessionStore store(SmallDims(), config);
+  store.Commit(1, store.FreshSession(), 0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SessionStore, ConcurrentAccessIsSafe) {
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  SessionStore sizing(dims, config);
+  config.max_bytes = 8 * sizing.BytesPerSession();
+  config.ttl_ms = 0;
+  SessionStore store(dims, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Overlapping user-id ranges so threads contend on the same
+        // entries as well as on the LRU list structure.
+        const uint64_t user = static_cast<uint64_t>((t * 7 + i) % 12);
+        const int64_t now = t * kOpsPerThread + i;
+        Session s = store.Acquire(user, now);
+        s.h.Fill(static_cast<double>(user));
+        ++s.steps;
+        store.Commit(user, std::move(s), now);
+        if (i % 17 == 0) store.Erase(user);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_LE(store.size(), 8u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.expirations,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer: micro-batching identity and the F_exec guard.
+// ---------------------------------------------------------------------------
+
+/// Per-(user, step) deterministic observation, distinct across users so a
+/// batched forward mixing users would be caught.
+nn::Tensor ObsFor(int user, int step) {
+  nn::Tensor obs(1, envs::kLtsObsDim);
+  for (int c = 0; c < envs::kLtsObsDim; ++c) {
+    obs(0, c) = 0.1 * (user + 1) + 0.01 * (step + 1) + 0.001 * c;
+  }
+  return obs;
+}
+
+TEST(InferenceServer, BatchedIsBitwiseIdenticalToSerial) {
+  Rng rng(51);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  constexpr int kUsers = 6;
+  constexpr int kSteps = 5;
+
+  InferenceServerConfig serial_config;
+  serial_config.micro_batching = false;
+  InferenceServer serial(&agent, serial_config);
+
+  InferenceServerConfig batched_config;
+  batched_config.micro_batching = true;
+  batched_config.max_batch_size = kUsers;
+  batched_config.max_queue_delay_us = 2000;
+  InferenceServer batched(&agent, batched_config);
+
+  // Serial reference: one user at a time, whole stream each.
+  std::vector<std::vector<nn::Tensor>> reference(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    for (int t = 0; t < kSteps; ++t) {
+      reference[u].push_back(serial.Act(u, ObsFor(u, t)).action);
+    }
+  }
+
+  // Batched run: all users in flight concurrently, requests coalesced
+  // into micro-batches of whatever composition the queue produces.
+  std::vector<std::vector<nn::Tensor>> answers(kUsers);
+  std::vector<std::thread> clients;
+  for (int u = 0; u < kUsers; ++u) {
+    clients.emplace_back([&batched, &answers, u] {
+      for (int t = 0; t < kSteps; ++t) {
+        answers[u].push_back(batched.Act(u, ObsFor(u, t)).action);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+
+  for (int u = 0; u < kUsers; ++u) {
+    ASSERT_EQ(answers[u].size(), static_cast<size_t>(kSteps));
+    for (int t = 0; t < kSteps; ++t) {
+      EXPECT_TRUE(BitwiseEqual(reference[u][t], answers[u][t]))
+          << "user=" << u << " step=" << t;
+    }
+  }
+
+  const InferenceServerStats stats = batched.stats();
+  EXPECT_EQ(stats.requests, kUsers * kSteps);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_GE(stats.mean_batch_occupancy, 1.0);
+  EXPECT_GE(stats.latency_p99_us, stats.latency_p50_us);
+}
+
+TEST(InferenceServer, ExecGuardClampsAndFlags) {
+  core::ContextAgentConfig config = TinySim2RecConfig();
+  config.use_extractor = false;
+  config.normalize_observations = false;
+  // Push the deterministic policy mean far outside the executable box.
+  config.action_bias = {5.0};
+  Rng rng(61);
+  core::ContextAgent agent(config, nullptr, rng);
+
+  InferenceServerConfig server_config;
+  server_config.micro_batching = false;
+  server_config.action_low = {0.0};
+  server_config.action_high = {1.0};
+  server_config.exec_tolerance = 0.02;
+  InferenceServer server(&agent, server_config);
+
+  const ServeReply reply = server.Act(1, ObsFor(0, 0));
+  EXPECT_TRUE(reply.exec_clamped);
+  EXPECT_DOUBLE_EQ(reply.action(0, 0), 1.02);
+  EXPECT_EQ(server.stats().exec_clamps, 1);
+
+  // The *raw* action feeds the recurrent state (training parity): the
+  // stored previous action must be the unclamped policy output.
+  Session session = server.sessions().Acquire(1, 0);
+  EXPECT_GT(session.prev_action(0, 0), 1.02);
+}
+
+TEST(InferenceServer, SessionsEndAndEvictionsSurfaceInStats) {
+  core::ContextAgentConfig config = TinySim2RecConfig();
+  Rng rng(71);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(config, &sadae_model, rng);
+
+  InferenceServerConfig server_config;
+  server_config.micro_batching = false;
+  // Tiny cap: only a couple of sessions stay resident.
+  server_config.sessions.max_bytes = 1;
+  InferenceServer server(&agent, server_config);
+
+  for (int u = 0; u < 4; ++u) server.Act(u, ObsFor(u, 0));
+  EXPECT_GE(server.stats().sessions.evictions, 3u);
+
+  server.Act(9, ObsFor(9, 0));
+  server.EndSession(9);
+  Session fresh = server.sessions().Acquire(9, 0);
+  EXPECT_EQ(fresh.steps, 0);
+}
+
+TEST(InferenceServer, ShutdownIsIdempotentAndDrains) {
+  core::ContextAgentConfig config = TinySim2RecConfig();
+  config.use_extractor = false;
+  Rng rng(81);
+  core::ContextAgent agent(config, nullptr, rng);
+  InferenceServerConfig server_config;
+  server_config.max_queue_delay_us = 50;
+  InferenceServer server(&agent, server_config);
+
+  std::vector<std::thread> clients;
+  for (int u = 0; u < 4; ++u) {
+    clients.emplace_back([&server, u] {
+      for (int t = 0; t < 3; ++t) server.Act(u, ObsFor(u, t));
+    });
+  }
+  for (auto& th : clients) th.join();
+  server.Shutdown();
+  server.Shutdown();
+  EXPECT_EQ(server.stats().requests, 12);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace sim2rec
