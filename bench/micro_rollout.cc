@@ -11,11 +11,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "core/context_agent.h"
 #include "core/thread_pool.h"
 #include "envs/lts_env.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rl/parallel_rollout.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -86,8 +90,10 @@ int Run(int argc, char** argv) {
               num_shards, users, horizon, repeats);
   std::printf("%-10s %-16s %-12s %-12s\n", "threads", "steps/sec",
               "speedup", "checksum");
+  std::filesystem::create_directories("results");
   CsvWriter csv("results/micro_rollout.csv",
                 {"threads", "steps_per_sec", "speedup"});
+  obs::TraceRecorder::Global().Start();
 
   double serial_rate = 0.0;
   double reference_checksum = 0.0;
@@ -134,6 +140,35 @@ int Run(int argc, char** argv) {
   std::printf("\nchecksums identical across thread counts "
               "(hardware threads available: %d)\n",
               core::ThreadPool::DefaultThreads());
+
+  // --- Observability export: metrics snapshot + Chrome trace. -----------
+  obs::TraceRecorder::Global().Stop();
+  const std::string snapshot_json =
+      obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::string json_error;
+  if (!obs::JsonValidate(snapshot_json, &json_error)) {
+    std::printf("FAIL: metrics snapshot is not valid JSON (%s)\n",
+                json_error.c_str());
+    return 1;
+  }
+  const std::string trace_path = "results/micro_rollout_trace.json";
+  const std::string trace_json =
+      obs::TraceRecorder::Global().ToChromeTraceJson();
+  if (!obs::JsonValidate(trace_json, &json_error)) {
+    std::printf("FAIL: trace export is not valid JSON (%s)\n",
+                json_error.c_str());
+    return 1;
+  }
+  if (!obs::TraceRecorder::Global().WriteChromeTrace(trace_path)) {
+    std::printf("FAIL: could not write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("\nmetrics snapshot:\n%s",
+              obs::MetricsRegistry::Global().Snapshot().ToText().c_str());
+  std::printf("\ntrace: %s (%lld events; open at ui.perfetto.dev)\n",
+              trace_path.c_str(),
+              static_cast<long long>(
+                  obs::TraceRecorder::Global().event_count()));
   return 0;
 }
 

@@ -25,6 +25,9 @@
 #include "baselines/factories.h"
 #include "envs/lts_env.h"
 #include "experiments/lts_experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/inference_server.h"
 #include "util/csv.h"
@@ -138,6 +141,7 @@ int Run(int argc, char** argv) {
               policy->metadata.train_iterations);
 
   // --- Phase 1: batched == serial, bit for bit. -------------------------
+  obs::TraceRecorder::Global().Start();
   const int kCheckUsers = 8;
   const int kCheckSteps = full ? 40 : 20;
   std::vector<std::vector<nn::Tensor>> obs_log(kCheckUsers);
@@ -181,6 +185,7 @@ int Run(int argc, char** argv) {
   std::printf("%-9s %-7s %-12s %-9s %-9s %-9s %-10s\n", "clients",
               "users", "req/sec", "p50(us)", "p95(us)", "p99(us)",
               "occupancy");
+  std::filesystem::create_directories("results");
   CsvWriter csv("results/micro_serve.csv",
                 {"clients", "users", "req_per_sec", "p50_us", "p95_us",
                  "p99_us", "mean_occupancy"});
@@ -206,6 +211,42 @@ int Run(int argc, char** argv) {
                   stats.latency_p50_us, stats.latency_p95_us,
                   stats.latency_p99_us, stats.mean_batch_occupancy});
   }
+  // --- Observability export: metrics snapshot + Chrome trace. -----------
+  obs::TraceRecorder::Global().Stop();
+  const std::string snapshot_json =
+      obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::string json_error;
+  if (!obs::JsonValidate(snapshot_json, &json_error)) {
+    std::printf("FAIL: metrics snapshot is not valid JSON (%s)\n",
+                json_error.c_str());
+    return 1;
+  }
+  const std::string trace_path = "results/micro_serve_trace.json";
+  const std::string trace_json =
+      obs::TraceRecorder::Global().ToChromeTraceJson();
+  if (!obs::JsonValidate(trace_json, &json_error)) {
+    std::printf("FAIL: trace export is not valid JSON (%s)\n",
+                json_error.c_str());
+    return 1;
+  }
+  if (!obs::TraceRecorder::Global().WriteChromeTrace(trace_path)) {
+    std::printf("FAIL: could not write %s\n", trace_path.c_str());
+    return 1;
+  }
+  const std::vector<std::string> span_names =
+      obs::TraceRecorder::Global().SpanNames();
+  if (obs::Enabled() && span_names.size() < 3) {
+    std::printf("FAIL: expected >= 3 distinct span names in the serving "
+                "trace, got %zu\n", span_names.size());
+    return 1;
+  }
+  std::printf("\nmetrics snapshot:\n%s",
+              obs::MetricsRegistry::Global().Snapshot().ToText().c_str());
+  std::printf("\ntrace: %s (%lld events, %zu span kinds; open at "
+              "ui.perfetto.dev)\n", trace_path.c_str(),
+              static_cast<long long>(
+                  obs::TraceRecorder::Global().event_count()),
+              span_names.size());
   std::printf("\nserving checkpoint round trip + micro-batching OK\n");
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -33,6 +35,7 @@ std::vector<IterationLog> ZeroShotTrainer::Train() {
 
   const double lr0 = config_.ppo.learning_rate;
   for (int iter = 0; iter < config_.iterations; ++iter) {
+    S2R_TRACE_SPAN("train/iteration");
     if (config_.final_learning_rate >= 0.0 && config_.iterations > 1) {
       const double frac =
           static_cast<double>(iter) / (config_.iterations - 1);
@@ -110,6 +113,10 @@ std::vector<IterationLog> ZeroShotTrainer::Train() {
          iter == config_.iterations - 1)) {
       checkpoint_sink_(iter);
     }
+    S2R_COUNT("train.iterations", 1);
+    S2R_GAUGE_SET("train.return", log.train_return);
+    if (log.has_eval()) S2R_GAUGE_SET("train.eval_return", log.eval_return);
+    if (iteration_sink_) iteration_sink_(log);
     logs.push_back(log);
   }
   return logs;

@@ -118,6 +118,14 @@ class ZeroShotTrainer {
     checkpoint_sink_ = std::move(sink);
   }
 
+  /// Hook invoked with each iteration's log entry right after it is
+  /// recorded; used by the experiment pipelines to stream metrics to
+  /// disk (JSONL/CSV) so a killed run keeps its partial history. The
+  /// returned vector from Train() is unaffected.
+  void set_iteration_sink(std::function<void(const IterationLog&)> sink) {
+    iteration_sink_ = std::move(sink);
+  }
+
   /// Runs the loop; returns one log entry per iteration.
   std::vector<IterationLog> Train();
 
@@ -134,6 +142,7 @@ class ZeroShotTrainer {
   std::function<void(envs::GroupBatchEnv*, Rng&)> on_env_selected_;
   std::function<double(rl::Agent&, Rng&)> evaluator_;
   std::function<void(int)> checkpoint_sink_;
+  std::function<void(const IterationLog&)> iteration_sink_;
 };
 
 }  // namespace core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace sim2rec {
 namespace core {
 namespace {
@@ -50,6 +52,12 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Only the dispatching path is instrumented: serial fallbacks above
+  // are not "pool batches", and counting them would double-bill nested
+  // calls.
+  S2R_COUNT("core.pool.batches", 1);
+  S2R_COUNT("core.pool.iterations", n);
+  obs::ScopedTimerUs batch_timer("core.pool.batch_us");
 
   Batch batch;
   batch.fn = &fn;

@@ -1,0 +1,62 @@
+#include "experiments/iteration_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace experiments {
+namespace {
+
+/// Strict-JSON number: NaN/inf (eval_return and sadae_loss on
+/// iterations without a sample) become null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+IterationLogExporter::IterationLogExporter(const std::string& path_stem)
+    : jsonl_path_(path_stem + ".jsonl"), csv_path_(path_stem + ".csv") {
+  const std::filesystem::path parent =
+      std::filesystem::path(path_stem).parent_path();
+  std::error_code ec;
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+
+  jsonl_.open(jsonl_path_, std::ios::trunc);
+  csv_ = std::make_unique<CsvWriter>(
+      csv_path_,
+      std::vector<std::string>{"iteration", "train_return", "eval_return",
+                               "policy_loss", "value_loss", "entropy",
+                               "approx_kl", "sadae_loss"});
+  ok_ = jsonl_.good() && csv_->ok();
+  if (!ok_) {
+    S2R_LOG_WARN("iteration log export to '%s.{jsonl,csv}' failed to open",
+                 path_stem.c_str());
+  }
+}
+
+void IterationLogExporter::Write(const core::IterationLog& log) {
+  if (!ok_) return;
+  jsonl_ << "{\"iteration\":" << log.iteration
+         << ",\"train_return\":" << JsonNumber(log.train_return)
+         << ",\"eval_return\":" << JsonNumber(log.eval_return)
+         << ",\"policy_loss\":" << JsonNumber(log.policy_loss)
+         << ",\"value_loss\":" << JsonNumber(log.value_loss)
+         << ",\"entropy\":" << JsonNumber(log.entropy)
+         << ",\"approx_kl\":" << JsonNumber(log.approx_kl)
+         << ",\"sadae_loss\":" << JsonNumber(log.sadae_loss) << "}\n";
+  jsonl_.flush();
+  csv_->WriteRow({static_cast<double>(log.iteration), log.train_return,
+                  log.eval_return, log.policy_loss, log.value_loss,
+                  log.entropy, log.approx_kl, log.sadae_loss});
+  csv_->Flush();
+}
+
+}  // namespace experiments
+}  // namespace sim2rec

@@ -1,0 +1,46 @@
+#ifndef SIM2REC_EXPERIMENTS_ITERATION_EXPORT_H_
+#define SIM2REC_EXPERIMENTS_ITERATION_EXPORT_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/sim2rec_trainer.h"
+#include "util/csv.h"
+
+namespace sim2rec {
+namespace experiments {
+
+/// Streams core::IterationLog records to disk as they are produced:
+/// `<path_stem>.jsonl` (one strict-JSON object per line, NaN exported
+/// as null) and `<path_stem>.csv` (util::CsvWriter columns). Every
+/// Write flushes both files, so a killed training run keeps the full
+/// history up to its last completed iteration. Install via
+/// core::ZeroShotTrainer::set_iteration_sink; the exporter must
+/// outlive the Train() call.
+class IterationLogExporter {
+ public:
+  /// Creates parent directories of `path_stem` as needed.
+  explicit IterationLogExporter(const std::string& path_stem);
+
+  /// False when either output file could not be created (Write becomes
+  /// a no-op; a warning was logged).
+  bool ok() const { return ok_; }
+
+  void Write(const core::IterationLog& log);
+
+  std::string jsonl_path() const { return jsonl_path_; }
+  std::string csv_path() const { return csv_path_; }
+
+ private:
+  std::string jsonl_path_;
+  std::string csv_path_;
+  std::ofstream jsonl_;
+  std::unique_ptr<CsvWriter> csv_;
+  bool ok_ = false;
+};
+
+}  // namespace experiments
+}  // namespace sim2rec
+
+#endif  // SIM2REC_EXPERIMENTS_ITERATION_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "data/behavior_policy.h"
+#include "experiments/iteration_export.h"
 #include "sadae/sadae_trainer.h"
 #include "serve/checkpoint.h"
 #include "util/logging.h"
@@ -136,6 +137,17 @@ LtsRunResult RunLtsVariant(baselines::AgentVariant variant,
       if (!serve::SaveCheckpoint(dir, *agent_ptr, m)) {
         S2R_LOG_WARN("checkpoint export to '%s' failed", dir.c_str());
       }
+    });
+  }
+
+  std::unique_ptr<IterationLogExporter> metrics_exporter;
+  if (!config.export_metrics_path.empty()) {
+    metrics_exporter =
+        std::make_unique<IterationLogExporter>(config.export_metrics_path);
+    IterationLogExporter* exporter_ptr = metrics_exporter.get();
+    trainer.set_iteration_sink([exporter_ptr](
+                                   const core::IterationLog& log) {
+      exporter_ptr->Write(log);
     });
   }
 

@@ -56,6 +56,11 @@ struct LtsExperimentConfig {
   std::string export_checkpoint_dir;
   int checkpoint_every = 0;
 
+  /// When non-empty, per-iteration training metrics are streamed to
+  /// `<export_metrics_path>.jsonl` and `.csv` as they are produced
+  /// (flushed per row — a killed run keeps its partial history).
+  std::string export_metrics_path;
+
   uint64_t seed = 0;
 };
 

@@ -1,0 +1,266 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+/// Recursive-descent validator over a byte range. `pos` always points
+/// at the next unconsumed byte.
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWhitespace();
+    if (!Value(0)) {
+      Fill(error);
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after the document";
+      Fill(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* reason) {
+    if (reason_ == nullptr) reason_ = reason;
+    return false;
+  }
+
+  void Fill(std::string* error) const {
+    if (error == nullptr) return;
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "offset %zu: %s", pos_,
+                  reason_ != nullptr ? reason_ : "invalid JSON");
+    *error = buffer;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (AtEnd() || Peek() != *p) return Fail("invalid literal");
+    }
+    return true;
+  }
+
+  bool String() {
+    ++pos_;  // opening quote
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Fail("unterminated escape");
+        const char e = Peek();
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++pos_;
+            if (AtEnd() || !std::isxdigit(
+                               static_cast<unsigned char>(Peek()))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          ++pos_;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return Fail("unknown escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("digit expected");
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool Number() {
+    if (Peek() == '-') ++pos_;
+    if (AtEnd()) return Fail("digit expected");
+    if (Peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else if (!Digits()) {
+      return false;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (!Digits()) return false;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Object(int depth) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("object key expected");
+      if (!String()) return false;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Fail("':' expected");
+      ++pos_;
+      SkipWhitespace();
+      if (!Value(depth)) return false;
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("',' or '}' expected");
+    }
+  }
+
+  bool Array(int depth) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (!Value(depth)) return false;
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("',' or ']' expected");
+    }
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (AtEnd()) return Fail("value expected");
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return Object(depth + 1);
+      case '[':
+        return Array(depth + 1);
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+          return Number();
+        }
+        return Fail("value expected");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  const char* reason_ = nullptr;
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  return Validator(text).Run(error);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(const std::string& s) {
+  return '"' + JsonEscape(s) + '"';
+}
+
+}  // namespace obs
+}  // namespace sim2rec

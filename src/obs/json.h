@@ -1,0 +1,27 @@
+#ifndef SIM2REC_OBS_JSON_H_
+#define SIM2REC_OBS_JSON_H_
+
+#include <string>
+
+namespace sim2rec {
+namespace obs {
+
+/// Strict JSON validity check (RFC 8259 grammar: one value, objects/
+/// arrays/strings/numbers/true/false/null, \u escapes, no trailing
+/// garbage). Exists so exporters can be verified without an external
+/// JSON dependency; it does not build a document tree. Returns false
+/// and fills `error` (when non-null) with "offset N: reason" on the
+/// first violation. Nesting deeper than 256 levels is rejected.
+bool JsonValidate(const std::string& text, std::string* error = nullptr);
+
+/// Escapes `s` for use inside a JSON string (quotes, backslash,
+/// control characters; non-ASCII bytes pass through untouched).
+std::string JsonEscape(const std::string& s);
+
+/// JsonEscape plus surrounding double quotes.
+std::string JsonQuote(const std::string& s);
+
+}  // namespace obs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_OBS_JSON_H_

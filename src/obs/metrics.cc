@@ -1,0 +1,316 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+/// Lock-free add for pre-C++20-hardware atomic<double> (portable CAS
+/// loop; fetch_add on floating atomics is not universally lowered).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// Shard slot of the calling thread: threads get round-robin slots so
+/// concurrent writers spread across cache lines deterministically per
+/// thread (the value is only an aggregation detail, never observable).
+int ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % Counter::kShards);
+}
+
+std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+#if !defined(SIM2REC_OBS_DISABLED)
+namespace internal {
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("SIM2REC_OBS");
+    const bool off =
+        env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0);
+    return !off;
+  }();
+  return flag;
+}
+}  // namespace internal
+#endif
+
+// ---------------------------------------------------------------------------
+// Counter
+
+Counter::Counter() = default;
+
+void Counter::Add(int64_t delta) {
+  shards_[ThreadShard()].value.fetch_add(delta,
+                                         std::memory_order_relaxed);
+}
+
+int64_t Counter::value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+int LogHistogram::BucketFor(double value) {
+  if (!(value >= 1.0)) return 0;  // sub-1 values and NaN land in [0, 1)
+  const int b = static_cast<int>(std::floor(std::log2(value))) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+void LogHistogram::Record(double value) {
+  if (!std::isfinite(value)) return;
+  value = std::max(value, 0.0);
+  // min/max are published before the bucket mass so a concurrent
+  // Quantile that sees the sample also sees usable clamp bounds. The
+  // first sample claims the 0-initialized min via CAS; losers fall
+  // through to the ordinary monotone update.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+double LogHistogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double LogHistogram::min_value() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::max_value() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double LogHistogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // One coherent pass over the buckets; the total derives from the
+  // same loads so a concurrent Record can never push `target` past the
+  // mass the interpolation walks.
+  int64_t loaded[kBuckets];
+  int64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    loaded[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += loaded[b];
+  }
+  if (total == 0) return 0.0;
+  const double lo_clamp = min_.load(std::memory_order_relaxed);
+  const double hi_clamp = max_.load(std::memory_order_relaxed);
+
+  const double target = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (loaded[b] == 0) continue;
+    if (static_cast<double>(seen + loaded[b]) >= target) {
+      // Bucket b spans [2^(b-1), 2^b); bucket 0 is [0, 1).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      const double hi = std::ldexp(1.0, b);
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(loaded[b]);
+      return std::clamp(lo + frac * (hi - lo), lo_clamp, hi_clamp);
+    }
+    seen += loaded[b];
+  }
+  return hi_clamp;
+}
+
+void LogHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LogHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (!gauge->has_value()) continue;
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.count = histogram->count();
+    sample.mean = histogram->mean();
+    sample.min = histogram->min_value();
+    sample.max = histogram->max_value();
+    sample.p50 = histogram->Quantile(0.50);
+    sample.p95 = histogram->Quantile(0.95);
+    sample.p99 = histogram->Quantile(0.99);
+    snapshot.histograms.push_back(sample);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot export
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterSample& c : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(c.name) + ':' + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& g : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(g.name) + ':' + FormatJsonNumber(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(h.name) + ":{\"count\":" + std::to_string(h.count) +
+           ",\"mean\":" + FormatJsonNumber(h.mean) +
+           ",\"min\":" + FormatJsonNumber(h.min) +
+           ",\"max\":" + FormatJsonNumber(h.max) +
+           ",\"p50\":" + FormatJsonNumber(h.p50) +
+           ",\"p95\":" + FormatJsonNumber(h.p95) +
+           ",\"p99\":" + FormatJsonNumber(h.p99) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  size_t width = 0;
+  for (const auto& c : counters) width = std::max(width, c.name.size());
+  for (const auto& g : gauges) width = std::max(width, g.name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+  const int name_width = static_cast<int>(std::min<size_t>(width, 48));
+
+  std::string out;
+  char line[256];
+  for (const CounterSample& c : counters) {
+    std::snprintf(line, sizeof(line), "%-*s  %lld\n", name_width,
+                  c.name.c_str(), static_cast<long long>(c.value));
+    out += line;
+  }
+  for (const GaugeSample& g : gauges) {
+    std::snprintf(line, sizeof(line), "%-*s  %.6g\n", name_width,
+                  g.name.c_str(), g.value);
+    out += line;
+  }
+  for (const HistogramSample& h : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s  count=%lld mean=%.4g min=%.4g max=%.4g "
+                  "p50=%.4g p95=%.4g p99=%.4g\n",
+                  name_width, h.name.c_str(),
+                  static_cast<long long>(h.count), h.mean, h.min, h.max,
+                  h.p50, h.p95, h.p99);
+    out += line;
+  }
+  return out;
+}
+
+double MonotonicMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace obs
+}  // namespace sim2rec

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "obs/json.h"
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+std::string FormatMicros(double us) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", us < 0.0 ? 0.0 : us);
+  return buffer;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never dies
+  return *recorder;
+}
+
+TraceRecorder::ThreadLog* TraceRecorder::LogForThisThread() {
+  thread_local ThreadLog* cached = nullptr;
+  if (cached != nullptr) return cached;
+  auto log = std::make_unique<ThreadLog>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  log->tid = static_cast<int>(logs_.size()) + 1;
+  cached = log.get();
+  logs_.push_back(std::move(log));
+  return cached;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+    log->dropped = 0;
+  }
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RecordComplete(const char* name, double ts_us,
+                                   double dur_us) {
+  ThreadLog* log = LogForThisThread();
+  std::lock_guard<std::mutex> lock(log->mutex);
+  if (log->events.size() >= kMaxEventsPerThread) {
+    ++log->dropped;
+    return;
+  }
+  log->events.push_back({name, ts_us, dur_us});
+}
+
+int64_t TraceRecorder::event_count() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    total += static_cast<int64_t>(log->events.size());
+  }
+  return total;
+}
+
+int64_t TraceRecorder::dropped_count() const {
+  int64_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    total += log->dropped;
+  }
+  return total;
+}
+
+std::vector<std::string> TraceRecorder::SpanNames() const {
+  std::set<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    for (const TraceEvent& event : log->events) names.insert(event.name);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    for (const TraceEvent& event : log->events) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":" + JsonQuote(event.name) +
+             ",\"cat\":\"sim2rec\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+             std::to_string(log->tid) + ",\"ts\":" + FormatMicros(event.ts_us) +
+             ",\"dur\":" + FormatMicros(event.dur_us) + '}';
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ToChromeTraceJson();
+  file.flush();
+  return file.good();
+}
+
+}  // namespace obs
+}  // namespace sim2rec

@@ -1,0 +1,117 @@
+#ifndef SIM2REC_OBS_TRACE_H_
+#define SIM2REC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // Enabled(), MonotonicMicros()
+
+namespace sim2rec {
+namespace obs {
+
+/// One completed span ("ph":"X" in the Chrome trace-event format).
+/// `name` must point at static storage (every S2R_TRACE_SPAN site
+/// passes a string literal) — events are recorded by the million, so
+/// they hold a pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Process-wide scoped-span recorder, exporting Chrome trace-event
+/// JSON loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
+///
+/// Collection is off by default (spans cost one relaxed load); Start()
+/// clears previous events and begins recording. Each thread appends to
+/// its own buffer under a per-thread mutex, which is uncontended
+/// except while an export is copying that buffer — recording threads
+/// never share a lock with each other. Buffers are capped
+/// (kMaxEventsPerThread); overflow drops events and counts them, so a
+/// forgotten Stop() cannot eat the heap.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Discards previously collected events and begins recording.
+  void Start();
+  void Stop();
+  bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  void RecordComplete(const char* name, double ts_us, double dur_us);
+
+  /// Events currently buffered across all threads / dropped on cap.
+  int64_t event_count() const;
+  int64_t dropped_count() const;
+  /// Distinct span names seen, sorted (diagnostics and tests).
+  std::vector<std::string> SpanNames() const;
+
+  /// Serializes everything recorded so far as
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string ToChromeTraceJson() const;
+  /// ToChromeTraceJson to a file; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  static constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+ private:
+  struct ThreadLog {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    int64_t dropped = 0;
+    int tid = 0;
+  };
+
+  TraceRecorder() = default;
+  ThreadLog* LogForThisThread();
+
+  mutable std::mutex mutex_;  // guards logs_ (registration + export)
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+  std::atomic<bool> active_{false};
+};
+
+/// RAII span: records [construction, destruction) as one complete
+/// event when the recorder is active and observability is enabled.
+/// `name` must be a string literal (or otherwise outlive the
+/// recorder's buffered events).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!Enabled()) return;
+    if (!TraceRecorder::Global().active()) return;
+    name_ = name;
+    start_us_ = MonotonicMicros();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    const double end_us = MonotonicMicros();
+    TraceRecorder::Global().RecordComplete(name_, start_us_,
+                                           end_us - start_us_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace sim2rec
+
+#define S2R_OBS_CONCAT_INNER(a, b) a##b
+#define S2R_OBS_CONCAT(a, b) S2R_OBS_CONCAT_INNER(a, b)
+
+/// Scoped trace span; name must be a string literal, conventionally
+/// "<module>/<operation>" (e.g. S2R_TRACE_SPAN("ppo/update")).
+#define S2R_TRACE_SPAN(name)                  \
+  ::sim2rec::obs::ScopedSpan S2R_OBS_CONCAT( \
+      s2r_trace_span_, __LINE__)(name)
+
+#endif  // SIM2REC_OBS_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sim2rec {
 namespace rl {
 namespace {
@@ -17,6 +20,7 @@ Rollout ParallelRolloutCollector::Collect(
     Rng& rng) const {
   Rollout rollout;
   if (shards.empty()) return rollout;  // empty group: nothing to collect
+  S2R_TRACE_SPAN("rollout/collect");
 
   const int num_shards = static_cast<int>(shards.size());
   const int obs_dim = agent.obs_dim();
@@ -80,6 +84,7 @@ Rollout ParallelRolloutCollector::Collect(
     Agent::StepOutput step = agent.Step(obs, rng, /*deterministic=*/false);
 
     parallel_for(num_shards, [&](int k) {
+      obs::ScopedTimerUs shard_timer("rollout.shard_step_us");
       const nn::Tensor actions =
           step.actions.SliceRows(offsets[k], offsets[k + 1]);
       results[k] = shards[k].env->Step(actions, shard_rngs[k]);

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sim2rec {
 namespace rl {
@@ -39,6 +41,7 @@ PpoTrainer::PpoTrainer(Agent* agent, const PpoConfig& config)
 PpoTrainer::UpdateStats PpoTrainer::Update(Rollout* rollout) {
   S2R_CHECK(rollout != nullptr);
   S2R_CHECK(rollout->num_steps > 0);
+  S2R_TRACE_SPAN("ppo/update");
   if (config_.reward_scale != 1.0) {
     for (auto& step : rollout->rewards) {
       for (double& r : step) r *= config_.reward_scale;
@@ -127,6 +130,11 @@ PpoTrainer::UpdateStats PpoTrainer::Update(Rollout* rollout) {
     stats.approx_kl = approx_kl;
     stats.epochs_run = epoch + 1;
   }
+  S2R_COUNT("ppo.updates", 1);
+  S2R_GAUGE_SET("ppo.policy_loss", stats.policy_loss);
+  S2R_GAUGE_SET("ppo.value_loss", stats.value_loss);
+  S2R_GAUGE_SET("ppo.entropy", stats.entropy);
+  S2R_GAUGE_SET("ppo.approx_kl", stats.approx_kl);
   return stats;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sim2rec {
 namespace sadae {
 
@@ -28,6 +31,7 @@ nn::Tensor SadaeTrainer::SubsamplePairs(const nn::Tensor& set,
 double SadaeTrainer::TrainStep(const std::vector<nn::Tensor>& sets,
                                const std::vector<int>& indices, Rng& rng) {
   S2R_CHECK(!indices.empty());
+  S2R_TRACE_SPAN("sadae/train_step");
   nn::Tape tape;
   nn::Var total;
   bool first = true;
@@ -43,7 +47,10 @@ double SadaeTrainer::TrainStep(const std::vector<nn::Tensor>& sets,
   tape.Backward(loss);
   nn::ClipGradNorm(model_->Parameters(), config_.grad_clip);
   optimizer_->Step();
-  return loss.value()(0, 0);
+  const double neg_elbo = loss.value()(0, 0);
+  S2R_COUNT("sadae.steps", 1);
+  S2R_GAUGE_SET("sadae.neg_elbo", neg_elbo);
+  return neg_elbo;
 }
 
 double SadaeTrainer::TrainEpoch(const std::vector<nn::Tensor>& sets,

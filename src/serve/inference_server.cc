@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -69,11 +71,15 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
 
   if (!config_.micro_batching) {
     // Serial reference path: one request, inline on the caller.
+    S2R_TRACE_SPAN("serve/act");
     std::lock_guard<std::mutex> serial(serial_mutex_);
     ProcessBatch({&pending});
-    latency_.Record(std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - pending.enqueued)
-                        .count());
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - pending.enqueued)
+            .count();
+    latency_.Record(latency_us);
+    S2R_HISTOGRAM("serve.latency_us", latency_us);
     return pending.reply;
   }
 
@@ -123,13 +129,18 @@ void InferenceServer::BatcherLoop() {
     }
     lock.unlock();
 
-    ProcessBatch(batch);
+    {
+      S2R_TRACE_SPAN("serve/batch");
+      ProcessBatch(batch);
+    }
 
     const auto fulfilled = std::chrono::steady_clock::now();
     for (const Pending* p : batch) {
-      latency_.Record(std::chrono::duration<double, std::micro>(
-                          fulfilled - p->enqueued)
-                          .count());
+      const double latency_us = std::chrono::duration<double, std::micro>(
+                                    fulfilled - p->enqueued)
+                                    .count();
+      latency_.Record(latency_us);
+      S2R_HISTOGRAM("serve.latency_us", latency_us);
     }
     lock.lock();
     for (Pending* p : batch) p->done = true;
@@ -179,8 +190,11 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
   });
 
   // One coalesced forward pass (policy + value + extractor + SADAE).
-  const core::ContextAgent::ServeOutput out =
-      agent_->ServeStep(obs, &state);
+  core::ContextAgent::ServeOutput out;
+  {
+    S2R_TRACE_SPAN("serve/forward");
+    out = agent_->ServeStep(obs, &state);
+  }
 
   // Unpack: advance each session, apply the F_exec guard, fill replies.
   const bool guard = !config_.action_low.empty();
@@ -214,15 +228,22 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
       }
       if (reply.exec_clamped) {
         exec_clamps_.fetch_add(1, std::memory_order_relaxed);
+        S2R_COUNT("serve.exec_clamps", 1);
       }
     }
   });
 
   // Commit serially, again in arrival order.
-  for (int i = 0; i < k; ++i) {
-    store_->Commit(batch[i]->user_id, std::move(sessions[i]), now_ms);
+  {
+    S2R_TRACE_SPAN("serve/commit");
+    for (int i = 0; i < k; ++i) {
+      store_->Commit(batch[i]->user_id, std::move(sessions[i]), now_ms);
+    }
   }
   occupancy_.Record(k);
+  S2R_COUNT("serve.requests", k);
+  S2R_COUNT("serve.batches", 1);
+  S2R_HISTOGRAM("serve.batch_occupancy", static_cast<double>(k));
 }
 
 InferenceServerStats InferenceServer::stats() const {

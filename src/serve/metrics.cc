@@ -1,91 +1,22 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace sim2rec {
 namespace serve {
 
-LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
-
-int LatencyHistogram::BucketFor(double micros) const {
-  if (micros < 1.0) return 0;
-  const int b = static_cast<int>(std::floor(std::log2(micros))) + 1;
-  return std::min(b, kBuckets - 1);
-}
-
-void LatencyHistogram::Record(double micros) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++buckets_[BucketFor(micros)];
-  ++count_;
-  sum_us_ += micros;
-  max_us_ = std::max(max_us_, micros);
-}
-
-int64_t LatencyHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return count_;
-}
-
-double LatencyHistogram::mean_us() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
-}
-
-double LatencyHistogram::max_us() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return max_us_;
-}
-
-double LatencyHistogram::QuantileUs(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const double target = q * static_cast<double>(count_);
-  int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    if (static_cast<double>(seen + buckets_[b]) >= target) {
-      // Bucket b spans [2^(b-1), 2^b) us (bucket 0 is [0, 1)).
-      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
-      const double hi = std::ldexp(1.0, b);
-      const double frac =
-          (target - static_cast<double>(seen)) /
-          static_cast<double>(buckets_[b]);
-      return std::min(lo + frac * (hi - lo), max_us_);
-    }
-    seen += buckets_[b];
-  }
-  return max_us_;
-}
-
 void BatchOccupancy::Record(int batch_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++batches_;
-  requests_ += batch_size;
-  max_ = std::max(max_, batch_size);
-}
-
-int64_t BatchOccupancy::batches() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batches_;
-}
-
-int64_t BatchOccupancy::requests() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return requests_;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(batch_size, std::memory_order_relaxed);
+  int expected = max_.load(std::memory_order_relaxed);
+  while (batch_size > expected &&
+         !max_.compare_exchange_weak(expected, batch_size,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 double BatchOccupancy::mean() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return batches_ > 0
-             ? static_cast<double>(requests_) / static_cast<double>(batches_)
-             : 0.0;
-}
-
-int BatchOccupancy::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return max_;
+  const int64_t n = batches();
+  return n > 0 ? static_cast<double>(requests()) / static_cast<double>(n)
+               : 0.0;
 }
 
 }  // namespace serve

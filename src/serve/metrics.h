@@ -1,57 +1,61 @@
 #ifndef SIM2REC_SERVE_METRICS_H_
 #define SIM2REC_SERVE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace sim2rec {
 namespace serve {
 
-/// Log-bucketed latency histogram (microseconds): O(1) memory and
-/// record cost regardless of request count, which is what a serving
-/// loop at "millions of users" scale needs — we never keep raw samples.
-/// Buckets double from 1us; quantiles are interpolated linearly inside
-/// the owning bucket, so tail estimates carry bucket-sized error — fine
-/// for p50/p95/p99 reporting, not for asserting exact values.
+/// Log-bucketed latency histogram (microseconds), a thin wrapper over
+/// obs::LogHistogram: O(1) memory and record cost regardless of request
+/// count, which is what a serving loop at "millions of users" scale
+/// needs — we never keep raw samples. Record is lock-free (atomic
+/// bucket counters — the previous implementation serialized every
+/// request on a mutex). Buckets double from 1us; quantiles are
+/// interpolated linearly inside the owning bucket and clamped to the
+/// observed [min, max], so q=0, q=1 and single-sample queries return
+/// exact values while interior quantiles carry bucket-sized error —
+/// fine for p50/p95/p99 reporting, not for asserting exact values.
+///
+/// This object is functional API surface (ServerStats is built from
+/// it), so it records unconditionally — the obs::Enabled() switch only
+/// gates the registry mirror inside the server, never these counts.
 class LatencyHistogram {
  public:
-  LatencyHistogram();
+  void Record(double micros) { histogram_.Record(micros); }
 
-  void Record(double micros);
-
-  int64_t count() const;
-  double mean_us() const;
-  double max_us() const;
-  /// q in [0, 1]; returns 0 when empty.
-  double QuantileUs(double q) const;
+  int64_t count() const { return histogram_.count(); }
+  double mean_us() const { return histogram_.mean(); }
+  double max_us() const { return histogram_.max_value(); }
+  /// q in [0, 1]; returns 0 when empty, the exact sample when count==1.
+  double QuantileUs(double q) const { return histogram_.Quantile(q); }
 
  private:
-  static constexpr int kBuckets = 40;  // 1us .. ~2^39us (~9 days)
-  int BucketFor(double micros) const;
-
-  mutable std::mutex mutex_;
-  std::vector<int64_t> buckets_;
-  int64_t count_ = 0;
-  double sum_us_ = 0.0;
-  double max_us_ = 0.0;
+  obs::LogHistogram histogram_;
 };
 
 /// Micro-batch shape counters: how full the coalesced batches ran.
+/// Lock-free for the same reason as LatencyHistogram.
 class BatchOccupancy {
  public:
   void Record(int batch_size);
 
-  int64_t batches() const;
-  int64_t requests() const;
+  int64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
   double mean() const;
-  int max() const;
+  int max() const { return max_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mutex_;
-  int64_t batches_ = 0;
-  int64_t requests_ = 0;
-  int max_ = 0;
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int> max_{0};
 };
 
 }  // namespace serve

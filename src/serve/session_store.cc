@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -57,6 +58,7 @@ Session SessionStore::Acquire(uint64_t user_id, int64_t now_ms) {
       index_.erase(it);
       ++stats_.expirations;
       ++stats_.misses;
+      S2R_COUNT("serve.session_expirations", 1);
       return FreshSession();
     }
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -84,6 +86,7 @@ void SessionStore::Commit(uint64_t user_id, Session session,
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    S2R_COUNT("serve.session_evictions", 1);
   }
 }
 

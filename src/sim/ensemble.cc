@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -66,9 +68,11 @@ std::vector<nn::Tensor> SimulatorEnsemble::AllMeans(
 std::vector<double> SimulatorEnsemble::Uncertainty(
     const nn::Tensor& inputs) const {
   S2R_CHECK(size() >= 1);
+  S2R_TRACE_SPAN("sim/ensemble_uncertainty");
   const std::vector<nn::Tensor> means = AllMeans(inputs);
   const int n = inputs.rows();
   std::vector<double> uncertainty(n, 0.0);
+  double total_disagreement = 0.0;
   for (int r = 0; r < n; ++r) {
     double mean_of_means = 0.0;
     for (const auto& m : means) mean_of_means += m(r, 0);
@@ -77,7 +81,9 @@ std::vector<double> SimulatorEnsemble::Uncertainty(
     for (const auto& m : means)
       disagreement += std::abs(m(r, 0) - mean_of_means);
     uncertainty[r] = disagreement / size();
+    total_disagreement += uncertainty[r];
   }
+  if (n > 0) S2R_HISTOGRAM("sim.ensemble.disagreement", total_disagreement / n);
   return uncertainty;
 }
 

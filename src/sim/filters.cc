@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace sim2rec {
@@ -56,6 +58,7 @@ std::vector<int> TrendFilter(const SimulatorEnsemble& ensemble,
                              const std::vector<double>& bonus_deltas,
                              int bonus_action_index, double min_slope) {
   S2R_CHECK(ensemble.size() >= 1);
+  S2R_TRACE_SPAN("sim/trend_filter");
   // slopes[user][member]
   std::vector<std::vector<double>> slopes(
       dataset.size(), std::vector<double>(ensemble.size()));
@@ -73,6 +76,9 @@ std::vector<int> TrendFilter(const SimulatorEnsemble& ensemble,
     const double median = s[s.size() / 2];
     if (median > min_slope) keep.push_back(u);
   }
+  S2R_COUNT("sim.f_trend.kept", static_cast<int64_t>(keep.size()));
+  S2R_COUNT("sim.f_trend.dropped",
+            static_cast<int64_t>(dataset.size() - keep.size()));
   return keep;
 }
 

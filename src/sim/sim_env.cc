@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace sim2rec {
 namespace sim {
 
@@ -129,6 +131,7 @@ envs::StepResult SimGroupEnv::Step(const nn::Tensor& actions, Rng& rng) {
       out.rewards[i] = config_.r_min / (1.0 - config_.gamma);
       out.dones[i] = 1;
       done_[i] = 1;
+      S2R_COUNT("sim.f_exec.triggers", 1);
       continue;
     }
 
@@ -138,8 +141,10 @@ envs::StepResult SimGroupEnv::Step(const nn::Tensor& actions, Rng& rng) {
     last_costs_[i] = cost;
     double reward = orders - cost;
     if (config_.uncertainty_alpha > 0.0) {
-      reward -= config_.uncertainty_alpha * uncertainty[i] *
-                envs::kDprOrderScale;
+      const double penalty = config_.uncertainty_alpha * uncertainty[i] *
+                             envs::kDprOrderScale;
+      reward -= penalty;
+      S2R_HISTOGRAM("sim.uncertainty_penalty", penalty);
     }
     out.rewards[i] = reward;
     histories_[i].Update(orders, bonus, difficulty);

@@ -52,4 +52,8 @@ void CsvWriter::WriteRow(const std::string& label,
   out_ << '\n';
 }
 
+void CsvWriter::Flush() {
+  if (ok_) out_.flush();
+}
+
 }  // namespace sim2rec

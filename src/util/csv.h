@@ -25,6 +25,10 @@ class CsvWriter {
   /// Convenience for mixed rows: a string label followed by numbers.
   void WriteRow(const std::string& label, const std::vector<double>& values);
 
+  /// Pushes buffered rows to the OS so a killed process keeps every row
+  /// written so far (streamed training logs).
+  void Flush();
+
  private:
   std::ofstream out_;
   size_t num_columns_;

@@ -1,0 +1,659 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context_agent.h"
+#include "core/sim2rec_trainer.h"
+#include "core/thread_pool.h"
+#include "envs/lts_env.h"
+#include "experiments/iteration_export.h"
+#include "experiments/lts_experiment.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/inference_server.h"
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test (removed on destruction).
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() /
+              ("sim2rec_obs_test_" + name + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+  fs::path path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Restores the global enabled flag on scope exit so tests that flip it
+/// cannot leak state into later tests.
+class EnabledGuard {
+ public:
+  EnabledGuard() : was_(Enabled()) {}
+  ~EnabledGuard() { SetEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+TEST(Counter, AddsAcrossShardsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(Gauge, HasValueOnlyAfterSet) {
+  Gauge gauge;
+  EXPECT_FALSE(gauge.has_value());
+  gauge.Set(3.5);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+  gauge.Reset();
+  EXPECT_FALSE(gauge.has_value());
+}
+
+TEST(LogHistogram, CountSumMeanMinMax) {
+  LogHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  histogram.Record(2.0);
+  histogram.Record(10.0);
+  histogram.Record(6.0);
+  EXPECT_EQ(histogram.count(), 3);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 18.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(histogram.min_value(), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.max_value(), 10.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.max_value(), 0.0);
+}
+
+TEST(LogHistogram, IgnoresNonFiniteAndClampsNegative) {
+  LogHistogram histogram;
+  histogram.Record(std::nan(""));
+  histogram.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(histogram.count(), 0);
+  histogram.Record(-5.0);  // clamped to 0
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_DOUBLE_EQ(histogram.min_value(), 0.0);
+}
+
+// The quantile edge behavior the serve histogram previously got wrong:
+// interpolation inside a power-of-two bucket must never escape the
+// observed value range.
+
+TEST(LogHistogram, QuantileEmptyIsZero) {
+  LogHistogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogram, QuantileSingleSampleIsExactEverywhere) {
+  LogHistogram histogram;
+  histogram.Record(37.0);  // interior of bucket [32, 64)
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 37.0) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, QuantileZeroIsMinAndOneIsMax) {
+  LogHistogram histogram;
+  for (double v : {3.0, 700.0, 41.5, 12.0, 95.0}) histogram.Record(v);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 700.0);
+  // Out-of-range q is clamped, not undefined.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-3.0), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(7.0), 700.0);
+}
+
+TEST(LogHistogram, QuantileSubUnitSamples) {
+  LogHistogram histogram;
+  histogram.Record(0.25);
+  histogram.Record(0.5);
+  histogram.Record(0.125);
+  // All mass in bucket [0, 1): quantiles stay inside the observed range
+  // instead of reporting bucket-boundary values.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.5);
+  const double p50 = histogram.Quantile(0.5);
+  EXPECT_GE(p50, 0.125);
+  EXPECT_LE(p50, 0.5);
+}
+
+TEST(LogHistogram, QuantilesAreMonotoneInQ) {
+  LogHistogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = histogram.Quantile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+  // Sanity on accuracy: p50 of 1..1000 lands in the owning bucket
+  // [512, 1024) or below; it must at least separate from the tails.
+  EXPECT_GT(histogram.Quantile(0.99), histogram.Quantile(0.01));
+}
+
+// ---------------------------------------------------------------------------
+// serve wrappers (satellite: QuantileUs edge cases on the public type).
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, QuantileUsEdgeCases) {
+  serve::LatencyHistogram latency;
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(0.5), 0.0);  // empty
+
+  latency.Record(37.0);  // single sample: every quantile is the sample
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(1.0), 37.0);
+  EXPECT_EQ(latency.count(), 1);
+  EXPECT_DOUBLE_EQ(latency.mean_us(), 37.0);
+  EXPECT_DOUBLE_EQ(latency.max_us(), 37.0);
+}
+
+TEST(LatencyHistogram, SubMicrosecondSamples) {
+  serve::LatencyHistogram latency;
+  latency.Record(0.2);
+  latency.Record(0.9);
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(0.0), 0.2);
+  EXPECT_DOUBLE_EQ(latency.QuantileUs(1.0), 0.9);
+  const double p50 = latency.QuantileUs(0.5);
+  EXPECT_GE(p50, 0.2);
+  EXPECT_LE(p50, 0.9);
+}
+
+TEST(LatencyHistogram, QuantilesMonotoneUnderLoad) {
+  serve::LatencyHistogram latency;
+  for (int i = 0; i < 500; ++i) latency.Record(10.0 + i);
+  EXPECT_LE(latency.QuantileUs(0.50), latency.QuantileUs(0.95));
+  EXPECT_LE(latency.QuantileUs(0.95), latency.QuantileUs(0.99));
+  EXPECT_LE(latency.QuantileUs(0.99), latency.max_us());
+}
+
+TEST(BatchOccupancy, CountsBatchesRequestsMax) {
+  serve::BatchOccupancy occupancy;
+  occupancy.Record(4);
+  occupancy.Record(8);
+  occupancy.Record(2);
+  EXPECT_EQ(occupancy.batches(), 3);
+  EXPECT_EQ(occupancy.requests(), 14);
+  EXPECT_EQ(occupancy.max(), 8);
+  EXPECT_NEAR(occupancy.mean(), 14.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, PointersAreStablePerName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  Counter* c = registry.GetCounter("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Counters, gauges and histograms are separate namespaces.
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("x")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistry, SnapshotAndResetAll) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests")->Add(7);
+  registry.GetGauge("loss")->Set(0.25);
+  registry.GetGauge("never_set");  // skipped in snapshots
+  registry.GetHistogram("latency")->Record(8.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "requests");
+  EXPECT_EQ(snapshot.counters[0].value, 7);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "loss");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].p50, 8.0);
+
+  registry.ResetAll();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].value, 0);
+  EXPECT_TRUE(snapshot.gauges.empty());  // Reset clears has_value
+  EXPECT_EQ(snapshot.histograms[0].count, 0);
+}
+
+TEST(MetricsSnapshot, ToJsonIsStrictJson) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b")->Add(1);
+  registry.GetGauge("with \"quotes\"\n")->Set(std::nan(""));  // -> null
+  registry.GetHistogram("h")->Record(3.0);
+  const std::string json = registry.Snapshot().ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonValidate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, ToTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(3);
+  registry.GetGauge("kl")->Set(0.5);
+  registry.GetHistogram("lat")->Record(2.0);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("hits"), std::string::npos);
+  EXPECT_NE(text.find("kl"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (tsan-labelled: these are the races worth hunting).
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentRecordFromParallelFor) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  LogHistogram* histogram = registry.GetHistogram("h");
+  core::ThreadPool pool(4);
+  const int kTasks = 64;
+  const int kPerTask = 1000;
+  pool.ParallelFor(kTasks, [&](int i) {
+    for (int j = 0; j < kPerTask; ++j) {
+      counter->Add(1);
+      histogram->Record(static_cast<double>((i * kPerTask + j) % 97) + 1.0);
+    }
+  });
+  EXPECT_EQ(counter->value(), static_cast<int64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(histogram->count(), static_cast<int64_t>(kTasks) * kPerTask);
+  EXPECT_DOUBLE_EQ(histogram->min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram->max_value(), 97.0);
+}
+
+TEST(MetricsRegistry, SnapshotWhileRecording) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  LogHistogram* histogram = registry.GetHistogram("h");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Add(1);
+        histogram->Record(static_cast<double>((w * 1000 + i++) % 50) + 1.0);
+      }
+    });
+  }
+  // Snapshots interleaved with recording must stay internally coherent:
+  // quantiles inside [min, max], non-decreasing counter reads.
+  int64_t last_count = 0;
+  for (int s = 0; s < 200; ++s) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    ASSERT_EQ(snapshot.counters.size(), 1u);
+    EXPECT_GE(snapshot.counters[0].value, last_count);
+    last_count = snapshot.counters[0].value;
+    const HistogramSample& h = snapshot.histograms[0];
+    if (h.count > 0) {
+      EXPECT_GE(h.p50, h.min);
+      EXPECT_LE(h.p50, h.max);
+      EXPECT_LE(h.p50, h.p99);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(counter->value(), histogram->count());
+}
+
+TEST(TraceRecorder, ConcurrentSpansFromManyThreads) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 200; ++i) {
+        S2R_TRACE_SPAN("test/concurrent");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  recorder.Stop();
+  EXPECT_GE(recorder.event_count(), 4 * 200);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(recorder.ToChromeTraceJson(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, InactiveRecorderDropsSpans) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  recorder.Stop();
+  const int64_t before = recorder.event_count();
+  {
+    S2R_TRACE_SPAN("test/ignored");
+  }
+  EXPECT_EQ(recorder.event_count(), before);
+}
+
+TEST(TraceRecorder, ChromeTraceShapeAndNames) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    S2R_TRACE_SPAN("test/outer");
+    S2R_TRACE_SPAN("test/inner");
+  }
+  recorder.Stop();
+  const std::string json = recorder.ToChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test/outer"), std::string::npos);
+  EXPECT_NE(json.find("test/inner"), std::string::npos);
+  const std::vector<std::string> names = recorder.SpanNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "test/outer"),
+            names.end());
+  // Start() clears prior events.
+  recorder.Start();
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 0);
+}
+
+TEST(TraceRecorder, ServingRunExportsValidTraceWithDistinctSpans) {
+  if (!Enabled()) GTEST_SKIP() << "observability compiled/switched off";
+  EnabledGuard guard;
+  SetEnabled(true);
+
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.lstm_hidden = 8;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  Rng rng(3);
+  core::ContextAgent agent(config, nullptr, rng);
+
+  serve::InferenceServerConfig server_config;
+  server_config.micro_batching = false;  // serial path: deterministic
+  server_config.action_low = {0.0};
+  server_config.action_high = {1.0};
+  serve::InferenceServer server(&agent, server_config);
+
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  const nn::Tensor obs = nn::Tensor::Zeros(1, config.obs_dim);
+  for (int t = 0; t < 5; ++t) server.Act(7, obs);
+  recorder.Stop();
+
+  const std::vector<std::string> names = recorder.SpanNames();
+  EXPECT_GE(names.size(), 3u) << "serving should emit >= 3 span kinds";
+  EXPECT_NE(std::find(names.begin(), names.end(), "serve/act"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "serve/forward"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "serve/commit"),
+            names.end());
+
+  ScratchDir dir("trace_export");
+  const std::string path = (dir.path() / "trace.json").string();
+  ASSERT_TRUE(recorder.WriteChromeTrace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(JsonValidate(buffer.str(), &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// JSON validator (it guards every exporter, so test it directly).
+// ---------------------------------------------------------------------------
+
+TEST(JsonValidate, AcceptsValidDocuments) {
+  for (const char* doc :
+       {"{}", "[]", "null", "true", "-12.5e-3", "\"s\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\\n\"}",
+        "  [1, 2, 3]  "}) {
+    std::string error;
+    EXPECT_TRUE(JsonValidate(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonValidate, RejectsInvalidDocuments) {
+  for (const char* doc :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "01", "nul", "1 2",
+        "\"unterminated", "{\"a\":1,}", "[1](extra)", "\"bad\\q\"",
+        "\"\\u12g4\"", "NaN"}) {
+    std::string error;
+    EXPECT_FALSE(JsonValidate(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonEscape, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  std::string error;
+  EXPECT_TRUE(JsonValidate(JsonQuote("tricky \"\\\n\t\x02"), &error))
+      << error;
+}
+
+// ---------------------------------------------------------------------------
+// Wiring macros and the enable switch.
+// ---------------------------------------------------------------------------
+
+TEST(EnableSwitch, DisabledMacrosRecordNothing) {
+  if (!Enabled()) GTEST_SKIP() << "observability compiled/switched off";
+  EnabledGuard guard;
+
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("obs_test.switch_counter");
+  counter->Reset();
+  SetEnabled(false);
+  S2R_COUNT("obs_test.switch_counter", 1);
+  EXPECT_EQ(counter->value(), 0);
+  // The primitives themselves still record when used directly (serve's
+  // functional stats must not be silenced by the switch).
+  counter->Add(1);
+  EXPECT_EQ(counter->value(), 1);
+  SetEnabled(true);
+  S2R_COUNT("obs_test.switch_counter", 1);
+  EXPECT_EQ(counter->value(), 2);
+  counter->Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism neutrality: instrumentation must not perturb training.
+// ---------------------------------------------------------------------------
+
+core::ContextAgentConfig TinyAgentConfig() {
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = false;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  return config;
+}
+
+/// Runs a small LTS training loop and returns (final weights, returns).
+std::pair<std::vector<double>, std::vector<double>> TrainTiny() {
+  Rng rng(11);
+  core::ContextAgent agent(TinyAgentConfig(), nullptr, rng);
+  envs::LtsConfig env_config;
+  env_config.num_users = 6;
+  env_config.horizon = 5;
+  envs::LtsEnv env_a(env_config);
+  env_config.omega_g = 3.0;
+  envs::LtsEnv env_b(env_config);
+
+  core::TrainLoopConfig loop;
+  loop.iterations = 4;
+  loop.eval_every = 0;
+  loop.sadae_steps_per_iteration = 0;
+  loop.parallelism = 2;  // exercise the instrumented engine path
+  loop.rollout_shards = 2;
+  loop.seed = 12;
+
+  core::ZeroShotTrainer trainer(&agent, {&env_a, &env_b}, loop);
+  const std::vector<core::IterationLog> logs = trainer.Train();
+  std::vector<double> returns;
+  for (const auto& log : logs) returns.push_back(log.train_return);
+  return {agent.FlatParams(), returns};
+}
+
+TEST(DeterminismNeutrality, InstrumentedRunMatchesDisabledBitwise) {
+  if (!Enabled()) GTEST_SKIP() << "observability compiled/switched off";
+  EnabledGuard guard;
+
+  // Run 1: everything on — metrics recording plus an active trace.
+  SetEnabled(true);
+  TraceRecorder::Global().Start();
+  const auto instrumented = TrainTiny();
+  TraceRecorder::Global().Stop();
+  EXPECT_GT(TraceRecorder::Global().event_count(), 0);
+
+  // Run 2: observability off at run time.
+  SetEnabled(false);
+  const auto plain = TrainTiny();
+
+  ASSERT_EQ(instrumented.first.size(), plain.first.size());
+  EXPECT_EQ(std::memcmp(instrumented.first.data(), plain.first.data(),
+                        instrumented.first.size() * sizeof(double)),
+            0)
+      << "observability changed the trained weights";
+  ASSERT_EQ(instrumented.second.size(), plain.second.size());
+  EXPECT_EQ(std::memcmp(instrumented.second.data(), plain.second.data(),
+                        instrumented.second.size() * sizeof(double)),
+            0)
+      << "observability changed the training returns";
+}
+
+// ---------------------------------------------------------------------------
+// Iteration-log streaming (export_metrics_path).
+// ---------------------------------------------------------------------------
+
+TEST(IterationLogExporter, WritesFlushedJsonlAndCsv) {
+  ScratchDir dir("iteration_export");
+  const std::string stem = (dir.path() / "train_log").string();
+  experiments::IterationLogExporter exporter(stem);
+  ASSERT_TRUE(exporter.ok());
+
+  core::IterationLog log;
+  log.iteration = 0;
+  log.train_return = 1.5;
+  log.policy_loss = -0.25;
+  exporter.Write(log);  // eval_return / sadae_loss stay NaN -> null
+  log.iteration = 1;
+  log.eval_return = 2.0;
+  exporter.Write(log);
+
+  // Flushed per row: readable without destroying the exporter (the
+  // "killed run keeps partial history" property).
+  std::ifstream jsonl(exporter.jsonl_path());
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(jsonl, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonValidate(line, &error)) << error << "\n" << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+
+  std::ifstream csv(exporter.csv_path());
+  ASSERT_TRUE(csv.good());
+  std::getline(csv, line);
+  EXPECT_EQ(line,
+            "iteration,train_return,eval_return,policy_loss,value_loss,"
+            "entropy,approx_kl,sadae_loss");
+  int rows = 0;
+  while (std::getline(csv, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+
+  // First record's NaN fields serialized as null in JSONL.
+  std::ifstream again(exporter.jsonl_path());
+  std::getline(again, line);
+  EXPECT_NE(line.find("\"eval_return\":null"), std::string::npos);
+}
+
+TEST(IterationLogExporter, LtsPipelineStreamsPerIteration) {
+  ScratchDir dir("lts_metrics");
+  const std::string stem = (dir.path() / "lts_run").string();
+
+  experiments::LtsExperimentConfig config;
+  config.num_users = 6;
+  config.horizon = 5;
+  config.iterations = 3;
+  config.eval_every = 3;
+  config.eval_episodes = 1;
+  config.sadae_pretrain_epochs = 1;
+  config.export_metrics_path = stem;
+  config.seed = 5;
+  experiments::RunLtsVariant(baselines::AgentVariant::kDirect, {-4.0},
+                             config);
+
+  std::ifstream jsonl(stem + ".jsonl");
+  ASSERT_TRUE(jsonl.good()) << "pipeline did not write " << stem
+                            << ".jsonl";
+  std::string line;
+  int lines = 0;
+  while (std::getline(jsonl, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonValidate(line, &error)) << error;
+    ++lines;
+  }
+  EXPECT_EQ(lines, config.iterations);
+  std::ifstream csv(stem + ".csv");
+  ASSERT_TRUE(csv.good());
+  int csv_lines = 0;
+  while (std::getline(csv, line)) ++csv_lines;
+  EXPECT_EQ(csv_lines, config.iterations + 1);  // header + rows
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sim2rec
