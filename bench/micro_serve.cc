@@ -11,14 +11,22 @@
 //   2. Throughput: requests/sec and latency quantiles (p50/p95/p99) at
 //      1/2/4/8 concurrent client threads, each thread driving its own
 //      slice of users round-robin.
+//   3. Shard scaling: the same closed loop against a consistent-hash
+//      ServeRouter at 1/2/4/8 shards x 1/2/4/8 clients, quantiles taken
+//      from the router's merged per-shard metrics (obs::MergeSnapshots
+//      — the cross-process aggregation seam exercised end to end).
 //
-// Note: on a single-core container the thread counts collapse to ~1x;
-// the bitwise check is load-bearing regardless.
+// Note: on a single-core container the thread counts (and shard
+// counts) collapse to ~1x — shards scale with physical cores, which
+// this box does not have; the bitwise check is load-bearing
+// regardless.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +38,8 @@
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
 #include "serve/inference_server.h"
+#include "serve/policy_service.h"
+#include "serve/serve_router.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -78,8 +88,9 @@ serve::InferenceServerConfig ServerConfig(bool micro_batching,
 /// Drives `num_users` users for `steps` steps each from `num_clients`
 /// concurrent threads (users partitioned across clients, round-robin
 /// within a client). Optionally records every user's observation and
-/// action stream.
-void DriveClosedLoop(serve::InferenceServer& server, int num_users,
+/// action stream. Written against the abstract PolicyService, so the
+/// same loop drives a single InferenceServer and a sharded ServeRouter.
+void DriveClosedLoop(serve::PolicyService& server, int num_users,
                      int num_clients, int steps,
                      std::vector<std::vector<nn::Tensor>>* obs_log,
                      std::vector<std::vector<nn::Tensor>>* action_log) {
@@ -211,6 +222,66 @@ int Run(int argc, char** argv) {
                   stats.latency_p50_us, stats.latency_p95_us,
                   stats.latency_p99_us, stats.mean_batch_occupancy});
   }
+  // --- Phase 3: shard scaling (ServeRouter, merged shard metrics). ------
+  const int kShardSteps = full ? 150 : 40;
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  std::printf("\nshard scaling (consistent-hash ServeRouter, %d steps "
+              "per user):\n", kShardSteps);
+  std::printf("%-8s %-9s %-7s %-12s %-9s %-9s %-9s\n", "shards",
+              "clients", "users", "req/sec", "p50(us)", "p95(us)",
+              "p99(us)");
+  CsvWriter shard_csv("results/micro_serve_shards.csv",
+                      {"shards", "clients", "users", "req_per_sec",
+                       "p50_us", "p95_us", "p99_us"});
+  // rate[shards][clients] for the 4-vs-1-shard aggregate ratio.
+  std::map<int, std::map<int, double>> rates;
+  std::string merged_view;
+  for (int shards : shard_counts) {
+    for (int clients : client_counts) {
+      const int num_users = clients * kUsersPerClient;
+      serve::ServeRouterConfig router_config;
+      router_config.shard = ServerConfig(true, /*max_batch_size=*/16);
+      serve::ServeRouter router(policy->agent.get(), router_config,
+                                shards);
+      DriveClosedLoop(router, num_users, clients, 2, nullptr, nullptr);
+      Stopwatch stopwatch;
+      DriveClosedLoop(router, num_users, clients, kShardSteps, nullptr,
+                      nullptr);
+      const double seconds = stopwatch.ElapsedSeconds();
+      const double rate =
+          num_users * static_cast<double>(kShardSteps) / seconds;
+      rates[shards][clients] = rate;
+      // One unified view across all shard registries — the
+      // cross-process aggregation seam.
+      const obs::MetricsSnapshot merged = router.MergedMetrics();
+      double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+      for (const auto& h : merged.histograms) {
+        if (h.name == "serve.latency_us") {
+          p50 = h.p50;
+          p95 = h.p95;
+          p99 = h.p99;
+        }
+      }
+      std::printf("%-8d %-9d %-7d %-12.0f %-9.0f %-9.0f %-9.0f\n",
+                  shards, clients, num_users, rate, p50, p95, p99);
+      shard_csv.WriteRow({static_cast<double>(shards),
+                          static_cast<double>(clients),
+                          static_cast<double>(num_users), rate, p50, p95,
+                          p99});
+      if (shards == shard_counts.back() && clients == client_counts.back()) {
+        merged_view = merged.ToText();
+      }
+    }
+  }
+  if (rates[1][8] > 0.0) {
+    std::printf("\naggregate req/s at 8 clients: 4 shards = %.2fx of "
+                "1 shard\n", rates[4][8] / rates[1][8]);
+    std::printf("(shards scale with physical cores; on a single-core "
+                "container expect ~1x)\n");
+  }
+  std::printf("\nmerged per-shard metrics (8 shards, unified view):\n%s",
+              merged_view.c_str());
+
   // --- Observability export: metrics snapshot + Chrome trace. -----------
   obs::TraceRecorder::Global().Stop();
   const std::string snapshot_json =

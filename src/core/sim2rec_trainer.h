@@ -1,14 +1,13 @@
 #ifndef SIM2REC_CORE_SIM2REC_TRAINER_H_
 #define SIM2REC_CORE_SIM2REC_TRAINER_H_
 
-#include <cmath>
 #include <functional>
-#include <limits>
 #include <memory>
 #include <vector>
 
 #include "core/context_agent.h"
 #include "core/thread_pool.h"
+#include "core/training_observer.h"
 #include "rl/parallel_rollout.h"
 #include "rl/ppo.h"
 #include "sadae/sadae_trainer.h"
@@ -57,19 +56,8 @@ struct TrainLoopConfig {
   uint64_t seed = 0;
 };
 
-/// Record of one training iteration.
-struct IterationLog {
-  int iteration = 0;
-  double train_return = 0.0;
-  double eval_return = std::numeric_limits<double>::quiet_NaN();
-  double policy_loss = 0.0;
-  double value_loss = 0.0;
-  double entropy = 0.0;
-  double approx_kl = 0.0;
-  double sadae_loss = std::numeric_limits<double>::quiet_NaN();
-
-  bool has_eval() const { return !std::isnan(eval_return); }
-};
+// IterationLog lives in core/training_observer.h (included above) next
+// to the observer interface that consumes it.
 
 /// The Sim2Rec training loop (paper Algorithm 1), generic over the
 /// simulator set:
@@ -108,20 +96,27 @@ class ZeroShotTrainer {
     evaluator_ = std::move(evaluator);
   }
 
-  /// Hook for exporting a serving bundle (serve::SaveCheckpoint) while
-  /// training: called with the 0-based iteration after that iteration's
-  /// updates — every `checkpoint_every` iterations and always after the
-  /// last one. The trainer stays agnostic of the serialization format;
-  /// the experiment pipelines install a sink that writes the
-  /// src/serve checkpoint directory.
+  /// Installs the training observer: OnIteration fires with each log
+  /// entry right after it is recorded; OnCheckpoint fires with the
+  /// 0-based iteration every `checkpoint_every` iterations and always
+  /// after the last one. The trainer stays agnostic of what observers
+  /// do (metrics streaming, serve::SaveCheckpoint export, ...); compose
+  /// several with core::CompositeObserver. The observer must outlive
+  /// Train(); pass nullptr to clear.
+  void set_observer(TrainingObserver* observer) { observer_ = observer; }
+
+  /// Deprecated: install a TrainingObserver overriding OnCheckpoint via
+  /// set_observer instead. Kept as a thin shim — the sink still fires,
+  /// in addition to any observer.
+  [[deprecated("use set_observer(TrainingObserver*)")]]
   void set_checkpoint_sink(std::function<void(int)> sink) {
     checkpoint_sink_ = std::move(sink);
   }
 
-  /// Hook invoked with each iteration's log entry right after it is
-  /// recorded; used by the experiment pipelines to stream metrics to
-  /// disk (JSONL/CSV) so a killed run keeps its partial history. The
-  /// returned vector from Train() is unaffected.
+  /// Deprecated: install a TrainingObserver overriding OnIteration via
+  /// set_observer instead. Kept as a thin shim — the sink still fires,
+  /// in addition to any observer.
+  [[deprecated("use set_observer(TrainingObserver*)")]]
   void set_iteration_sink(std::function<void(const IterationLog&)> sink) {
     iteration_sink_ = std::move(sink);
   }
@@ -141,8 +136,9 @@ class ZeroShotTrainer {
   std::unique_ptr<ThreadPool> pool_;  // engine pool (parallelism != 0)
   std::function<void(envs::GroupBatchEnv*, Rng&)> on_env_selected_;
   std::function<double(rl::Agent&, Rng&)> evaluator_;
-  std::function<void(int)> checkpoint_sink_;
-  std::function<void(const IterationLog&)> iteration_sink_;
+  TrainingObserver* observer_ = nullptr;
+  std::function<void(int)> checkpoint_sink_;       // legacy shim
+  std::function<void(const IterationLog&)> iteration_sink_;  // legacy shim
 };
 
 }  // namespace core

@@ -1,0 +1,83 @@
+#ifndef SIM2REC_CORE_TRAINING_OBSERVER_H_
+#define SIM2REC_CORE_TRAINING_OBSERVER_H_
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sim2rec {
+namespace core {
+
+/// Record of one training iteration.
+struct IterationLog {
+  int iteration = 0;
+  double train_return = 0.0;
+  double eval_return = std::numeric_limits<double>::quiet_NaN();
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy = 0.0;
+  double approx_kl = 0.0;
+  double sadae_loss = std::numeric_limits<double>::quiet_NaN();
+
+  bool has_eval() const { return !std::isnan(eval_return); }
+};
+
+/// Unified training-hook interface: everything a pipeline wants to do
+/// while ZeroShotTrainer::Train() runs (stream metrics, export serving
+/// checkpoints, drive dashboards) goes through one observer instead of
+/// a per-concern setter. Install with ZeroShotTrainer::set_observer;
+/// compose several with CompositeObserver. The observer must outlive
+/// the Train() call. Methods default to no-ops so an observer overrides
+/// only what it cares about.
+class TrainingObserver {
+ public:
+  virtual ~TrainingObserver() = default;
+
+  /// Called with each iteration's log entry right after it is recorded
+  /// (metrics streaming — a killed run keeps its partial history).
+  virtual void OnIteration(const IterationLog& log) { (void)log; }
+
+  /// Called with the 0-based iteration after that iteration's updates,
+  /// every TrainLoopConfig::checkpoint_every iterations and always
+  /// after the last one (serving-bundle export).
+  virtual void OnCheckpoint(int iteration) { (void)iteration; }
+};
+
+/// Fans one observer slot out to many, in registration order. Accepts
+/// both borrowed observers (caller keeps ownership and lifetime) and
+/// owned ones (the composite deletes them), so pipelines can mix
+/// stack-allocated exporters with ad-hoc adapters.
+class CompositeObserver : public TrainingObserver {
+ public:
+  /// Borrow: `observer` must outlive the composite.
+  void Add(TrainingObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  /// Own: the composite keeps `observer` alive and deletes it.
+  void AddOwned(std::unique_ptr<TrainingObserver> observer) {
+    if (observer == nullptr) return;
+    observers_.push_back(observer.get());
+    owned_.push_back(std::move(observer));
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void OnIteration(const IterationLog& log) override {
+    for (TrainingObserver* observer : observers_) observer->OnIteration(log);
+  }
+  void OnCheckpoint(int iteration) override {
+    for (TrainingObserver* observer : observers_) {
+      observer->OnCheckpoint(iteration);
+    }
+  }
+
+ private:
+  std::vector<TrainingObserver*> observers_;
+  std::vector<std::unique_ptr<TrainingObserver>> owned_;
+};
+
+}  // namespace core
+}  // namespace sim2rec
+
+#endif  // SIM2REC_CORE_TRAINING_OBSERVER_H_

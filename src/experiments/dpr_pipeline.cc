@@ -4,6 +4,7 @@
 #include <map>
 
 #include "data/behavior_policy.h"
+#include "experiments/checkpoint_export.h"
 #include "experiments/iteration_export.h"
 #include "sadae/sadae_trainer.h"
 #include "serve/checkpoint.h"
@@ -212,31 +213,19 @@ DprTrainedPolicy TrainDprPolicy(const DprPipeline& pipeline,
         });
   }
 
+  core::CompositeObserver observers;
   if (!options.export_checkpoint_dir.empty()) {
     serve::CheckpointMetadata metadata;
     metadata.variant = baselines::AgentVariantName(options.variant);
     metadata.seed = options.seed;
-    const std::string dir = options.export_checkpoint_dir;
-    core::ContextAgent* agent_ptr = trained.agent.get();
-    trainer.set_checkpoint_sink([dir, metadata, agent_ptr](int iteration) {
-      serve::CheckpointMetadata m = metadata;
-      m.train_iterations = iteration + 1;
-      if (!serve::SaveCheckpoint(dir, *agent_ptr, m)) {
-        S2R_LOG_WARN("checkpoint export to '%s' failed", dir.c_str());
-      }
-    });
+    observers.AddOwned(std::make_unique<CheckpointExportObserver>(
+        options.export_checkpoint_dir, trained.agent.get(), metadata));
   }
-
-  std::unique_ptr<IterationLogExporter> metrics_exporter;
   if (!options.export_metrics_path.empty()) {
-    metrics_exporter =
-        std::make_unique<IterationLogExporter>(options.export_metrics_path);
-    IterationLogExporter* exporter_ptr = metrics_exporter.get();
-    trainer.set_iteration_sink([exporter_ptr](
-                                   const core::IterationLog& log) {
-      exporter_ptr->Write(log);
-    });
+    observers.AddOwned(
+        std::make_unique<IterationLogExporter>(options.export_metrics_path));
   }
+  if (!observers.empty()) trainer.set_observer(&observers);
 
   trained.logs = trainer.Train();
   return trained;

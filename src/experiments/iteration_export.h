@@ -5,7 +5,7 @@
 #include <memory>
 #include <string>
 
-#include "core/sim2rec_trainer.h"
+#include "core/training_observer.h"
 #include "util/csv.h"
 
 namespace sim2rec {
@@ -15,10 +15,11 @@ namespace experiments {
 /// `<path_stem>.jsonl` (one strict-JSON object per line, NaN exported
 /// as null) and `<path_stem>.csv` (util::CsvWriter columns). Every
 /// Write flushes both files, so a killed training run keeps the full
-/// history up to its last completed iteration. Install via
-/// core::ZeroShotTrainer::set_iteration_sink; the exporter must
-/// outlive the Train() call.
-class IterationLogExporter {
+/// history up to its last completed iteration. A core::TrainingObserver
+/// — install via core::ZeroShotTrainer::set_observer (directly or
+/// inside a CompositeObserver); the exporter must outlive the Train()
+/// call.
+class IterationLogExporter : public core::TrainingObserver {
  public:
   /// Creates parent directories of `path_stem` as needed.
   explicit IterationLogExporter(const std::string& path_stem);
@@ -28,6 +29,7 @@ class IterationLogExporter {
   bool ok() const { return ok_; }
 
   void Write(const core::IterationLog& log);
+  void OnIteration(const core::IterationLog& log) override { Write(log); }
 
   std::string jsonl_path() const { return jsonl_path_; }
   std::string csv_path() const { return csv_path_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "data/behavior_policy.h"
+#include "experiments/checkpoint_export.h"
 #include "experiments/iteration_export.h"
 #include "sadae/sadae_trainer.h"
 #include "serve/checkpoint.h"
@@ -125,31 +126,19 @@ LtsRunResult RunLtsVariant(baselines::AgentVariant variant,
                                 sadae_trainer.get(),
                                 sadae_model != nullptr ? &sadae_sets
                                                        : nullptr);
+  core::CompositeObserver observers;
   if (!config.export_checkpoint_dir.empty()) {
     serve::CheckpointMetadata metadata;
     metadata.variant = baselines::AgentVariantName(variant);
     metadata.seed = config.seed;
-    const std::string dir = config.export_checkpoint_dir;
-    core::ContextAgent* agent_ptr = &agent;
-    trainer.set_checkpoint_sink([dir, metadata, agent_ptr](int iteration) {
-      serve::CheckpointMetadata m = metadata;
-      m.train_iterations = iteration + 1;
-      if (!serve::SaveCheckpoint(dir, *agent_ptr, m)) {
-        S2R_LOG_WARN("checkpoint export to '%s' failed", dir.c_str());
-      }
-    });
+    observers.AddOwned(std::make_unique<CheckpointExportObserver>(
+        config.export_checkpoint_dir, &agent, metadata));
   }
-
-  std::unique_ptr<IterationLogExporter> metrics_exporter;
   if (!config.export_metrics_path.empty()) {
-    metrics_exporter =
-        std::make_unique<IterationLogExporter>(config.export_metrics_path);
-    IterationLogExporter* exporter_ptr = metrics_exporter.get();
-    trainer.set_iteration_sink([exporter_ptr](
-                                   const core::IterationLog& log) {
-      exporter_ptr->Write(log);
-    });
+    observers.AddOwned(
+        std::make_unique<IterationLogExporter>(config.export_metrics_path));
   }
+  if (!observers.empty()) trainer.set_observer(&observers);
 
   const int eval_episodes = config.eval_episodes;
   trainer.set_evaluator(

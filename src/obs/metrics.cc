@@ -138,35 +138,49 @@ double LogHistogram::max_value() const {
 }
 
 double LogHistogram::Quantile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
   // One coherent pass over the buckets; the total derives from the
   // same loads so a concurrent Record can never push `target` past the
   // mass the interpolation walks.
   int64_t loaded[kBuckets];
-  int64_t total = 0;
   for (int b = 0; b < kBuckets; ++b) {
     loaded[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += loaded[b];
   }
+  return QuantileFromLogBuckets(loaded, kBuckets, q,
+                                min_.load(std::memory_order_relaxed),
+                                max_.load(std::memory_order_relaxed));
+}
+
+std::vector<int64_t> LogHistogram::BucketCounts() const {
+  std::vector<int64_t> out(kBuckets);
+  for (int b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double QuantileFromLogBuckets(const int64_t* buckets, int num_buckets,
+                              double q, double min_clamp,
+                              double max_clamp) {
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t total = 0;
+  for (int b = 0; b < num_buckets; ++b) total += buckets[b];
   if (total == 0) return 0.0;
-  const double lo_clamp = min_.load(std::memory_order_relaxed);
-  const double hi_clamp = max_.load(std::memory_order_relaxed);
 
   const double target = q * static_cast<double>(total);
   int64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (loaded[b] == 0) continue;
-    if (static_cast<double>(seen + loaded[b]) >= target) {
+  for (int b = 0; b < num_buckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (static_cast<double>(seen + buckets[b]) >= target) {
       // Bucket b spans [2^(b-1), 2^b); bucket 0 is [0, 1).
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
       const double hi = std::ldexp(1.0, b);
       const double frac = (target - static_cast<double>(seen)) /
-                          static_cast<double>(loaded[b]);
-      return std::clamp(lo + frac * (hi - lo), lo_clamp, hi_clamp);
+                          static_cast<double>(buckets[b]);
+      return std::clamp(lo + frac * (hi - lo), min_clamp, max_clamp);
     }
-    seen += loaded[b];
+    seen += buckets[b];
   }
-  return hi_clamp;
+  return max_clamp;
 }
 
 void LogHistogram::Reset() {
@@ -226,9 +240,76 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     sample.p50 = histogram->Quantile(0.50);
     sample.p95 = histogram->Quantile(0.95);
     sample.p99 = histogram->Quantile(0.99);
+    sample.buckets = histogram->BucketCounts();
     snapshot.histograms.push_back(sample);
   }
   return snapshot;
+}
+
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+
+  std::map<std::string, int64_t> counters;
+  for (const MetricsSnapshot& part : parts) {
+    for (const CounterSample& c : part.counters) counters[c.name] += c.value;
+  }
+  for (const auto& [name, value] : counters) {
+    merged.counters.push_back({name, value});
+  }
+
+  // Last part carrying a gauge wins (parts are ordered by the caller).
+  std::map<std::string, double> gauges;
+  for (const MetricsSnapshot& part : parts) {
+    for (const GaugeSample& g : part.gauges) gauges[g.name] = g.value;
+  }
+  for (const auto& [name, value] : gauges) {
+    merged.gauges.push_back({name, value});
+  }
+
+  std::map<std::string, HistogramSample> histograms;
+  for (const MetricsSnapshot& part : parts) {
+    for (const HistogramSample& h : part.histograms) {
+      auto [it, inserted] = histograms.try_emplace(h.name, h);
+      if (inserted) continue;
+      HistogramSample& acc = it->second;
+      if (h.count == 0) continue;
+      if (acc.count == 0) {
+        acc = h;
+        continue;
+      }
+      // Exact at bucket granularity when both sides carry buckets;
+      // conservative (max of parts) otherwise.
+      acc.mean = (acc.mean * static_cast<double>(acc.count) +
+                  h.mean * static_cast<double>(h.count)) /
+                 static_cast<double>(acc.count + h.count);
+      acc.count += h.count;
+      acc.min = std::min(acc.min, h.min);
+      acc.max = std::max(acc.max, h.max);
+      if (!acc.buckets.empty() && acc.buckets.size() == h.buckets.size()) {
+        for (size_t b = 0; b < acc.buckets.size(); ++b) {
+          acc.buckets[b] += h.buckets[b];
+        }
+        acc.p50 = QuantileFromLogBuckets(
+            acc.buckets.data(), static_cast<int>(acc.buckets.size()), 0.50,
+            acc.min, acc.max);
+        acc.p95 = QuantileFromLogBuckets(
+            acc.buckets.data(), static_cast<int>(acc.buckets.size()), 0.95,
+            acc.min, acc.max);
+        acc.p99 = QuantileFromLogBuckets(
+            acc.buckets.data(), static_cast<int>(acc.buckets.size()), 0.99,
+            acc.min, acc.max);
+      } else {
+        acc.buckets.clear();
+        acc.p50 = std::max(acc.p50, h.p50);
+        acc.p95 = std::max(acc.p95, h.p95);
+        acc.p99 = std::max(acc.p99, h.p99);
+      }
+    }
+  }
+  for (const auto& [name, sample] : histograms) {
+    merged.histograms.push_back(sample);
+  }
+  return merged;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -117,6 +117,11 @@ class LogHistogram {
   /// Record calls (the total is derived from the same bucket loads the
   /// interpolation uses).
   double Quantile(double q) const;
+  /// Point-in-time copy of the kBuckets bucket counters — the mergeable
+  /// representation (see MergeSnapshots): two histograms merged at
+  /// bucket granularity lose nothing the individual quantile queries
+  /// had.
+  std::vector<int64_t> BucketCounts() const;
   void Reset();
 
  private:
@@ -146,6 +151,12 @@ struct HistogramSample {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Raw log2-bucket counts (LogHistogram::kBuckets entries when the
+  /// sample came from a registry snapshot). Carried so snapshots from
+  /// several registries/processes can be merged losslessly at bucket
+  /// granularity; empty for hand-built samples, in which case a merge
+  /// falls back to conservative quantiles (max across parts).
+  std::vector<int64_t> buckets;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -160,6 +171,26 @@ struct MetricsSnapshot {
   /// Aligned human-readable table, one metric per line.
   std::string ToText() const;
 };
+
+/// Quantile interpolation over log2 bucket counts (bucket 0 = [0, 1),
+/// bucket b spans [2^(b-1), 2^b)), clamped to [min_clamp, max_clamp].
+/// Shared by LogHistogram::Quantile and MergeSnapshots so a merged
+/// histogram answers exactly like a single histogram holding the union
+/// of the samples would.
+double QuantileFromLogBuckets(const int64_t* buckets, int num_buckets,
+                              double q, double min_clamp,
+                              double max_clamp);
+
+/// Merges per-registry snapshots into one unified view — the
+/// cross-process aggregation seam: each serving shard (or, later, each
+/// server process) snapshots its own registry, and the front end merges
+/// them. Counters sum by name; gauges keep the last part's value (parts
+/// are ordered, last writer wins); histograms with bucket counts merge
+/// exactly (bucket-wise sums, min of mins, max of maxes, quantiles
+/// recomputed from the merged buckets), histograms without buckets fall
+/// back to max-of-parts quantiles. Names present in any part appear in
+/// the result, sorted.
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts);
 
 /// Name -> metric map with stable pointers: a metric, once created,
 /// lives until process exit, so call sites may cache the pointer

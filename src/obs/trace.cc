@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -14,6 +15,15 @@ namespace {
 std::string FormatMicros(double us) {
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "%.3f", us < 0.0 ? 0.0 : us);
+  return buffer;
+}
+
+// Strict-JSON number for span arg values (non-finite doubles would be
+// invalid JSON, so they export as null, matching metrics ToJson).
+std::string FormatArgValue(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return buffer;
 }
 
@@ -49,15 +59,14 @@ void TraceRecorder::Stop() {
   active_.store(false, std::memory_order_relaxed);
 }
 
-void TraceRecorder::RecordComplete(const char* name, double ts_us,
-                                   double dur_us) {
+void TraceRecorder::RecordComplete(const TraceEvent& event) {
   ThreadLog* log = LogForThisThread();
   std::lock_guard<std::mutex> lock(log->mutex);
   if (log->events.size() >= kMaxEventsPerThread) {
     ++log->dropped;
     return;
   }
-  log->events.push_back({name, ts_us, dur_us});
+  log->events.push_back(event);
 }
 
 int64_t TraceRecorder::event_count() const {
@@ -102,7 +111,17 @@ std::string TraceRecorder::ToChromeTraceJson() const {
       out += "{\"name\":" + JsonQuote(event.name) +
              ",\"cat\":\"sim2rec\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
              std::to_string(log->tid) + ",\"ts\":" + FormatMicros(event.ts_us) +
-             ",\"dur\":" + FormatMicros(event.dur_us) + '}';
+             ",\"dur\":" + FormatMicros(event.dur_us);
+      if (event.num_args > 0) {
+        out += ",\"args\":{";
+        for (int i = 0; i < event.num_args; ++i) {
+          if (i > 0) out += ',';
+          out += JsonQuote(event.arg_names[i]) + ':' +
+                 FormatArgValue(event.arg_values[i]);
+        }
+        out += '}';
+      }
+      out += '}';
     }
   }
   out += "],\"displayTimeUnit\":\"ms\"}";

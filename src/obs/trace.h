@@ -16,11 +16,20 @@ namespace obs {
 /// One completed span ("ph":"X" in the Chrome trace-event format).
 /// `name` must point at static storage (every S2R_TRACE_SPAN site
 /// passes a string literal) — events are recorded by the million, so
-/// they hold a pointer, not a copy.
+/// they hold a pointer, not a copy. Up to kMaxArgs numeric arguments
+/// (shard id, batch size, ...) ride along in fixed inline slots —
+/// emitted into the Chrome-trace `args` map — so tagging a span never
+/// allocates on the hot path. Argument names must be string literals
+/// for the same lifetime reason as `name`.
 struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+
   const char* name = nullptr;
   double ts_us = 0.0;
   double dur_us = 0.0;
+  const char* arg_names[kMaxArgs] = {nullptr, nullptr, nullptr, nullptr};
+  double arg_values[kMaxArgs] = {0.0, 0.0, 0.0, 0.0};
+  int num_args = 0;
 };
 
 /// Process-wide scoped-span recorder, exporting Chrome trace-event
@@ -44,7 +53,7 @@ class TraceRecorder {
     return active_.load(std::memory_order_relaxed);
   }
 
-  void RecordComplete(const char* name, double ts_us, double dur_us);
+  void RecordComplete(const TraceEvent& event);
 
   /// Events currently buffered across all threads / dropped on cap.
   int64_t event_count() const;
@@ -78,8 +87,10 @@ class TraceRecorder {
 
 /// RAII span: records [construction, destruction) as one complete
 /// event when the recorder is active and observability is enabled.
-/// `name` must be a string literal (or otherwise outlive the
-/// recorder's buffered events).
+/// `name` — and every argument name — must be a string literal (or
+/// otherwise outlive the recorder's buffered events). Up to
+/// TraceEvent::kMaxArgs (name, value) pairs are captured at
+/// construction into inline slots; no heap allocation either way.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name) {
@@ -88,18 +99,61 @@ class ScopedSpan {
     name_ = name;
     start_us_ = MonotonicMicros();
   }
+  ScopedSpan(const char* name, const char* k0, double v0) : ScopedSpan(name) {
+    AddArg(k0, v0);
+  }
+  ScopedSpan(const char* name, const char* k0, double v0, const char* k1,
+             double v1)
+      : ScopedSpan(name) {
+    AddArg(k0, v0);
+    AddArg(k1, v1);
+  }
+  ScopedSpan(const char* name, const char* k0, double v0, const char* k1,
+             double v1, const char* k2, double v2)
+      : ScopedSpan(name) {
+    AddArg(k0, v0);
+    AddArg(k1, v1);
+    AddArg(k2, v2);
+  }
+  ScopedSpan(const char* name, const char* k0, double v0, const char* k1,
+             double v1, const char* k2, double v2, const char* k3, double v3)
+      : ScopedSpan(name) {
+    AddArg(k0, v0);
+    AddArg(k1, v1);
+    AddArg(k2, v2);
+    AddArg(k3, v3);
+  }
   ~ScopedSpan() {
     if (name_ == nullptr) return;
     const double end_us = MonotonicMicros();
-    TraceRecorder::Global().RecordComplete(name_, start_us_,
-                                           end_us - start_us_);
+    TraceEvent event;
+    event.name = name_;
+    event.ts_us = start_us_;
+    event.dur_us = end_us - start_us_;
+    event.num_args = num_args_;
+    for (int i = 0; i < num_args_; ++i) {
+      event.arg_names[i] = arg_names_[i];
+      event.arg_values[i] = arg_values_[i];
+    }
+    TraceRecorder::Global().RecordComplete(event);
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  void AddArg(const char* key, double value) {
+    if (name_ == nullptr) return;  // span inactive: skip capture too
+    if (num_args_ >= TraceEvent::kMaxArgs) return;
+    arg_names_[num_args_] = key;
+    arg_values_[num_args_] = value;
+    ++num_args_;
+  }
+
   const char* name_ = nullptr;
   double start_us_ = 0.0;
+  const char* arg_names_[TraceEvent::kMaxArgs] = {};
+  double arg_values_[TraceEvent::kMaxArgs] = {};
+  int num_args_ = 0;
 };
 
 }  // namespace obs
@@ -110,8 +164,11 @@ class ScopedSpan {
 
 /// Scoped trace span; name must be a string literal, conventionally
 /// "<module>/<operation>" (e.g. S2R_TRACE_SPAN("ppo/update")).
-#define S2R_TRACE_SPAN(name)                  \
+/// Optionally attach up to 4 (literal-name, numeric-value) pairs that
+/// surface in the Chrome-trace `args` map:
+///   S2R_TRACE_SPAN("serve/batch", "shard", shard_id, "rows", n);
+#define S2R_TRACE_SPAN(name, ...)             \
   ::sim2rec::obs::ScopedSpan S2R_OBS_CONCAT( \
-      s2r_trace_span_, __LINE__)(name)
+      s2r_trace_span_, __LINE__)(name __VA_OPT__(, ) __VA_ARGS__)
 
 #endif  // SIM2REC_OBS_TRACE_H_

@@ -9,13 +9,16 @@
 #include <vector>
 
 #include "nn/serialize.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace sim2rec {
 namespace serve {
 namespace {
 
-constexpr int kManifestVersion = 1;
+// v2 = v1 + required crc32.<file> integrity lines. See the
+// compatibility policy on SaveCheckpoint in the header.
+constexpr int kManifestVersion = 2;
 constexpr uint32_t kNormMagic = 0x53324e31;  // "S2N1"
 
 std::string ManifestPath(const std::string& dir) {
@@ -207,6 +210,19 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
   std::filesystem::create_directories(dir, ec);
   if (ec) return false;
 
+  // Binary files first: their CRCs go into the manifest, and a crash
+  // mid-save leaves no manifest claiming files that were never written.
+  sadae::Sadae* sadae_model = agent.sadae();
+  if (!nn::SaveModule(AgentPath(dir), agent)) return false;
+  if (sadae_model != nullptr) {
+    if (!nn::SaveModule(SadaePath(dir), *sadae_model)) return false;
+  }
+  if (agent.normalizer() != nullptr) {
+    if (!SaveNormalizer(NormalizerPath(dir), *agent.normalizer())) {
+      return false;
+    }
+  }
+
   const core::ContextAgentConfig& config = agent.config();
   std::ofstream out(ManifestPath(dir));
   if (!out.good()) return false;
@@ -232,7 +248,6 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
   out << "normalize_observations "
       << (config.normalize_observations ? 1 : 0) << '\n';
 
-  sadae::Sadae* sadae_model = agent.sadae();
   out << "has_sadae " << (sadae_model != nullptr ? 1 : 0) << '\n';
   if (sadae_model != nullptr) {
     const sadae::SadaeConfig& sc = sadae_model->config();
@@ -249,29 +264,64 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
                                      << '\n';
   out << "seed " << metadata.seed << '\n';
   out << "train_iterations " << metadata.train_iterations << '\n';
+
+  // v2 integrity lines: crc32.<file> <decimal crc> per binary file.
+  const auto write_crc = [&](const std::string& path,
+                             const char* name) -> bool {
+    uint32_t crc = 0;
+    if (!Crc32OfFile(path, &crc)) return false;
+    out << "crc32." << name << ' ' << crc << '\n';
+    return true;
+  };
+  if (!write_crc(AgentPath(dir), "agent.bin")) return false;
+  if (sadae_model != nullptr &&
+      !write_crc(SadaePath(dir), "sadae.bin")) {
+    return false;
+  }
+  if (agent.normalizer() != nullptr &&
+      !write_crc(NormalizerPath(dir), "normalizer.bin")) {
+    return false;
+  }
   if (!out.good()) return false;
   out.close();
-
-  if (!nn::SaveModule(AgentPath(dir), agent)) return false;
-  if (sadae_model != nullptr) {
-    if (!nn::SaveModule(SadaePath(dir), *sadae_model)) return false;
-  }
-  if (agent.normalizer() != nullptr) {
-    if (!SaveNormalizer(NormalizerPath(dir), *agent.normalizer())) {
-      return false;
-    }
-  }
   return true;
 }
 
-std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
-  Manifest manifest;
-  if (!ParseManifest(ManifestPath(dir), &manifest)) return nullptr;
-  int version = 0;
-  if (!GetInt(manifest, "sim2rec_checkpoint", &version) ||
-      version != kManifestVersion) {
-    return nullptr;
+LoadResult LoadCheckpointEx(const std::string& dir) {
+  LoadResult result;
+  std::error_code ec;
+  if (!std::filesystem::exists(ManifestPath(dir), ec) || ec) {
+    result.status = LoadStatus::kNotFound;
+    return result;
   }
+  result.status = LoadStatus::kCorrupt;  // until proven otherwise
+  Manifest manifest;
+  if (!ParseManifest(ManifestPath(dir), &manifest)) return result;
+  int version = 0;
+  if (!GetInt(manifest, "sim2rec_checkpoint", &version) || version < 1) {
+    return result;
+  }
+  if (version > kManifestVersion) {
+    // Newer than this binary understands; likely intact, so say so
+    // rather than lumping it in with corruption.
+    result.status = LoadStatus::kVersionUnsupported;
+    return result;
+  }
+
+  // v2+: verify each binary file's CRC before parsing any of it. v1
+  // bundles predate the lines, so the checks are skipped.
+  const auto crc_ok = [&](const std::string& path,
+                          const char* name) -> bool {
+    if (version < 2) return true;
+    uint64_t expected = 0;
+    if (!GetU64(manifest, std::string("crc32.") + name, &expected) ||
+        expected > 0xFFFFFFFFull) {
+      return false;  // a v2 manifest must carry the line
+    }
+    uint32_t actual = 0;
+    if (!Crc32OfFile(path, &actual)) return false;
+    return actual == static_cast<uint32_t>(expected);
+  };
 
   auto loaded = std::make_unique<LoadedPolicy>();
   core::ContextAgentConfig& config = loaded->config;
@@ -290,13 +340,13 @@ std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
       !GetDouble(manifest, "max_log_std", &config.max_log_std) ||
       !GetInt(manifest, "normalize_observations", &normalize) ||
       !GetInt(manifest, "has_sadae", &has_sadae)) {
-    return nullptr;
+    return result;
   }
   config.use_extractor = use_extractor != 0;
   config.normalize_observations = normalize != 0;
   auto cell_it = manifest.find("extractor_cell");
   if (cell_it == manifest.end() || cell_it->second.size() != 1) {
-    return nullptr;
+    return result;
   }
   if (cell_it->second[0] == "lstm") {
     config.extractor_cell =
@@ -304,7 +354,7 @@ std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
   } else if (cell_it->second[0] == "gru") {
     config.extractor_cell = core::ContextAgentConfig::ExtractorCell::kGru;
   } else {
-    return nullptr;
+    return result;
   }
 
   sadae::SadaeConfig sadae_config;
@@ -319,11 +369,11 @@ std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
         !GetIntList(manifest, "sadae_decoder_hidden",
                     &sadae_config.decoder_hidden) ||
         !GetDouble(manifest, "sadae_kl_weight", &sadae_config.kl_weight)) {
-      return nullptr;
+      return result;
     }
   }
   if (!ConfigPlausible(config, has_sadae != 0, sadae_config)) {
-    return nullptr;
+    return result;
   }
 
   auto variant_it = manifest.find("variant");
@@ -336,24 +386,34 @@ std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
 
   // Rebuild the modules; initial weights are irrelevant (LoadModule
   // overwrites every parameter bit-exactly or fails).
+  if (!crc_ok(AgentPath(dir), "agent.bin")) return result;
+  if (has_sadae != 0 && !crc_ok(SadaePath(dir), "sadae.bin")) return result;
+
   Rng init_rng(0);
   if (has_sadae != 0) {
     loaded->sadae = std::make_unique<sadae::Sadae>(sadae_config, init_rng);
-    if (!nn::LoadModule(SadaePath(dir), *loaded->sadae)) return nullptr;
+    if (!nn::LoadModule(SadaePath(dir), *loaded->sadae)) return result;
   }
   loaded->agent = std::make_unique<core::ContextAgent>(
       config, loaded->sadae.get(), init_rng);
-  if (!nn::LoadModule(AgentPath(dir), *loaded->agent)) return nullptr;
+  if (!nn::LoadModule(AgentPath(dir), *loaded->agent)) return result;
 
   if (loaded->agent->normalizer() != nullptr) {
+    if (!crc_ok(NormalizerPath(dir), "normalizer.bin")) return result;
     if (!LoadNormalizer(NormalizerPath(dir),
                         loaded->agent->normalizer())) {
-      return nullptr;
+      return result;
     }
     // Deployment never updates running statistics.
     loaded->agent->normalizer()->Freeze();
   }
-  return loaded;
+  result.status = LoadStatus::kOk;
+  result.policy = std::move(loaded);
+  return result;
+}
+
+std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
+  return LoadCheckpointEx(dir).policy;
 }
 
 }  // namespace serve

@@ -29,25 +29,64 @@ struct LoadedPolicy {
   std::unique_ptr<core::ContextAgent> agent;
 };
 
+/// Why a load did not produce a policy — operationally distinct cases:
+/// a kVersionUnsupported bundle is intact (upgrade the binary, don't
+/// restore from backup); a kCorrupt one is damaged (restore from
+/// backup, don't bother upgrading).
+enum class LoadStatus {
+  kOk = 0,
+  /// No manifest at `dir` (not a checkpoint directory).
+  kNotFound,
+  /// The manifest declares a format version newer than this binary
+  /// understands. The bundle may be perfectly valid.
+  kVersionUnsupported,
+  /// Anything else: unparsable manifest, implausible config, CRC
+  /// mismatch, missing/truncated/corrupted weight files.
+  kCorrupt,
+};
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::kCorrupt;
+  /// Non-null exactly when status == kOk.
+  std::unique_ptr<LoadedPolicy> policy;
+};
+
 /// Saves a full inference bundle into directory `dir` (created if
 /// missing):
 ///   manifest.txt    ContextAgentConfig + SadaeConfig + metadata as
 ///                   text key/value lines; doubles in hexfloat so the
-///                   round trip is bit-exact
+///                   round trip is bit-exact; one `crc32.<file>` line
+///                   per binary file below (CRC-32, zlib polynomial)
 ///   agent.bin       policy + value + extractor LSTM/GRU + f weights
 ///                   (nn::SaveModule container)
 ///   sadae.bin       SADAE weights (only when the agent has a SADAE)
 ///   normalizer.bin  observation-normalizer running stats (count, mean,
 ///                   M2), only when normalization is enabled
 /// Returns false on any I/O failure.
+///
+/// Compatibility policy (manifest line `sim2rec_checkpoint <version>`):
+///  * The version is bumped ONLY when a correct load requires
+///    understanding something new. Purely additive information rides on
+///    new keys instead — readers ignore unknown keys, so old binaries
+///    keep loading newer same-version bundles.
+///  * Readers accept every version up to their own: v1 (no CRC lines,
+///    the PR-2 format) still loads, with integrity checks skipped.
+///  * A version beyond the reader's is reported as kVersionUnsupported,
+///    never misread as corruption.
+/// History: v1 initial format; v2 adds required `crc32.<file>` lines
+/// for each binary bundle file (a v2 bundle whose CRC lines are missing
+/// or mismatched is kCorrupt).
 bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
                     const CheckpointMetadata& metadata = {});
 
 /// Restores a bundle saved with SaveCheckpoint. The agent is rebuilt
 /// from the manifest config, its parameters and normalizer statistics
 /// are loaded bit-exactly, and the normalizer is frozen (deployment
-/// never updates running stats). Returns nullptr on missing files,
-/// corruption, or layout mismatch — never aborts.
+/// never updates running stats). Never aborts; the status says *why* a
+/// load failed (see LoadStatus).
+LoadResult LoadCheckpointEx(const std::string& dir);
+
+/// LoadCheckpointEx without the status: nullptr on any failure.
 std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir);
 
 }  // namespace serve

@@ -1,0 +1,75 @@
+#include "serve/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace serve {
+
+HashRing::HashRing(int virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  S2R_CHECK(virtual_nodes >= 1);
+}
+
+uint64_t HashRing::Mix64(uint64_t x) {
+  // splitmix64 finalizer: full-avalanche bijection on 64 bits.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void HashRing::AddNode(int node_id) {
+  S2R_CHECK(node_id >= 0);
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+  if (it != nodes_.end() && *it == node_id) return;
+  nodes_.insert(it, node_id);
+  Rebuild();
+}
+
+void HashRing::RemoveNode(int node_id) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node_id);
+  if (it == nodes_.end() || *it != node_id) return;
+  nodes_.erase(it);
+  Rebuild();
+}
+
+bool HashRing::HasNode(int node_id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node_id);
+}
+
+void HashRing::Rebuild() {
+  points_.clear();
+  points_.reserve(nodes_.size() * static_cast<size_t>(virtual_nodes_));
+  for (int node : nodes_) {
+    for (int replica = 0; replica < virtual_nodes_; ++replica) {
+      // Mix node and replica through one bijection; the (node, replica)
+      // pack is injective for any realistic node id, so points collide
+      // only if Mix64 itself collides.
+      const uint64_t packed =
+          (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) |
+          static_cast<uint32_t>(replica);
+      points_.push_back({Mix64(packed), node});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.node_id < b.node_id;  // deterministic on collision
+            });
+}
+
+int HashRing::NodeFor(uint64_t key) const {
+  if (points_.empty()) return -1;
+  const uint64_t h = Mix64(key);
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](uint64_t value, const Point& p) { return value < p.hash; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->node_id;
+}
+
+std::vector<int> HashRing::Nodes() const { return nodes_; }
+
+}  // namespace serve
+}  // namespace sim2rec

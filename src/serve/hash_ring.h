@@ -1,0 +1,69 @@
+#ifndef SIM2REC_SERVE_HASH_RING_H_
+#define SIM2REC_SERVE_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sim2rec {
+namespace serve {
+
+/// Consistent-hash ring over integer node ids with virtual nodes
+/// (Karger-style): each node owns `virtual_nodes` pseudo-random points
+/// on a 64-bit ring, and a key maps to the node owning the first point
+/// at or clockwise after the key's hash. Properties the router builds
+/// on:
+///  * Adding a node reassigns only the keys that fall into the new
+///    node's arcs — in expectation 1/(n+1) of the keyspace — and every
+///    reassigned key moves *to* the new node; no key moves between two
+///    surviving nodes. Removing a node is the mirror image.
+///  * The mapping is a pure function of the node-id set and the two
+///    constants below — independent of insertion order, process, or
+///    run — so distinct router replicas (and a future socket front
+///    end) agree on ownership without coordination.
+///
+/// Not thread-safe; the owner (ServeRouter) guards it with its own
+/// rebalance lock. Node ids are arbitrary non-negative ints and need
+/// not be contiguous.
+class HashRing {
+ public:
+  /// Points per node. 64 keeps the max/mean keyspace imbalance under
+  /// ~30% for small clusters while an 8-node ring is still only 512
+  /// entries (lookups are a binary search over a sorted vector).
+  static constexpr int kDefaultVirtualNodes = 64;
+
+  explicit HashRing(int virtual_nodes = kDefaultVirtualNodes);
+
+  /// No-ops when the node is already present / absent.
+  void AddNode(int node_id);
+  void RemoveNode(int node_id);
+  bool HasNode(int node_id) const;
+
+  /// The owning node for a key; -1 when the ring is empty.
+  int NodeFor(uint64_t key) const;
+
+  /// Node ids currently on the ring, sorted ascending.
+  std::vector<int> Nodes() const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+  /// The 64-bit mix both key and virtual-node placement use (splitmix64
+  /// finalizer). Exposed so tests can reason about placement.
+  static uint64_t Mix64(uint64_t x);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int node_id;
+  };
+
+  void Rebuild();
+
+  int virtual_nodes_;
+  std::vector<int> nodes_;     // sorted ascending
+  std::vector<Point> points_;  // sorted by hash, ties broken by node id
+};
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_HASH_RING_H_

@@ -38,6 +38,14 @@ InferenceServer::InferenceServer(const core::ContextAgent* agent,
                 agent->config().action_dim);
   store_ = std::make_unique<SessionStore>(SessionDimsFor(*agent),
                                           config.sessions);
+  obs::MetricsRegistry& registry = config_.registry != nullptr
+                                       ? *config_.registry
+                                       : obs::MetricsRegistry::Global();
+  metric_requests_ = registry.GetCounter("serve.requests");
+  metric_batches_ = registry.GetCounter("serve.batches");
+  metric_exec_clamps_ = registry.GetCounter("serve.exec_clamps");
+  metric_latency_us_ = registry.GetHistogram("serve.latency_us");
+  metric_batch_occupancy_ = registry.GetHistogram("serve.batch_occupancy");
   if (config_.micro_batching) {
     batcher_ = std::thread([this] { BatcherLoop(); });
   }
@@ -71,7 +79,8 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
 
   if (!config_.micro_batching) {
     // Serial reference path: one request, inline on the caller.
-    S2R_TRACE_SPAN("serve/act");
+    S2R_TRACE_SPAN("serve/act", "shard",
+                   static_cast<double>(config_.shard_id));
     std::lock_guard<std::mutex> serial(serial_mutex_);
     ProcessBatch({&pending});
     const double latency_us =
@@ -79,7 +88,7 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
             std::chrono::steady_clock::now() - pending.enqueued)
             .count();
     latency_.Record(latency_us);
-    S2R_HISTOGRAM("serve.latency_us", latency_us);
+    if (obs::Enabled()) metric_latency_us_->Record(latency_us);
     return pending.reply;
   }
 
@@ -130,7 +139,9 @@ void InferenceServer::BatcherLoop() {
     lock.unlock();
 
     {
-      S2R_TRACE_SPAN("serve/batch");
+      S2R_TRACE_SPAN("serve/batch", "shard",
+                     static_cast<double>(config_.shard_id), "rows",
+                     static_cast<double>(batch.size()));
       ProcessBatch(batch);
     }
 
@@ -140,7 +151,7 @@ void InferenceServer::BatcherLoop() {
                                     fulfilled - p->enqueued)
                                     .count();
       latency_.Record(latency_us);
-      S2R_HISTOGRAM("serve.latency_us", latency_us);
+      if (obs::Enabled()) metric_latency_us_->Record(latency_us);
     }
     lock.lock();
     for (Pending* p : batch) p->done = true;
@@ -192,7 +203,9 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
   // One coalesced forward pass (policy + value + extractor + SADAE).
   core::ContextAgent::ServeOutput out;
   {
-    S2R_TRACE_SPAN("serve/forward");
+    S2R_TRACE_SPAN("serve/forward", "shard",
+                   static_cast<double>(config_.shard_id), "rows",
+                   static_cast<double>(k));
     out = agent_->ServeStep(obs, &state);
   }
 
@@ -228,22 +241,26 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
       }
       if (reply.exec_clamped) {
         exec_clamps_.fetch_add(1, std::memory_order_relaxed);
-        S2R_COUNT("serve.exec_clamps", 1);
+        if (obs::Enabled()) metric_exec_clamps_->Add(1);
       }
     }
   });
 
   // Commit serially, again in arrival order.
   {
-    S2R_TRACE_SPAN("serve/commit");
+    S2R_TRACE_SPAN("serve/commit", "shard",
+                   static_cast<double>(config_.shard_id), "rows",
+                   static_cast<double>(k));
     for (int i = 0; i < k; ++i) {
       store_->Commit(batch[i]->user_id, std::move(sessions[i]), now_ms);
     }
   }
   occupancy_.Record(k);
-  S2R_COUNT("serve.requests", k);
-  S2R_COUNT("serve.batches", 1);
-  S2R_HISTOGRAM("serve.batch_occupancy", static_cast<double>(k));
+  if (obs::Enabled()) {
+    metric_requests_->Add(k);
+    metric_batches_->Add(1);
+    metric_batch_occupancy_->Record(static_cast<double>(k));
+  }
 }
 
 InferenceServerStats InferenceServer::stats() const {

@@ -13,7 +13,9 @@
 
 #include "core/context_agent.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "serve/metrics.h"
+#include "serve/policy_service.h"
 #include "serve/session_store.h"
 
 namespace sim2rec {
@@ -41,15 +43,21 @@ struct InferenceServerConfig {
   double exec_tolerance = 0.02;
 
   SessionStoreConfig sessions;
+
+  /// Registry this server records its serve.* metrics into. Null means
+  /// obs::MetricsRegistry::Global() — the single-server default. A
+  /// ServeRouter gives each shard its own registry (standing in for a
+  /// per-process registry) so per-shard rates stay separable and the
+  /// router can merge them with obs::MergeSnapshots. Must outlive the
+  /// server.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Shard label for trace spans ("shard" arg on serve/batch etc.);
+  /// -1 = unsharded.
+  int shard_id = -1;
 };
 
-/// One answered request.
-struct ServeReply {
-  nn::Tensor action;        // [1 x action_dim], after the F_exec guard
-  bool exec_clamped = false;
-  double value = 0.0;       // critic estimate (diagnostics)
-  int batch_size = 0;       // size of the micro-batch this rode in
-};
+// ServeReply lives in serve/policy_service.h (included above) next to
+// the PolicyService interface whose Act returns it.
 
 struct InferenceServerStats {
   int64_t requests = 0;
@@ -83,22 +91,22 @@ struct InferenceServerStats {
 /// server. Requests of a single user are expected to be sequential
 /// (session affinity) — concurrent same-user requests stay memory-safe
 /// but race on the session state, last commit wins.
-class InferenceServer {
+class InferenceServer : public PolicyService {
  public:
   InferenceServer(const core::ContextAgent* agent,
                   const InferenceServerConfig& config,
                   core::ThreadPool* pool = nullptr);
-  ~InferenceServer();
+  ~InferenceServer() override;
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Serves one observation for one user; blocks until the reply is
   /// computed. `obs` is [1 x obs_dim].
-  ServeReply Act(uint64_t user_id, const nn::Tensor& obs);
+  ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override;
 
   /// Ends a user's session (drops stored recurrent state).
-  void EndSession(uint64_t user_id);
+  void EndSession(uint64_t user_id) override;
 
   /// Stops the batcher thread after draining queued requests. Called by
   /// the destructor; idempotent.
@@ -139,6 +147,15 @@ class InferenceServer {
   LatencyHistogram latency_;
   BatchOccupancy occupancy_;
   std::atomic<int64_t> exec_clamps_{0};
+
+  // serve.* metrics resolved once at construction against the
+  // configured registry (per-shard when routed, Global otherwise); the
+  // hot path records through cached pointers, never a name lookup.
+  obs::Counter* metric_requests_ = nullptr;
+  obs::Counter* metric_batches_ = nullptr;
+  obs::Counter* metric_exec_clamps_ = nullptr;
+  obs::LogHistogram* metric_latency_us_ = nullptr;
+  obs::LogHistogram* metric_batch_occupancy_ = nullptr;
 
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -1,8 +1,13 @@
 #include "serve/session_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
+#include "nn/serialize.h"
 #include "obs/metrics.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -13,6 +18,28 @@ namespace {
 /// hash-map node, LRU list node, tensor headers. An estimate — the cap
 /// is a sizing knob, not an allocator contract.
 constexpr size_t kSessionOverheadBytes = 160;
+
+// Session-snapshot container: magic, format version, payload CRC32 and
+// length, then the payload (dims header + session records). All
+// integers little-endian via raw writes; doubles ride in
+// nn::WriteTensor, so the recurrent-state round trip is bit-exact.
+constexpr char kSnapshotMagic[4] = {'S', '2', 'S', 'S'};
+constexpr uint32_t kSnapshotVersion = 1;
+// A snapshot claiming more sessions than this is treated as corrupt
+// before any allocation happens (a damaged count field must not
+// trigger a multi-gigabyte reserve).
+constexpr uint64_t kMaxSnapshotSessions = uint64_t{1} << 32;
+
+template <typename T>
+void WriteScalar(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(*value));
+}
 
 }  // namespace
 
@@ -96,6 +123,166 @@ bool SessionStore::Erase(uint64_t user_id) {
   if (it == index_.end()) return false;
   lru_.erase(it->second);
   index_.erase(it);
+  return true;
+}
+
+std::vector<SessionStore::SessionRecord> SessionStore::ExportSessions()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionRecord> records;
+  records.reserve(lru_.size());
+  for (const auto& entry : lru_) records.push_back(entry);
+  return records;
+}
+
+std::vector<SessionStore::SessionRecord> SessionStore::ExtractIf(
+    const std::function<bool(uint64_t)>& pred) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionRecord> extracted;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(it->first)) {
+      extracted.push_back(std::move(*it));
+      index_.erase(extracted.back().first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return extracted;
+}
+
+void SessionStore::Restore(uint64_t user_id, Session session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(user_id);
+  if (it != index_.end()) {
+    // A session arriving via handoff supersedes whatever grew locally.
+    it->second->second = std::move(session);
+    lru_.splice(lru_.end(), lru_, it->second);
+  } else {
+    lru_.emplace_back(user_id, std::move(session));
+    index_[user_id] = std::prev(lru_.end());
+  }
+  while (lru_.size() > max_sessions_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+    S2R_COUNT("serve.session_evictions", 1);
+  }
+}
+
+bool SessionStore::Save(const std::string& path) const {
+  std::ostringstream payload(std::ios::binary);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteScalar<int32_t>(payload, dims_.hidden);
+    WriteScalar<uint8_t>(payload, dims_.has_cell ? 1 : 0);
+    WriteScalar<int32_t>(payload, dims_.action_dim);
+    WriteScalar<int32_t>(payload, dims_.latent_dim);
+    WriteScalar<uint64_t>(payload, lru_.size());
+    for (const auto& [user_id, session] : lru_) {  // MRU first
+      WriteScalar<uint64_t>(payload, user_id);
+      WriteScalar<int64_t>(payload, session.last_used_ms);
+      WriteScalar<int64_t>(payload, session.steps);
+      nn::WriteTensor(payload, session.h);
+      nn::WriteTensor(payload, session.c);
+      nn::WriteTensor(payload, session.prev_action);
+      nn::WriteTensor(payload, session.v);
+    }
+  }
+  const std::string bytes = payload.str();
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+    WriteScalar<uint32_t>(out, kSnapshotVersion);
+    WriteScalar<uint32_t>(out, Crc32(bytes));
+    WriteScalar<uint64_t>(out, bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool SessionStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      !std::equal(magic, magic + 4, kSnapshotMagic)) {
+    return false;
+  }
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  if (!ReadScalar(in, &version) || version != kSnapshotVersion) return false;
+  if (!ReadScalar(in, &crc) || !ReadScalar(in, &payload_size)) return false;
+  // Bounded by the file's actual remaining bytes before allocating.
+  const std::streampos payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos file_end = in.tellg();
+  if (payload_start < 0 || file_end < payload_start ||
+      static_cast<uint64_t>(file_end - payload_start) != payload_size) {
+    return false;  // truncated or padded
+  }
+  in.seekg(payload_start);
+  std::string bytes(payload_size, '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (in.gcount() != static_cast<std::streamsize>(payload_size)) return false;
+  if (Crc32(bytes) != crc) return false;
+
+  // Stage: parse everything before touching the store.
+  std::istringstream payload(bytes, std::ios::binary);
+  int32_t hidden = 0, action_dim = 0, latent_dim = 0;
+  uint8_t has_cell = 0;
+  uint64_t count = 0;
+  if (!ReadScalar(payload, &hidden) || !ReadScalar(payload, &has_cell) ||
+      !ReadScalar(payload, &action_dim) ||
+      !ReadScalar(payload, &latent_dim) || !ReadScalar(payload, &count)) {
+    return false;
+  }
+  if (hidden != dims_.hidden || (has_cell != 0) != dims_.has_cell ||
+      action_dim != dims_.action_dim || latent_dim != dims_.latent_dim) {
+    S2R_LOG_WARN("session snapshot '%s' has mismatched dims", path.c_str());
+    return false;
+  }
+  if (count > kMaxSnapshotSessions) return false;
+  std::vector<SessionRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    SessionRecord record;
+    Session& session = record.second;
+    if (!ReadScalar(payload, &record.first) ||
+        !ReadScalar(payload, &session.last_used_ms) ||
+        !ReadScalar(payload, &session.steps) ||
+        !nn::ReadTensor(payload, &session.h) ||
+        !nn::ReadTensor(payload, &session.c) ||
+        !nn::ReadTensor(payload, &session.prev_action) ||
+        !nn::ReadTensor(payload, &session.v)) {
+      return false;
+    }
+    records.push_back(std::move(record));
+  }
+
+  // Commit: snapshot order is MRU first, so appending preserves it.
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  for (auto& record : records) {
+    if (lru_.size() >= max_sessions_) break;  // keep the hottest
+    lru_.push_back(std::move(record));
+    index_[lru_.back().first] = std::prev(lru_.end());
+  }
   return true;
 }
 

@@ -2,10 +2,13 @@
 #define SIM2REC_SERVE_SESSION_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "nn/tensor.h"
 
@@ -71,6 +74,42 @@ class SessionStore {
 
   /// A zeroed session (what an unseen or expired user starts from).
   Session FreshSession() const;
+
+  /// One spilled session — the unit of handoff and snapshot I/O.
+  using SessionRecord = std::pair<uint64_t, Session>;
+
+  /// Copies every resident session, most recently used first.
+  std::vector<SessionRecord> ExportSessions() const;
+
+  /// Removes and returns the sessions whose user id satisfies `pred`,
+  /// most recently used first — the shard-handoff primitive: a router
+  /// extracts exactly the users a ring change reassigns and replays
+  /// them into the new owner via Restore.
+  std::vector<SessionRecord> ExtractIf(
+      const std::function<bool(uint64_t)>& pred);
+
+  /// Reinserts a spilled session. Unlike Commit it preserves the
+  /// session's recorded last_used_ms (a handoff or restart must not
+  /// rejuvenate idle sessions past their TTL) and inserts at the cold
+  /// end of the LRU list, so calling it with ExportSessions/ExtractIf
+  /// output (MRU first) reproduces the source store's eviction order.
+  /// Evicts from the cold end if the byte cap is exceeded.
+  void Restore(uint64_t user_id, Session session);
+
+  /// Writes all resident sessions to `path` as a binary snapshot
+  /// (magic + version + CRC32 + dims + sessions; doubles as raw
+  /// IEEE-754 bytes, so restored recurrent state is bit-exact). Writes
+  /// to a temporary file and renames, so a crash mid-save never
+  /// clobbers a previous good snapshot. Returns false on I/O failure.
+  bool Save(const std::string& path) const;
+
+  /// Replaces the resident sessions with a snapshot written by Save.
+  /// Staged like serve::LoadCheckpoint: the whole file is parsed and
+  /// CRC-checked before the store is touched, so a missing, truncated
+  /// or corrupted snapshot (or one with mismatched dims) returns false
+  /// and leaves the store exactly as it was — never aborts. Sessions
+  /// beyond the byte cap are dropped coldest-first.
+  bool Load(const std::string& path);
 
   size_t size() const;
   size_t bytes() const { return BytesPerSession() * size(); }

@@ -1,0 +1,53 @@
+#include "util/crc32.h"
+
+#include <fstream>
+
+namespace sim2rec {
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t crc) {
+  const Crc32Table& table = Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool Crc32OfFile(const std::string& path, uint32_t* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  char buffer[1 << 16];
+  uint32_t crc = 0;
+  while (file) {
+    file.read(buffer, sizeof(buffer));
+    const std::streamsize got = file.gcount();
+    if (got > 0) crc = Crc32(buffer, static_cast<size_t>(got), crc);
+  }
+  if (file.bad()) return false;
+  *out = crc;
+  return true;
+}
+
+}  // namespace sim2rec

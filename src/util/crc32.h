@@ -1,0 +1,29 @@
+#ifndef SIM2REC_UTIL_CRC32_H_
+#define SIM2REC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sim2rec {
+
+/// CRC-32 (reflected, polynomial 0xEDB88320 — the zlib/PNG/gzip
+/// variant), used as the integrity check on serving artifacts: session
+/// snapshots and checkpoint bundle files. Not cryptographic — it
+/// detects bit rot and truncation, not tampering.
+///
+/// `crc` is the running value for incremental use: start from 0 and
+/// feed chunks in order (`crc = Crc32(chunk, n, crc)`); the result of
+/// the last call equals the one-shot CRC of the concatenation.
+uint32_t Crc32(const void* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32(const std::string& data, uint32_t crc = 0) {
+  return Crc32(data.data(), data.size(), crc);
+}
+
+/// CRC-32 of a whole file's bytes; false on open/read failure.
+bool Crc32OfFile(const std::string& path, uint32_t* out);
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_CRC32_H_

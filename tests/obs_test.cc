@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -575,6 +576,154 @@ TEST(DeterminismNeutrality, InstrumentedRunMatchesDisabledBitwise) {
 // ---------------------------------------------------------------------------
 // Iteration-log streaming (export_metrics_path).
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// MergeSnapshots: the cross-registry (per-shard / per-process)
+// aggregation seam.
+// ---------------------------------------------------------------------------
+
+TEST(MergeSnapshots, CountersSumAndGaugesLastWin) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("serve.requests")->Add(3);
+  b.GetCounter("serve.requests")->Add(4);
+  a.GetCounter("only.in.a")->Add(1);
+  b.GetCounter("only.in.b")->Add(2);
+  a.GetGauge("serve.queue_depth")->Set(5.0);
+  b.GetGauge("serve.queue_depth")->Set(9.0);
+  a.GetGauge("only.gauge.a")->Set(1.5);
+
+  const MetricsSnapshot merged =
+      MergeSnapshots({a.Snapshot(), b.Snapshot()});
+
+  ASSERT_EQ(merged.counters.size(), 3u);  // sorted by name
+  EXPECT_EQ(merged.counters[0].name, "only.in.a");
+  EXPECT_EQ(merged.counters[0].value, 1);
+  EXPECT_EQ(merged.counters[1].name, "only.in.b");
+  EXPECT_EQ(merged.counters[1].value, 2);
+  EXPECT_EQ(merged.counters[2].name, "serve.requests");
+  EXPECT_EQ(merged.counters[2].value, 7);
+
+  ASSERT_EQ(merged.gauges.size(), 2u);
+  EXPECT_EQ(merged.gauges[0].name, "only.gauge.a");
+  EXPECT_EQ(merged.gauges[0].value, 1.5);
+  EXPECT_EQ(merged.gauges[1].name, "serve.queue_depth");
+  EXPECT_EQ(merged.gauges[1].value, 9.0);  // last part wins
+
+  EXPECT_TRUE(MergeSnapshots({}).counters.empty());
+}
+
+TEST(MergeSnapshots, HistogramsMergeAtBucketGranularity) {
+  // Record disjoint sample sets into two registries and the union into
+  // a third: the merged histogram must answer every summary question
+  // exactly like the single histogram holding the union.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  MetricsRegistry whole;
+  for (int i = 1; i <= 100; ++i) {
+    const double value = static_cast<double>(i * i) / 10.0;
+    ((i % 2 == 0) ? a : b).GetHistogram("serve.latency_us")->Record(value);
+    whole.GetHistogram("serve.latency_us")->Record(value);
+  }
+
+  const MetricsSnapshot merged =
+      MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  const MetricsSnapshot reference = whole.Snapshot();
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSample& m = merged.histograms[0];
+  const HistogramSample& r = reference.histograms[0];
+  EXPECT_EQ(m.count, r.count);
+  EXPECT_EQ(m.min, r.min);
+  EXPECT_EQ(m.max, r.max);
+  // Weighted-average merge rounds differently from the union-order sum.
+  EXPECT_NEAR(m.mean, r.mean, 1e-9 * std::abs(r.mean));
+  EXPECT_EQ(m.p50, r.p50);
+  EXPECT_EQ(m.p95, r.p95);
+  EXPECT_EQ(m.p99, r.p99);
+  ASSERT_EQ(m.buckets.size(), r.buckets.size());
+  EXPECT_EQ(m.buckets, r.buckets);
+}
+
+TEST(MergeSnapshots, HandBuiltSamplesFallBackToConservativeQuantiles) {
+  // Samples without bucket counts (not from a registry snapshot) cannot
+  // be merged exactly; the fallback keeps counts additive and quantiles
+  // conservative (max across parts).
+  MetricsSnapshot a;
+  MetricsSnapshot b;
+  HistogramSample ha;
+  ha.name = "x";
+  ha.count = 10;
+  ha.min = 1.0;
+  ha.max = 50.0;
+  ha.p50 = 5.0;
+  ha.p99 = 40.0;
+  HistogramSample hb = ha;
+  hb.count = 20;
+  hb.min = 0.5;
+  hb.max = 80.0;
+  hb.p50 = 9.0;
+  hb.p99 = 70.0;
+  a.histograms.push_back(ha);
+  b.histograms.push_back(hb);
+
+  const MetricsSnapshot merged = MergeSnapshots({a, b});
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].count, 30);
+  EXPECT_EQ(merged.histograms[0].min, 0.5);
+  EXPECT_EQ(merged.histograms[0].max, 80.0);
+  EXPECT_EQ(merged.histograms[0].p50, 9.0);
+  EXPECT_EQ(merged.histograms[0].p99, 70.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace span args.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, SpanArgsSurfaceInChromeTraceArgsMap) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    S2R_TRACE_SPAN("test/plain_span");
+    S2R_TRACE_SPAN("test/one_arg", "shard", 3.0);
+    S2R_TRACE_SPAN("test/four_args", "a", 1.0, "b", 2.5, "c", -3.0, "d",
+                   4096.0);
+    S2R_TRACE_SPAN("test/nan_arg", "bad",
+                   std::numeric_limits<double>::quiet_NaN());
+  }
+  recorder.Stop();
+  ASSERT_GE(recorder.event_count(), 4);
+
+  const std::string json = recorder.ToChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"args\":{\"shard\":3}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"a\":1,\"b\":2.5,\"c\":-3,\"d\":4096}"),
+            std::string::npos)
+      << json;
+  // Non-finite values have no JSON literal; they export as null.
+  EXPECT_NE(json.find("\"args\":{\"bad\":null}"), std::string::npos) << json;
+  // A span without args carries no args map at all.
+  const size_t noargs = json.find("\"test/plain_span\"");
+  ASSERT_NE(noargs, std::string::npos);
+  const size_t end = json.find('}', noargs);
+  EXPECT_EQ(json.substr(noargs, end - noargs).find("args"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, SpanArgsDroppedWhenRecorderInactive) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  recorder.Stop();
+  const int64_t before = recorder.event_count();
+  {
+    S2R_TRACE_SPAN("test/ignored_args", "k", 1.0);
+  }
+  EXPECT_EQ(recorder.event_count(), before);
+}
 
 TEST(IterationLogExporter, WritesFlushedJsonlAndCsv) {
   ScratchDir dir("iteration_export");

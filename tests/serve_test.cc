@@ -7,13 +7,18 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+#include <set>
+
 #include "core/context_agent.h"
 #include "core/sim2rec_trainer.h"
 #include "envs/lts_env.h"
 #include "nn/layers.h"
 #include "nn/serialize.h"
 #include "serve/checkpoint.h"
+#include "serve/hash_ring.h"
 #include "serve/inference_server.h"
+#include "serve/serve_router.h"
 #include "serve/session_store.h"
 
 namespace sim2rec {
@@ -548,6 +553,539 @@ TEST(InferenceServer, ShutdownIsIdempotentAndDrains) {
   server.Shutdown();
   server.Shutdown();
   EXPECT_EQ(server.stats().requests, 12);
+}
+
+// ---------------------------------------------------------------------------
+// HashRing: the consistency properties the router's handoff relies on.
+// ---------------------------------------------------------------------------
+
+TEST(HashRing, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.NodeFor(0), -1);
+  EXPECT_EQ(ring.NodeFor(~uint64_t{0}), -1);
+  EXPECT_EQ(ring.num_nodes(), 0);
+}
+
+TEST(HashRing, BalanceAndOrderIndependence) {
+  constexpr int kKeys = 20000;
+  HashRing ring;
+  for (int n = 0; n < 4; ++n) ring.AddNode(n);
+
+  std::map<int, int> owned;
+  for (int k = 0; k < kKeys; ++k) {
+    const int node = ring.NodeFor(static_cast<uint64_t>(k));
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 4);
+    ++owned[node];
+  }
+  // Virtual nodes keep the keyspace split roughly even: every node owns
+  // a meaningful share, none dominates (mean share is kKeys / 4).
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(owned[n], kKeys / 10) << "node " << n;
+    EXPECT_LT(owned[n], kKeys / 2) << "node " << n;
+  }
+
+  // The mapping is a pure function of the node-id *set*: a ring built
+  // in a different insertion order (and via a detour) agrees on every
+  // key, which is what lets independent replicas route identically.
+  HashRing other;
+  other.AddNode(3);
+  other.AddNode(0);
+  other.AddNode(7);  // detour: added then removed
+  other.AddNode(2);
+  other.AddNode(1);
+  other.RemoveNode(7);
+  for (int k = 0; k < kKeys; ++k) {
+    const uint64_t key = static_cast<uint64_t>(k);
+    ASSERT_EQ(ring.NodeFor(key), other.NodeFor(key)) << "key " << k;
+  }
+}
+
+TEST(HashRing, AddMovesKeysOnlyToNewNodeAndRemoveRestores) {
+  constexpr int kKeys = 20000;
+  HashRing ring;
+  for (int n = 0; n < 3; ++n) ring.AddNode(n);
+
+  std::vector<int> before(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    before[k] = ring.NodeFor(static_cast<uint64_t>(k));
+  }
+
+  ring.AddNode(3);
+  int moved = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    const int now = ring.NodeFor(static_cast<uint64_t>(k));
+    if (now != before[k]) {
+      // Every reassigned key lands on the new node — never on another
+      // surviving node — so a reshard only ever drains *into* the
+      // added shard.
+      EXPECT_EQ(now, 3) << "key " << k;
+      ++moved;
+    }
+  }
+  // Expected move fraction is 1/4; allow generous slack around it.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+
+  // Removing the node is the exact mirror image: the original mapping
+  // comes back key for key.
+  ring.RemoveNode(3);
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(ring.NodeFor(static_cast<uint64_t>(k)), before[k])
+        << "key " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ServeRouter (the sharded front end).
+// ---------------------------------------------------------------------------
+
+ServeRouterConfig PlainRouterConfig() {
+  ServeRouterConfig config;
+  config.shard.micro_batching = false;
+  return config;
+}
+
+TEST(ServeRouter, OneVsFourShardsBitwiseIdenticalReplies) {
+  Rng rng(91);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  const ServeRouterConfig config = PlainRouterConfig();
+  ServeRouter one(&agent, config, /*initial_shards=*/1);
+  ServeRouter four(&agent, config, /*initial_shards=*/4);
+  EXPECT_EQ(one.num_shards(), 1);
+  EXPECT_EQ(four.num_shards(), 4);
+
+  // Same request stream through both topologies. Sessions are
+  // user-affine and every shard serves the same agent, so sharding must
+  // not change a single bit of any reply — including the value head and
+  // the recurrent state threaded across steps.
+  constexpr int kUsers = 6;
+  constexpr int kSteps = 5;
+  std::set<int> shards_used;
+  for (int t = 0; t < kSteps; ++t) {
+    for (int u = 0; u < kUsers; ++u) {
+      const uint64_t user = static_cast<uint64_t>(u);
+      const nn::Tensor obs = ObsFor(u, t);
+      const ServeReply a = one.Act(user, obs);
+      const ServeReply b = four.Act(user, obs);
+      EXPECT_TRUE(BitwiseEqual(a.action, b.action))
+          << "user=" << u << " step=" << t;
+      EXPECT_EQ(a.value, b.value) << "user=" << u << " step=" << t;
+      EXPECT_EQ(a.exec_clamped, b.exec_clamped);
+      shards_used.insert(four.ShardFor(user));
+    }
+  }
+  // The stream actually exercised more than one shard (otherwise the
+  // test proves nothing about routing).
+  EXPECT_GT(shards_used.size(), 1u);
+}
+
+TEST(ServeRouter, RebalanceUnderLoadKeepsEverySession) {
+  Rng rng(92);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  ServeRouter router(&agent, PlainRouterConfig(), /*initial_shards=*/2);
+
+  constexpr int kThreads = 4;
+  constexpr int kUsersPerThread = 4;
+  constexpr int kSteps = 30;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&router, c] {
+      for (int t = 0; t < kSteps; ++t) {
+        for (int i = 0; i < kUsersPerThread; ++i) {
+          const int u = c * kUsersPerThread + i;
+          router.Act(static_cast<uint64_t>(u), ObsFor(u, t));
+        }
+      }
+    });
+  }
+  // Reshard repeatedly while the clients hammer the router: grow to 4
+  // shards, then shrink one away. Each change drains in-flight requests
+  // and hands the reassigned sessions to their new owners.
+  router.AddShard(2);
+  router.AddShard(3);
+  EXPECT_FALSE(router.AddShard(3));  // duplicate id refused
+  router.RemoveShard(0);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(router.num_shards(), 3);
+  EXPECT_FALSE(router.RemoveShard(99));  // absent id refused
+
+  // No session lost, none duplicated, none stranded on a non-owner:
+  // every user's session sits on exactly the shard the ring names, with
+  // the full step count — a dropped or re-created session would show
+  // steps < kSteps.
+  constexpr int kUsers = kThreads * kUsersPerThread;
+  std::map<uint64_t, int> holder;  // user -> shard holding its session
+  std::map<uint64_t, int64_t> steps;
+  for (const int id : router.shard_ids()) {
+    for (const auto& [user, session] :
+         router.shard(id)->sessions().ExportSessions()) {
+      ASSERT_EQ(holder.count(user), 0u)
+          << "user " << user << " held by shards " << holder[user]
+          << " and " << id;
+      holder[user] = id;
+      steps[user] = session.steps;
+    }
+  }
+  ASSERT_EQ(holder.size(), static_cast<size_t>(kUsers));
+  for (int u = 0; u < kUsers; ++u) {
+    const uint64_t user = static_cast<uint64_t>(u);
+    EXPECT_EQ(holder[user], router.ShardFor(user)) << "user " << u;
+    EXPECT_EQ(steps[user], kSteps) << "user " << u;
+  }
+
+  // The merged metrics view spans all surviving shards' registries.
+  const obs::MetricsSnapshot merged = router.MergedMetrics();
+  if (obs::Enabled()) {
+    int64_t requests = 0;
+    for (const auto& counter : merged.counters) {
+      if (counter.name == "serve.requests") requests = counter.value;
+    }
+    // Requests served before shard 0 was removed left with its
+    // registry, so the merged total counts the survivors only.
+    EXPECT_GT(requests, 0);
+    EXPECT_LE(requests, static_cast<int64_t>(kUsers) * kSteps);
+  }
+}
+
+TEST(ServeRouter, SessionSnapshotRestoresOntoDifferentTopology) {
+  ScratchDir dir("router_snapshot");
+  Rng rng(93);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  constexpr int kUsers = 10;
+  constexpr int kSteps = 4;
+  ServeRouter router(&agent, PlainRouterConfig(), /*initial_shards=*/3);
+  for (int t = 0; t < kSteps; ++t) {
+    for (int u = 0; u < kUsers; ++u) {
+      router.Act(static_cast<uint64_t>(u), ObsFor(u, t));
+    }
+  }
+  std::map<uint64_t, Session> expected;
+  for (const int id : router.shard_ids()) {
+    for (auto& [user, session] :
+         router.shard(id)->sessions().ExportSessions()) {
+      expected.emplace(user, std::move(session));
+    }
+  }
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kUsers));
+
+  const std::string snapshot = (dir.path() / "sessions.bin").string();
+  ASSERT_TRUE(router.SaveSessions(snapshot));
+
+  // Restore onto a *different* shard count: every record re-routes
+  // through the new ring, and the recurrent state survives bit-exactly.
+  ServeRouter restarted(&agent, PlainRouterConfig(), /*initial_shards=*/1);
+  ASSERT_TRUE(restarted.LoadSessions(snapshot));
+  size_t restored = 0;
+  for (const int id : restarted.shard_ids()) {
+    for (const auto& [user, session] :
+         restarted.shard(id)->sessions().ExportSessions()) {
+      ++restored;
+      ASSERT_EQ(expected.count(user), 1u);
+      const Session& want = expected.at(user);
+      EXPECT_TRUE(BitwiseEqual(want.h, session.h)) << "user " << user;
+      EXPECT_TRUE(BitwiseEqual(want.c, session.c)) << "user " << user;
+      EXPECT_TRUE(BitwiseEqual(want.prev_action, session.prev_action));
+      EXPECT_TRUE(BitwiseEqual(want.v, session.v)) << "user " << user;
+      EXPECT_EQ(want.steps, session.steps);
+      EXPECT_EQ(want.last_used_ms, session.last_used_ms);
+    }
+  }
+  EXPECT_EQ(restored, static_cast<size_t>(kUsers));
+
+  // Restored state behaves identically to never-interrupted state: the
+  // original router and the restarted one answer the next request the
+  // same way.
+  for (int u = 0; u < kUsers; ++u) {
+    const nn::Tensor obs = ObsFor(u, kSteps);
+    const ServeReply a = router.Act(static_cast<uint64_t>(u), obs);
+    const ServeReply b = restarted.Act(static_cast<uint64_t>(u), obs);
+    EXPECT_TRUE(BitwiseEqual(a.action, b.action)) << "user " << u;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore spill/restore (snapshot file hardening).
+// ---------------------------------------------------------------------------
+
+Session FilledSession(SessionStore& store, double seed) {
+  Session s = store.FreshSession();
+  s.h.Fill(seed);
+  if (s.c.size() > 0) s.c.Fill(seed + 0.25);
+  s.prev_action.Fill(seed + 0.5);
+  if (s.v.size() > 0) s.v.Fill(seed + 0.75);
+  s.steps = static_cast<int64_t>(seed * 10);
+  return s;
+}
+
+TEST(SessionStore, SaveLoadRoundTripIsBitExact) {
+  ScratchDir dir("session_snapshot");
+  const std::string path = (dir.path() / "sessions.bin").string();
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  config.ttl_ms = 0;
+  SessionStore store(dims, config);
+  for (uint64_t user = 1; user <= 5; ++user) {
+    store.Commit(user, FilledSession(store, 1.0 / static_cast<double>(user)),
+                 static_cast<int64_t>(user * 100));
+  }
+  ASSERT_TRUE(store.Save(path));
+
+  SessionStore loaded(dims, config);
+  loaded.Commit(99, FilledSession(loaded, 9.0), 0);  // must be replaced
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.size(), 5u);
+
+  const auto original = store.ExportSessions();
+  const auto restored = loaded.ExportSessions();
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    // Same LRU order, same ids, bit-exact tensors, preserved times.
+    EXPECT_EQ(original[i].first, restored[i].first);
+    const Session& a = original[i].second;
+    const Session& b = restored[i].second;
+    EXPECT_TRUE(BitwiseEqual(a.h, b.h));
+    EXPECT_TRUE(BitwiseEqual(a.c, b.c));
+    EXPECT_TRUE(BitwiseEqual(a.prev_action, b.prev_action));
+    EXPECT_TRUE(BitwiseEqual(a.v, b.v));
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.last_used_ms, b.last_used_ms);
+  }
+}
+
+TEST(SessionStore, LoadRejectsTruncatedAndCorruptSnapshots) {
+  ScratchDir dir("session_corrupt");
+  const std::string path = (dir.path() / "sessions.bin").string();
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  SessionStore store(dims, config);
+  for (uint64_t user = 1; user <= 3; ++user) {
+    store.Commit(user, FilledSession(store, static_cast<double>(user)),
+                 static_cast<int64_t>(user));
+  }
+  ASSERT_TRUE(store.Save(path));
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+
+  // The victim store must come through every failed load untouched.
+  SessionStore victim(dims, config);
+  victim.Commit(42, FilledSession(victim, 4.2), 7);
+
+  // Missing file.
+  EXPECT_FALSE(victim.Load((dir.path() / "absent.bin").string()));
+
+  // Truncations at several depths: inside the header, inside the
+  // session payload, and just shy of the end.
+  for (const size_t cut :
+       {size_t{3}, size_t{10}, bytes.size() / 2, bytes.size() - 1}) {
+    const std::string trunc =
+        (dir.path() / ("trunc_" + std::to_string(cut) + ".bin")).string();
+    std::ofstream out(trunc, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(victim.Load(trunc)) << "cut=" << cut;
+  }
+
+  // Bad magic.
+  {
+    std::string garbled = bytes;
+    garbled[0] = 'X';
+    std::ofstream out(path, std::ios::binary);
+    out.write(garbled.data(), static_cast<std::streamsize>(garbled.size()));
+  }
+  EXPECT_FALSE(victim.Load(path));
+
+  // A flipped payload byte must trip the CRC.
+  {
+    std::string garbled = bytes;
+    garbled[bytes.size() - 5] ^= 0x40;
+    std::ofstream out(path, std::ios::binary);
+    out.write(garbled.data(), static_cast<std::streamsize>(garbled.size()));
+  }
+  EXPECT_FALSE(victim.Load(path));
+
+  // A snapshot with the wrong dims is rejected too (staged before
+  // commit, so still no change).
+  SessionDims other = dims;
+  other.hidden = dims.hidden + 1;
+  SessionStore mismatched(other, config);
+  mismatched.Commit(1, mismatched.FreshSession(), 0);
+  const std::string ok = (dir.path() / "ok.bin").string();
+  ASSERT_TRUE(store.Save(ok));
+  EXPECT_FALSE(mismatched.Load(ok));
+
+  // Untouched: one session, original contents.
+  EXPECT_EQ(victim.size(), 1u);
+  Session intact = victim.Acquire(42, 7);
+  EXPECT_EQ(intact.h(0, 0), 4.2);
+}
+
+TEST(SessionStore, RestorePreservesAgeAndReproducesLruOrder) {
+  const SessionDims dims = SmallDims();
+  SessionStoreConfig config;
+  config.ttl_ms = 1000;
+  SessionStore source(dims, config);
+  source.Commit(1, FilledSession(source, 1.0), /*now_ms=*/10);
+  source.Commit(2, FilledSession(source, 2.0), /*now_ms=*/20);
+  source.Commit(3, FilledSession(source, 3.0), /*now_ms=*/30);
+
+  // Replaying an MRU-first export through Restore reproduces the source
+  // store's LRU order and keeps each session's recorded age (a handoff
+  // must not rejuvenate idle sessions past their TTL).
+  SessionStore target(dims, config);
+  for (auto& [user, session] : source.ExportSessions()) {
+    target.Restore(user, std::move(session));
+  }
+  const auto out = target.ExportSessions();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 3u);
+  EXPECT_EQ(out[1].first, 2u);
+  EXPECT_EQ(out[2].first, 1u);
+  EXPECT_EQ(out[2].second.last_used_ms, 10);
+
+  // User 1 was last used at t=10 with a 1000ms TTL: alive at t=900,
+  // expired at t=1100 — exactly as if the handoff never happened.
+  Session alive = target.Acquire(1, 900);
+  EXPECT_EQ(alive.h(0, 0), 1.0);
+  target.Commit(1, std::move(alive), 900);
+  Session expired = target.Acquire(2, 1100);
+  EXPECT_EQ(expired.steps, 0);
+  EXPECT_EQ(expired.h.MaxAll(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v2: CRC integrity and the version-compatibility policy.
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
+  ScratchDir dir("ckpt_v2");
+  Rng rng(101);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+
+  // Baseline: a fresh bundle loads with kOk and a usable policy.
+  {
+    LoadResult result = LoadCheckpointEx(dir.str());
+    EXPECT_EQ(result.status, LoadStatus::kOk);
+    ASSERT_NE(result.policy, nullptr);
+  }
+
+  // Not a checkpoint directory at all.
+  EXPECT_EQ(LoadCheckpointEx((dir.path() / "absent").string()).status,
+            LoadStatus::kNotFound);
+
+  const fs::path manifest = dir.path() / "manifest.txt";
+  std::string manifest_text;
+  {
+    std::ifstream in(manifest);
+    manifest_text.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  }
+  ASSERT_NE(manifest_text.find("sim2rec_checkpoint 2"), std::string::npos);
+  ASSERT_NE(manifest_text.find("crc32.agent.bin"), std::string::npos);
+
+  // A flipped bit in a weight file trips its CRC: kCorrupt, and the
+  // convenience loader returns null instead of a silently wrong policy.
+  {
+    const fs::path weights = dir.path() / "agent.bin";
+    std::fstream f(weights, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(weights) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+  EXPECT_EQ(LoadCheckpoint(dir.str()), nullptr);
+
+  // A future format version is *not* corruption — the bundle may be
+  // fine; this binary just cannot read it.
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  {
+    std::string future = manifest_text;
+    future.replace(future.find("sim2rec_checkpoint 2"),
+                   std::strlen("sim2rec_checkpoint 2"),
+                   "sim2rec_checkpoint 99");
+    std::ofstream out(manifest);
+    out << future;
+  }
+  EXPECT_EQ(LoadCheckpointEx(dir.str()).status,
+            LoadStatus::kVersionUnsupported);
+
+  // A manifest claiming v2 but missing its CRC lines is corrupt: the
+  // integrity guarantee v2 promises cannot be checked.
+  {
+    std::istringstream in(manifest_text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("crc32.", 0) != 0) out << line << '\n';
+    }
+    std::ofstream file(manifest);
+    file << out.str();
+  }
+  EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+}
+
+TEST(Checkpoint, Version1BundlesStillLoad) {
+  ScratchDir dir("ckpt_v1");
+  Rng rng(103);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+
+  // Rewrite the bundle as the PR-2 v1 format: version line downgraded,
+  // no crc32 lines. Readers accept every version up to their own, with
+  // integrity checks skipped where the format predates them.
+  const fs::path manifest = dir.path() / "manifest.txt";
+  std::string text;
+  {
+    std::ifstream in(manifest);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  {
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("crc32.", 0) == 0) continue;
+      if (line.rfind("sim2rec_checkpoint ", 0) == 0) {
+        line = "sim2rec_checkpoint 1";
+      }
+      out << line << '\n';
+    }
+    std::ofstream file(manifest);
+    file << out.str();
+  }
+
+  LoadResult result = LoadCheckpointEx(dir.str());
+  EXPECT_EQ(result.status, LoadStatus::kOk);
+  ASSERT_NE(result.policy, nullptr);
+
+  // The restored v1 agent serves identically to the original.
+  core::ContextAgent::ServeBatch sa = agent.InitialServeBatch(2);
+  core::ContextAgent::ServeBatch sb =
+      result.policy->agent->InitialServeBatch(2);
+  Rng obs_rng(104);
+  const nn::Tensor obs = nn::Tensor::Randn(2, envs::kLtsObsDim, obs_rng);
+  EXPECT_TRUE(BitwiseEqual(agent.ServeStep(obs, &sa).actions,
+                           result.policy->agent->ServeStep(obs, &sb).actions));
 }
 
 }  // namespace
