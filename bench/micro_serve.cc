@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,6 +41,8 @@
 #include "serve/inference_server.h"
 #include "serve/policy_service.h"
 #include "serve/serve_router.h"
+#include "transport/policy_client.h"
+#include "transport/policy_server.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -88,15 +91,21 @@ serve::InferenceServerConfig ServerConfig(bool micro_batching,
 /// Drives `num_users` users for `steps` steps each from `num_clients`
 /// concurrent threads (users partitioned across clients, round-robin
 /// within a client). Optionally records every user's observation and
-/// action stream. Written against the abstract PolicyService, so the
-/// same loop drives a single InferenceServer and a sharded ServeRouter.
-void DriveClosedLoop(serve::PolicyService& server, int num_users,
-                     int num_clients, int steps,
-                     std::vector<std::vector<nn::Tensor>>* obs_log,
-                     std::vector<std::vector<nn::Tensor>>* action_log) {
+/// action stream. Each client thread asks `service_for_client` for its
+/// own PolicyService handle — all threads share one server in-process;
+/// over the transport each thread gets its own PolicyClient (its own
+/// connection), like real client processes would.
+void DriveClosedLoopWith(
+    const std::function<std::shared_ptr<serve::PolicyService>(int)>&
+        service_for_client,
+    int num_users, int num_clients, int steps,
+    std::vector<std::vector<nn::Tensor>>* obs_log,
+    std::vector<std::vector<nn::Tensor>>* action_log) {
   std::vector<std::thread> clients;
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
+      const std::shared_ptr<serve::PolicyService> service =
+          service_for_client(c);
       std::vector<int> mine;
       for (int u = c; u < num_users; u += num_clients) mine.push_back(u);
       std::vector<SimUser> users;
@@ -106,7 +115,7 @@ void DriveClosedLoop(serve::PolicyService& server, int num_users,
           SimUser& user = users[k];
           const uint64_t user_id = mine[k];
           if (obs_log) (*obs_log)[user_id].push_back(user.obs);
-          const serve::ServeReply reply = server.Act(user_id, user.obs);
+          const serve::ServeReply reply = service->Act(user_id, user.obs);
           if (action_log) (*action_log)[user_id].push_back(reply.action);
           const envs::StepResult result =
               user.env->Step(reply.action, *user.rng);
@@ -117,6 +126,40 @@ void DriveClosedLoop(serve::PolicyService& server, int num_users,
   }
   for (auto& th : clients) th.join();
 }
+
+/// The common in-process case: every client thread drives `server`.
+void DriveClosedLoop(serve::PolicyService& server, int num_users,
+                     int num_clients, int steps,
+                     std::vector<std::vector<nn::Tensor>>* obs_log,
+                     std::vector<std::vector<nn::Tensor>>* action_log) {
+  DriveClosedLoopWith(
+      [&server](int) {
+        return std::shared_ptr<serve::PolicyService>(&server,
+                                                     [](auto*) {});
+      },
+      num_users, num_clients, steps, obs_log, action_log);
+}
+
+/// Wraps a service and records client-observed Act latency, so the
+/// in-process and loopback rows below measure the same thing from the
+/// same vantage point.
+class TimedService : public serve::PolicyService {
+ public:
+  TimedService(std::shared_ptr<serve::PolicyService> inner,
+               serve::LatencyHistogram* latency)
+      : inner_(std::move(inner)), latency_(latency) {}
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override {
+    const double start_us = obs::MonotonicMicros();
+    serve::ServeReply reply = inner_->Act(user_id, obs);
+    latency_->Record(obs::MonotonicMicros() - start_us);
+    return reply;
+  }
+  void EndSession(uint64_t user_id) override { inner_->EndSession(user_id); }
+
+ private:
+  std::shared_ptr<serve::PolicyService> inner_;
+  serve::LatencyHistogram* latency_;
+};
 
 int Run(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
@@ -222,6 +265,135 @@ int Run(int argc, char** argv) {
                   stats.latency_p50_us, stats.latency_p95_us,
                   stats.latency_p99_us, stats.mean_batch_occupancy});
   }
+  // --- Phase 2.5: in-process vs loopback TCP (transport overhead). ------
+  // The same closed loop against the same 2-shard router topology,
+  // measured from the client's vantage point (TimedService wraps each
+  // client's service handle): once through direct in-process calls,
+  // once through PolicyClient -> PolicyServer over loopback TCP — one
+  // connection per client thread, like real client processes. The two
+  // runs must produce bitwise-identical per-user streams: the wire
+  // carries raw IEEE-754 bytes, so crossing the process boundary must
+  // not perturb a single bit of any action.
+  const int kWireSteps = full ? 100 : 30;
+  const int kWireClients = 4;
+  const int kWireUsers = kWireClients * kUsersPerClient;
+  std::printf("\ntransport overhead (2-shard router, %d clients x %d "
+              "users x %d steps):\n", kWireClients, kWireUsers, kWireSteps);
+  std::printf("%-12s %-12s %-9s %-9s %-9s\n", "path", "req/sec",
+              "p50(us)", "p95(us)", "p99(us)");
+  CsvWriter wire_csv("results/micro_serve_transport.csv",
+                     {"path", "req_per_sec", "p50_us", "p95_us", "p99_us"});
+  struct PathRun {
+    std::vector<std::vector<nn::Tensor>> obs_log;
+    std::vector<std::vector<nn::Tensor>> action_log;
+    PathRun() : obs_log(kWireUsers), action_log(kWireUsers) {}
+  };
+  PathRun inproc, loopback;
+  {
+    serve::ServeRouterConfig router_config;
+    router_config.shard = ServerConfig(true, /*max_batch_size=*/16);
+    serve::ServeRouter router(policy->agent.get(), router_config,
+                              /*num_shards=*/2);
+    serve::LatencyHistogram latency;
+    Stopwatch stopwatch;
+    DriveClosedLoopWith(
+        [&](int) {
+          return std::make_shared<TimedService>(
+              std::shared_ptr<serve::PolicyService>(&router, [](auto*) {}),
+              &latency);
+        },
+        kWireUsers, kWireClients, kWireSteps, &inproc.obs_log,
+        &inproc.action_log);
+    const double rate =
+        kWireUsers * static_cast<double>(kWireSteps) /
+        stopwatch.ElapsedSeconds();
+    std::printf("%-12s %-12.0f %-9.0f %-9.0f %-9.0f\n", "in-process",
+                rate, latency.QuantileUs(0.50), latency.QuantileUs(0.95),
+                latency.QuantileUs(0.99));
+    wire_csv.WriteRow("in-process",
+                      {rate, latency.QuantileUs(0.50),
+                       latency.QuantileUs(0.95), latency.QuantileUs(0.99)});
+  }
+  {
+    serve::ServeRouterConfig router_config;
+    router_config.shard = ServerConfig(true, /*max_batch_size=*/16);
+    serve::ServeRouter router(policy->agent.get(), router_config,
+                              /*num_shards=*/2);
+    transport::PolicyServerConfig server_config;
+    server_config.num_workers = kWireClients + 1;  // clients + probe
+    server_config.metrics_source = [&router] {
+      return obs::MergeSnapshots(
+          {router.MergedMetrics(),
+           obs::MetricsRegistry::Global().Snapshot()});
+    };
+    transport::PolicyServer server(&router, server_config);
+    if (!server.Start()) {
+      std::printf("FAIL: could not start the loopback PolicyServer\n");
+      return 1;
+    }
+    serve::LatencyHistogram latency;
+    Stopwatch stopwatch;
+    DriveClosedLoopWith(
+        [&](int) {
+          transport::PolicyClientConfig client_config;
+          client_config.port = server.port();
+          return std::make_shared<TimedService>(
+              std::make_shared<transport::PolicyClient>(client_config),
+              &latency);
+        },
+        kWireUsers, kWireClients, kWireSteps, &loopback.obs_log,
+        &loopback.action_log);
+    const double rate =
+        kWireUsers * static_cast<double>(kWireSteps) /
+        stopwatch.ElapsedSeconds();
+    std::printf("%-12s %-12.0f %-9.0f %-9.0f %-9.0f\n", "loopback-tcp",
+                rate, latency.QuantileUs(0.50), latency.QuantileUs(0.95),
+                latency.QuantileUs(0.99));
+    wire_csv.WriteRow("loopback-tcp",
+                      {rate, latency.QuantileUs(0.50),
+                       latency.QuantileUs(0.95), latency.QuantileUs(0.99)});
+    // The cross-process aggregation leg, end to end: fetch the server's
+    // merged snapshot over the wire and read its transport counters.
+    transport::PolicyClientConfig probe_config;
+    probe_config.port = server.port();
+    transport::PolicyClient probe(probe_config);
+    obs::MetricsSnapshot remote;
+    if (probe.FetchMetrics(&remote) != transport::TransportStatus::kOk) {
+      std::printf("FAIL: FetchMetrics over the wire failed\n");
+      return 1;
+    }
+    int64_t wire_requests = 0;
+    for (const auto& c : remote.counters) {
+      if (c.name == "transport.requests") wire_requests = c.value;
+    }
+    std::printf("metrics fetched over the wire: transport.requests=%lld "
+                "(server stats: %lld requests, %lld malformed)\n",
+                static_cast<long long>(wire_requests),
+                static_cast<long long>(server.stats().requests),
+                static_cast<long long>(server.stats().malformed_frames));
+    server.Shutdown();
+  }
+  bool wire_identical = true;
+  for (int u = 0; u < kWireUsers && wire_identical; ++u) {
+    if (loopback.action_log[u].size() != inproc.action_log[u].size()) {
+      wire_identical = false;
+      break;
+    }
+    for (size_t t = 0; t < loopback.action_log[u].size(); ++t) {
+      if (!BitwiseEqual(loopback.obs_log[u][t], inproc.obs_log[u][t]) ||
+          !BitwiseEqual(loopback.action_log[u][t],
+                        inproc.action_log[u][t])) {
+        std::printf("FAIL: user %d step %zu diverges between loopback "
+                    "and in-process serving\n", u, t);
+        wire_identical = false;
+        break;
+      }
+    }
+  }
+  if (!wire_identical) return 1;
+  std::printf("loopback actions bitwise-identical to in-process "
+              "(%d users x %d steps)\n", kWireUsers, kWireSteps);
+
   // --- Phase 3: shard scaling (ServeRouter, merged shard metrics). ------
   const int kShardSteps = full ? 150 : 40;
   const std::vector<int> shard_counts = {1, 2, 4, 8};

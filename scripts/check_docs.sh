@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Verifies that every binary a documentation code block tells the reader
+# to run corresponds to a real CMake target. Scans fenced code blocks in
+# README.md and docs/*.md for invocations shaped like
+#   ./build/examples/<name>   build/tests/<name>   build-tsan/bench/<name>
+# and checks each <name> against the targets declared via
+# add_executable / s2r_add_test / s2r_add_bench / s2r_add_example.
+#
+# Wired as the `check_docs` ctest (tests/CMakeLists.txt), so stale docs
+# fail CI the same way a broken test does.
+#
+# Usage: check_docs.sh [repo_root]
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 2
+
+# --- 1. Collect declared executable target names. ----------------------
+targets_file="$(mktemp)"
+trap 'rm -f "$targets_file"' EXIT
+
+find "$ROOT" -name CMakeLists.txt -not -path '*/build*' -print0 |
+  xargs -0 sed -n \
+    -e 's/^[[:space:]]*add_executable(\([A-Za-z0-9_-]*\).*/\1/p' \
+    -e 's/^[[:space:]]*s2r_add_test(\([A-Za-z0-9_-]*\).*/\1/p' \
+    -e 's/^[[:space:]]*s2r_add_bench(\([A-Za-z0-9_-]*\).*/\1/p' \
+    -e 's/^[[:space:]]*s2r_add_example(\([A-Za-z0-9_-]*\).*/\1/p' \
+  | sort -u > "$targets_file"
+
+if ! [ -s "$targets_file" ]; then
+  echo "check_docs: found no CMake targets under $ROOT" >&2
+  exit 2
+fi
+
+# --- 2. Scan fenced code blocks for build/<dir>/<binary> mentions. -----
+docs=(README.md)
+for f in docs/*.md; do
+  [ -e "$f" ] && docs+=("$f")
+done
+
+fail=0
+for doc in "${docs[@]}"; do
+  [ -e "$doc" ] || continue
+  # Keep only lines inside ``` fences, then pull out binary names.
+  mentions=$(awk '/^```/ { fence = !fence; next } fence { print }' "$doc" |
+    grep -oE '(\./)?build[A-Za-z0-9_-]*/(examples|bench|tests)/[A-Za-z0-9_-]+' |
+    sed 's|.*/||' | sort -u)
+  for name in $mentions; do
+    if ! grep -qx "$name" "$targets_file"; then
+      echo "check_docs: $doc mentions binary '$name' with no CMake target" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — docs reference binaries that do not exist" >&2
+  exit 1
+fi
+echo "check_docs: OK (all documented binaries have CMake targets)"

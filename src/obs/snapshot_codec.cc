@@ -1,0 +1,128 @@
+#include "obs/snapshot_codec.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x584D3253;  // "S2MX" little-endian
+constexpr uint16_t kSnapshotCodecVersion = 1;
+
+// Plausibility caps: a damaged count field must not trigger a
+// multi-gigabyte reserve before the truncation is noticed.
+constexpr uint32_t kMaxEntries = 1u << 20;
+constexpr uint16_t kMaxNameBytes = 4096;
+constexpr uint32_t kMaxBuckets = 4096;
+
+void AppendName(std::string* out, const std::string& name) {
+  const uint16_t len = static_cast<uint16_t>(
+      name.size() > kMaxNameBytes ? kMaxNameBytes : name.size());
+  AppendU16(out, len);
+  AppendBytes(out, name.data(), len);
+}
+
+bool ReadName(ByteReader* reader, std::string* name) {
+  uint16_t len = 0;
+  if (!reader->ReadU16(&len) || len > kMaxNameBytes) return false;
+  return reader->ReadString(name, len);
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  AppendU32(&out, kSnapshotMagic);
+  AppendU16(&out, kSnapshotCodecVersion);
+
+  AppendU32(&out, static_cast<uint32_t>(snapshot.counters.size()));
+  for (const CounterSample& counter : snapshot.counters) {
+    AppendName(&out, counter.name);
+    AppendI64(&out, counter.value);
+  }
+
+  AppendU32(&out, static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    AppendName(&out, gauge.name);
+    AppendF64(&out, gauge.value);
+  }
+
+  AppendU32(&out, static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const HistogramSample& hist : snapshot.histograms) {
+    AppendName(&out, hist.name);
+    AppendI64(&out, hist.count);
+    AppendF64(&out, hist.mean);
+    AppendF64(&out, hist.min);
+    AppendF64(&out, hist.max);
+    AppendF64(&out, hist.p50);
+    AppendF64(&out, hist.p95);
+    AppendF64(&out, hist.p99);
+    AppendU32(&out, static_cast<uint32_t>(hist.buckets.size()));
+    for (int64_t bucket : hist.buckets) AppendI64(&out, bucket);
+  }
+  return out;
+}
+
+bool DecodeSnapshot(const void* data, size_t size, MetricsSnapshot* out) {
+  ByteReader reader(data, size);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  if (!reader.ReadU32(&magic) || magic != kSnapshotMagic) return false;
+  if (!reader.ReadU16(&version) || version < 1 ||
+      version > kSnapshotCodecVersion) {
+    return false;
+  }
+
+  // Staged: decode into a local, commit only on full success.
+  MetricsSnapshot decoded;
+  uint32_t count = 0;
+
+  if (!reader.ReadU32(&count) || count > kMaxEntries) return false;
+  decoded.counters.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CounterSample sample;
+    if (!ReadName(&reader, &sample.name) || !reader.ReadI64(&sample.value)) {
+      return false;
+    }
+    decoded.counters.push_back(std::move(sample));
+  }
+
+  if (!reader.ReadU32(&count) || count > kMaxEntries) return false;
+  decoded.gauges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GaugeSample sample;
+    if (!ReadName(&reader, &sample.name) || !reader.ReadF64(&sample.value)) {
+      return false;
+    }
+    decoded.gauges.push_back(std::move(sample));
+  }
+
+  if (!reader.ReadU32(&count) || count > kMaxEntries) return false;
+  decoded.histograms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HistogramSample sample;
+    uint32_t num_buckets = 0;
+    if (!ReadName(&reader, &sample.name) || !reader.ReadI64(&sample.count) ||
+        !reader.ReadF64(&sample.mean) || !reader.ReadF64(&sample.min) ||
+        !reader.ReadF64(&sample.max) || !reader.ReadF64(&sample.p50) ||
+        !reader.ReadF64(&sample.p95) || !reader.ReadF64(&sample.p99) ||
+        !reader.ReadU32(&num_buckets) || num_buckets > kMaxBuckets) {
+      return false;
+    }
+    sample.buckets.resize(num_buckets);
+    for (uint32_t b = 0; b < num_buckets; ++b) {
+      if (!reader.ReadI64(&sample.buckets[b])) return false;
+    }
+    decoded.histograms.push_back(std::move(sample));
+  }
+
+  if (reader.remaining() != 0) return false;  // trailing garbage
+  *out = std::move(decoded);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace sim2rec

@@ -1,0 +1,49 @@
+#ifndef SIM2REC_OBS_SNAPSHOT_CODEC_H_
+#define SIM2REC_OBS_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sim2rec {
+namespace obs {
+
+/// Binary (de)serialization of MetricsSnapshot — the cross-process leg
+/// of the aggregation story: each serving process snapshots its own
+/// registry, the snapshot travels over the serving transport as a
+/// kMetricsReply payload, and the receiver folds the decoded parts with
+/// MergeSnapshots exactly as it folds in-process shard registries.
+///
+/// Format (all integers little-endian; see docs/PROTOCOL.md for the
+/// byte-level reference):
+///   u32 magic "S2MX", u16 codec version (currently 1)
+///   u32 counter count,   each: u16 name length, name bytes, i64 value
+///   u32 gauge count,     each: name, f64 value
+///   u32 histogram count, each: name, i64 count,
+///                        f64 mean/min/max/p50/p95/p99,
+///                        u32 bucket count, i64 buckets[]
+/// Doubles are raw IEEE-754 bit patterns, so a decoded snapshot is
+/// bit-identical to the encoded one — merged quantiles answer the same
+/// whether the parts arrived over the wire or not.
+///
+/// The codec version mirrors the checkpoint-manifest compatibility
+/// policy: bumped only when correct decoding requires new
+/// understanding; a version beyond the reader's fails the decode
+/// (callers distinguish it via the version out-param if they care).
+std::string EncodeSnapshot(const MetricsSnapshot& snapshot);
+
+/// Staged decode: returns false on truncation, trailing garbage, a bad
+/// magic, an unsupported version or an implausible count, and leaves
+/// `out` untouched in every failure case. Never aborts — the input is
+/// network data.
+bool DecodeSnapshot(const void* data, size_t size, MetricsSnapshot* out);
+
+inline bool DecodeSnapshot(const std::string& data, MetricsSnapshot* out) {
+  return DecodeSnapshot(data.data(), data.size(), out);
+}
+
+}  // namespace obs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_OBS_SNAPSHOT_CODEC_H_

@@ -41,7 +41,12 @@ enum class LoadStatus {
   /// understands. The bundle may be perfectly valid.
   kVersionUnsupported,
   /// Anything else: unparsable manifest, implausible config, CRC
-  /// mismatch, missing/truncated/corrupted weight files.
+  /// mismatch, missing/truncated/corrupted weight files. A v2+
+  /// manifest missing the `crc32.<file>` line for any weight file it
+  /// lists is kCorrupt too — v2 declared those lines mandatory, so
+  /// their absence means the manifest was tampered with or truncated,
+  /// not that the integrity check is optional (pinned in
+  /// tests/serve_test.cc).
   kCorrupt,
 };
 

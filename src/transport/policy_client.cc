@@ -1,0 +1,265 @@
+#include "transport/policy_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/snapshot_codec.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace transport {
+
+PolicyClient::PolicyClient(const PolicyClientConfig& config)
+    : config_(config) {
+  S2R_CHECK(config.port > 0);
+  S2R_CHECK(config.connect_timeout_ms > 0);
+  S2R_CHECK(config.request_timeout_ms > 0);
+  S2R_CHECK(config.max_frame_bytes > kFrameHeaderBytes);
+  S2R_CHECK(config.max_retries >= 0);
+  S2R_CHECK(config.retry_backoff_initial_ms >= 1);
+  S2R_CHECK(config.retry_backoff_max_ms >= config.retry_backoff_initial_ms);
+}
+
+PolicyClient::~PolicyClient() { Close(); }
+
+TransportStatus PolicyClient::Connect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EnsureConnectedLocked();
+}
+
+void PolicyClient::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn_.Close();
+}
+
+TransportStatus PolicyClient::EnsureConnectedLocked() {
+  if (conn_.valid()) return TransportStatus::kOk;
+  conn_ = TcpConnection::Connect(config_.host, config_.port,
+                                 config_.connect_timeout_ms);
+  if (!conn_.valid()) {
+    S2R_COUNT("transport.client.connect_failures", 1);
+    return TransportStatus::kConnectFailed;
+  }
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  S2R_COUNT("transport.client.connects", 1);
+  return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::RoundTripLocked(
+    MessageType request_type, const std::string& request_payload,
+    MessageType expected_reply, std::string* reply_payload) {
+  const TransportStatus connected = EnsureConnectedLocked();
+  if (connected != TransportStatus::kOk) return connected;
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  S2R_COUNT("transport.client.requests", 1);
+  S2R_TRACE_SPAN("transport/client_request", "type",
+                 static_cast<double>(static_cast<uint8_t>(request_type)));
+  const double start_us = obs::MonotonicMicros();
+
+  // Any failure past this point poisons the stream (a reply may be in
+  // flight for a request we gave up on), so drop the connection; the
+  // next call reconnects.
+  const auto fail = [this](TransportStatus status) {
+    conn_.Close();
+    S2R_COUNT("transport.client.failures", 1);
+    return status;
+  };
+  const auto from_io = [](IoStatus status) {
+    switch (status) {
+      case IoStatus::kTimeout:
+        return TransportStatus::kTimeout;
+      case IoStatus::kClosed:
+        return TransportStatus::kClosed;
+      default:
+        return TransportStatus::kClosed;  // errno-shaped → unusable stream
+    }
+  };
+
+  const std::string frame = EncodeFrame(request_type, request_payload);
+  IoStatus io =
+      conn_.WriteFull(frame.data(), frame.size(), config_.request_timeout_ms);
+  if (io != IoStatus::kOk) return fail(from_io(io));
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  io = conn_.ReadFull(header_bytes, kFrameHeaderBytes,
+                      config_.request_timeout_ms);
+  if (io != IoStatus::kOk) return fail(from_io(io));
+
+  FrameHeader header;
+  const HeaderStatus decoded =
+      DecodeHeader(header_bytes, config_.max_frame_bytes, &header);
+  if (decoded == HeaderStatus::kTooLarge) {
+    return fail(TransportStatus::kFrameTooLarge);
+  }
+  if (decoded != HeaderStatus::kOk) {
+    return fail(TransportStatus::kMalformedReply);
+  }
+  if (header.version > kProtocolVersion) {
+    // A server from the future; we cannot trust our decode of its reply.
+    return fail(TransportStatus::kMalformedReply);
+  }
+
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    io = conn_.ReadFull(payload.data(), payload.size(),
+                        config_.request_timeout_ms);
+    if (io != IoStatus::kOk) return fail(from_io(io));
+  }
+  if (!FrameCrcMatches(header_bytes, payload)) {
+    return fail(TransportStatus::kMalformedReply);
+  }
+
+  if (header.type == MessageType::kError) {
+    WireError code = WireError::kInternal;
+    std::string message;
+    if (!DecodeError(payload, &code, &message)) {
+      return fail(TransportStatus::kMalformedReply);
+    }
+    last_error_ = code;
+    last_error_message_ = std::move(message);
+    remote_errors_.fetch_add(1, std::memory_order_relaxed);
+    S2R_COUNT("transport.client.remote_errors", 1);
+    // The error frame is a complete, well-formed reply: the stream is
+    // still synchronized, so keep the connection.
+    return TransportStatus::kRemoteError;
+  }
+  if (header.type != expected_reply) {
+    return fail(TransportStatus::kMalformedReply);
+  }
+
+  *reply_payload = std::move(payload);
+  S2R_HISTOGRAM("transport.client.request_us",
+                obs::MonotonicMicros() - start_us);
+  return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::RetryingRoundTrip(
+    MessageType request_type, const std::string& request_payload,
+    MessageType expected_reply, std::string* reply_payload) {
+  int backoff_ms = config_.retry_backoff_initial_ms;
+  TransportStatus status = TransportStatus::kClosed;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.client.retries", 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.retry_backoff_max_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      status = RoundTripLocked(request_type, request_payload, expected_reply,
+                               reply_payload);
+    }
+    // kRemoteError is a definitive answer, not a transient fault.
+    if (status == TransportStatus::kOk ||
+        status == TransportStatus::kRemoteError) {
+      return status;
+    }
+  }
+  return status;
+}
+
+serve::ServeReply PolicyClient::Act(uint64_t user_id, const nn::Tensor& obs) {
+  serve::ServeReply reply;
+  const TransportStatus status = TryAct(user_id, obs, &reply);
+  S2R_CHECK_MSG(status == TransportStatus::kOk,
+                "PolicyClient::Act transport failure (use TryAct for typed "
+                "errors)");
+  return reply;
+}
+
+void PolicyClient::EndSession(uint64_t user_id) {
+  const TransportStatus status = TryEndSession(user_id);
+  S2R_CHECK_MSG(status == TransportStatus::kOk,
+                "PolicyClient::EndSession transport failure (use "
+                "TryEndSession for typed errors)");
+}
+
+TransportStatus PolicyClient::TryAct(uint64_t user_id, const nn::Tensor& obs,
+                                     serve::ServeReply* reply) {
+  std::string reply_payload;
+  TransportStatus status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status = RoundTripLocked(MessageType::kActRequest,
+                             EncodeActRequest(user_id, obs),
+                             MessageType::kActReply, &reply_payload);
+  }
+  if (status != TransportStatus::kOk) return status;
+  if (!DecodeActReply(reply_payload, reply)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn_.Close();
+    return TransportStatus::kMalformedReply;
+  }
+  return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::TryEndSession(uint64_t user_id) {
+  std::string reply_payload;
+  TransportStatus status;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    status = RoundTripLocked(MessageType::kEndSessionRequest,
+                             EncodeU64(user_id),
+                             MessageType::kEndSessionReply, &reply_payload);
+  }
+  if (status != TransportStatus::kOk) return status;
+  if (!reply_payload.empty()) return TransportStatus::kMalformedReply;
+  return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::Ping(uint8_t* server_version) {
+  const uint64_t nonce =
+      ping_nonce_.fetch_add(1, std::memory_order_relaxed);
+  std::string reply_payload;
+  const TransportStatus status =
+      RetryingRoundTrip(MessageType::kPingRequest, EncodeU64(nonce),
+                        MessageType::kPingReply, &reply_payload);
+  if (status != TransportStatus::kOk) return status;
+  uint64_t echoed = 0;
+  uint8_t version = 0;
+  if (!DecodePingReply(reply_payload, &echoed, &version) ||
+      echoed != nonce) {
+    return TransportStatus::kMalformedReply;
+  }
+  if (server_version != nullptr) *server_version = version;
+  return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::FetchMetrics(obs::MetricsSnapshot* snapshot) {
+  std::string reply_payload;
+  const TransportStatus status =
+      RetryingRoundTrip(MessageType::kMetricsRequest, std::string(),
+                        MessageType::kMetricsReply, &reply_payload);
+  if (status != TransportStatus::kOk) return status;
+  if (!obs::DecodeSnapshot(reply_payload, snapshot)) {
+    return TransportStatus::kMalformedReply;
+  }
+  return TransportStatus::kOk;
+}
+
+WireError PolicyClient::last_remote_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+std::string PolicyClient::last_remote_message() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_message_;
+}
+
+PolicyClientStats PolicyClient::stats() const {
+  PolicyClientStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.remote_errors = remote_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace transport
+}  // namespace sim2rec

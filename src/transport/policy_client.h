@@ -1,0 +1,139 @@
+#ifndef SIM2REC_TRANSPORT_POLICY_CLIENT_H_
+#define SIM2REC_TRANSPORT_POLICY_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/policy_service.h"
+#include "transport/socket.h"
+#include "transport/wire.h"
+
+namespace sim2rec {
+namespace transport {
+
+struct PolicyClientConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int connect_timeout_ms = 2000;
+  /// Full round-trip deadline per request (write + server + read).
+  int request_timeout_ms = 5000;
+  /// Reply frames larger than this are rejected (kFrameTooLarge).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Retry budget for *idempotent* requests only — Ping and
+  /// FetchMetrics. Act/EndSession are never retried automatically: a
+  /// lost reply does not prove the request was lost, and replaying an
+  /// applied Act would advance the user's recurrent session twice.
+  int max_retries = 3;
+  /// Exponential backoff between retries, doubling from initial to
+  /// max. Deliberately jitter-free: transport code never touches an
+  /// Rng (the observability determinism rule applies here too).
+  int retry_backoff_initial_ms = 10;
+  int retry_backoff_max_ms = 500;
+};
+
+struct PolicyClientStats {
+  int64_t requests = 0;
+  int64_t reconnects = 0;
+  int64_t retries = 0;
+  int64_t remote_errors = 0;  // kError frames received
+};
+
+/// Client side of the serving transport. Implements
+/// serve::PolicyService, so everything written against the in-process
+/// interface — tests, benches, the closed-loop examples — runs
+/// unchanged with the policy on the other side of a socket.
+///
+/// Two API levels:
+///  * The PolicyService facade (Act / EndSession) assumes a healthy
+///    server, matching the in-process implementations it stands in
+///    for; a transport failure is fatal there (S2R_CHECK) because the
+///    interface has no error channel and inventing a fake reply would
+///    silently corrupt a replay.
+///  * Try* / Ping / FetchMetrics return a TransportStatus — the typed
+///    error surface operational callers use: kTimeout, kClosed,
+///    kMalformedReply, kFrameTooLarge, kConnectFailed, or kRemoteError
+///    with the server's WireError retrievable from last_remote_error().
+///
+/// Replies carry raw IEEE-754 bytes, so an action decoded here is
+/// bitwise-identical to the one the in-process service produced
+/// (pinned by tests/transport_test.cc).
+///
+/// Threading: safe from any number of threads; requests share one
+/// connection and are serialized on it. For parallel request streams
+/// give each client thread its own PolicyClient (its own connection),
+/// as bench/micro_serve does.
+///
+/// The connection is opened lazily on first use and reopened
+/// transparently after an error (the failed call still reports its
+/// status; the *next* call reconnects).
+class PolicyClient : public serve::PolicyService {
+ public:
+  explicit PolicyClient(const PolicyClientConfig& config);
+  ~PolicyClient() override;
+
+  PolicyClient(const PolicyClient&) = delete;
+  PolicyClient& operator=(const PolicyClient&) = delete;
+
+  // PolicyService facade — aborts on transport failure (see above).
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override;
+  void EndSession(uint64_t user_id) override;
+
+  // Typed-error API.
+  TransportStatus TryAct(uint64_t user_id, const nn::Tensor& obs,
+                         serve::ServeReply* reply);
+  TransportStatus TryEndSession(uint64_t user_id);
+  /// Idempotent liveness probe; retried with exponential backoff. On
+  /// success `server_version` (when non-null) holds the server's
+  /// protocol version.
+  TransportStatus Ping(uint8_t* server_version = nullptr);
+  /// Fetches the server's metrics snapshot (the cross-process
+  /// aggregation leg: merge it with local snapshots via
+  /// obs::MergeSnapshots). Idempotent; retried with backoff.
+  TransportStatus FetchMetrics(obs::MetricsSnapshot* snapshot);
+
+  /// Eagerly opens the connection (otherwise the first request does).
+  TransportStatus Connect();
+  void Close();
+
+  /// Details of the last kRemoteError reply.
+  WireError last_remote_error() const;
+  std::string last_remote_message() const;
+
+  PolicyClientStats stats() const;
+
+ private:
+  /// One request/reply exchange on the (possibly reopened) connection.
+  /// Caller holds mutex_.
+  TransportStatus RoundTripLocked(MessageType request_type,
+                                  const std::string& request_payload,
+                                  MessageType expected_reply,
+                                  std::string* reply_payload);
+  /// RoundTripLocked wrapped in the idempotent retry/backoff loop.
+  TransportStatus RetryingRoundTrip(MessageType request_type,
+                                    const std::string& request_payload,
+                                    MessageType expected_reply,
+                                    std::string* reply_payload);
+  TransportStatus EnsureConnectedLocked();
+
+  PolicyClientConfig config_;
+
+  mutable std::mutex mutex_;
+  TcpConnection conn_;          // guarded by mutex_
+  WireError last_error_ = WireError::kNone;      // guarded by mutex_
+  std::string last_error_message_;               // guarded by mutex_
+  std::atomic<uint64_t> ping_nonce_{1};
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> remote_errors_{0};
+};
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_POLICY_CLIENT_H_

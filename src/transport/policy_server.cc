@@ -1,0 +1,296 @@
+#include "transport/policy_server.h"
+
+#include <utility>
+
+#include "obs/snapshot_codec.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace transport {
+namespace {
+
+/// Idle tick between requests: how often a worker blocked on a quiet
+/// connection re-checks the stop flag. Bounds shutdown latency, not
+/// request latency (a readable socket is handled immediately).
+constexpr int kIdleTickMs = 50;
+
+}  // namespace
+
+PolicyServer::PolicyServer(serve::PolicyService* service,
+                           const PolicyServerConfig& config)
+    : service_(service), config_(config) {
+  S2R_CHECK(service != nullptr);
+  S2R_CHECK(config.num_workers >= 1);
+  S2R_CHECK(config.max_pending_connections >= 1);
+  S2R_CHECK(config.request_timeout_ms > 0);
+  S2R_CHECK(config.max_frame_bytes > kFrameHeaderBytes);
+}
+
+PolicyServer::~PolicyServer() { Shutdown(); }
+
+bool PolicyServer::Start() {
+  S2R_CHECK_MSG(!started_, "PolicyServer::Start called twice");
+  if (!listener_.Listen(config_.host, config_.port,
+                        config_.max_pending_connections)) {
+    S2R_LOG_ERROR("transport: cannot bind %s:%d", config_.host.c_str(),
+                  config_.port);
+    return false;
+  }
+  port_ = listener_.port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  S2R_LOG_INFO("transport: serving on %s:%d (%d workers)",
+               config_.host.c_str(), port_, config_.num_workers);
+  return true;
+}
+
+void PolicyServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  // The accept loop notices stop_ at its next tick (<= ~50ms); only
+  // after it joins is the listener closed — closing an fd another
+  // thread is polling would race.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+  pending_.clear();
+}
+
+PolicyServerStats PolicyServer::stats() const {
+  PolicyServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.malformed_frames =
+      malformed_frames_.load(std::memory_order_relaxed);
+  stats.errors_sent = errors_sent_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void PolicyServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    IoStatus status = IoStatus::kOk;
+    TcpConnection conn = listener_.Accept(kIdleTickMs, &status);
+    if (status == IoStatus::kTimeout) continue;
+    if (!conn.valid()) {
+      // Listener closed (shutdown) or broken; either way, stop.
+      if (!stop_.load(std::memory_order_relaxed)) {
+        S2R_LOG_ERROR("transport: accept failed, stopping accept loop");
+      }
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    S2R_COUNT("transport.connections", 1);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >=
+          static_cast<size_t>(config_.max_pending_connections)) {
+        // Refuse rather than queue unboundedly; the closed socket is
+        // the backpressure signal.
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        S2R_COUNT("transport.rejected_connections", 1);
+        continue;  // conn destructor closes it
+      }
+      pending_.push_back(std::move(conn));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void PolicyServer::WorkerLoop() {
+  for (;;) {
+    TcpConnection conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_relaxed) || !pending_.empty();
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConnection(std::move(conn));
+  }
+}
+
+void PolicyServer::ServeConnection(TcpConnection conn) {
+  uint8_t header[kFrameHeaderBytes];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Idle tick: wait for the next request without holding a deadline
+    // against a client that simply has nothing to ask yet.
+    const IoStatus readable = conn.WaitReadable(kIdleTickMs);
+    if (readable == IoStatus::kTimeout) continue;
+    if (readable != IoStatus::kOk) return;
+
+    // Bytes are flowing: the rest of the request runs on the deadline.
+    const IoStatus header_status =
+        conn.ReadFull(header, kFrameHeaderBytes, config_.request_timeout_ms);
+    if (header_status == IoStatus::kClosed) return;  // orderly hangup
+    if (header_status != IoStatus::kOk) {
+      // Truncated header / mid-stream disconnect / timeout.
+      if (header_status == IoStatus::kTimeout) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        S2R_COUNT("transport.timeouts", 1);
+      }
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.malformed_frames", 1);
+      return;
+    }
+
+    FrameHeader frame;
+    const HeaderStatus decoded =
+        DecodeHeader(header, config_.max_frame_bytes, &frame);
+    if (decoded != HeaderStatus::kOk) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.malformed_frames", 1);
+      SendError(conn, WireError::kMalformedFrame,
+                decoded == HeaderStatus::kBadMagic ? "bad magic"
+                                                   : "frame too large");
+      return;  // framing lost; the stream cannot be trusted again
+    }
+
+    std::string payload(frame.payload_len, '\0');
+    if (frame.payload_len > 0) {
+      const IoStatus payload_status = conn.ReadFull(
+          payload.data(), payload.size(), config_.request_timeout_ms);
+      if (payload_status != IoStatus::kOk) {
+        if (payload_status == IoStatus::kTimeout) {
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          S2R_COUNT("transport.timeouts", 1);
+        }
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        S2R_COUNT("transport.malformed_frames", 1);
+        return;
+      }
+    }
+
+    if (!FrameCrcMatches(header, payload)) {
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.malformed_frames", 1);
+      SendError(conn, WireError::kMalformedFrame, "crc mismatch");
+      return;  // bytes corrupted in flight; close
+    }
+
+    if (!HandleFrame(conn, frame, payload)) return;
+  }
+}
+
+bool PolicyServer::HandleFrame(TcpConnection& conn,
+                               const FrameHeader& header,
+                               const std::string& payload) {
+  S2R_TRACE_SPAN("transport/request", "type",
+                 static_cast<double>(static_cast<uint8_t>(header.type)),
+                 "bytes", static_cast<double>(payload.size()));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  S2R_COUNT("transport.requests", 1);
+  S2R_HISTOGRAM("transport.request_bytes",
+                static_cast<double>(kFrameHeaderBytes + payload.size()));
+  const double start_us = obs::MonotonicMicros();
+
+  // Version gate: the frame decoded (the header layout is fixed across
+  // versions), but its payload may mean something newer than this
+  // binary. Intact request, unsupported — connection survives.
+  if (header.version > kProtocolVersion) {
+    SendError(conn, WireError::kUnsupportedVersion,
+              "protocol version newer than server");
+    return true;
+  }
+
+  bool ok = true;
+  switch (header.type) {
+    case MessageType::kActRequest: {
+      uint64_t user_id = 0;
+      nn::Tensor obs;
+      if (!DecodeActRequest(payload, &user_id, &obs) || obs.rows() != 1 ||
+          obs.cols() < 1) {
+        SendError(conn, WireError::kBadPayload, "bad act request");
+        return true;
+      }
+      serve::ServeReply reply;
+      {
+        S2R_TRACE_SPAN("transport/act", "user",
+                       static_cast<double>(user_id));
+        reply = service_->Act(user_id, obs);
+      }
+      ok = SendFrame(conn, MessageType::kActReply, EncodeActReply(reply));
+      break;
+    }
+    case MessageType::kEndSessionRequest: {
+      uint64_t user_id = 0;
+      if (!DecodeU64(payload, &user_id)) {
+        SendError(conn, WireError::kBadPayload, "bad end-session request");
+        return true;
+      }
+      service_->EndSession(user_id);
+      ok = SendFrame(conn, MessageType::kEndSessionReply, std::string());
+      break;
+    }
+    case MessageType::kPingRequest: {
+      uint64_t nonce = 0;
+      if (!DecodeU64(payload, &nonce)) {
+        SendError(conn, WireError::kBadPayload, "bad ping request");
+        return true;
+      }
+      ok = SendFrame(conn, MessageType::kPingReply,
+                     EncodePingReply(nonce, kProtocolVersion));
+      break;
+    }
+    case MessageType::kMetricsRequest: {
+      if (!payload.empty()) {
+        SendError(conn, WireError::kBadPayload, "bad metrics request");
+        return true;
+      }
+      if (!config_.metrics_source) {
+        SendError(conn, WireError::kUnavailable, "no metrics source");
+        return true;
+      }
+      ok = SendFrame(conn, MessageType::kMetricsReply,
+                     obs::EncodeSnapshot(config_.metrics_source()));
+      break;
+    }
+    default:
+      // Forward compatibility: a type from the future is an intact
+      // request this binary cannot serve; say so and keep going.
+      SendError(conn, WireError::kUnsupportedType, "unknown message type");
+      return true;
+  }
+  S2R_HISTOGRAM("transport.request_us",
+                obs::MonotonicMicros() - start_us);
+  return ok;
+}
+
+bool PolicyServer::SendFrame(TcpConnection& conn, MessageType type,
+                             const std::string& payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  const IoStatus status =
+      conn.WriteFull(frame.data(), frame.size(), config_.request_timeout_ms);
+  if (status == IoStatus::kTimeout) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    S2R_COUNT("transport.timeouts", 1);
+  }
+  S2R_COUNT("transport.bytes_written", static_cast<int64_t>(frame.size()));
+  return status == IoStatus::kOk;
+}
+
+bool PolicyServer::SendError(TcpConnection& conn, WireError code,
+                             const char* message) {
+  errors_sent_.fetch_add(1, std::memory_order_relaxed);
+  S2R_COUNT("transport.errors_sent", 1);
+  return SendFrame(conn, MessageType::kError, EncodeError(code, message));
+}
+
+}  // namespace transport
+}  // namespace sim2rec

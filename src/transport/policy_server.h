@@ -1,0 +1,155 @@
+#ifndef SIM2REC_TRANSPORT_POLICY_SERVER_H_
+#define SIM2REC_TRANSPORT_POLICY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/policy_service.h"
+#include "transport/socket.h"
+#include "transport/wire.h"
+
+namespace sim2rec {
+namespace transport {
+
+struct PolicyServerConfig {
+  /// Numeric IPv4 address to bind; loopback by default (the serving
+  /// tier fronts shards on the same host or behind its own LB).
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port, readable from port() after Start().
+  int port = 0;
+
+  /// Connection-handling worker threads. Each worker owns one
+  /// connection at a time (blocking request/reply loop), so this is
+  /// also the number of clients served concurrently; size it at least
+  /// to the expected client count. The micro-batching InferenceServer
+  /// behind the transport is what coalesces concurrency, so a handful
+  /// of workers front a much larger user population.
+  int num_workers = 4;
+  /// Accepted connections waiting for a free worker. Beyond this the
+  /// accept loop closes new connections immediately (graceful
+  /// degradation: refuse, never queue unboundedly).
+  int max_pending_connections = 64;
+
+  /// Per-request deadline: once a frame header starts arriving, the
+  /// rest of the frame, the service call and the reply write must all
+  /// finish within this budget, or the connection is dropped.
+  int request_timeout_ms = 5000;
+  /// Frames (header + payload) larger than this are rejected before
+  /// any payload allocation.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Answers kMetricsRequest frames. Unset, the server replies
+  /// kUnavailable. Typical wiring merges the fronted service's view
+  /// with the process registry:
+  ///   config.metrics_source = [&] {
+  ///     return obs::MergeSnapshots(
+  ///         {router.MergedMetrics(),
+  ///          obs::MetricsRegistry::Global().Snapshot()});
+  ///   };
+  std::function<obs::MetricsSnapshot()> metrics_source;
+};
+
+struct PolicyServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;  // pending queue full
+  int64_t requests = 0;              // well-formed frames handled
+  int64_t malformed_frames = 0;      // bad magic / oversized / CRC
+  int64_t errors_sent = 0;           // kError frames written
+  int64_t timeouts = 0;              // request deadlines missed
+};
+
+/// Blocking TCP front end for any serve::PolicyService — an
+/// InferenceServer or a ServeRouter — speaking the framed protocol in
+/// transport/wire (documented byte-by-byte in docs/PROTOCOL.md).
+///
+/// Threading: one accept thread plus num_workers connection workers
+/// (the accept/worker split mirrors core::ThreadPool's
+/// caller-plus-workers pattern, with connections instead of index
+/// ranges). The fronted service must be thread-safe for concurrent
+/// Act/EndSession — both PolicyService implementations are — and must
+/// outlive the server.
+///
+/// Degradation: malformed frames (bad magic, oversized length, CRC
+/// mismatch) are answered with a best-effort kError frame and the
+/// connection is closed — a byte stream that failed framing cannot be
+/// resynchronized — but the server itself never aborts and other
+/// connections are unaffected. Well-framed but unintelligible requests
+/// (unknown type, undecodable payload, version from the future) get a
+/// kError reply and the connection stays usable.
+///
+/// Shutdown: Start()/Shutdown() bracket the serving window. Shutdown
+/// stops accepting, lets every in-flight request finish and its reply
+/// drain to the socket, then closes connections and joins all threads
+/// (idle connections are noticed at the next idle tick, <= ~50ms).
+/// Called by the destructor; idempotent.
+class PolicyServer {
+ public:
+  PolicyServer(serve::PolicyService* service,
+               const PolicyServerConfig& config);
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Binds, listens and spawns the accept/worker threads. False when
+  /// the address cannot be bound. Must be called at most once.
+  bool Start();
+
+  /// Drains in-flight requests, closes every connection and joins all
+  /// threads. Idempotent.
+  void Shutdown();
+
+  /// The bound port (resolves config.port == 0), valid after Start().
+  int port() const { return port_; }
+
+  PolicyServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(TcpConnection conn);
+  /// Handles one well-framed message. Returns false when the
+  /// connection must close (framing broken or reply unwritable).
+  bool HandleFrame(TcpConnection& conn, const FrameHeader& header,
+                   const std::string& payload);
+  bool SendFrame(TcpConnection& conn, MessageType type,
+                 const std::string& payload);
+  bool SendError(TcpConnection& conn, WireError code, const char* message);
+
+  serve::PolicyService* service_;
+  PolicyServerConfig config_;
+  int port_ = 0;
+
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool shut_down_ = false;      // guarded by shutdown_mutex_
+  std::mutex shutdown_mutex_;   // serializes Shutdown vs. ~PolicyServer
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<TcpConnection> pending_;  // guarded by queue_mutex_
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> malformed_frames_{0};
+  std::atomic<int64_t> errors_sent_{0};
+  std::atomic<int64_t> timeouts_{0};
+};
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_POLICY_SERVER_H_

@@ -1,0 +1,155 @@
+#ifndef SIM2REC_TRANSPORT_WIRE_H_
+#define SIM2REC_TRANSPORT_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.h"
+#include "serve/policy_service.h"
+
+namespace sim2rec {
+namespace transport {
+
+/// Byte-level wire protocol of the serving transport. The normative
+/// reference — frame layout, every field encoding, the worked hex dump
+/// of an Act round trip, and the compatibility policy — lives in
+/// docs/PROTOCOL.md; this header is its executable counterpart.
+///
+/// Every message travels in one frame:
+///
+///   offset size field
+///   0      4    magic 0x54523253 ("S2RT" when read as bytes)
+///   4      1    protocol version of the sender (currently 1)
+///   5      1    message type (MessageType)
+///   6      2    flags — reserved, senders write 0, receivers ignore
+///   8      4    payload length in bytes
+///   12     4    CRC-32 (zlib polynomial, util/crc32) over header
+///               bytes [0, 12) followed by the payload
+///   16     n    payload
+///
+/// All integers are little-endian; doubles are IEEE-754 binary64 bit
+/// patterns, so replies decoded from the wire are bitwise-identical to
+/// the in-process values — the repo's replay guarantee crosses the
+/// network boundary intact.
+///
+/// Compatibility policy (mirrors the checkpoint-manifest policy in
+/// serve/checkpoint.h): the version is bumped ONLY when correct
+/// decoding requires new understanding. Purely additive evolution rides
+/// on new message types (an unknown type gets a kUnsupportedType error
+/// reply, the connection survives) or on flags bits (receivers must
+/// ignore bits they do not know). Receivers accept every version up to
+/// their own; a newer version is answered with kUnsupportedVersion —
+/// reported distinctly, never conflated with corruption.
+
+constexpr uint32_t kFrameMagic = 0x54523253;  // "S2RT"
+constexpr uint8_t kProtocolVersion = 1;
+constexpr size_t kFrameHeaderBytes = 16;
+/// Default per-side frame-size bound; both PolicyServer and
+/// PolicyClient reject larger frames before allocating for them.
+constexpr size_t kDefaultMaxFrameBytes = size_t{4} << 20;
+
+enum class MessageType : uint8_t {
+  kActRequest = 1,         // u64 user_id, tensor obs
+  kActReply = 2,           // tensor action, u8 clamped, f64 value, u32 batch
+  kEndSessionRequest = 3,  // u64 user_id
+  kEndSessionReply = 4,    // empty
+  kPingRequest = 5,        // u64 nonce
+  kPingReply = 6,          // u64 nonce echoed, u8 server protocol version
+  kMetricsRequest = 7,     // empty
+  kMetricsReply = 8,       // obs::EncodeSnapshot payload
+  kError = 9,              // u16 WireError, u32 message length, message
+};
+
+/// Error codes a peer sends in a kError frame. Operationally distinct:
+/// kUnsupportedVersion / kUnsupportedType mean the request was intact
+/// but beyond this binary (upgrade something); the rest mean the bytes
+/// or the request itself were bad.
+enum class WireError : uint16_t {
+  kNone = 0,
+  kMalformedFrame = 1,      // bad magic, oversized length, CRC mismatch
+  kUnsupportedVersion = 2,  // sender's protocol version is newer
+  kUnsupportedType = 3,     // unknown MessageType
+  kBadPayload = 4,          // frame intact, payload did not decode
+  kUnavailable = 5,         // e.g. metrics requested but no source wired
+  kInternal = 6,
+};
+
+const char* WireErrorName(WireError error);
+
+/// Client-side typed error surface: what a request attempt came back
+/// with. kRemoteError means the server answered with a kError frame
+/// (inspect the WireError for why); everything else is local transport
+/// failure.
+enum class TransportStatus {
+  kOk = 0,
+  kConnectFailed,
+  kTimeout,
+  kClosed,          // peer closed / mid-stream disconnect
+  kMalformedReply,  // reply frame failed magic/CRC/decode checks
+  kFrameTooLarge,   // reply exceeded this side's max_frame_bytes
+  kRemoteError,     // server sent a kError frame
+};
+
+const char* TransportStatusName(TransportStatus status);
+
+/// Decoded frame header, validated against magic and a frame-size
+/// bound but not yet against the CRC (the payload is needed for that).
+struct FrameHeader {
+  uint8_t version = 0;
+  MessageType type = MessageType::kError;
+  uint16_t flags = 0;
+  uint32_t payload_len = 0;
+  uint32_t crc32 = 0;
+};
+
+enum class HeaderStatus {
+  kOk = 0,
+  kBadMagic,
+  kTooLarge,  // payload_len + header exceeds max_frame_bytes
+};
+
+/// Encodes one complete frame (header + payload) ready to write.
+std::string EncodeFrame(MessageType type, const std::string& payload,
+                        uint8_t version = kProtocolVersion,
+                        uint16_t flags = 0);
+
+/// Validates the fixed-size header. `header` must hold
+/// kFrameHeaderBytes bytes. The type byte is NOT range-checked here —
+/// an unknown type must survive header decoding so the receiver can
+/// answer kUnsupportedType instead of dropping the connection.
+HeaderStatus DecodeHeader(const uint8_t* header, size_t max_frame_bytes,
+                          FrameHeader* out);
+
+/// True when the stored CRC matches header bytes [0, 12) + payload.
+bool FrameCrcMatches(const uint8_t* header, const std::string& payload);
+
+// --- Payload codecs. Every Decode* returns false on truncated,
+// oversized or trailing bytes and leaves outputs unspecified-but-valid;
+// none of them aborts on malformed input. -------------------------------
+
+std::string EncodeActRequest(uint64_t user_id, const nn::Tensor& obs);
+bool DecodeActRequest(const std::string& payload, uint64_t* user_id,
+                      nn::Tensor* obs);
+
+std::string EncodeActReply(const serve::ServeReply& reply);
+bool DecodeActReply(const std::string& payload, serve::ServeReply* reply);
+
+/// EndSession request and Ping request/reply payloads are a single u64
+/// (user id / echoed nonce); the ping reply additionally carries the
+/// responder's protocol version for negotiation diagnostics.
+std::string EncodeU64(uint64_t value);
+bool DecodeU64(const std::string& payload, uint64_t* value);
+
+std::string EncodePingReply(uint64_t nonce, uint8_t version);
+bool DecodePingReply(const std::string& payload, uint64_t* nonce,
+                     uint8_t* version);
+
+std::string EncodeError(WireError code, const std::string& message);
+bool DecodeError(const std::string& payload, WireError* code,
+                 std::string* message);
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_WIRE_H_

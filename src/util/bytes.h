@@ -1,0 +1,145 @@
+#ifndef SIM2REC_UTIL_BYTES_H_
+#define SIM2REC_UTIL_BYTES_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sim2rec {
+
+/// Little-endian byte (de)serialization helpers shared by the binary
+/// codecs (obs snapshot codec, transport wire frames). Everything is
+/// written explicitly byte by byte — never via struct memcpy — so the
+/// encoded form is identical on any host, which is what lets the
+/// serving transport promise bitwise-identical replies across the
+/// network boundary. Doubles travel as their IEEE-754 binary64 bit
+/// pattern (std::bit_cast), so the round trip is bit-exact including
+/// -0.0, subnormals, infinities and NaN payloads.
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU16(std::string* out, uint16_t v) {
+  AppendU8(out, static_cast<uint8_t>(v & 0xFF));
+  AppendU8(out, static_cast<uint8_t>((v >> 8) & 0xFF));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    AppendU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    AppendU8(out, static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+inline void AppendF64(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+inline void AppendBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+/// Bounds-checked sequential reader over a byte buffer. Every Read*
+/// returns false (and consumes nothing) once the buffer is exhausted,
+/// so decoders can chain `ok = ok && reader.ReadX(...)` and check once.
+/// Never throws, never reads past the end — network-facing decoders
+/// must degrade, not abort.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+  size_t remaining() const { return size_ - offset_; }
+  size_t offset() const { return offset_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[offset_++];
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data_[offset_]) |
+         static_cast<uint16_t>(data_[offset_ + 1]) << 8;
+    offset_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    *v = out;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    *v = out;
+    return true;
+  }
+
+  bool ReadI64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!ReadU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    uint64_t raw = 0;
+    if (!ReadU64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(dst, data_ + offset_, size);
+    offset_ += size;
+    return true;
+  }
+
+  bool ReadString(std::string* out, size_t size) {
+    if (remaining() < size) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + offset_), size);
+    offset_ += size;
+    return true;
+  }
+
+  bool Skip(size_t size) {
+    if (remaining() < size) return false;
+    offset_ += size;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace sim2rec
+
+#endif  // SIM2REC_UTIL_BYTES_H_

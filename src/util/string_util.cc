@@ -34,6 +34,35 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
          s.compare(0, prefix.size(), prefix) == 0;
 }
 
+std::string HexDump(const void* data, size_t size) {
+  static const char kHex[] = "0123456789abcdef";
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  std::string out;
+  for (size_t line = 0; line < size; line += 16) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(line >> shift) & 0xF]);
+    }
+    out.push_back(' ');
+    for (size_t i = 0; i < 16; ++i) {
+      if (i % 8 == 0) out.push_back(' ');
+      if (line + i < size) {
+        out.push_back(kHex[bytes[line + i] >> 4]);
+        out.push_back(kHex[bytes[line + i] & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (size_t i = 0; i < 16 && line + i < size; ++i) {
+      const unsigned char c = bytes[line + i];
+      out.push_back(c >= 0x20 && c < 0x7F ? static_cast<char>(c) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
 bool HasFlag(int argc, char** argv, const std::string& flag) {
   for (int i = 1; i < argc; ++i) {
     if (flag == argv[i]) return true;

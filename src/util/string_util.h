@@ -1,6 +1,7 @@
 #ifndef SIM2REC_UTIL_STRING_UTIL_H_
 #define SIM2REC_UTIL_STRING_UTIL_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,17 @@ bool StartsWith(const std::string& s, const std::string& prefix);
 /// Command-line helper shared by benches/examples: returns true when `flag`
 /// (e.g. "--full") appears in argv.
 bool HasFlag(int argc, char** argv, const std::string& flag);
+
+/// Classic 16-bytes-per-line hex dump with offsets and an ASCII gutter
+/// (non-printable bytes shown as '.'): frame diagnostics, the worked
+/// examples in docs/PROTOCOL.md, and test failure messages.
+///
+///   00000000  53 32 52 54 01 01 00 00  28 00 00 00 8c 11 5e 92  |S2RT....(.....^.|
+std::string HexDump(const void* data, size_t size);
+
+inline std::string HexDump(const std::string& data) {
+  return HexDump(data.data(), data.size());
+}
 
 /// Returns the value following "--name=value" or "--name value", or
 /// `default_value` when absent.

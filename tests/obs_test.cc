@@ -20,6 +20,7 @@
 #include "experiments/lts_experiment.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/snapshot_codec.h"
 #include "obs/trace.h"
 #include "serve/inference_server.h"
 
@@ -673,6 +674,97 @@ TEST(MergeSnapshots, HandBuiltSamplesFallBackToConservativeQuantiles) {
   EXPECT_EQ(merged.histograms[0].max, 80.0);
   EXPECT_EQ(merged.histograms[0].p50, 9.0);
   EXPECT_EQ(merged.histograms[0].p99, 70.0);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec: the cross-process leg of aggregation. A snapshot
+// encoded in one process and decoded in another must merge exactly like
+// a local one.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripIsExact) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Add(123);
+  registry.GetCounter("transport.requests")->Add(7);
+  registry.GetGauge("serve.queue_depth")->Set(1.0 / 3.0);  // awkward bits
+  for (int i = 1; i <= 64; ++i) {
+    registry.GetHistogram("serve.latency_us")
+        ->Record(static_cast<double>(i * i) / 7.0);
+  }
+  const MetricsSnapshot original = registry.Snapshot();
+
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(original), &decoded));
+
+  ASSERT_EQ(decoded.counters.size(), original.counters.size());
+  for (size_t i = 0; i < original.counters.size(); ++i) {
+    EXPECT_EQ(decoded.counters[i].name, original.counters[i].name);
+    EXPECT_EQ(decoded.counters[i].value, original.counters[i].value);
+  }
+  ASSERT_EQ(decoded.gauges.size(), 1u);
+  uint64_t got, want;
+  std::memcpy(&got, &decoded.gauges[0].value, 8);
+  std::memcpy(&want, &original.gauges[0].value, 8);
+  EXPECT_EQ(got, want);  // bit-exact, not just approximately equal
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  const HistogramSample& h = decoded.histograms[0];
+  const HistogramSample& ref = original.histograms[0];
+  EXPECT_EQ(h.count, ref.count);
+  EXPECT_EQ(h.p50, ref.p50);
+  EXPECT_EQ(h.p99, ref.p99);
+  EXPECT_EQ(h.buckets, ref.buckets);  // merge stays bucket-exact
+
+  // The decoded copy merges like the local one would.
+  MetricsRegistry local;
+  local.GetCounter("serve.requests")->Add(1);
+  const MetricsSnapshot merged =
+      MergeSnapshots({decoded, local.Snapshot()});
+  EXPECT_EQ(merged.counters[0].value, 124);  // sorted: serve.requests first
+}
+
+TEST(SnapshotCodec, EmptySnapshotRoundTrips) {
+  MetricsSnapshot decoded;
+  decoded.counters.push_back({"stale", 1});  // must be cleared by decode
+  ASSERT_TRUE(DecodeSnapshot(EncodeSnapshot(MetricsSnapshot{}), &decoded));
+  EXPECT_TRUE(decoded.counters.empty());
+  EXPECT_TRUE(decoded.gauges.empty());
+  EXPECT_TRUE(decoded.histograms.empty());
+}
+
+TEST(SnapshotCodec, MalformedInputRejectedWithoutTouchingOutput) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(5);
+  registry.GetHistogram("h")->Record(2.0);
+  const std::string good = EncodeSnapshot(registry.Snapshot());
+
+  MetricsSnapshot out;
+  out.counters.push_back({"sentinel", 9});
+
+  // Truncations at every prefix length.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeSnapshot(good.substr(0, cut), &out)) << "cut=" << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeSnapshot(good + "x", &out));
+  // Bad magic.
+  std::string bad = good;
+  bad[0] = 'Z';
+  EXPECT_FALSE(DecodeSnapshot(bad, &out));
+  // Future codec version.
+  bad = good;
+  bad[4] = 99;
+  EXPECT_FALSE(DecodeSnapshot(bad, &out));
+  // Implausible count (first section's u32 count forced huge).
+  bad = good;
+  bad[6] = '\xff';
+  bad[7] = '\xff';
+  bad[8] = '\xff';
+  bad[9] = '\xff';
+  EXPECT_FALSE(DecodeSnapshot(bad, &out));
+
+  // Every failure above left the output untouched.
+  ASSERT_EQ(out.counters.size(), 1u);
+  EXPECT_EQ(out.counters[0].name, "sentinel");
 }
 
 // ---------------------------------------------------------------------------

@@ -1040,6 +1040,27 @@ TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
     file << out.str();
   }
   EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+
+  // Even ONE missing crc32 line is kCorrupt — the rule is per weight
+  // file, not all-or-nothing (pins the LoadStatus::kCorrupt contract
+  // documented in serve/checkpoint.h and DESIGN.md).
+  {
+    std::istringstream in(manifest_text);
+    std::ostringstream out;
+    std::string line;
+    bool dropped_one = false;
+    while (std::getline(in, line)) {
+      if (!dropped_one && line.rfind("crc32.", 0) == 0) {
+        dropped_one = true;
+        continue;
+      }
+      out << line << '\n';
+    }
+    ASSERT_TRUE(dropped_one);
+    std::ofstream file(manifest);
+    file << out.str();
+  }
+  EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
 }
 
 TEST(Checkpoint, Version1BundlesStillLoad) {

@@ -1,0 +1,705 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/context_agent.h"
+#include "envs/lts_env.h"
+#include "obs/metrics.h"
+#include "obs/snapshot_codec.h"
+#include "sadae/sadae.h"
+#include "serve/inference_server.h"
+#include "serve/serve_router.h"
+#include "transport/policy_client.h"
+#include "transport/policy_server.h"
+#include "transport/socket.h"
+#include "transport/wire.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace transport {
+namespace {
+
+bool BitwiseEqual(const nn::Tensor& a, const nn::Tensor& b) {
+  if (!a.SameShape(b)) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(double) * static_cast<size_t>(a.size())) == 0;
+}
+
+/// Per-(user, step) deterministic observation, distinct across users
+/// (mirrors tests/serve_test.cc so replay comparisons line up).
+nn::Tensor ObsFor(int user, int step) {
+  nn::Tensor obs(1, envs::kLtsObsDim);
+  for (int c = 0; c < envs::kLtsObsDim; ++c) {
+    obs(0, c) = 0.1 * (user + 1) + 0.01 * (step + 1) + 0.001 * c;
+  }
+  return obs;
+}
+
+core::ContextAgentConfig TinySim2RecConfig() {
+  core::ContextAgentConfig config;
+  config.obs_dim = envs::kLtsObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.lstm_hidden = 8;
+  config.f_hidden = {8};
+  config.f_out = 4;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  return config;
+}
+
+sadae::SadaeConfig TinySadaeConfig() {
+  sadae::SadaeConfig config;
+  config.state_dim = envs::kLtsObsDim;
+  config.latent_dim = 3;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  return config;
+}
+
+/// Protocol-test service: echoes the observation back as the action
+/// (with awkward bit patterns preserved), reports the user id in
+/// `value`, and records EndSession calls.
+class FakeEchoService : public serve::PolicyService {
+ public:
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override {
+    acts_.fetch_add(1, std::memory_order_relaxed);
+    serve::ServeReply reply;
+    reply.action = obs;
+    reply.exec_clamped = (user_id % 2) == 1;
+    reply.value = static_cast<double>(user_id) / 3.0;  // 0.1-style bits
+    reply.batch_size = 1;
+    return reply;
+  }
+  void EndSession(uint64_t user_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ended_.push_back(user_id);
+  }
+  std::vector<uint64_t> ended() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ended_;
+  }
+  int64_t acts() const { return acts_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> ended_;
+  std::atomic<int64_t> acts_{0};
+};
+
+PolicyClientConfig ClientFor(const PolicyServer& server) {
+  PolicyClientConfig config;
+  config.port = server.port();
+  config.max_retries = 1;
+  config.retry_backoff_initial_ms = 1;
+  config.retry_backoff_max_ms = 2;
+  return config;
+}
+
+/// Reads one whole frame off a raw connection (test-side peer).
+bool ReadFrame(TcpConnection& conn, FrameHeader* header,
+               std::string* payload, int timeout_ms = 2000) {
+  uint8_t bytes[kFrameHeaderBytes];
+  if (conn.ReadFull(bytes, kFrameHeaderBytes, timeout_ms) != IoStatus::kOk) {
+    return false;
+  }
+  if (DecodeHeader(bytes, kDefaultMaxFrameBytes, header) !=
+      HeaderStatus::kOk) {
+    return false;
+  }
+  payload->assign(header->payload_len, '\0');
+  if (header->payload_len > 0 &&
+      conn.ReadFull(payload->data(), payload->size(), timeout_ms) !=
+          IoStatus::kOk) {
+    return false;
+  }
+  return FrameCrcMatches(bytes, *payload);
+}
+
+bool WriteAll(TcpConnection& conn, const std::string& bytes) {
+  return conn.WriteFull(bytes.data(), bytes.size(), 2000) == IoStatus::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs: round trips and malformed-input rejection.
+// ---------------------------------------------------------------------------
+
+TEST(Wire, FrameRoundTrip) {
+  const std::string payload = EncodeU64(42);
+  const std::string frame = EncodeFrame(MessageType::kPingRequest, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  FrameHeader header;
+  ASSERT_EQ(DecodeHeader(reinterpret_cast<const uint8_t*>(frame.data()),
+                         kDefaultMaxFrameBytes, &header),
+            HeaderStatus::kOk);
+  EXPECT_EQ(header.type, MessageType::kPingRequest);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.payload_len, payload.size());
+  EXPECT_TRUE(FrameCrcMatches(
+      reinterpret_cast<const uint8_t*>(frame.data()), payload));
+}
+
+TEST(Wire, HeaderRejectsBadMagicAndOversizedLength) {
+  std::string frame = EncodeFrame(MessageType::kPingRequest, EncodeU64(1));
+  FrameHeader header;
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeHeader(reinterpret_cast<const uint8_t*>(bad_magic.data()),
+                         kDefaultMaxFrameBytes, &header),
+            HeaderStatus::kBadMagic);
+
+  // Frame valid but bigger than this side's bound.
+  EXPECT_EQ(DecodeHeader(reinterpret_cast<const uint8_t*>(frame.data()),
+                         kFrameHeaderBytes + 4, &header),
+            HeaderStatus::kTooLarge);
+}
+
+TEST(Wire, CrcCatchesBitFlips) {
+  const std::string payload = EncodeU64(7);
+  std::string frame = EncodeFrame(MessageType::kPingRequest, payload);
+  std::string flipped_payload = payload;
+  flipped_payload[2] ^= 0x40;
+  EXPECT_FALSE(FrameCrcMatches(
+      reinterpret_cast<const uint8_t*>(frame.data()), flipped_payload));
+  // A flipped header byte fails too.
+  frame[5] ^= 0x01;  // type byte
+  EXPECT_FALSE(FrameCrcMatches(
+      reinterpret_cast<const uint8_t*>(frame.data()), payload));
+}
+
+TEST(Wire, UnknownTypeSurvivesHeaderDecode) {
+  const std::string frame =
+      EncodeFrame(static_cast<MessageType>(200), std::string());
+  FrameHeader header;
+  ASSERT_EQ(DecodeHeader(reinterpret_cast<const uint8_t*>(frame.data()),
+                         kDefaultMaxFrameBytes, &header),
+            HeaderStatus::kOk);
+  EXPECT_EQ(static_cast<uint8_t>(header.type), 200);
+}
+
+TEST(Wire, ActRequestRoundTripIsBitwise) {
+  nn::Tensor obs(1, 5);
+  const double specials[] = {1.0 / 3.0, -0.0, 5e-324, 1e300, 0.1};
+  for (int c = 0; c < 5; ++c) obs(0, c) = specials[c];
+
+  const std::string payload = EncodeActRequest(0xDEADBEEFCAFEF00D, obs);
+  uint64_t user_id = 0;
+  nn::Tensor decoded;
+  ASSERT_TRUE(DecodeActRequest(payload, &user_id, &decoded));
+  EXPECT_EQ(user_id, 0xDEADBEEFCAFEF00D);
+  EXPECT_TRUE(BitwiseEqual(obs, decoded));
+}
+
+TEST(Wire, ActReplyRoundTripIsBitwise) {
+  serve::ServeReply reply;
+  reply.action = nn::Tensor(1, 3);
+  reply.action(0, 0) = -2.0 / 7.0;
+  reply.action(0, 1) = 0.1;
+  reply.action(0, 2) = -0.0;
+  reply.exec_clamped = true;
+  reply.value = 1.0 / 3.0;
+  reply.batch_size = 13;
+
+  serve::ServeReply decoded;
+  ASSERT_TRUE(DecodeActReply(EncodeActReply(reply), &decoded));
+  EXPECT_TRUE(BitwiseEqual(reply.action, decoded.action));
+  EXPECT_EQ(decoded.exec_clamped, true);
+  uint64_t a, b;
+  std::memcpy(&a, &reply.value, 8);
+  std::memcpy(&b, &decoded.value, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(decoded.batch_size, 13);
+}
+
+TEST(Wire, DecodersRejectTruncatedAndTrailingBytes) {
+  nn::Tensor obs = ObsFor(1, 1);
+  const std::string act = EncodeActRequest(7, obs);
+  uint64_t user_id = 0;
+  nn::Tensor decoded;
+  for (size_t cut = 0; cut < act.size(); ++cut) {
+    EXPECT_FALSE(DecodeActRequest(act.substr(0, cut), &user_id, &decoded))
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(DecodeActRequest(act + "x", &user_id, &decoded));
+
+  serve::ServeReply reply;
+  reply.action = obs;
+  const std::string rep = EncodeActReply(reply);
+  serve::ServeReply out;
+  EXPECT_FALSE(DecodeActReply(rep.substr(0, rep.size() - 1), &out));
+  EXPECT_FALSE(DecodeActReply(rep + "x", &out));
+
+  uint64_t v = 0;
+  EXPECT_FALSE(DecodeU64(std::string("abc"), &v));
+  EXPECT_FALSE(DecodeU64(EncodeU64(1) + "x", &v));
+
+  WireError code;
+  std::string message;
+  const std::string err = EncodeError(WireError::kBadPayload, "oops");
+  ASSERT_TRUE(DecodeError(err, &code, &message));
+  EXPECT_EQ(code, WireError::kBadPayload);
+  EXPECT_EQ(message, "oops");
+  EXPECT_FALSE(DecodeError(err.substr(0, err.size() - 2), &code, &message));
+}
+
+TEST(Wire, ActRequestRejectsAbsurdDimensions) {
+  // Hand-build a payload whose tensor claims 2^31 rows: the decoder
+  // must refuse before allocating, not die trying.
+  std::string payload = EncodeActRequest(1, ObsFor(0, 0));
+  const uint32_t huge = 0x80000000u;
+  std::memcpy(payload.data() + 8, &huge, 4);  // rows field, little-endian
+  uint64_t user_id = 0;
+  nn::Tensor decoded;
+  EXPECT_FALSE(DecodeActRequest(payload, &user_id, &decoded));
+}
+
+// ---------------------------------------------------------------------------
+// Client <-> server happy path over loopback.
+// ---------------------------------------------------------------------------
+
+TEST(Transport, ActEndSessionPingOverLoopback) {
+  FakeEchoService service;
+  PolicyServerConfig server_config;
+  server_config.num_workers = 2;
+  PolicyServer server(&service, server_config);
+  ASSERT_TRUE(server.Start());
+
+  PolicyClient client(ClientFor(server));
+
+  uint8_t version = 0;
+  ASSERT_EQ(client.Ping(&version), TransportStatus::kOk);
+  EXPECT_EQ(version, kProtocolVersion);
+
+  const nn::Tensor obs = ObsFor(3, 1);
+  serve::ServeReply reply;
+  ASSERT_EQ(client.TryAct(3, obs, &reply), TransportStatus::kOk);
+  EXPECT_TRUE(BitwiseEqual(reply.action, obs));  // echo, bit-exact
+  EXPECT_TRUE(reply.exec_clamped);               // user 3 is odd
+  EXPECT_EQ(reply.batch_size, 1);
+
+  // PolicyService facade works too (same wire path).
+  const serve::ServeReply via_facade = client.Act(4, ObsFor(4, 0));
+  EXPECT_FALSE(via_facade.exec_clamped);
+
+  ASSERT_EQ(client.TryEndSession(3), TransportStatus::kOk);
+  client.EndSession(4);
+  const std::vector<uint64_t> ended = service.ended();
+  ASSERT_EQ(ended.size(), 2u);
+  EXPECT_EQ(ended[0], 3u);
+  EXPECT_EQ(ended[1], 4u);
+
+  EXPECT_GE(server.stats().requests, 5);
+  EXPECT_EQ(server.stats().malformed_frames, 0);
+  server.Shutdown();
+}
+
+TEST(Transport, MetricsSnapshotTravelsAndMerges) {
+  FakeEchoService service;
+  PolicyServerConfig config;
+  obs::MetricsRegistry registry;
+  registry.GetCounter("demo.requests")->Add(41);
+  registry.GetGauge("demo.depth")->Set(2.5);
+  registry.GetHistogram("demo.latency_us")->Record(100.0);
+  config.metrics_source = [&registry] { return registry.Snapshot(); };
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+
+  PolicyClient client(ClientFor(server));
+  obs::MetricsSnapshot remote;
+  ASSERT_EQ(client.FetchMetrics(&remote), TransportStatus::kOk);
+
+  // The wire copy merges exactly like a local registry snapshot.
+  obs::MetricsRegistry local;
+  local.GetCounter("demo.requests")->Add(1);
+  const obs::MetricsSnapshot merged =
+      obs::MergeSnapshots({remote, local.Snapshot()});
+  bool found = false;
+  for (const auto& counter : merged.counters) {
+    if (counter.name == "demo.requests") {
+      EXPECT_EQ(counter.value, 42);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Transport, MetricsWithoutSourceIsTypedUnavailable) {
+  FakeEchoService service;
+  PolicyServer server(&service, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  PolicyClient client(ClientFor(server));
+  obs::MetricsSnapshot snapshot;
+  ASSERT_EQ(client.FetchMetrics(&snapshot), TransportStatus::kRemoteError);
+  EXPECT_EQ(client.last_remote_error(), WireError::kUnavailable);
+
+  // The error frame did not desynchronize the stream: the same
+  // connection still answers pings.
+  EXPECT_EQ(client.Ping(), TransportStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: serving through the socket is bitwise-identical
+// to serving in-process.
+// ---------------------------------------------------------------------------
+
+TEST(Transport, SocketPathIsBitwiseIdenticalToInProcess) {
+  Rng rng(171);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  constexpr int kUsers = 6;
+  constexpr int kSteps = 4;
+  serve::ServeRouterConfig router_config;
+  router_config.shard.micro_batching = false;
+
+  // In-process reference.
+  std::vector<std::vector<serve::ServeReply>> reference(kUsers);
+  {
+    serve::ServeRouter router(&agent, router_config, /*initial_shards=*/2);
+    for (int u = 0; u < kUsers; ++u) {
+      for (int t = 0; t < kSteps; ++t) {
+        reference[u].push_back(router.Act(u, ObsFor(u, t)));
+      }
+    }
+  }
+
+  // Same topology behind the transport.
+  serve::ServeRouter router(&agent, router_config, /*initial_shards=*/2);
+  PolicyServerConfig server_config;
+  server_config.num_workers = 2;
+  server_config.metrics_source = [&router] { return router.MergedMetrics(); };
+  PolicyServer server(&router, server_config);
+  ASSERT_TRUE(server.Start());
+  PolicyClient client(ClientFor(server));
+
+  for (int u = 0; u < kUsers; ++u) {
+    for (int t = 0; t < kSteps; ++t) {
+      serve::ServeReply reply;
+      ASSERT_EQ(client.TryAct(u, ObsFor(u, t), &reply),
+                TransportStatus::kOk);
+      const serve::ServeReply& want = reference[u][t];
+      EXPECT_TRUE(BitwiseEqual(reply.action, want.action))
+          << "user=" << u << " step=" << t;
+      uint64_t got_bits, want_bits;
+      std::memcpy(&got_bits, &reply.value, 8);
+      std::memcpy(&want_bits, &want.value, 8);
+      EXPECT_EQ(got_bits, want_bits) << "user=" << u << " step=" << t;
+      EXPECT_EQ(reply.exec_clamped, want.exec_clamped);
+    }
+  }
+
+  // The merged serve.* metrics are fetchable over the same connection.
+  obs::MetricsSnapshot merged;
+  ASSERT_EQ(client.FetchMetrics(&merged), TransportStatus::kOk);
+  bool found = false;
+  for (const auto& counter : merged.counters) {
+    if (counter.name == "serve.requests") {
+      EXPECT_EQ(counter.value, kUsers * kSteps);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed input: the server must degrade, never abort.
+// ---------------------------------------------------------------------------
+
+class MalformedInputTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PolicyServerConfig config;
+    config.num_workers = 2;
+    config.max_frame_bytes = 1 << 16;
+    config.request_timeout_ms = 1000;
+    server_ = std::make_unique<PolicyServer>(&service_, config);
+    ASSERT_TRUE(server_->Start());
+  }
+
+  TcpConnection Dial() {
+    TcpConnection conn =
+        TcpConnection::Connect("127.0.0.1", server_->port(), 2000);
+    EXPECT_TRUE(conn.valid());
+    return conn;
+  }
+
+  /// The liveness probe every malformed-input test ends with: a fresh,
+  /// well-behaved client must still be served.
+  void ExpectServerStillUp() {
+    PolicyClient client(ClientFor(*server_));
+    EXPECT_EQ(client.Ping(), TransportStatus::kOk);
+  }
+
+  FakeEchoService service_;
+  std::unique_ptr<PolicyServer> server_;
+};
+
+TEST_F(MalformedInputTest, BadMagicGetsErrorThenClose) {
+  TcpConnection conn = Dial();
+  std::string frame = EncodeFrame(MessageType::kPingRequest, EncodeU64(1));
+  frame[0] = 'Z';
+  ASSERT_TRUE(WriteAll(conn, frame));
+
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kError);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kMalformedFrame);
+  // Framing is unrecoverable: the server hangs up after the error.
+  uint8_t byte;
+  EXPECT_EQ(conn.ReadFull(&byte, 1, 2000), IoStatus::kClosed);
+  EXPECT_GE(server_->stats().malformed_frames, 1);
+  ExpectServerStillUp();
+}
+
+TEST_F(MalformedInputTest, OversizedLengthGetsErrorThenClose) {
+  TcpConnection conn = Dial();
+  // A header claiming a 1 GiB payload; the server must reject it from
+  // the length field alone, before any allocation.
+  std::string frame = EncodeFrame(MessageType::kActRequest, std::string());
+  const uint32_t huge = 1u << 30;
+  std::memcpy(frame.data() + 8, &huge, 4);
+  ASSERT_TRUE(WriteAll(conn, frame.substr(0, kFrameHeaderBytes)));
+
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kError);
+  ExpectServerStillUp();
+}
+
+TEST_F(MalformedInputTest, CrcMismatchGetsErrorThenClose) {
+  TcpConnection conn = Dial();
+  std::string frame = EncodeFrame(MessageType::kPingRequest, EncodeU64(5));
+  frame[frame.size() - 1] ^= 0x10;  // corrupt the payload, CRC now stale
+  ASSERT_TRUE(WriteAll(conn, frame));
+
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kError);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kMalformedFrame);
+  ExpectServerStillUp();
+}
+
+TEST_F(MalformedInputTest, TruncatedFrameThenDisconnectIsSurvivable) {
+  {
+    TcpConnection conn = Dial();
+    const std::string frame =
+        EncodeFrame(MessageType::kActRequest, EncodeActRequest(1, ObsFor(1, 0)));
+    // Half a frame, then hang up mid-stream.
+    ASSERT_TRUE(WriteAll(conn, frame.substr(0, frame.size() / 2)));
+  }  // destructor closes the socket
+  ExpectServerStillUp();
+}
+
+TEST_F(MalformedInputTest, UnknownTypeKeepsConnectionUsable) {
+  TcpConnection conn = Dial();
+  ASSERT_TRUE(
+      WriteAll(conn, EncodeFrame(static_cast<MessageType>(200), "??")));
+
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  ASSERT_EQ(header.type, MessageType::kError);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kUnsupportedType);
+
+  // Intact-but-unintelligible does NOT cost the connection: a valid
+  // ping on the same stream still answers.
+  ASSERT_TRUE(
+      WriteAll(conn, EncodeFrame(MessageType::kPingRequest, EncodeU64(9))));
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kPingReply);
+  uint64_t nonce = 0;
+  uint8_t version = 0;
+  ASSERT_TRUE(DecodePingReply(payload, &nonce, &version));
+  EXPECT_EQ(nonce, 9u);
+}
+
+TEST_F(MalformedInputTest, FutureVersionIsUnsupportedNotCorrupt) {
+  TcpConnection conn = Dial();
+  ASSERT_TRUE(WriteAll(
+      conn, EncodeFrame(MessageType::kPingRequest, EncodeU64(1),
+                        /*version=*/kProtocolVersion + 1)));
+
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  ASSERT_EQ(header.type, MessageType::kError);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kUnsupportedVersion);
+
+  // The connection survives a version miss too.
+  ASSERT_TRUE(
+      WriteAll(conn, EncodeFrame(MessageType::kPingRequest, EncodeU64(2))));
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kPingReply);
+}
+
+TEST_F(MalformedInputTest, UndecodablePayloadIsTypedBadPayload) {
+  PolicyClient client(ClientFor(*server_));
+  TcpConnection conn = Dial();
+  // An Act frame whose payload is three junk bytes.
+  ASSERT_TRUE(WriteAll(conn, EncodeFrame(MessageType::kActRequest, "junk")));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  ASSERT_EQ(header.type, MessageType::kError);
+  WireError code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(payload, &code, &message));
+  EXPECT_EQ(code, WireError::kBadPayload);
+}
+
+// ---------------------------------------------------------------------------
+// Client-side typed errors.
+// ---------------------------------------------------------------------------
+
+TEST(TransportClient, DeadPortIsConnectFailed) {
+  // Bind-then-close: the port was just proven free.
+  int dead_port;
+  {
+    TcpListener probe;
+    ASSERT_TRUE(probe.Listen("127.0.0.1", 0, 1));
+    dead_port = probe.port();
+  }
+  PolicyClientConfig config;
+  config.port = dead_port;
+  config.connect_timeout_ms = 200;
+  config.max_retries = 1;
+  config.retry_backoff_initial_ms = 1;
+  config.retry_backoff_max_ms = 2;
+  PolicyClient client(config);
+  serve::ServeReply reply;
+  EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
+            TransportStatus::kConnectFailed);
+  EXPECT_EQ(client.Ping(), TransportStatus::kConnectFailed);
+}
+
+TEST(TransportClient, GarbageReplyIsMalformedAndDisconnectIsClosed) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 4));
+  std::atomic<int> mode{0};  // 0: garbage reply, 1: close without reply
+  std::thread fake_server([&listener, &mode] {
+    for (int i = 0; i < 2; ++i) {
+      IoStatus status;
+      TcpConnection conn = listener.Accept(5000, &status);
+      if (!conn.valid()) return;
+      uint8_t header[kFrameHeaderBytes];
+      if (conn.ReadFull(header, kFrameHeaderBytes, 2000) != IoStatus::kOk) {
+        continue;
+      }
+      FrameHeader decoded;
+      if (DecodeHeader(header, kDefaultMaxFrameBytes, &decoded) ==
+          HeaderStatus::kOk) {
+        std::string payload(decoded.payload_len, '\0');
+        if (decoded.payload_len > 0) {
+          conn.ReadFull(payload.data(), payload.size(), 2000);
+        }
+      }
+      if (mode.load() == 0) {
+        const std::string garbage(kFrameHeaderBytes + 8, 'G');
+        conn.WriteFull(garbage.data(), garbage.size(), 2000);
+      }
+      // mode 1: just close
+    }
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.request_timeout_ms = 2000;
+  PolicyClient client(config);
+  serve::ServeReply reply;
+  EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
+            TransportStatus::kMalformedReply);
+
+  mode.store(1);
+  EXPECT_EQ(client.TryAct(2, ObsFor(2, 0), &reply),
+            TransportStatus::kClosed);
+  // Join before Close: the fake server exits on its own after two
+  // connections, and closing an fd another thread may still be
+  // polling is a race.
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportClient, ReplyBeyondClientBoundIsFrameTooLarge) {
+  FakeEchoService service;
+  PolicyServer server(&service, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  PolicyClientConfig config = ClientFor(server);
+  // Big enough for the request path, too small for the echoed reply
+  // (4 doubles + reply framing).
+  config.max_frame_bytes = kFrameHeaderBytes + 16;
+  PolicyClient client(config);
+  serve::ServeReply reply;
+  EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
+            TransportStatus::kFrameTooLarge);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown drains under traffic.
+// ---------------------------------------------------------------------------
+
+TEST(Transport, ShutdownUnderTrafficDrainsWithoutCrashing) {
+  FakeEchoService service;
+  PolicyServerConfig config;
+  config.num_workers = 3;
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> ok{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      PolicyClientConfig client_config = ClientFor(server);
+      client_config.request_timeout_ms = 500;
+      client_config.connect_timeout_ms = 500;
+      PolicyClient client(client_config);
+      int step = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::ServeReply reply;
+        if (client.TryAct(i, ObsFor(i, step++ % 7), &reply) ==
+            TransportStatus::kOk) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Let traffic flow, then shut down mid-stream.
+  while (ok.load(std::memory_order_relaxed) < 20) {
+    std::this_thread::yield();
+  }
+  server.Shutdown();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& client : clients) client.join();
+
+  // Every request the service saw got a full reply or a typed failure;
+  // nothing crashed and the drained request count is consistent.
+  EXPECT_GE(service.acts(), ok.load());
+  server.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace transport
+}  // namespace sim2rec
