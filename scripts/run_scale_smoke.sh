@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Downscaled population-scale serving smoke: runs bench_serve_scale
+# --smoke (10k+ concurrent sessions against a 2-shard router with the
+# autoscaler live, <60s on a laptop) in a scratch directory and checks
+# the JSON report it is contracted to emit. Registered as the
+# `run_scale_smoke` ctest with label `load` (tests/CMakeLists.txt), so
+# `ctest -L load` covers the whole load harness end to end.
+#
+# Usage: run_scale_smoke.sh [path/to/bench_serve_scale]
+set -u
+
+BENCH="${1:-$(cd "$(dirname "$0")/.." && pwd)/build/bench/bench_serve_scale}"
+if ! [ -x "$BENCH" ]; then
+  echo "run_scale_smoke: bench binary not found at $BENCH" >&2
+  echo "run_scale_smoke: build it first (cmake --build build -j)" >&2
+  exit 2
+fi
+BENCH="$(cd "$(dirname "$BENCH")" && pwd)/$(basename "$BENCH")"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir" || exit 2
+
+if ! "$BENCH" --smoke; then
+  echo "run_scale_smoke: FAILED — bench_serve_scale --smoke exited nonzero" >&2
+  exit 1
+fi
+
+report="results/BENCH_serve_scale.json"
+if ! [ -s "$report" ]; then
+  echo "run_scale_smoke: FAILED — $report was not written" >&2
+  exit 1
+fi
+# The contract of the report: identity, a passing reproducibility
+# check, and the autoscaler timeline.
+for needle in '"bench": "serve_scale"' '"match": true' '"timeline"' \
+              '"peak_active"' '"scale_outs"'; do
+  if ! grep -qF "$needle" "$report"; then
+    echo "run_scale_smoke: FAILED — $report is missing $needle" >&2
+    exit 1
+  fi
+done
+
+echo "run_scale_smoke: OK ($report)"

@@ -1,0 +1,70 @@
+#ifndef SIM2REC_LOAD_ARRIVAL_H_
+#define SIM2REC_LOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace load {
+
+/// Shape of the session-arrival rate over the run.
+enum class ArrivalKind {
+  kSteady,   // constant base_rate
+  kDiurnal,  // sine wave around base_rate (day/night traffic)
+  kBurst,    // base_rate with a multiplied spike window (flash crowd)
+};
+
+const char* ArrivalKindName(ArrivalKind kind);
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kSteady;
+  /// Mean new sessions per tick (the diurnal/burst shapes modulate it).
+  double base_rate = 100.0;
+
+  /// kDiurnal: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)),
+  /// amplitude in [0, 1], clamped at 0 so the trough never goes negative.
+  double diurnal_amplitude = 0.5;
+  int diurnal_period_ticks = 48;
+
+  /// kBurst: rate(t) = base * burst_multiplier inside
+  /// [burst_start_tick, burst_start_tick + burst_duration_ticks).
+  double burst_multiplier = 4.0;
+  int burst_start_tick = 0;
+  int burst_duration_ticks = 0;
+
+  /// Sample arrival counts from Poisson(rate(t)); false rounds the rate
+  /// deterministically (carrying the fractional remainder across ticks,
+  /// so long-run volume still matches the rate exactly).
+  bool poisson = true;
+};
+
+/// Deterministic arrival-count generator: CountAt(t) is a pure function
+/// of (seed, config, t) — it draws from Rng(seed).Substream(t), never
+/// from shared generator state — so the population driver can ask for
+/// any tick in any order (or from any thread) and a given seed + config
+/// always produces the same traffic trace.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& config, uint64_t seed);
+
+  /// Expected arrivals at tick t (the shaped rate, before sampling).
+  double RateAt(int tick) const;
+
+  /// Realized arrivals at tick t. Poisson-sampled around RateAt(t)
+  /// (Knuth for small rates, normal approximation above 64 — both
+  /// deterministic in the tick substream), or deterministic rounding
+  /// with carried remainder when config.poisson is false.
+  int CountAt(int tick) const;
+
+  const ArrivalConfig& config() const { return config_; }
+
+ private:
+  ArrivalConfig config_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace load
+}  // namespace sim2rec
+
+#endif  // SIM2REC_LOAD_ARRIVAL_H_

@@ -1,0 +1,58 @@
+#include "load/flaky_service.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace load {
+
+FlakyPolicyService::FlakyPolicyService(serve::PolicyService* inner,
+                                       const FlakyConfig& config)
+    : inner_(inner), config_(config) {
+  S2R_CHECK(inner != nullptr);
+  S2R_CHECK(config.fail_every_n >= 0);
+  S2R_CHECK(config.delay_every_n >= 0);
+  S2R_CHECK(config.delay_ms >= 0);
+  S2R_CHECK(config.fail_end_session_every_n >= 0);
+}
+
+serve::ServeReply FlakyPolicyService::Act(uint64_t user_id,
+                                          const nn::Tensor& obs) {
+  const int64_t n = acts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.delay_every_n > 0 && n % config_.delay_every_n == 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+  }
+  if (config_.fail_every_n > 0 && n % config_.fail_every_n == 0) {
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    throw TransientFault("injected fault on act #" + std::to_string(n));
+  }
+  return inner_->Act(user_id, obs);
+}
+
+void FlakyPolicyService::EndSession(uint64_t user_id) {
+  const int64_t n = end_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.fail_end_session_every_n > 0 &&
+      n % config_.fail_end_session_every_n == 0) {
+    end_session_faults_.fetch_add(1, std::memory_order_relaxed);
+    throw TransientFault("injected fault on end-session #" +
+                         std::to_string(n));
+  }
+  inner_->EndSession(user_id);
+}
+
+FlakyStats FlakyPolicyService::stats() const {
+  FlakyStats stats;
+  stats.acts = acts_.load(std::memory_order_relaxed);
+  stats.injected_faults = faults_.load(std::memory_order_relaxed);
+  stats.injected_delays = delays_.load(std::memory_order_relaxed);
+  stats.end_sessions = end_sessions_.load(std::memory_order_relaxed);
+  stats.injected_end_session_faults =
+      end_session_faults_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace load
+}  // namespace sim2rec

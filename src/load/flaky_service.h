@@ -1,0 +1,83 @@
+#ifndef SIM2REC_LOAD_FLAKY_SERVICE_H_
+#define SIM2REC_LOAD_FLAKY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/policy_service.h"
+
+namespace sim2rec {
+namespace load {
+
+/// The failure a fault-injecting service throws in place of a reply.
+/// serve::PolicyService has no error channel by design (a reply is
+/// always computable in a healthy stack), so injected faults surface as
+/// this exception: the PopulationDriver catches it and books the
+/// request as failed, and transport::PolicyServer converts any
+/// exception from the fronted service into a kError(kInternal) frame —
+/// which is exactly how a client sees a sick remote shard.
+class TransientFault : public std::runtime_error {
+ public:
+  explicit TransientFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FlakyConfig {
+  /// Throw TransientFault on every nth Act (1 = every request, 0 = never).
+  int fail_every_n = 0;
+  /// Sleep delay_ms before forwarding every nth Act (0 = never) — long
+  /// enough delays trip client/server request deadlines, which is how
+  /// timeout handling is exercised without a real slow backend.
+  int delay_every_n = 0;
+  int delay_ms = 0;
+  /// Also throw on every nth EndSession (0 = never). Off by default:
+  /// most tests want session teardown reliable so accounting checks
+  /// isolate Act-path failures.
+  int fail_end_session_every_n = 0;
+};
+
+struct FlakyStats {
+  int64_t acts = 0;             // Act attempts seen (faulted or not)
+  int64_t injected_faults = 0;  // TransientFaults thrown from Act
+  int64_t injected_delays = 0;
+  int64_t end_sessions = 0;
+  int64_t injected_end_session_faults = 0;
+};
+
+/// Fault-injection decorator over any serve::PolicyService: counts
+/// requests and, on a deterministic every-nth schedule, delays or fails
+/// them. Used by tests/load_test.cc (driver survives a flaky in-process
+/// router) and tests/transport_test.cc (PolicyClient survives a flaky
+/// remote service: injected throws become typed kRemoteError replies,
+/// injected delays become timeouts).
+///
+/// The schedule is counter-based, not random: every nth call across all
+/// threads faults. Under concurrency *which* logical request lands on
+/// the nth slot depends on interleaving, but the *number* of injected
+/// faults per N requests is exact — the invariant accounting tests pin.
+/// Thread-safe to the same degree as the wrapped service.
+class FlakyPolicyService : public serve::PolicyService {
+ public:
+  FlakyPolicyService(serve::PolicyService* inner, const FlakyConfig& config);
+
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override;
+  void EndSession(uint64_t user_id) override;
+
+  FlakyStats stats() const;
+
+ private:
+  serve::PolicyService* inner_;
+  FlakyConfig config_;
+  std::atomic<int64_t> acts_{0};
+  std::atomic<int64_t> faults_{0};
+  std::atomic<int64_t> delays_{0};
+  std::atomic<int64_t> end_sessions_{0};
+  std::atomic<int64_t> end_session_faults_{0};
+};
+
+}  // namespace load
+}  // namespace sim2rec
+
+#endif  // SIM2REC_LOAD_FLAKY_SERVICE_H_

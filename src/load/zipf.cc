@@ -1,0 +1,44 @@
+#include "load/zipf.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace load {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s), theta_(s) {
+  S2R_CHECK(n >= 1);
+  S2R_CHECK(s >= 0.0);
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += std::pow(static_cast<double>(i), -theta_);
+  }
+  // With theta == 1 the closed form below divides by zero; nudge just
+  // off the singularity (indistinguishable for sampling purposes).
+  if (std::abs(theta_ - 1.0) < 1e-9) theta_ = 1.0 + 1e-9;
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 =
+      n_ >= 2 ? 1.0 + std::pow(2.0, -theta_) : 1.0;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  if (n_ == 1 || s_ == 0.0) {
+    // Uniform fallback keeps the one-draw-per-sample contract.
+    uint64_t k = static_cast<uint64_t>(u * static_cast<double>(n_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double k =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(k);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace load
+}  // namespace sim2rec

@@ -1,0 +1,46 @@
+#ifndef SIM2REC_LOAD_ZIPF_H_
+#define SIM2REC_LOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace load {
+
+/// Bounded Zipf(s) sampler over [0, n): P(k) proportional to
+/// 1/(k+1)^s — the standard model for hot-key skew in serving traffic
+/// (a few users dominate the request stream, the tail is long). Used by
+/// the population driver to pick user ids so the consistent-hash ring
+/// sees realistic hot shards instead of uniformly spread load.
+///
+/// Implementation: the YCSB-style closed-form inverse (Gray et al.,
+/// "Quickly generating billion-record synthetic databases"): one O(n)
+/// scalar harmonic-sum pass at construction, then O(1) per sample with
+/// no tables — which is what keeps a 1M-key population cheap to skew.
+/// Draws consume exactly one Uniform() from the caller's Rng, so a
+/// fixed Rng substream yields a fixed key sequence.
+class ZipfSampler {
+ public:
+  /// `n` >= 1 keys, exponent `s` >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Next key in [0, n), rank 0 being the hottest.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_ = 1;
+  double s_ = 0.0;
+  double zetan_ = 1.0;   // sum_{i=1..n} i^-s
+  double theta_ = 0.0;   // == s (YCSB naming kept local)
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+}  // namespace load
+}  // namespace sim2rec
+
+#endif  // SIM2REC_LOAD_ZIPF_H_

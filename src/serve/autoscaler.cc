@@ -1,0 +1,142 @@
+#include "serve/autoscaler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace serve {
+
+Autoscaler::Autoscaler(ServeRouter* router, const AutoscalerConfig& config)
+    : router_(router), config_(config) {
+  S2R_CHECK(router != nullptr);
+  S2R_CHECK(config.min_shards >= 1);
+  S2R_CHECK(config.max_shards >= config.min_shards);
+  S2R_CHECK(config.scale_out_demand > config.scale_in_demand);
+  S2R_CHECK(config.scale_out_p99_us >= 0.0);
+  S2R_CHECK(config.breach_polls >= 1);
+  S2R_CHECK(config.cooldown_polls >= 0);
+}
+
+Autoscaler::~Autoscaler() { Stop(); }
+
+Autoscaler::Action Autoscaler::Poll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  polls_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto shard_stats = router_->ShardStats();
+  const int shards = static_cast<int>(shard_stats.size());
+  int64_t total_requests = 0;
+  double max_p99_us = 0.0;
+  for (const auto& [id, stats] : shard_stats) {
+    (void)id;
+    total_requests += stats.requests;
+    max_p99_us = std::max(max_p99_us, stats.latency_p99_us);
+  }
+  last_p99_us_.store(max_p99_us, std::memory_order_relaxed);
+
+  // First poll only establishes the request-counter baseline: a delta
+  // against zero would read the router's whole history as one
+  // interval's demand.
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    last_requests_ = total_requests;
+    last_demand_.store(0.0, std::memory_order_relaxed);
+    return Action::kNone;
+  }
+
+  const double demand =
+      shards > 0
+          ? static_cast<double>(total_requests - last_requests_) / shards
+          : 0.0;
+  last_requests_ = total_requests;
+  last_demand_.store(demand, std::memory_order_relaxed);
+
+  const bool overload =
+      demand > config_.scale_out_demand ||
+      (config_.scale_out_p99_us > 0.0 &&
+       max_p99_us > config_.scale_out_p99_us);
+  const bool underload = !overload && demand < config_.scale_in_demand;
+  out_streak_ = overload ? out_streak_ + 1 : 0;
+  in_streak_ = underload ? in_streak_ + 1 : 0;
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return Action::kNone;
+  }
+
+  if (out_streak_ >= config_.breach_polls && shards < config_.max_shards) {
+    const auto ids = router_->shard_ids();
+    const int new_id =
+        ids.empty() ? 0 : *std::max_element(ids.begin(), ids.end()) + 1;
+    if (router_->AddShard(new_id)) {
+      scale_outs_.fetch_add(1, std::memory_order_relaxed);
+      out_streak_ = 0;
+      in_streak_ = 0;
+      cooldown_left_ = config_.cooldown_polls;
+      return Action::kScaleOut;
+    }
+  }
+
+  if (in_streak_ >= config_.breach_polls && shards > config_.min_shards) {
+    const auto ids = router_->shard_ids();
+    if (!ids.empty() &&
+        router_->RemoveShard(*std::max_element(ids.begin(), ids.end()))) {
+      scale_ins_.fetch_add(1, std::memory_order_relaxed);
+      out_streak_ = 0;
+      in_streak_ = 0;
+      cooldown_left_ = config_.cooldown_polls;
+      return Action::kScaleIn;
+    }
+  }
+  return Action::kNone;
+}
+
+void Autoscaler::Start(int poll_interval_ms) {
+  S2R_CHECK(poll_interval_ms >= 1);
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (!stop_) return;  // already running
+    stop_ = false;
+  }
+  poller_ = std::thread([this, poll_interval_ms] {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    while (!stop_) {
+      if (stop_cv_.wait_for(lock,
+                            std::chrono::milliseconds(poll_interval_ms),
+                            [this] { return stop_; })) {
+        break;
+      }
+      lock.unlock();
+      Poll();
+      lock.lock();
+    }
+  });
+}
+
+void Autoscaler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stop_) {
+      if (poller_.joinable()) poller_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (poller_.joinable()) poller_.join();
+}
+
+AutoscalerStats Autoscaler::stats() const {
+  AutoscalerStats stats;
+  stats.polls = polls_.load(std::memory_order_relaxed);
+  stats.scale_outs = scale_outs_.load(std::memory_order_relaxed);
+  stats.scale_ins = scale_ins_.load(std::memory_order_relaxed);
+  stats.last_demand = last_demand_.load(std::memory_order_relaxed);
+  stats.last_p99_us = last_p99_us_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace sim2rec

@@ -1,0 +1,113 @@
+#ifndef SIM2REC_SERVE_AUTOSCALER_H_
+#define SIM2REC_SERVE_AUTOSCALER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "serve/serve_router.h"
+
+namespace sim2rec {
+namespace serve {
+
+struct AutoscalerConfig {
+  /// Topology bounds. RemoveShard refuses to drop the last shard, but
+  /// the controller additionally never crosses these.
+  int min_shards = 1;
+  int max_shards = 8;
+
+  /// Demand signal: requests per shard per poll interval (delta of the
+  /// summed shard request counters between polls, divided by the shard
+  /// count). Above scale_out_demand is an overload breach; below
+  /// scale_in_demand is an underload breach. The band between them is
+  /// the hysteresis dead zone — demand bouncing inside it never moves
+  /// the topology.
+  double scale_out_demand = 512.0;
+  double scale_in_demand = 64.0;
+
+  /// Optional latency trigger: any shard's p99 Act latency above this
+  /// also counts as an overload breach. 0 disables it (the default —
+  /// per-shard histograms are cumulative, so demand is the cleaner
+  /// signal for deterministic tests; latency catches pathologies demand
+  /// misses, like one hot shard at modest aggregate rate).
+  double scale_out_p99_us = 0.0;
+
+  /// A breach must persist for this many *consecutive* polls before the
+  /// controller acts — the other half of the hysteresis.
+  int breach_polls = 2;
+  /// Polls to sit out after any topology change, letting the reshard's
+  /// session migration and the demand baseline settle before judging
+  /// the new topology.
+  int cooldown_polls = 3;
+};
+
+struct AutoscalerStats {
+  int64_t polls = 0;
+  int64_t scale_outs = 0;
+  int64_t scale_ins = 0;
+  double last_demand = 0.0;   // requests / shard, most recent poll
+  double last_p99_us = 0.0;   // max over shards, most recent poll
+};
+
+/// Hysteresis controller closing the loop the OPERATIONS runbook left
+/// manual: it polls the router's per-shard stats and calls AddShard /
+/// RemoveShard itself. Scale-out adds a shard with id max(ids)+1;
+/// scale-in removes the highest id — ids stay dense-ish and the ring
+/// reassigns ~1/N of users either way, sessions migrating intact
+/// (ServeRouter's reshard guarantee, which is what makes autoscaling
+/// safe to run against live traffic).
+///
+/// Poll() is the whole control step and is safe to drive manually
+/// (tests, a load driver's tick hook) or from the optional background
+/// thread Start() spawns. Calls are serialized; stats() is lock-free.
+class Autoscaler {
+ public:
+  enum class Action { kNone, kScaleOut, kScaleIn };
+
+  Autoscaler(ServeRouter* router, const AutoscalerConfig& config);
+  ~Autoscaler();
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// One control step: sample demand, update breach streaks, act when a
+  /// streak survives breach_polls and no cooldown is pending. Returns
+  /// what it did.
+  Action Poll();
+
+  /// Spawns a thread calling Poll() every poll_interval_ms. Stop() (or
+  /// the destructor) joins it. Start is idempotent while running.
+  void Start(int poll_interval_ms);
+  void Stop();
+
+  AutoscalerStats stats() const;
+
+ private:
+  ServeRouter* router_;
+  AutoscalerConfig config_;
+
+  std::mutex mutex_;  // serializes Poll (manual vs background)
+  int64_t last_requests_ = 0;
+  bool have_baseline_ = false;
+  int out_streak_ = 0;
+  int in_streak_ = 0;
+  int cooldown_left_ = 0;
+
+  std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> scale_outs_{0};
+  std::atomic<int64_t> scale_ins_{0};
+  std::atomic<double> last_demand_{0.0};
+  std::atomic<double> last_p99_us_{0.0};
+
+  std::thread poller_;
+  std::mutex stop_mutex_;             // pairs with stop_cv_ for Stop()
+  std::condition_variable stop_cv_;   // wakes the poller early on Stop
+  bool stop_ = true;
+};
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_AUTOSCALER_H_

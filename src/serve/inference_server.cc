@@ -46,6 +46,7 @@ InferenceServer::InferenceServer(const core::ContextAgent* agent,
   metric_exec_clamps_ = registry.GetCounter("serve.exec_clamps");
   metric_latency_us_ = registry.GetHistogram("serve.latency_us");
   metric_batch_occupancy_ = registry.GetHistogram("serve.batch_occupancy");
+  metric_queue_depth_ = registry.GetGauge("serve.queue_depth");
   if (config_.micro_batching) {
     batcher_ = std::thread([this] { BatcherLoop(); });
   }
@@ -96,6 +97,11 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
     std::lock_guard<std::mutex> lock(mutex_);
     S2R_CHECK_MSG(!stop_, "InferenceServer::Act after Shutdown");
     queue_.push_back(&pending);
+    const int64_t depth =
+        queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (obs::Enabled()) {
+      metric_queue_depth_->Set(static_cast<double>(depth));
+    }
   }
   queue_cv_.notify_one();
 
@@ -135,6 +141,11 @@ void InferenceServer::BatcherLoop() {
     for (int i = 0; i < take; ++i) {
       batch.push_back(queue_.front());
       queue_.pop_front();
+    }
+    const int64_t depth =
+        queue_depth_.fetch_sub(take, std::memory_order_relaxed) - take;
+    if (obs::Enabled()) {
+      metric_queue_depth_->Set(static_cast<double>(depth));
     }
     lock.unlock();
 
@@ -267,6 +278,7 @@ InferenceServerStats InferenceServer::stats() const {
   InferenceServerStats stats;
   stats.requests = occupancy_.requests();
   stats.batches = occupancy_.batches();
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.mean_batch_occupancy = occupancy_.mean();
   stats.max_batch = occupancy_.max();
   stats.exec_clamps = exec_clamps_.load(std::memory_order_relaxed);

@@ -62,6 +62,10 @@ struct InferenceServerConfig {
 struct InferenceServerStats {
   int64_t requests = 0;
   int64_t batches = 0;
+  /// Requests enqueued but not yet batched (instantaneous; 0 on the
+  /// serial path, which has no queue). The overload signal the
+  /// Autoscaler and ops runbook watch.
+  int64_t queue_depth = 0;
   double mean_batch_occupancy = 0.0;
   int max_batch = 0;
   int64_t exec_clamps = 0;
@@ -147,6 +151,9 @@ class InferenceServer : public PolicyService {
   LatencyHistogram latency_;
   BatchOccupancy occupancy_;
   std::atomic<int64_t> exec_clamps_{0};
+  // Lock-free mirror of queue_.size() so stats() and the autoscaler
+  // never touch the batcher mutex.
+  std::atomic<int64_t> queue_depth_{0};
 
   // serve.* metrics resolved once at construction against the
   // configured registry (per-shard when routed, Global otherwise); the
@@ -156,6 +163,7 @@ class InferenceServer : public PolicyService {
   obs::Counter* metric_exec_clamps_ = nullptr;
   obs::LogHistogram* metric_latency_us_ = nullptr;
   obs::LogHistogram* metric_batch_occupancy_ = nullptr;
+  obs::Gauge* metric_queue_depth_ = nullptr;
 
   std::chrono::steady_clock::time_point epoch_;
 };

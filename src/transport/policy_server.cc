@@ -220,10 +220,16 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
         return true;
       }
       serve::ServeReply reply;
-      {
+      try {
         S2R_TRACE_SPAN("transport/act", "user",
                        static_cast<double>(user_id));
         reply = service_->Act(user_id, obs);
+      } catch (const std::exception& e) {
+        // A throwing backend (fault injection, transient shard trouble)
+        // fails this request only: typed error frame, connection — and
+        // every other session on it — survives.
+        SendError(conn, WireError::kInternal, e.what());
+        return true;
       }
       ok = SendFrame(conn, MessageType::kActReply, EncodeActReply(reply));
       break;
@@ -234,7 +240,12 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
         SendError(conn, WireError::kBadPayload, "bad end-session request");
         return true;
       }
-      service_->EndSession(user_id);
+      try {
+        service_->EndSession(user_id);
+      } catch (const std::exception& e) {
+        SendError(conn, WireError::kInternal, e.what());
+        return true;
+      }
       ok = SendFrame(conn, MessageType::kEndSessionReply, std::string());
       break;
     }

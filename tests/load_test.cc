@@ -1,0 +1,681 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/context_agent.h"
+#include "load/arrival.h"
+#include "load/flaky_service.h"
+#include "load/population_driver.h"
+#include "load/zipf.h"
+#include "obs/metrics.h"
+#include "sadae/sadae.h"
+#include "serve/autoscaler.h"
+#include "serve/serve_router.h"
+#include "serve/session_store.h"
+#include "util/rng.h"
+
+namespace sim2rec {
+namespace load {
+namespace {
+
+constexpr int kObsDim = 6;
+
+core::ContextAgentConfig TinyAgentConfig() {
+  core::ContextAgentConfig config;
+  config.obs_dim = kObsDim;
+  config.action_dim = 1;
+  config.use_extractor = true;
+  config.lstm_hidden = 8;
+  config.f_hidden = {8};
+  config.f_out = 4;
+  config.policy_hidden = {16};
+  config.value_hidden = {16};
+  return config;
+}
+
+sadae::SadaeConfig TinySadaeConfig() {
+  sadae::SadaeConfig config;
+  config.state_dim = kObsDim;  // state-only SADAE variant
+  config.latent_dim = 3;
+  config.encoder_hidden = {16};
+  config.decoder_hidden = {16};
+  return config;
+}
+
+/// A real (tiny) serving agent; sadae must outlive the agent.
+struct TinyAgent {
+  Rng rng{21};
+  sadae::Sadae sadae_model;
+  core::ContextAgent agent;
+  TinyAgent() : sadae_model(TinySadaeConfig(), rng),
+                agent(TinyAgentConfig(), &sadae_model, rng) {}
+};
+
+serve::ServeRouterConfig SmallRouterConfig() {
+  serve::ServeRouterConfig config;
+  config.shard.micro_batching = false;  // serial path: fast, no batcher
+  config.shard.sessions.ttl_ms = 0;
+  config.shard.sessions.max_bytes = size_t{64} << 20;
+  return config;
+}
+
+/// Pure-function service for driver-mechanics tests: the reply depends
+/// only on (user_id, obs), so even with obs_feedback on, reply content
+/// is independent of request interleaving.
+class PureService : public serve::PolicyService {
+ public:
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override {
+    acts_.fetch_add(1, std::memory_order_relaxed);
+    double sum = 0.0;
+    for (int c = 0; c < obs.cols(); ++c) sum += obs(0, c);
+    serve::ServeReply reply;
+    reply.action = nn::Tensor(1, 1);
+    reply.action(0, 0) = 0.25 * sum + 1e-3 * static_cast<double>(user_id % 97);
+    reply.value = 0.0;
+    reply.batch_size = 1;
+    return reply;
+  }
+  void EndSession(uint64_t) override {
+    ends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t acts() const { return acts_.load(std::memory_order_relaxed); }
+  int64_t ends() const { return ends_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> acts_{0};
+  std::atomic<int64_t> ends_{0};
+};
+
+PopulationDriverConfig SmallDriverConfig(uint64_t seed = 7) {
+  PopulationDriverConfig config;
+  config.seed = seed;
+  config.ticks = 15;
+  config.drain_ticks = 40;
+  config.arrival.base_rate = 25.0;
+  config.obs_dim = kObsDim;
+  config.action_dim = 1;
+  config.user_space = 1 << 12;
+  config.record_timeline = false;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// ArrivalProcess: shapes, determinism, order independence.
+// ---------------------------------------------------------------------------
+
+TEST(Arrival, SameSeedSameTrace) {
+  ArrivalConfig config;
+  config.base_rate = 40.0;
+  ArrivalProcess a(config, 5), b(config, 5), c(config, 6);
+  std::vector<int> trace_a, trace_b, trace_c;
+  for (int t = 0; t < 100; ++t) {
+    trace_a.push_back(a.CountAt(t));
+    trace_b.push_back(b.CountAt(t));
+    trace_c.push_back(c.CountAt(t));
+  }
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_NE(trace_a, trace_c);  // different seed, different traffic
+}
+
+TEST(Arrival, CountAtIsOrderIndependent) {
+  ArrivalConfig config;
+  config.base_rate = 90.0;  // exercises the normal-approximation branch
+  ArrivalProcess process(config, 11);
+  std::vector<int> forward;
+  for (int t = 0; t < 64; ++t) forward.push_back(process.CountAt(t));
+  for (int t = 63; t >= 0; --t) {
+    EXPECT_EQ(process.CountAt(t), forward[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(Arrival, DiurnalShapeModulatesAroundBase) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kDiurnal;
+  config.base_rate = 100.0;
+  config.diurnal_amplitude = 0.8;
+  config.diurnal_period_ticks = 24;
+  ArrivalProcess process(config, 1);
+  double lo = 1e18, hi = -1.0;
+  for (int t = 0; t < 24; ++t) {
+    const double rate = process.RateAt(t);
+    EXPECT_GE(rate, 0.0);
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  EXPECT_GT(hi, 150.0);  // peak well above base
+  EXPECT_LT(lo, 50.0);   // trough well below base
+}
+
+TEST(Arrival, BurstWindowMultipliesRate) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kBurst;
+  config.base_rate = 50.0;
+  config.burst_multiplier = 3.0;
+  config.burst_start_tick = 10;
+  config.burst_duration_ticks = 5;
+  ArrivalProcess process(config, 1);
+  EXPECT_DOUBLE_EQ(process.RateAt(9), 50.0);
+  EXPECT_DOUBLE_EQ(process.RateAt(10), 150.0);
+  EXPECT_DOUBLE_EQ(process.RateAt(14), 150.0);
+  EXPECT_DOUBLE_EQ(process.RateAt(15), 50.0);
+}
+
+TEST(Arrival, NonPoissonTracksRateIntegralExactly) {
+  ArrivalConfig config;
+  config.kind = ArrivalKind::kDiurnal;
+  config.base_rate = 7.3;  // fractional: forces remainder carrying
+  config.poisson = false;
+  ArrivalProcess process(config, 1);
+  int64_t total = 0;
+  double rate_integral = 0.0;
+  for (int t = 0; t < 97; ++t) {
+    total += process.CountAt(t);
+    rate_integral += process.RateAt(t);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(std::floor(rate_integral)));
+}
+
+// ---------------------------------------------------------------------------
+// ZipfSampler: bounds, skew, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Zipf, SamplesStayInRangeAndRepeatPerStream) {
+  const uint64_t n = 1000;
+  ZipfSampler zipf(n, 1.1);
+  Rng a = Rng(3).Substream(1);
+  Rng b = Rng(3).Substream(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t key = zipf.Sample(a);
+    EXPECT_LT(key, n);
+    EXPECT_EQ(key, zipf.Sample(b));  // one draw per sample, same stream
+  }
+}
+
+TEST(Zipf, SkewConcentratesMassOnHotKeys) {
+  const uint64_t n = 10000;
+  ZipfSampler zipf(n, 1.1);
+  Rng rng(4);
+  const int kDraws = 20000;
+  int head = 0;  // top 1% of keys
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t key = zipf.Sample(rng);
+    if (key < n / 100) ++head;
+    if (key < 16) ++counts[static_cast<size_t>(key)];
+  }
+  // Zipf(1.1) over 10k keys puts well over a third of all traffic on
+  // the top 1%; uniform would put 1% there.
+  EXPECT_GT(head, kDraws / 3);
+  EXPECT_GT(counts[0], counts[8]);  // rank 0 strictly hotter
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const uint64_t n = 1000;
+  ZipfSampler zipf(n, 0.0);
+  Rng rng(5);
+  const int kDraws = 20000;
+  int head = 0;  // top 10% of keys
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) < n / 10) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / kDraws, 0.10, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// PopulationDriver: thread invariance, accounting, churn.
+// ---------------------------------------------------------------------------
+
+TEST(PopulationDriver, RequestStreamInvariantAcrossThreadCounts) {
+  PopulationReport reports[2];
+  const int threads[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    PureService service;
+    PopulationDriverConfig config = SmallDriverConfig();
+    config.num_threads = threads[i];
+    PopulationDriver driver(&service, config);
+    reports[i] = driver.Run();
+  }
+  EXPECT_GT(reports[0].sessions_started, 100u);
+  EXPECT_EQ(reports[0].request_checksum, reports[1].request_checksum);
+  EXPECT_EQ(reports[0].reply_checksum, reports[1].reply_checksum);
+  EXPECT_EQ(reports[0].sessions_started, reports[1].sessions_started);
+  EXPECT_EQ(reports[0].requests_ok, reports[1].requests_ok);
+  EXPECT_EQ(reports[0].peak_active, reports[1].peak_active);
+  EXPECT_TRUE(reports[0].Consistent());
+}
+
+TEST(PopulationDriver,
+     FeedbackOffInvariantUnderEvictionAndExpiryPressure) {
+  // LRU eviction + TTL expiry churn the *server's* state, which may
+  // perturb replies — but with obs_feedback off the request stream must
+  // not notice. Run against a real router whose per-shard store is
+  // under heavy byte-cap pressure, at two thread counts.
+  TinyAgent tiny;
+  PopulationReport reports[2];
+  const int threads[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeRouterConfig router_config = SmallRouterConfig();
+    router_config.shard.sessions.max_bytes = 4096;  // a handful of sessions
+    router_config.shard.sessions.ttl_ms = 1;
+    serve::ServeRouter router(&tiny.agent, router_config, 2);
+    PopulationDriverConfig config = SmallDriverConfig();
+    config.obs_feedback = false;
+    config.num_threads = threads[i];
+    PopulationDriver driver(&router, config);
+    reports[i] = driver.Run();
+  }
+  EXPECT_EQ(reports[0].request_checksum, reports[1].request_checksum);
+  EXPECT_EQ(reports[0].sessions_started, reports[1].sessions_started);
+  EXPECT_TRUE(reports[0].Consistent());
+  EXPECT_TRUE(reports[1].Consistent());
+}
+
+TEST(PopulationDriver, FeedbackOnInvariantUnderStableService) {
+  // With feedback on, request bytes depend on replies; replies must
+  // then be reorder-proof for invariance to hold. A fixed-topology
+  // router with no eviction or expiry and row-decomposable batching
+  // qualifies — both checksums must match across thread counts.
+  TinyAgent tiny;
+  PopulationReport reports[2];
+  const int threads[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeRouterConfig router_config = SmallRouterConfig();
+    serve::ServeRouter router(&tiny.agent, router_config, 2);
+    PopulationDriverConfig config = SmallDriverConfig();
+    config.obs_feedback = true;
+    config.num_threads = threads[i];
+    PopulationDriver driver(&router, config);
+    reports[i] = driver.Run();
+  }
+  EXPECT_EQ(reports[0].request_checksum, reports[1].request_checksum);
+  EXPECT_EQ(reports[0].reply_checksum, reports[1].reply_checksum);
+}
+
+TEST(PopulationDriver, AbandonedSessionsLeaveServerStateForTtlExpiry) {
+  // Every session walks away without EndSession; hot users re-enter
+  // after their old state has aged past the (tiny) TTL, so the store
+  // must report expirations — the churn path the ISSUE pins.
+  TinyAgent tiny;
+  serve::ServeRouterConfig router_config = SmallRouterConfig();
+  router_config.shard.sessions.ttl_ms = 1;
+  serve::ServeRouter router(&tiny.agent, router_config, 2);
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.abandon_prob = 1.0;
+  config.user_space = 40;  // hot keys return quickly
+  config.zipf_s = 0.9;
+  config.tick_hook = [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // age TTL
+  };
+  PopulationDriver driver(&router, config);
+  const PopulationReport report = driver.Run();
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_EQ(report.sessions_abandoned, report.sessions_finished);
+  uint64_t expirations = 0;
+  for (const auto& [id, stats] : router.ShardStats()) {
+    (void)id;
+    expirations += stats.sessions.expirations;
+  }
+  EXPECT_GT(expirations, 0u);
+}
+
+TEST(PopulationDriver, MaxActiveCapRejectsOverflowArrivals) {
+  PureService service;
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.max_active = 30;
+  PopulationDriver driver(&service, config);
+  const PopulationReport report = driver.Run();
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_LE(report.peak_active, 30u);
+  EXPECT_GT(report.sessions_rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the driver survives a flaky service with exact
+// accounting (satellite 1).
+// ---------------------------------------------------------------------------
+
+TEST(FlakyService, DriverSurvivesInjectedFaultsWithExactAccounting) {
+  PureService inner;
+  FlakyConfig flaky_config;
+  flaky_config.fail_every_n = 7;
+  FlakyPolicyService flaky(&inner, flaky_config);
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.max_retries_per_step = 3;
+  config.num_threads = 3;
+  PopulationDriver driver(&flaky, config);
+  const PopulationReport report = driver.Run();
+  const FlakyStats stats = flaky.stats();
+
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_GT(stats.injected_faults, 0);
+  // Every injected fault is booked as exactly one failed request —
+  // nothing lost, nothing double-counted, even with 3 worker threads.
+  EXPECT_EQ(report.requests_failed,
+            static_cast<uint64_t>(stats.injected_faults));
+  EXPECT_EQ(report.requests_ok,
+            static_cast<uint64_t>(stats.acts - stats.injected_faults));
+  EXPECT_GT(report.retries, 0u);
+  // Retried steps re-send the identical observation, so most sessions
+  // still complete despite a 1-in-7 fault rate.
+  EXPECT_GT(report.sessions_finished, report.sessions_aborted);
+}
+
+TEST(FlakyService, ZeroRetriesMakesEveryFaultAnAbort) {
+  PureService inner;
+  FlakyConfig flaky_config;
+  flaky_config.fail_every_n = 9;
+  FlakyPolicyService flaky(&inner, flaky_config);
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.max_retries_per_step = 0;
+  PopulationDriver driver(&flaky, config);
+  const PopulationReport report = driver.Run();
+
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.sessions_aborted, report.requests_failed);
+  EXPECT_GT(report.sessions_aborted, 0u);
+}
+
+TEST(FlakyService, EndSessionFaultsAreCountedNotFatal) {
+  PureService inner;
+  FlakyConfig flaky_config;
+  flaky_config.fail_end_session_every_n = 2;
+  FlakyPolicyService flaky(&inner, flaky_config);
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.abandon_prob = 0.0;  // every finish sends EndSession
+  PopulationDriver driver(&flaky, config);
+  const PopulationReport report = driver.Run();
+  const FlakyStats stats = flaky.stats();
+
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_GT(stats.injected_end_session_faults, 0);
+  EXPECT_EQ(report.end_session_failures,
+            static_cast<uint64_t>(stats.injected_end_session_faults));
+  EXPECT_EQ(report.sessions_finished, report.sessions_ended_gracefully);
+}
+
+TEST(FlakyService, MidRunShardRemovalLosesNoSessions) {
+  // Rip a shard out (and add a new one) while the population is live:
+  // the router's drain-and-migrate reshard must keep every request
+  // answerable and the driver's accounting exact.
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 3);
+  PopulationDriverConfig config = SmallDriverConfig();
+  config.num_threads = 3;
+  config.abandon_prob = 1.0;  // sessions stay resident: countable below
+  // Uniform ids over a huge space: (with this seed) no user id recurs,
+  // so resident server sessions == driver-finished sessions below.
+  config.user_space = uint64_t{1} << 20;
+  config.zipf_s = 0.0;
+  config.tick_hook = [&router](int tick) {
+    if (tick == 4) EXPECT_TRUE(router.RemoveShard(2));
+    if (tick == 9) EXPECT_TRUE(router.AddShard(7));
+  };
+  PopulationDriver driver(&router, config);
+  const PopulationReport report = driver.Run();
+
+  EXPECT_TRUE(report.Consistent());
+  EXPECT_EQ(report.requests_failed, 0u);
+  EXPECT_EQ(report.sessions_aborted, 0u);
+  // No TTL, no EndSession: every finished session's state must still be
+  // resident somewhere on the current topology.
+  uint64_t resident = 0;
+  for (int id : router.shard_ids()) {
+    resident += router.shard(id)->sessions().size();
+  }
+  EXPECT_EQ(resident, report.sessions_finished);
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler: hysteresis controller over a live router (satellite 2).
+// ---------------------------------------------------------------------------
+
+/// Issues `count` requests spread over `spread` distinct users (enough
+/// demand to move the controller when the test wants it moved).
+void Drive(serve::ServeRouter& router, int count, uint64_t user_base = 0,
+           int spread = 50) {
+  nn::Tensor obs(1, kObsDim);
+  for (int c = 0; c < kObsDim; ++c) obs(0, c) = 0.01 * (c + 1);
+  for (int i = 0; i < count; ++i) {
+    router.Act(user_base + static_cast<uint64_t>(i % spread), obs);
+  }
+}
+
+serve::AutoscalerConfig TestScalerConfig() {
+  serve::AutoscalerConfig config;
+  config.min_shards = 2;
+  config.max_shards = 4;
+  config.scale_out_demand = 100.0;  // per shard per poll
+  config.scale_in_demand = 10.0;
+  config.breach_polls = 2;
+  config.cooldown_polls = 0;
+  return config;
+}
+
+TEST(Autoscaler, SpikeScalesOutWithinBreachPollsAndQuietScalesIn) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::Autoscaler scaler(&router, TestScalerConfig());
+
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);  // baseline
+
+  // Spike: 300 requests/poll over 2 shards = 150/shard > 100.
+  Drive(router, 300);
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);  // streak 1
+  Drive(router, 300);
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kScaleOut);
+  EXPECT_EQ(router.num_shards(), 3);
+
+  // Keep the spike up: scales to the max bound and stops there.
+  for (int i = 0; i < 6; ++i) {
+    Drive(router, 450);
+    scaler.Poll();
+  }
+  EXPECT_EQ(router.num_shards(), 4);
+
+  // Quiet: demand 0 < 10 => scale back in, floored at min_shards.
+  std::vector<serve::Autoscaler::Action> quiet;
+  for (int i = 0; i < 8; ++i) quiet.push_back(scaler.Poll());
+  EXPECT_EQ(router.num_shards(), 2);
+  EXPECT_EQ(std::count(quiet.begin(), quiet.end(),
+                       serve::Autoscaler::Action::kScaleIn),
+            2);
+  const serve::AutoscalerStats stats = scaler.stats();
+  EXPECT_EQ(stats.scale_outs, 2);
+  EXPECT_EQ(stats.scale_ins, 2);
+}
+
+TEST(Autoscaler, DeadZoneDemandNeverMovesTheTopology) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::Autoscaler scaler(&router, TestScalerConfig());
+  scaler.Poll();  // baseline
+  // 80 requests / 2 shards = 40 per shard: inside (10, 100) — the
+  // hysteresis dead zone. Bouncing there must never flap the topology.
+  for (int i = 0; i < 10; ++i) {
+    Drive(router, 80);
+    EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);
+  }
+  EXPECT_EQ(router.num_shards(), 2);
+  EXPECT_EQ(scaler.stats().scale_outs, 0);
+  EXPECT_EQ(scaler.stats().scale_ins, 0);
+}
+
+TEST(Autoscaler, CooldownSpacesConsecutiveActions) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::AutoscalerConfig config = TestScalerConfig();
+  config.breach_polls = 1;
+  config.cooldown_polls = 3;
+  serve::Autoscaler scaler(&router, config);
+  scaler.Poll();  // baseline
+
+  std::vector<serve::Autoscaler::Action> actions;
+  for (int i = 0; i < 6; ++i) {
+    Drive(router, 600);  // permanent overload
+    actions.push_back(scaler.Poll());
+  }
+  using Action = serve::Autoscaler::Action;
+  const std::vector<Action> expected = {
+      Action::kScaleOut, Action::kNone, Action::kNone,
+      Action::kNone, Action::kScaleOut, Action::kNone};
+  EXPECT_EQ(actions, expected);
+  EXPECT_EQ(router.num_shards(), 4);
+}
+
+TEST(Autoscaler, LatencyTriggerScalesOutAtLowDemand) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::AutoscalerConfig config = TestScalerConfig();
+  config.scale_out_demand = 1e12;   // demand trigger unreachable
+  config.scale_in_demand = 0.0;     // and never scale in
+  config.scale_out_p99_us = 0.01;   // any real request breaches
+  config.breach_polls = 1;
+  serve::Autoscaler scaler(&router, config);
+  scaler.Poll();  // baseline
+  Drive(router, 5);
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kScaleOut);
+  EXPECT_GT(scaler.stats().last_p99_us, 0.01);
+}
+
+TEST(Autoscaler, SessionsSurviveEveryAutoscaleReshard) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::Autoscaler scaler(&router, TestScalerConfig());
+
+  // Resident population: 200 users with live recurrent state.
+  const int kUsers = 200;
+  Drive(router, kUsers, /*user_base=*/1000, /*spread=*/kUsers);
+  int64_t issued = kUsers;
+  const auto resident_sessions = [&] {
+    uint64_t resident = 0;
+    for (int id : router.shard_ids()) {
+      resident += router.shard(id)->sessions().size();
+    }
+    return resident;
+  };
+  ASSERT_EQ(resident_sessions(), static_cast<uint64_t>(kUsers));
+
+  scaler.Poll();  // baseline
+  // Out to the max bound, then quiet back to the min — counting
+  // sessions after every single poll: no reshard may drop one.
+  for (int i = 0; i < 6; ++i) {
+    Drive(router, 500, /*user_base=*/1000);
+    issued += 500;
+    scaler.Poll();
+    EXPECT_EQ(resident_sessions(), static_cast<uint64_t>(kUsers));
+  }
+  EXPECT_EQ(router.num_shards(), 4);
+
+  // Cross-check at the peak via the merged observability snapshot:
+  // every request issued so far is accounted for across all four shard
+  // registries — no reshard dropped a request's worth of accounting.
+  // (Checked before scale-in: removing a shard retires its registry.)
+  if (obs::Enabled()) {
+    int64_t merged_requests = 0;
+    for (const auto& counter : router.MergedMetrics().counters) {
+      if (counter.name == "serve.requests") merged_requests = counter.value;
+    }
+    EXPECT_EQ(merged_requests, issued);
+  }
+
+  for (int i = 0; i < 8; ++i) {
+    scaler.Poll();
+    EXPECT_EQ(resident_sessions(), static_cast<uint64_t>(kUsers));
+  }
+  EXPECT_EQ(router.num_shards(), 2);
+}
+
+TEST(Autoscaler, BackgroundPollerStartsAndStopsCleanly) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::Autoscaler scaler(&router, TestScalerConfig());
+  scaler.Start(/*poll_interval_ms=*/1);
+  Drive(router, 50);
+  while (scaler.stats().polls < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scaler.Stop();
+  const int64_t polls = scaler.stats().polls;
+  EXPECT_GE(polls, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scaler.stats().polls, polls);  // really stopped
+  scaler.Stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore: TTL expiry racing LRU eviction under byte-cap pressure
+// (satellite 3; run under tsan via the load-tsan label).
+// ---------------------------------------------------------------------------
+
+TEST(SessionStoreRace, TtlExpiryRacesLruEvictionAndExtractIf) {
+  serve::SessionDims dims;
+  dims.hidden = 4;
+  dims.has_cell = true;
+  dims.action_dim = 1;
+  serve::SessionStoreConfig config;
+  serve::SessionStore probe(dims, config);
+  // Cap the store at ~8 resident sessions so commits evict constantly.
+  config.max_bytes = probe.BytesPerSession() * 8;
+  config.ttl_ms = 1;
+  serve::SessionStore store(dims, config);
+
+  std::atomic<int64_t> clock_ms{0};
+  std::atomic<bool> stop{false};
+  const int kUsers = 32;
+
+  // Two mutator threads with an advancing logical clock. Each
+  // alternates between a per-thread hot user (revisited after >ttl idle
+  // but before 8 intervening commits: resident => TTL expiry) and a
+  // rotating cold range (churned past the cap: LRU eviction), so both
+  // removal paths race on one store.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3000; ++i) {
+        const uint64_t user = i % 2 == 0
+                                  ? static_cast<uint64_t>(t)
+                                  : static_cast<uint64_t>(2 + i % kUsers);
+        const int64_t now = clock_ms.fetch_add(1, std::memory_order_relaxed);
+        serve::Session session = store.Acquire(user, now);
+        session.steps += 1;
+        store.Commit(user, std::move(session), now);
+        if (i % 64 == 0) store.Erase(user);
+      }
+    });
+  }
+  // Migration thread: repeatedly extracts half the id space mid-churn
+  // (the reshard primitive) and restores it — exactly what an
+  // autoscaler-triggered reshard does while traffic is live.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto moved = store.ExtractIf([](uint64_t user) {
+        return user % 2 == 0;
+      });
+      for (auto& [user, session] : moved) {
+        store.Restore(user, std::move(session));
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  threads[0].join();
+  threads[1].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[2].join();
+
+  const serve::SessionStore::Stats stats = store.stats();
+  EXPECT_GT(stats.evictions, 0u);    // byte cap bit
+  EXPECT_GT(stats.expirations, 0u);  // TTL bit
+  EXPECT_LE(store.size(), 8u);       // cap held through the race
+  EXPECT_EQ(store.bytes(), store.size() * probe.BytesPerSession());
+}
+
+}  // namespace
+}  // namespace load
+}  // namespace sim2rec

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -8,6 +9,7 @@
 
 #include "core/context_agent.h"
 #include "envs/lts_env.h"
+#include "load/flaky_service.h"
 #include "obs/metrics.h"
 #include "obs/snapshot_codec.h"
 #include "sadae/sadae.h"
@@ -698,6 +700,78 @@ TEST(Transport, ShutdownUnderTrafficDrainsWithoutCrashing) {
   // nothing crashed and the drained request count is consistent.
   EXPECT_GE(service.acts(), ok.load());
   server.Shutdown();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection across the wire (PR 6 satellite): a flaky backend
+// behind the server surfaces as typed errors and timeouts the client
+// survives — never a broken connection or a corrupted stream.
+// ---------------------------------------------------------------------------
+
+TEST(TransportFlaky, BackendThrowBecomesTypedInternalAndConnectionSurvives) {
+  FakeEchoService inner;
+  load::FlakyConfig flaky_config;
+  flaky_config.fail_every_n = 2;  // every second Act throws
+  load::FlakyPolicyService flaky(&inner, flaky_config);
+  PolicyServer server(&flaky, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+  PolicyClient client(ClientFor(server));
+
+  serve::ServeReply reply;
+  ASSERT_EQ(client.TryAct(1, ObsFor(1, 0), &reply), TransportStatus::kOk);
+  // Act #2: the backend throws; the server converts it into a
+  // kError(kInternal) frame instead of dropping the connection.
+  EXPECT_EQ(client.TryAct(1, ObsFor(1, 1), &reply),
+            TransportStatus::kRemoteError);
+  EXPECT_EQ(client.last_remote_error(), WireError::kInternal);
+  // Same connection, next request: healthy again, bit-exact echo.
+  ASSERT_EQ(client.TryAct(1, ObsFor(1, 2), &reply), TransportStatus::kOk);
+  EXPECT_TRUE(BitwiseEqual(reply.action, ObsFor(1, 2)));
+  // Still on the very first connection: the error frame never forced a
+  // reconnect (stats count the initial lazy connect as one).
+  EXPECT_EQ(client.stats().reconnects, 1);
+
+  // EndSession faults surface the same way.
+  load::FlakyConfig end_config;
+  end_config.fail_end_session_every_n = 1;
+  load::FlakyPolicyService flaky_ends(&inner, end_config);
+  PolicyServer end_server(&flaky_ends, PolicyServerConfig{});
+  ASSERT_TRUE(end_server.Start());
+  PolicyClient end_client(ClientFor(end_server));
+  EXPECT_EQ(end_client.TryEndSession(9), TransportStatus::kRemoteError);
+  EXPECT_EQ(end_client.last_remote_error(), WireError::kInternal);
+  EXPECT_EQ(end_client.Ping(), TransportStatus::kOk);  // stream intact
+}
+
+TEST(TransportFlaky, InjectedDelayTripsClientDeadlineAndClientRecovers) {
+  FakeEchoService inner;
+  load::FlakyConfig flaky_config;
+  flaky_config.delay_every_n = 2;  // every second Act stalls...
+  flaky_config.delay_ms = 400;     // ...past the client's deadline
+  load::FlakyPolicyService flaky(&inner, flaky_config);
+  PolicyServerConfig server_config;
+  server_config.num_workers = 2;  // the stalled worker must not block us
+  PolicyServer server(&flaky, server_config);
+  ASSERT_TRUE(server.Start());
+
+  PolicyClientConfig client_config = ClientFor(server);
+  client_config.request_timeout_ms = 50;
+  PolicyClient client(client_config);
+
+  serve::ServeReply reply;
+  ASSERT_EQ(client.TryAct(1, ObsFor(1, 0), &reply), TransportStatus::kOk);
+  const TransportStatus slow = client.TryAct(1, ObsFor(1, 1), &reply);
+  EXPECT_TRUE(slow == TransportStatus::kTimeout ||
+              slow == TransportStatus::kClosed);
+  // Wait out the injected stall (its late reply dies with the
+  // abandoned connection), then the client transparently reconnects.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(client.TryAct(1, ObsFor(1, 2), &reply), TransportStatus::kOk);
+  EXPECT_TRUE(BitwiseEqual(reply.action, ObsFor(1, 2)));
+  EXPECT_GE(client.stats().reconnects, 2);  // initial + post-timeout
+  // The driver-facing accounting stays exact: the flaky wrapper saw
+  // every attempt, including the one whose reply nobody read.
+  EXPECT_EQ(flaky.stats().injected_delays, 1);
 }
 
 }  // namespace
