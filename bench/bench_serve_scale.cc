@@ -24,6 +24,7 @@
 // scale-over-time plots come from.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -37,6 +38,8 @@
 #include "sadae/sadae.h"
 #include "serve/autoscaler.h"
 #include "serve/serve_router.h"
+#include "transport/policy_client.h"
+#include "transport/policy_server.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -74,13 +77,47 @@ serve::ServeRouterConfig RouterConfig() {
   config.shard.micro_batching = true;
   config.shard.action_low = {-4.0};
   config.shard.action_high = {4.0};
+  // Serve from the frozen float32 plan (shared across shards): the
+  // forward-pass headroom is what lets the full mode hold a
+  // million-session population on one box.
+  config.shard.precision = serve::Precision::kFloat32;
   // Population scale: hold every resident session (abandoned ones
   // accumulate — TTL is exercised in tests, not here) without LRU
   // churn, and never expire.
-  config.shard.sessions.max_bytes = size_t{256} << 20;
+  config.shard.sessions.max_bytes = size_t{1} << 30;
   config.shard.sessions.ttl_ms = 0;
   return config;
 }
+
+/// Fans the driver's worker threads out over a fixed pool of
+/// transport::PolicyClient connections, round-robin per request. Each
+/// client serializes its own wire round trips internally, so the pool
+/// as a whole serves any number of driver threads.
+class ClientPool : public serve::PolicyService {
+ public:
+  ClientPool(int port, int size) {
+    for (int i = 0; i < size; ++i) {
+      transport::PolicyClientConfig config;
+      config.port = port;
+      clients_.push_back(
+          std::make_unique<transport::PolicyClient>(config));
+    }
+  }
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override {
+    return Next()->Act(user_id, obs);
+  }
+  void EndSession(uint64_t user_id) override {
+    Next()->EndSession(user_id);
+  }
+
+ private:
+  transport::PolicyClient* Next() {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    return clients_[i % clients_.size()].get();
+  }
+  std::vector<std::unique_ptr<transport::PolicyClient>> clients_;
+  std::atomic<size_t> next_{0};
+};
 
 struct Mode {
   const char* name;
@@ -111,8 +148,12 @@ int Run(int argc, char** argv) {
   // Session shape shared by every phase: 2-3 steps with long think
   // times, so populations pile high without a proportional request
   // bill (peak_active ~ rate * steps * mean_gap).
+  // Full mode targets a million concurrent sessions: sessions live
+  // ~17.5 ticks (2-3 steps, mean think gap 7), so 60k arrivals/tick
+  // hold ~1.05M steady plus the burst on top. Feasible on one box
+  // because the shards serve from the shared frozen float32 plan.
   const Mode mode = smoke ? Mode{"smoke", 25, 45, 900.0, 10000}
-                  : full  ? Mode{"full", 60, 90, 9000.0, 150000}
+                  : full  ? Mode{"full", 60, 90, 60000.0, 1000000}
                           : Mode{"default", 40, 70, 6500.0, 100000};
 
   Rng rng(21);
@@ -131,8 +172,93 @@ int Run(int argc, char** argv) {
     config.max_think_ticks = 12;
     config.abandon_prob = 0.25;
     config.zipf_s = 1.05;
+    // Keep the id space ~8x the peak population so session-affinity
+    // rehash probing resolves collisions in O(1) expected probes even
+    // with Zipf saturating the hot low-rank ids.
+    config.user_space =
+        std::max(uint64_t{1} << 20, 8 * mode.target_peak);
     return config;
   };
+
+  // --- --transport: the same closed-loop population, but across the
+  // process boundary — PopulationDriver workers -> pooled
+  // PolicyClients -> loopback PolicyServer -> 2-shard router. The
+  // request stream is a pure function of (seed, config), so it must
+  // checksum identically to an in-process run of the same config; and
+  // because the wire carries raw IEEE-754 bytes (and float32 serving is
+  // batch-composition-invariant like the double path), the reply
+  // checksum must match bit for bit too.
+  if (HasFlag(argc, argv, "--transport")) {
+    const int kThreads = 4;
+    const auto transport_config = [&] {
+      load::PopulationDriverConfig config = base_driver_config();
+      config.ticks = 20;
+      config.drain_ticks = 45;
+      config.arrival.kind = load::ArrivalKind::kSteady;
+      config.arrival.base_rate = 150.0;
+      config.num_threads = kThreads;
+      config.record_timeline = false;
+      return config;
+    };
+    load::PopulationReport inproc;
+    {
+      serve::ServeRouter router(&agent, RouterConfig(),
+                                /*initial_shards=*/2);
+      load::PopulationDriver driver(&router, transport_config());
+      inproc = driver.Run();
+    }
+    load::PopulationReport wire;
+    {
+      serve::ServeRouter router(&agent, RouterConfig(),
+                                /*initial_shards=*/2);
+      transport::PolicyServerConfig server_config;
+      server_config.num_workers = kThreads + 1;
+      transport::PolicyServer server(&router, server_config);
+      if (!server.Start()) {
+        std::printf("FAIL: could not start the loopback PolicyServer\n");
+        return 1;
+      }
+      ClientPool pool(server.port(), kThreads);
+      load::PopulationDriver driver(&pool, transport_config());
+      wire = driver.Run();
+      server.Shutdown();
+    }
+    std::printf("transport closed loop (steady %0.f/tick, %d threads, "
+                "pooled clients over loopback TCP):\n",
+                150.0, kThreads);
+    std::printf("  %-11s %8s %10s %10s %9s %9s\n", "path", "sessions",
+                "requests", "req/sec", "p50(us)", "p99(us)");
+    std::printf("  %-11s %8llu %10llu %10.0f %9.0f %9.0f\n", "in-process",
+                static_cast<unsigned long long>(inproc.sessions_started),
+                static_cast<unsigned long long>(inproc.requests_ok),
+                inproc.req_per_sec, inproc.p50_us, inproc.p99_us);
+    std::printf("  %-11s %8llu %10llu %10.0f %9.0f %9.0f\n", "loopback",
+                static_cast<unsigned long long>(wire.sessions_started),
+                static_cast<unsigned long long>(wire.requests_ok),
+                wire.req_per_sec, wire.p50_us, wire.p99_us);
+    bool transport_ok = true;
+    if (!wire.Consistent() || wire.requests_failed != 0 ||
+        wire.sessions_aborted != 0) {
+      std::printf("FAIL: lost work across the transport (failed=%llu "
+                  "aborted=%llu)\n",
+                  static_cast<unsigned long long>(wire.requests_failed),
+                  static_cast<unsigned long long>(wire.sessions_aborted));
+      transport_ok = false;
+    }
+    if (wire.request_checksum != inproc.request_checksum) {
+      std::printf("FAIL: request stream diverged across the transport\n");
+      transport_ok = false;
+    }
+    if (wire.reply_checksum != inproc.reply_checksum) {
+      std::printf("FAIL: replies diverged across the transport (the wire "
+                  "must carry actions bit-exactly)\n");
+      transport_ok = false;
+    }
+    if (!transport_ok) return 1;
+    std::printf("request and reply checksums identical across the "
+                "process boundary\n");
+    return 0;
+  }
 
   // --- Phase 1: same seed + config => same request stream, any thread
   // count. Fresh router per run so neither sees the other's sessions.

@@ -21,6 +21,7 @@
 // this box does not have; the bitwise check is load-bearing
 // regardless.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -32,7 +33,10 @@
 #include <vector>
 
 #include "baselines/factories.h"
+#include "core/context_agent.h"
 #include "envs/lts_env.h"
+#include "nn/tensor.h"
+#include "sadae/sadae.h"
 #include "experiments/lts_experiment.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -265,6 +269,115 @@ int Run(int argc, char** argv) {
                   stats.latency_p50_us, stats.latency_p95_us,
                   stats.latency_p99_us, stats.mean_batch_occupancy});
   }
+  // --- Phase 2.2: forward-pass precision (double vs frozen float32). ----
+  // A serving-size Sim2Rec head — the checkpoint trained above is kept
+  // deliberately tiny so the bench starts fast, but precision only
+  // matters once the GEMMs dominate: LSTM-64 extractor, 128x128
+  // policy/value heads, SADAE latent-8 encoder. Same closed loop, same
+  // micro-batching config; only `precision` differs between rows.
+  core::ContextAgentConfig prec_config;
+  prec_config.obs_dim = envs::kLtsObsDim;
+  prec_config.action_dim = 1;
+  prec_config.lstm_hidden = 64;
+  prec_config.f_hidden = {128};
+  prec_config.f_out = 16;
+  prec_config.policy_hidden = {128, 128};
+  prec_config.value_hidden = {128, 128};
+  sadae::SadaeConfig prec_sadae_config;
+  prec_sadae_config.state_dim = envs::kLtsObsDim;
+  prec_sadae_config.latent_dim = 8;
+  prec_sadae_config.encoder_hidden = {128, 128};
+  Rng prec_rng(23);
+  sadae::Sadae prec_sadae(prec_sadae_config, prec_rng);
+  core::ContextAgent prec_agent(prec_config, &prec_sadae, prec_rng);
+  prec_agent.normalizer()->Update(
+      nn::Tensor::Randn(256, envs::kLtsObsDim, prec_rng, 0.0, 1.0));
+
+  // Numerics first: replay identical per-user observation streams
+  // through both precisions serially; float32 must track double within
+  // tolerance (the double path's own batched==serial bitwise contract
+  // was pinned in phase 1 and is untouched by the plan).
+  const int kPrecCheckSteps = 12;
+  const int kPrecUsers = 8;
+  std::vector<std::vector<nn::Tensor>> prec_obs(kPrecUsers);
+  std::vector<std::vector<nn::Tensor>> prec_act(kPrecUsers);
+  {
+    serve::InferenceServer dbl(&prec_agent, ServerConfig(false, 1));
+    DriveClosedLoop(dbl, kPrecUsers, /*num_clients=*/1, kPrecCheckSteps,
+                    &prec_obs, &prec_act);
+  }
+  double prec_max_diff = 0.0;
+  {
+    serve::InferenceServerConfig f32_config = ServerConfig(false, 1);
+    f32_config.precision = serve::Precision::kFloat32;
+    serve::InferenceServer f32(&prec_agent, f32_config);
+    for (int u = 0; u < kPrecUsers; ++u) {
+      for (int t = 0; t < kPrecCheckSteps; ++t) {
+        const serve::ServeReply reply = f32.Act(u, prec_obs[u][t]);
+        prec_max_diff = std::max(
+            prec_max_diff, nn::MaxAbsDiff(reply.action, prec_act[u][t]));
+      }
+    }
+  }
+  const double kPrecTol = 5e-3;
+  std::printf("\nfloat32 vs double serving: max action |delta| = %.2e "
+              "over %d users x %d steps (tolerance %.0e)\n", prec_max_diff,
+              kPrecUsers, kPrecCheckSteps, kPrecTol);
+  if (prec_max_diff > kPrecTol) {
+    std::printf("FAIL: float32 serving diverged beyond tolerance\n");
+    return 1;
+  }
+
+  // Throughput: identical closed loop per row, precision is the only
+  // difference. The acceptance bar is >=4x request rate at
+  // equal-or-better p99.
+  const int kPrecSteps = full ? 250 : 80;
+  std::printf("\nforward-pass precision (serving-size head: lstm=64, "
+              "heads=128x128, sadae latent=8; %d users x %d steps):\n",
+              kPrecUsers, kPrecSteps);
+  std::printf("%-10s %-12s %-9s %-9s %-9s %-9s\n", "precision", "req/sec",
+              "p50(us)", "p95(us)", "p99(us)", "speedup");
+  CsvWriter prec_csv("results/micro_serve_precision.csv",
+                     {"precision", "req_per_sec", "p50_us", "p95_us",
+                      "p99_us"});
+  double prec_rate[2] = {0.0, 0.0};
+  double prec_p99[2] = {0.0, 0.0};
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool f32 = pass == 1;
+    serve::InferenceServerConfig config = ServerConfig(true, kPrecUsers);
+    if (f32) config.precision = serve::Precision::kFloat32;
+    serve::InferenceServer server(&prec_agent, config);
+    if (f32) std::printf("frozen: %s\n", server.plan()->Describe().c_str());
+    DriveClosedLoop(server, kPrecUsers, kPrecUsers, 2, nullptr, nullptr);
+    Stopwatch stopwatch;
+    DriveClosedLoop(server, kPrecUsers, kPrecUsers, kPrecSteps, nullptr,
+                    nullptr);
+    const double seconds = stopwatch.ElapsedSeconds();
+    const serve::InferenceServerStats stats = server.stats();
+    prec_rate[pass] = kPrecUsers * static_cast<double>(kPrecSteps) / seconds;
+    prec_p99[pass] = stats.latency_p99_us;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  f32 ? prec_rate[1] / prec_rate[0] : 1.0);
+    std::printf("%-10s %-12.0f %-9.0f %-9.0f %-9.0f %-9s\n",
+                f32 ? "float32" : "double", prec_rate[pass],
+                stats.latency_p50_us, stats.latency_p95_us,
+                stats.latency_p99_us, speedup);
+    prec_csv.WriteRow(f32 ? "float32" : "double",
+                      {prec_rate[pass], stats.latency_p50_us,
+                       stats.latency_p95_us, stats.latency_p99_us});
+  }
+  if (prec_rate[1] < 4.0 * prec_rate[0]) {
+    std::printf("FAIL: float32 speedup %.2fx is below the 4x bar\n",
+                prec_rate[1] / prec_rate[0]);
+    return 1;
+  }
+  if (prec_p99[1] > prec_p99[0]) {
+    std::printf("FAIL: float32 p99 %.0fus regressed vs double %.0fus\n",
+                prec_p99[1], prec_p99[0]);
+    return 1;
+  }
+
   // --- Phase 2.5: in-process vs loopback TCP (transport overhead). ------
   // The same closed loop against the same 2-shard router topology,
   // measured from the client's vantage point (TimedService wraps each

@@ -132,6 +132,16 @@ class ContextAgent : public rl::Agent, public nn::Module {
   /// SADAE attached).
   const nn::Tensor& last_group_embedding() const { return last_v_; }
 
+  /// Read-only submodule access for the inference-plan freezer
+  /// (src/infer), which packs these weights into a shape-specialized
+  /// float32 serving plan. Null when the config does not build them.
+  const nn::Mlp* policy_net() const { return policy_net_.get(); }
+  const nn::Mlp* value_net() const { return value_net_.get(); }
+  const nn::Mlp* f_net() const { return f_net_.get(); }
+  const nn::LstmCell* lstm() const { return lstm_.get(); }
+  const nn::GruCell* gru() const { return gru_.get(); }
+  const nn::Tensor& action_bias() const { return action_bias_; }
+
  private:
   /// Builds the SADAE input set from an observation batch and the
   /// previous actions: [obs | prev_a] or [obs] for state-only SADAE.

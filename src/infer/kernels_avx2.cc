@@ -1,0 +1,154 @@
+// AVX2 kernels. This translation unit is the only one compiled with
+// -mavx2 (see src/infer/CMakeLists.txt); every entry point here is
+// reached only behind the ActiveSimdLevel() runtime guard, so the rest
+// of the binary stays runnable on non-AVX2 CPUs.
+//
+// Bitwise contract with kernels.cc: per output element, the identical
+// sequence of IEEE single-precision operations in the identical order
+// (multiply then add — no FMA; the target builds with -ffp-contract=off)
+// and activations built from the same shared constants in kernels.h.
+// tests/infer_test.cc compares the two paths for exact equality.
+
+#include "infer/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace sim2rec {
+namespace infer {
+namespace {
+
+// Lane-wise mirror of TanhF (kernels.h). Same constants, same op order.
+inline __m256 Tanh8(__m256 x) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 ax = _mm256_andnot_ps(sign_mask, x);
+  const __m256 xc = _mm256_max_ps(_mm256_min_ps(x, _mm256_set1_ps(kTanhClamp)),
+                                  _mm256_set1_ps(-kTanhClamp));
+  const __m256 x2 = _mm256_mul_ps(xc, xc);
+  __m256 p = _mm256_set1_ps(kTanhAlpha13);
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha11));
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha9));
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha7));
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha5));
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha3));
+  p = _mm256_add_ps(_mm256_mul_ps(x2, p), _mm256_set1_ps(kTanhAlpha1));
+  p = _mm256_mul_ps(xc, p);
+  __m256 q = _mm256_add_ps(_mm256_mul_ps(x2, _mm256_set1_ps(kTanhBeta6)),
+                           _mm256_set1_ps(kTanhBeta4));
+  q = _mm256_add_ps(_mm256_mul_ps(x2, q), _mm256_set1_ps(kTanhBeta2));
+  q = _mm256_add_ps(_mm256_mul_ps(x2, q), _mm256_set1_ps(kTanhBeta0));
+  const __m256 r = _mm256_div_ps(p, q);
+  const __m256 tiny =
+      _mm256_cmp_ps(ax, _mm256_set1_ps(kTanhTiny), _CMP_LT_OQ);
+  return _mm256_blendv_ps(r, x, tiny);
+}
+
+// Lane-wise mirror of SigmoidF: 0.5 * tanh(0.5 * x) + 0.5.
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  return _mm256_add_ps(_mm256_mul_ps(half, Tanh8(_mm256_mul_ps(half, x))),
+                       half);
+}
+
+// Applies `act` over one contiguous row of m floats. Vector body plus a
+// scalar tail that evaluates the same formulas (ActivateF).
+inline void ActivateRow(Act act, float* y, int m) {
+  switch (act) {
+    case Act::kIdentity:
+      return;
+    case Act::kRelu: {
+      const __m256 zero = _mm256_setzero_ps();
+      int j = 0;
+      for (; j + 8 <= m; j += 8) {
+        _mm256_storeu_ps(y + j, _mm256_max_ps(_mm256_loadu_ps(y + j), zero));
+      }
+      for (; j < m; ++j) y[j] = ReluF(y[j]);
+      return;
+    }
+    case Act::kTanh: {
+      int j = 0;
+      for (; j + 8 <= m; j += 8) {
+        _mm256_storeu_ps(y + j, Tanh8(_mm256_loadu_ps(y + j)));
+      }
+      for (; j < m; ++j) y[j] = TanhF(y[j]);
+      return;
+    }
+    case Act::kSigmoid: {
+      int j = 0;
+      for (; j + 8 <= m; j += 8) {
+        _mm256_storeu_ps(y + j, Sigmoid8(_mm256_loadu_ps(y + j)));
+      }
+      for (; j < m; ++j) y[j] = SigmoidF(y[j]);
+      return;
+    }
+    case Act::kSoftplus: {
+      for (int j = 0; j < m; ++j) y[j] = SoftplusF(y[j]);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmBiasActAvx2(const float* x, const float* w, const float* b,
+                     float* y, int n, int k, int m, Act act) {
+  for (int i = 0; i < n; ++i) {
+    const float* xi = x + static_cast<size_t>(i) * k;
+    float* yi = y + static_cast<size_t>(i) * m;
+    int j = 0;
+    // 4 x 8-lane output strips per iteration: enough independent
+    // accumulators to cover the add latency on one core.
+    for (; j + 32 <= m; j += 32) {
+      __m256 a0, a1, a2, a3;
+      if (b != nullptr) {
+        a0 = _mm256_loadu_ps(b + j);
+        a1 = _mm256_loadu_ps(b + j + 8);
+        a2 = _mm256_loadu_ps(b + j + 16);
+        a3 = _mm256_loadu_ps(b + j + 24);
+      } else {
+        a0 = a1 = a2 = a3 = _mm256_setzero_ps();
+      }
+      for (int p = 0; p < k; ++p) {
+        const __m256 xv = _mm256_set1_ps(xi[p]);
+        const float* wp = w + static_cast<size_t>(p) * m + j;
+        a0 = _mm256_add_ps(a0, _mm256_mul_ps(xv, _mm256_loadu_ps(wp)));
+        a1 = _mm256_add_ps(a1, _mm256_mul_ps(xv, _mm256_loadu_ps(wp + 8)));
+        a2 = _mm256_add_ps(a2, _mm256_mul_ps(xv, _mm256_loadu_ps(wp + 16)));
+        a3 = _mm256_add_ps(a3, _mm256_mul_ps(xv, _mm256_loadu_ps(wp + 24)));
+      }
+      _mm256_storeu_ps(yi + j, a0);
+      _mm256_storeu_ps(yi + j + 8, a1);
+      _mm256_storeu_ps(yi + j + 16, a2);
+      _mm256_storeu_ps(yi + j + 24, a3);
+    }
+    for (; j + 8 <= m; j += 8) {
+      __m256 acc =
+          b != nullptr ? _mm256_loadu_ps(b + j) : _mm256_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const __m256 xv = _mm256_set1_ps(xi[p]);
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(
+                     xv, _mm256_loadu_ps(w + static_cast<size_t>(p) * m + j)));
+      }
+      _mm256_storeu_ps(yi + j, acc);
+    }
+    // Scalar tail columns: same accumulation order as the vector body
+    // (bias first, then x[p] * w[p][j] for ascending p).
+    for (; j < m; ++j) {
+      float acc = b != nullptr ? b[j] : 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc = acc + xi[p] * w[static_cast<size_t>(p) * m + j];
+      }
+      yi[j] = acc;
+    }
+    ActivateRow(act, yi, m);
+  }
+}
+
+}  // namespace infer
+}  // namespace sim2rec
+
+#endif  // defined(__AVX2__)

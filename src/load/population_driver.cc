@@ -75,11 +75,17 @@ void PopulationDriver::SpawnArrivals(int tick, Rng& spawn_stream) {
       continue;
     }
     uint64_t user_id = zipf_.Sample(spawn_stream);
-    // One live session per user (session affinity): probe past ids
-    // already in play. Deterministic because the active set only
-    // changes at tick boundaries, on this thread.
-    while (active_users_.count(user_id) != 0) {
-      user_id = (user_id + 1) % config_.user_space;
+    // One live session per user (session affinity): on collision,
+    // rehash to a fresh id rather than walking linearly. Zipf packs
+    // the hot low-rank ids solid, so a +1 probe would traverse the
+    // entire occupied prefix once the population is large (quadratic
+    // at ~1M active); rehashing jumps uniformly, so expected probes
+    // stay at 1/(1 - active/user_space). The (user_id, probe) pair
+    // never repeats, so the walk always terminates. Deterministic
+    // because the active set only changes at tick boundaries, on this
+    // thread.
+    for (uint64_t probe = 1; active_users_.count(user_id) != 0; ++probe) {
+      user_id = Mix64(user_id + probe) % config_.user_space;
     }
 
     size_t slot;

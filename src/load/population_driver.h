@@ -37,8 +37,10 @@ struct PopulationDriverConfig {
   /// User-id skew: ids are Zipf(zipf_s)-ranked over [0, user_space), so
   /// hot users hammer a few hash-ring shards the way real traffic does.
   /// zipf_s = 0 gives uniform ids. A sampled id already in an active
-  /// session is linearly probed to the next free id (one live session
-  /// per user — the serving stack's session-affinity contract).
+  /// session is deterministically rehashed to a free id (one live
+  /// session per user — the serving stack's session-affinity
+  /// contract). Keep user_space several times the expected peak
+  /// population so the rehash terminates in O(1) expected probes.
   double zipf_s = 1.05;
   uint64_t user_space = uint64_t{1} << 20;
 

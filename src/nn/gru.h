@@ -33,6 +33,13 @@ class GruCell : public Module {
   int in_dim() const { return in_dim_; }
   int hidden_dim() const { return hidden_dim_; }
 
+  /// Raw gate parameters (inference-plan freezing).
+  const Parameter* w_rz() const { return w_rz_; }
+  const Parameter* b_rz() const { return b_rz_; }
+  const Parameter* w_xn() const { return w_xn_; }
+  const Parameter* w_hn() const { return w_hn_; }
+  const Parameter* b_n() const { return b_n_; }
+
  private:
   int in_dim_;
   int hidden_dim_;

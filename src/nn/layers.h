@@ -35,6 +35,8 @@ class Linear : public Module {
   int out_dim() const { return out_dim_; }
   Parameter* weight() { return weight_; }
   Parameter* bias() { return bias_; }
+  const Parameter* weight() const { return weight_; }
+  const Parameter* bias() const { return bias_; }
 
  private:
   int in_dim_;
@@ -58,6 +60,15 @@ class Mlp : public Module {
 
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
+
+  /// Layer-level introspection for the inference-plan freezer
+  /// (src/infer): the stack is `num_layers()` Linears, all but the last
+  /// followed by `hidden_activation()`, the last by
+  /// `output_activation()`.
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Linear& layer(int i) const { return *layers_[i]; }
+  Activation hidden_activation() const { return hidden_act_; }
+  Activation output_activation() const { return out_act_; }
 
  private:
   int in_dim_;

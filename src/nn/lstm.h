@@ -47,6 +47,10 @@ class LstmCell : public Module {
   int in_dim() const { return in_dim_; }
   int hidden_dim() const { return hidden_dim_; }
 
+  /// Raw gate parameters (inference-plan freezing).
+  const Parameter* weight() const { return weight_; }
+  const Parameter* bias() const { return bias_; }
+
  private:
   int in_dim_;
   int hidden_dim_;

@@ -29,6 +29,7 @@ class ObservationNormalizer {
   void CopyFrom(const ObservationNormalizer& other);
 
   int dim() const { return dim_; }
+  double clip() const { return clip_; }
   int64_t count() const { return count_; }
   const nn::Tensor& mean() const { return mean_; }
   /// Raw second central moment accumulator (serialization).

@@ -50,6 +50,10 @@ class Sadae : public nn::Module {
   const SadaeConfig& config() const { return config_; }
   int latent_dim() const { return config_.latent_dim; }
 
+  /// Encoder q_kappa (inference-plan freezing: the serving path only
+  /// needs the per-row posterior mean, i.e. the encoder's mean head).
+  const nn::Mlp* encoder() const { return encoder_.get(); }
+
   /// Differentiable set encoding: returns the pooled posterior as a
   /// [1 x latent] DiagGaussian on the tape. X is [N x input_dim].
   nn::DiagGaussian EncodeSet(nn::Tape& tape, const nn::Tensor& x);

@@ -15,6 +15,7 @@ Autoscaler::Autoscaler(ServeRouter* router, const AutoscalerConfig& config)
   S2R_CHECK(config.max_shards >= config.min_shards);
   S2R_CHECK(config.scale_out_demand > config.scale_in_demand);
   S2R_CHECK(config.scale_out_p99_us >= 0.0);
+  S2R_CHECK(config.scale_out_queue_depth >= 0.0);
   S2R_CHECK(config.breach_polls >= 1);
   S2R_CHECK(config.cooldown_polls >= 0);
 }
@@ -25,16 +26,23 @@ Autoscaler::Action Autoscaler::Poll() {
   std::lock_guard<std::mutex> lock(mutex_);
   polls_.fetch_add(1, std::memory_order_relaxed);
 
-  const auto shard_stats = router_->ShardStats();
+  const auto shard_stats = config_.stats_source
+                               ? config_.stats_source()
+                               : router_->ShardStats();
   const int shards = static_cast<int>(shard_stats.size());
   int64_t total_requests = 0;
+  int64_t total_queued = 0;
   double max_p99_us = 0.0;
   for (const auto& [id, stats] : shard_stats) {
     (void)id;
     total_requests += stats.requests;
+    total_queued += stats.queue_depth;
     max_p99_us = std::max(max_p99_us, stats.latency_p99_us);
   }
+  const double queue_depth =
+      shards > 0 ? static_cast<double>(total_queued) / shards : 0.0;
   last_p99_us_.store(max_p99_us, std::memory_order_relaxed);
+  last_queue_depth_.store(queue_depth, std::memory_order_relaxed);
 
   // First poll only establishes the request-counter baseline: a delta
   // against zero would read the router's whole history as one
@@ -56,7 +64,9 @@ Autoscaler::Action Autoscaler::Poll() {
   const bool overload =
       demand > config_.scale_out_demand ||
       (config_.scale_out_p99_us > 0.0 &&
-       max_p99_us > config_.scale_out_p99_us);
+       max_p99_us > config_.scale_out_p99_us) ||
+      (config_.scale_out_queue_depth > 0.0 &&
+       queue_depth > config_.scale_out_queue_depth);
   const bool underload = !overload && demand < config_.scale_in_demand;
   out_streak_ = overload ? out_streak_ + 1 : 0;
   in_streak_ = underload ? in_streak_ + 1 : 0;
@@ -135,6 +145,8 @@ AutoscalerStats Autoscaler::stats() const {
   stats.scale_ins = scale_ins_.load(std::memory_order_relaxed);
   stats.last_demand = last_demand_.load(std::memory_order_relaxed);
   stats.last_p99_us = last_p99_us_.load(std::memory_order_relaxed);
+  stats.last_queue_depth =
+      last_queue_depth_.load(std::memory_order_relaxed);
   return stats;
 }
 

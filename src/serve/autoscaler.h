@@ -4,8 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "serve/serve_router.h"
 
@@ -34,6 +37,15 @@ struct AutoscalerConfig {
   /// misses, like one hot shard at modest aggregate rate).
   double scale_out_p99_us = 0.0;
 
+  /// Backlog trigger: mean instantaneous queue depth per shard (the
+  /// serve.queue_depth gauge each shard exports) above this counts as an
+  /// overload breach, alongside demand. 0 disables it (default). Demand
+  /// is requests *served* per interval, so a saturated shard whose
+  /// throughput has plateaued reads as flat demand while its queue
+  /// grows — this knob catches exactly that case. Subject to the same
+  /// breach_polls streak and cooldown hysteresis as the other signals.
+  double scale_out_queue_depth = 0.0;
+
   /// A breach must persist for this many *consecutive* polls before the
   /// controller acts — the other half of the hysteresis.
   int breach_polls = 2;
@@ -41,6 +53,14 @@ struct AutoscalerConfig {
   /// session migration and the demand baseline settle before judging
   /// the new topology.
   int cooldown_polls = 3;
+
+  /// Where Poll() samples per-shard stats. Null (default) reads the
+  /// live router via ShardStats(). Tests inject a synthetic source so
+  /// transient signals like queue depth — practically always 0 by the
+  /// time a deterministic test polls — can be exercised; the controller
+  /// still acts on the real router.
+  std::function<std::vector<std::pair<int, InferenceServerStats>>()>
+      stats_source;
 };
 
 struct AutoscalerStats {
@@ -49,6 +69,7 @@ struct AutoscalerStats {
   int64_t scale_ins = 0;
   double last_demand = 0.0;   // requests / shard, most recent poll
   double last_p99_us = 0.0;   // max over shards, most recent poll
+  double last_queue_depth = 0.0;  // mean queued / shard, most recent poll
 };
 
 /// Hysteresis controller closing the loop the OPERATIONS runbook left
@@ -100,6 +121,7 @@ class Autoscaler {
   std::atomic<int64_t> scale_ins_{0};
   std::atomic<double> last_demand_{0.0};
   std::atomic<double> last_p99_us_{0.0};
+  std::atomic<double> last_queue_depth_{0.0};
 
   std::thread poller_;
   std::mutex stop_mutex_;             // pairs with stop_cv_ for Stop()

@@ -416,5 +416,21 @@ std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {
   return LoadCheckpointEx(dir).policy;
 }
 
+std::shared_ptr<const infer::InferencePlan> FreezePlan(
+    const LoadedPolicy& policy) {
+  if (policy.agent == nullptr) {
+    S2R_LOG_WARN("FreezePlan: loaded policy has no agent");
+    return nullptr;
+  }
+  infer::FreezeResult frozen = infer::InferencePlan::Freeze(*policy.agent);
+  if (!frozen.ok()) {
+    S2R_LOG_WARN("FreezePlan: %s — serving stays on the double path",
+                 frozen.error.c_str());
+    return nullptr;
+  }
+  S2R_LOG_INFO("FreezePlan: %s", frozen.plan->Describe().c_str());
+  return std::move(frozen.plan);
+}
+
 }  // namespace serve
 }  // namespace sim2rec

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/context_agent.h"
+#include "infer/plan.h"
 #include "sadae/sadae.h"
 
 namespace sim2rec {
@@ -93,6 +94,14 @@ LoadResult LoadCheckpointEx(const std::string& dir);
 
 /// LoadCheckpointEx without the status: nullptr on any failure.
 std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir);
+
+/// Checkpoint-load-time entry point for float32 serving: freezes the
+/// restored agent into an immutable infer::InferencePlan ready to hand
+/// to InferenceServerConfig::plan / a ServeRouter. Returns null (with a
+/// logged warning) when the agent fails freeze validation — never
+/// aborts, so callers can fall back to the double path.
+std::shared_ptr<const infer::InferencePlan> FreezePlan(
+    const LoadedPolicy& policy);
 
 }  // namespace serve
 }  // namespace sim2rec

@@ -38,6 +38,20 @@ InferenceServer::InferenceServer(const core::ContextAgent* agent,
                 agent->config().action_dim);
   store_ = std::make_unique<SessionStore>(SessionDimsFor(*agent),
                                           config.sessions);
+  if (config_.precision == Precision::kFloat32) {
+    plan_ = config_.plan;
+    if (plan_ == nullptr) {
+      infer::FreezeResult frozen = infer::InferencePlan::Freeze(*agent);
+      S2R_CHECK_MSG(frozen.ok(),
+                    ("float32 serving requested but the agent failed to "
+                     "freeze: " +
+                     frozen.error)
+                        .c_str());
+      plan_ = std::move(frozen.plan);
+    }
+    workspace_ = std::make_unique<infer::Workspace>(
+        plan_->CreateWorkspace(config_.max_batch_size));
+  }
   obs::MetricsRegistry& registry = config_.registry != nullptr
                                        ? *config_.registry
                                        : obs::MetricsRegistry::Global();
@@ -217,7 +231,8 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
     S2R_TRACE_SPAN("serve/forward", "shard",
                    static_cast<double>(config_.shard_id), "rows",
                    static_cast<double>(k));
-    out = agent_->ServeStep(obs, &state);
+    out = plan_ != nullptr ? plan_->ServeStep(obs, &state, workspace_.get())
+                           : agent_->ServeStep(obs, &state);
   }
 
   // Unpack: advance each session, apply the F_exec guard, fill replies.

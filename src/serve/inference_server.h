@@ -13,6 +13,7 @@
 
 #include "core/context_agent.h"
 #include "core/thread_pool.h"
+#include "infer/plan.h"
 #include "obs/metrics.h"
 #include "serve/metrics.h"
 #include "serve/policy_service.h"
@@ -20,6 +21,19 @@
 
 namespace sim2rec {
 namespace serve {
+
+/// Numeric path of the serving forward pass.
+enum class Precision {
+  /// Double-precision nn::Module ServeStep — the reference path. Keeps
+  /// the bitwise batched==serial contract bench/micro_serve pins.
+  kDouble,
+  /// Frozen float32 infer::InferencePlan with SIMD kernels (runtime
+  /// AVX2 dispatch, scalar fallback). Answers track the double path to
+  /// float32 tolerance (~1e-4, checked in tests/infer_test.cc); each row
+  /// is still computed independently, so batched-vs-serial stays exactly
+  /// equal per row.
+  kFloat32,
+};
 
 struct InferenceServerConfig {
   /// Micro-batching: coalesce up to `max_batch_size` concurrent Act()
@@ -41,6 +55,18 @@ struct InferenceServerConfig {
   std::vector<double> action_low;
   std::vector<double> action_high;
   double exec_tolerance = 0.02;
+
+  /// Forward-pass numerics; see Precision. kFloat32 buys ~4x+ request
+  /// throughput on AVX2 hardware (bench/micro_serve prints the table).
+  Precision precision = Precision::kDouble;
+  /// Pre-frozen plan to serve from under kFloat32. A ServeRouter
+  /// freezes the agent once and hands this same immutable plan to every
+  /// shard, so N shards share one copy of the packed weights. Null with
+  /// kFloat32 makes the server freeze its own plan at construction
+  /// (aborts if the agent fails validation — callers wanting a soft
+  /// fallback freeze first and check FreezeResult themselves). Ignored
+  /// under kDouble.
+  std::shared_ptr<const infer::InferencePlan> plan;
 
   SessionStoreConfig sessions;
 
@@ -119,6 +145,9 @@ class InferenceServer : public PolicyService {
   InferenceServerStats stats() const;
   SessionStore& sessions() { return *store_; }
   const core::ContextAgent& agent() const { return *agent_; }
+  /// The frozen plan this server forwards through, or null on the
+  /// double path. Shards of one router return the same pointer.
+  const infer::InferencePlan* plan() const { return plan_.get(); }
 
  private:
   struct Pending {
@@ -139,6 +168,12 @@ class InferenceServer : public PolicyService {
   InferenceServerConfig config_;
   core::ThreadPool* pool_;
   std::unique_ptr<SessionStore> store_;
+  // Float32 path: immutable shared plan + this server's private
+  // workspace. Only the thread that runs ProcessBatch touches the
+  // workspace (the batcher thread, or callers serialized by
+  // serial_mutex_ when micro-batching is off).
+  std::shared_ptr<const infer::InferencePlan> plan_;
+  std::unique_ptr<infer::Workspace> workspace_;
 
   std::mutex mutex_;
   std::condition_variable queue_cv_;  // batcher waits for requests

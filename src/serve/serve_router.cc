@@ -26,6 +26,21 @@ ServeRouter::ServeRouter(const core::ContextAgent* agent,
     : agent_(agent), config_(config), ring_(config.virtual_nodes) {
   S2R_CHECK(agent != nullptr);
   S2R_CHECK(initial_shards >= 1);
+  if (config_.shard.precision == Precision::kFloat32 &&
+      config_.shard.plan == nullptr) {
+    // Freeze once; MakeShard copies this config, so every shard —
+    // including ones added later — shares the same immutable plan
+    // instead of freezing its own copy of the weights.
+    infer::FreezeResult frozen = infer::InferencePlan::Freeze(*agent);
+    S2R_CHECK_MSG(frozen.ok(),
+                  ("float32 serving requested but the agent failed to "
+                   "freeze: " +
+                   frozen.error)
+                      .c_str());
+    config_.shard.plan = std::move(frozen.plan);
+    S2R_LOG_INFO("serve_router: frozen shared %s",
+                 config_.shard.plan->Describe().c_str());
+  }
   for (int id = 0; id < initial_shards; ++id) {
     shards_.emplace(id, MakeShard(id));
     ring_.AddNode(id);

@@ -544,6 +544,50 @@ TEST(Autoscaler, LatencyTriggerScalesOutAtLowDemand) {
   EXPECT_GT(scaler.stats().last_p99_us, 0.01);
 }
 
+TEST(Autoscaler, QueueDepthTriggerScalesOutWithHysteresis) {
+  TinyAgent tiny;
+  serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
+  serve::AutoscalerConfig config = TestScalerConfig();
+  config.scale_out_demand = 1e12;  // demand trigger unreachable
+  config.scale_in_demand = 0.0;    // and never scale in
+  config.scale_out_queue_depth = 8.0;
+  config.breach_polls = 2;
+  // queue_depth is instantaneous — by the time a deterministic test
+  // polls, every queue has drained to 0. Inject the backlog through the
+  // stats seam; the controller still resizes the real router.
+  int64_t injected_depth = 0;
+  config.stats_source = [&] {
+    auto stats = router.ShardStats();
+    for (auto& [id, shard_stats] : stats) {
+      (void)id;
+      shard_stats.queue_depth = injected_depth;
+    }
+    return stats;
+  };
+  serve::Autoscaler scaler(&router, config);
+  scaler.Poll();  // baseline
+
+  // Depth exactly at the threshold is not a breach (strictly above).
+  injected_depth = 8;
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);
+  EXPECT_EQ(scaler.stats().last_queue_depth, 8.0);
+
+  // Hysteresis: a breach that does not persist breach_polls consecutive
+  // polls resets the streak and moves nothing.
+  injected_depth = 50;
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);  // streak 1
+  injected_depth = 0;
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);  // reset
+  EXPECT_EQ(router.num_shards(), 2);
+
+  // A persistent backlog scales out even though served demand is flat —
+  // the saturation case the request-delta signal cannot see.
+  injected_depth = 50;
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kNone);  // streak 1
+  EXPECT_EQ(scaler.Poll(), serve::Autoscaler::Action::kScaleOut);
+  EXPECT_EQ(router.num_shards(), 3);
+}
+
 TEST(Autoscaler, SessionsSurviveEveryAutoscaleReshard) {
   TinyAgent tiny;
   serve::ServeRouter router(&tiny.agent, SmallRouterConfig(), 2);
