@@ -33,11 +33,15 @@
 #include <vector>
 
 #include "core/context_agent.h"
+#include "load/flaky_service.h"
 #include "load/population_driver.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "sadae/sadae.h"
 #include "serve/autoscaler.h"
 #include "serve/serve_router.h"
+#include "transport/http_endpoint.h"
 #include "transport/policy_client.h"
 #include "transport/policy_server.h"
 #include "util/logging.h"
@@ -127,6 +131,45 @@ struct Mode {
   uint64_t target_peak;  // peak concurrent sessions floor
 };
 
+/// One-shot HTTP GET against the bench's own metrics endpoint — the
+/// in-process equivalent of the curl probes in
+/// scripts/run_obs_live_smoke.sh. Returns the full response (status
+/// line + headers + body), empty on any I/O failure.
+std::string HttpGet(int port, const std::string& target) {
+  transport::TcpConnection conn =
+      transport::TcpConnection::Connect("127.0.0.1", port, 2000);
+  if (!conn.valid()) return "";
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  if (conn.WriteFull(request.data(), request.size(), 2000) !=
+      transport::IoStatus::kOk) {
+    return "";
+  }
+  std::string response;
+  char buffer[4096];
+  size_t n = 0;
+  while (conn.ReadSome(buffer, sizeof(buffer), 2000, &n) ==
+         transport::IoStatus::kOk) {
+    response.append(buffer, n);
+  }
+  return response;
+}
+
+/// Smallest bucket index holding the p99 mass of a snapshotted
+/// histogram (the bucket exemplar triage starts from).
+int P99Bucket(const obs::HistogramSample& histogram) {
+  int64_t total = 0;
+  for (const int64_t c : histogram.buckets) total += c;
+  if (total == 0) return -1;
+  const int64_t rank =
+      static_cast<int64_t>(0.99 * static_cast<double>(total));
+  int64_t seen = 0;
+  for (size_t b = 0; b < histogram.buckets.size(); ++b) {
+    seen += histogram.buckets[b];
+    if (seen > rank) return static_cast<int>(b);
+  }
+  return static_cast<int>(histogram.buckets.size()) - 1;
+}
+
 std::string U64(uint64_t v) { return std::to_string(v); }
 
 void AppendKv(std::string* json, const char* key, const std::string& value,
@@ -145,6 +188,10 @@ int Run(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarn);
   const bool smoke = HasFlag(argc, argv, "--smoke");
   const bool full = HasFlag(argc, argv, "--full");
+  // --metrics-port N: serve GET /metrics, /metrics.json and /healthz on
+  // 127.0.0.1:N for the duration of the run (0 = pick an ephemeral
+  // port; the chosen URL is printed). Absent = no endpoint.
+  const int metrics_port = GetFlagInt(argc, argv, "--metrics-port", -1);
   // Session shape shared by every phase: 2-3 steps with long think
   // times, so populations pile high without a proportional request
   // bill (peak_active ~ rate * steps * mean_gap).
@@ -256,7 +303,177 @@ int Run(int argc, char** argv) {
     }
     if (!transport_ok) return 1;
     std::printf("request and reply checksums identical across the "
-                "process boundary\n");
+                "process boundary\n\n");
+
+    // --- Observability under an injected latency fault. Same wire
+    // topology, but the server now fronts a FlakyPolicyService that
+    // sleeps every nth Act — a synthetic latency tail, run after the
+    // checksum phases so fault effects never touch them. While the
+    // population runs, a MetricsExporter pulls the server's merged
+    // view over the wire (FetchMetrics) once per driver tick into an
+    // append-only JSONL file, and an HTTP endpoint serves the
+    // exporter's cached sample to curl (the bench self-probes it the
+    // way scripts/run_obs_live_smoke.sh does from outside). The run
+    // must leave a p99-bucket latency exemplar whose trace id matches
+    // a server-side transport/act span — the exemplar -> trace
+    // correlation chain the OPERATIONS.md triage recipe walks.
+    obs::MetricsRegistry::Global().ResetAll();  // flaky-run-only view
+    obs::TraceRecorder::Global().Start();
+    const char* jsonl_path = "results/BENCH_serve_scale_metrics.jsonl";
+    std::filesystem::create_directories("results");
+    std::filesystem::remove(jsonl_path);
+    // The exporter's local registry is a fresh one holding only its
+    // obs.* process gauges; the serving view arrives through the
+    // remote source, like an ops box watching a serving tier.
+    obs::MetricsRegistry ops_registry;
+    obs::MetricsExporterConfig exporter_config;
+    exporter_config.jsonl_path = jsonl_path;
+    exporter_config.registry = &ops_registry;
+    obs::MetricsExporter exporter(exporter_config);
+
+    bool obs_ok = true;
+    load::FlakyStats flaky_stats;
+    load::PopulationReport fault_run;
+    {
+      serve::ServeRouter router(&agent, RouterConfig(),
+                                /*initial_shards=*/2);
+      load::FlakyConfig flaky_config;
+      flaky_config.delay_every_n = 97;
+      flaky_config.delay_ms = 25;
+      load::FlakyPolicyService flaky(&router, flaky_config);
+      transport::PolicyServerConfig server_config;
+      server_config.num_workers = kThreads + 2;  // + the ops client
+      server_config.metrics_source = [&router] {
+        return obs::MergeSnapshots(
+            {router.MergedMetrics(),
+             obs::MetricsRegistry::Global().Snapshot()});
+      };
+      transport::PolicyServer server(&flaky, server_config);
+      if (!server.Start()) {
+        std::printf("FAIL: could not start the observed PolicyServer\n");
+        return 1;
+      }
+      transport::PolicyClientConfig ops_config;
+      ops_config.port = server.port();
+      transport::PolicyClient ops_client(ops_config);
+      exporter.AddSource([&ops_client](obs::MetricsSnapshot* snapshot) {
+        return ops_client.FetchMetrics(snapshot) ==
+               transport::TransportStatus::kOk;
+      });
+
+      transport::HttpMetricsConfig http_config;
+      http_config.port = metrics_port >= 0 ? metrics_port : 0;
+      transport::HttpMetricsServer http([&exporter] {
+        obs::ExporterSample sample;
+        exporter.Latest(&sample);  // empty snapshot until first tick
+        return sample.snapshot;
+      }, http_config);
+      if (!http.Start()) {
+        std::printf("FAIL: could not start the metrics endpoint\n");
+        return 1;
+      }
+      std::printf("observability phase: injected delay %dms every %d "
+                  "requests; metrics at %s/metrics\n",
+                  flaky_config.delay_ms, flaky_config.delay_every_n,
+                  http.url().c_str());
+      // Flush so a supervising script sees the URL while the endpoint
+      // is still alive (stdout is block-buffered into a file).
+      std::fflush(stdout);
+
+      ClientPool pool(server.port(), kThreads);
+      load::PopulationDriverConfig config = transport_config();
+      config.tick_hook = [&exporter](int) { exporter.TickOnce(); };
+      load::PopulationDriver driver(&pool, config);
+      fault_run = driver.Run();
+      exporter.TickOnce();  // final sample after the drain
+      flaky_stats = flaky.stats();
+
+      // Self-probe the live endpoint before tearing anything down.
+      const std::string healthz = HttpGet(http.port(), "/healthz");
+      const std::string metrics = HttpGet(http.port(), "/metrics");
+      const std::string metrics_json =
+          HttpGet(http.port(), "/metrics.json");
+      if (healthz.find("200 OK") == std::string::npos ||
+          healthz.find("ok") == std::string::npos) {
+        std::printf("FAIL: /healthz probe failed\n");
+        obs_ok = false;
+      }
+      if (metrics.find("200 OK") == std::string::npos ||
+          metrics.find("transport_request_us") == std::string::npos) {
+        std::printf("FAIL: /metrics probe missing live histograms\n");
+        obs_ok = false;
+      }
+      const size_t json_body = metrics_json.find("\r\n\r\n");
+      std::string json_error;
+      if (json_body == std::string::npos ||
+          !obs::JsonValidate(metrics_json.substr(json_body + 4),
+                             &json_error)) {
+        std::printf("FAIL: /metrics.json body is not valid JSON (%s)\n",
+                    json_error.c_str());
+        obs_ok = false;
+      }
+      http.Shutdown();
+      server.Shutdown();
+    }
+    obs::TraceRecorder::Global().Stop();
+
+    if (!fault_run.Consistent() || fault_run.sessions_aborted != 0) {
+      std::printf("FAIL: lost sessions under the latency fault\n");
+      obs_ok = false;
+    }
+    if (flaky_stats.injected_delays < 1) {
+      std::printf("FAIL: the latency fault never fired\n");
+      obs_ok = false;
+    }
+
+    // The correlation chain: find the server-side request histogram in
+    // the exporter's last (wire-fetched) sample, locate its p99
+    // bucket, and demand an exemplar at or above it whose trace id
+    // also appears on a server-side transport/act span.
+    obs::ExporterSample last_sample;
+    if (!exporter.Latest(&last_sample)) {
+      std::printf("FAIL: exporter took no samples\n");
+      return 1;
+    }
+    const obs::HistogramSample* request_us = nullptr;
+    for (const obs::HistogramSample& h : last_sample.snapshot.histograms) {
+      if (h.name == "transport.request_us") request_us = &h;
+    }
+    if (request_us == nullptr || request_us->count == 0) {
+      std::printf("FAIL: transport.request_us never crossed the wire\n");
+      return 1;
+    }
+    const int p99_bucket = P99Bucket(*request_us);
+    std::vector<obs::TraceEvent> spans =
+        obs::TraceRecorder::Global().EventsSnapshot();
+    uint64_t matched_trace_id = 0;
+    for (const obs::ExemplarSample& exemplar : request_us->exemplars) {
+      if (exemplar.bucket < p99_bucket || exemplar.trace_id == 0) continue;
+      for (const obs::TraceEvent& span : spans) {
+        if (std::string(span.name) == "transport/act" &&
+            span.trace_id == exemplar.trace_id) {
+          matched_trace_id = exemplar.trace_id;
+          break;
+        }
+      }
+      if (matched_trace_id != 0) break;
+    }
+    if (matched_trace_id == 0) {
+      std::printf("FAIL: no p99-bucket exemplar (bucket >= %d) matches a "
+                  "server-side transport/act span\n",
+                  p99_bucket);
+      obs_ok = false;
+    } else {
+      std::printf("p99 triage chain intact: exemplar trace id %llu "
+                  "(bucket >= %d) matches a server-side span\n",
+                  static_cast<unsigned long long>(matched_trace_id),
+                  p99_bucket);
+    }
+    std::printf("exporter wrote %lld samples to %s\n",
+                static_cast<long long>(exporter.snapshots_taken()),
+                jsonl_path);
+    if (!obs_ok) return 1;
+    std::printf("observability under fault OK\n");
     return 0;
   }
 
@@ -325,10 +542,51 @@ int Run(int argc, char** argv) {
     }
     return depth;
   };
-  config.tick_hook = [&scaler](int) { scaler.Poll(); };
+  // Periodic exporter snapshots during the run (not just the final
+  // table): local process metrics merged with the router's per-shard
+  // view, one JSONL line per tick, ring readable by the endpoint.
+  obs::MetricsExporterConfig exporter_config;
+  exporter_config.jsonl_path = "results/BENCH_serve_scale_metrics.jsonl";
+  std::filesystem::create_directories("results");
+  std::filesystem::remove(exporter_config.jsonl_path);
+  obs::MetricsExporter exporter(exporter_config);
+  exporter.AddSource([&router](obs::MetricsSnapshot* snapshot) {
+    *snapshot = router.MergedMetrics();
+    return true;
+  });
+  config.tick_hook = [&scaler, &exporter](int) {
+    scaler.Poll();
+    exporter.TickOnce();
+  };
+
+  std::unique_ptr<transport::HttpMetricsServer> http;
+  if (metrics_port >= 0) {
+    transport::HttpMetricsConfig http_config;
+    http_config.port = metrics_port;
+    http = std::make_unique<transport::HttpMetricsServer>(
+        [&exporter] {
+          obs::ExporterSample sample;
+          exporter.Latest(&sample);
+          return sample.snapshot;
+        },
+        http_config);
+    if (!http->Start()) {
+      std::printf("FAIL: could not bind the metrics endpoint on port "
+                  "%d\n",
+                  metrics_port);
+      return 1;
+    }
+    std::printf("metrics endpoint: %s/metrics (also /metrics.json, "
+                "/healthz)\n\n",
+                http->url().c_str());
+    // Flush so a supervising script (run_obs_live_smoke.sh) can read
+    // the URL while the run — and thus the endpoint — is still live.
+    std::fflush(stdout);
+  }
 
   load::PopulationDriver driver(&router, config);
   const load::PopulationReport report = driver.Run();
+  exporter.TickOnce();  // final sample after the drain
   const serve::AutoscalerStats scaler_stats = scaler.stats();
 
   int max_shards_seen = 0;

@@ -38,9 +38,11 @@
 #include "nn/tensor.h"
 #include "sadae/sadae.h"
 #include "experiments/lts_experiment.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "transport/http_endpoint.h"
 #include "serve/checkpoint.h"
 #include "serve/inference_server.h"
 #include "serve/policy_service.h"
@@ -168,6 +170,48 @@ class TimedService : public serve::PolicyService {
 int Run(int argc, char** argv) {
   const bool full = HasFlag(argc, argv, "--full");
   SetLogLevel(LogLevel::kWarn);
+
+  // Background exporter: a process-metrics snapshot every 250ms into
+  // JSONL for the whole bench run, so latency/throughput movement is
+  // watchable while the phases execute, not just in the final tables.
+  // Reads only — the phase-1 bitwise batched==serial check runs with
+  // it live, which is the determinism contract in action.
+  std::filesystem::create_directories("results");
+  obs::MetricsExporterConfig exporter_config;
+  exporter_config.interval_ms = 250;
+  exporter_config.jsonl_path = "results/micro_serve_metrics.jsonl";
+  std::filesystem::remove(exporter_config.jsonl_path);
+  obs::MetricsExporter exporter(exporter_config);
+  exporter.Start();
+
+  // --metrics-port N: serve the exporter's latest sample over HTTP
+  // (GET /metrics, /metrics.json, /healthz) for curl while the bench
+  // runs; 0 picks an ephemeral port. Absent = no endpoint.
+  const int metrics_port = GetFlagInt(argc, argv, "--metrics-port", -1);
+  std::unique_ptr<transport::HttpMetricsServer> http;
+  if (metrics_port >= 0) {
+    transport::HttpMetricsConfig http_config;
+    http_config.port = metrics_port;
+    http = std::make_unique<transport::HttpMetricsServer>(
+        [&exporter] {
+          obs::ExporterSample sample;
+          exporter.Latest(&sample);
+          return sample.snapshot;
+        },
+        http_config);
+    if (!http->Start()) {
+      std::printf("FAIL: could not bind the metrics endpoint on port "
+                  "%d\n",
+                  metrics_port);
+      return 1;
+    }
+    std::printf("metrics endpoint: %s/metrics (also /metrics.json, "
+                "/healthz)\n",
+                http->url().c_str());
+    // Flush so a supervising script can read the URL while the
+    // endpoint is still alive (stdout is block-buffered into a file).
+    std::fflush(stdout);
+  }
 
   // --- Train a small Sim2Rec agent and export the serving bundle. -------
   const std::string checkpoint_dir =
@@ -603,6 +647,11 @@ int Run(int argc, char** argv) {
               static_cast<long long>(
                   obs::TraceRecorder::Global().event_count()),
               span_names.size());
+  if (http != nullptr) http->Shutdown();
+  exporter.Stop();
+  std::printf("exporter: %lld periodic samples -> %s\n",
+              static_cast<long long>(exporter.snapshots_taken()),
+              exporter_config.jsonl_path.c_str());
   std::printf("\nserving checkpoint round trip + micro-batching OK\n");
   return 0;
 }

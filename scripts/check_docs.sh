@@ -57,4 +57,24 @@ if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED — docs reference binaries that do not exist" >&2
   exit 1
 fi
-echo "check_docs: OK (all documented binaries have CMake targets)"
+
+# --- 3. Metric names in the operations runbook must exist in source. ---
+# OPERATIONS.md documents registry metrics as backticked dotted names
+# (`serve.latency_us`, `obs.uptime_s`, ...). Each one must appear as a
+# string literal somewhere under src/ — otherwise the runbook points an
+# operator at a series that will never be emitted.
+if [ -e docs/OPERATIONS.md ]; then
+  metric_names=$(grep -oE '`(serve|transport|obs|load)\.[a-z0-9_.]+`' \
+      docs/OPERATIONS.md | tr -d '`' | sort -u)
+  for name in $metric_names; do
+    if ! grep -rqF "\"$name\"" src/; then
+      echo "check_docs: OPERATIONS.md documents metric '$name' not found in src/" >&2
+      fail=1
+    fi
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED — runbook metric names missing from source" >&2
+    exit 1
+  fi
+fi
+echo "check_docs: OK (documented binaries and metric names all exist)"

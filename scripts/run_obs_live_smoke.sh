@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Live observability smoke: starts bench_serve_scale --smoke with the
+# HTTP metrics endpoint on an ephemeral port, then — while the run is
+# in flight — curls /healthz, /metrics (Prometheus text) and
+# /metrics.json (validated with the json_validate tool), and finally
+# checks the exporter's append-only JSONL for valid lines carrying
+# exemplars. Registered as the `run_obs_live_smoke` ctest with label
+# `obs` (tests/CMakeLists.txt), so `ctest -L obs` exercises the whole
+# observability plane against a real serving run.
+#
+# Usage: run_obs_live_smoke.sh [path/to/bench_serve_scale] [path/to/json_validate]
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BENCH="${1:-$ROOT/build/bench/bench_serve_scale}"
+JSON_VALIDATE="${2:-$ROOT/build/tests/json_validate}"
+CURL="$(command -v curl || true)"
+
+for bin in "$BENCH" "$JSON_VALIDATE"; do
+  if ! [ -x "$bin" ]; then
+    echo "run_obs_live_smoke: binary not found at $bin" >&2
+    echo "run_obs_live_smoke: build it first (cmake --build build -j)" >&2
+    exit 2
+  fi
+done
+if [ -z "$CURL" ]; then
+  echo "run_obs_live_smoke: SKIP — curl not available" >&2
+  exit 77
+fi
+BENCH="$(cd "$(dirname "$BENCH")" && pwd)/$(basename "$BENCH")"
+JSON_VALIDATE="$(cd "$(dirname "$JSON_VALIDATE")" && pwd)/$(basename "$JSON_VALIDATE")"
+
+workdir="$(mktemp -d)"
+bench_pid=""
+cleanup() {
+  [ -n "$bench_pid" ] && kill "$bench_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+cd "$workdir" || exit 2
+
+# --- 1. Launch the bench with the endpoint on an OS-assigned port. -----
+"$BENCH" --smoke --metrics-port 0 > bench.log 2>&1 &
+bench_pid=$!
+
+# The bench prints "metrics endpoint: http://127.0.0.1:PORT/metrics"
+# before the driver starts; wait for it (or an early death).
+url=""
+for _ in $(seq 1 400); do
+  url=$(sed -n 's|^metrics endpoint: \(http://[^ ]*\)/metrics .*|\1|p' \
+        bench.log | head -n 1)
+  [ -n "$url" ] && break
+  if ! kill -0 "$bench_pid" 2>/dev/null; then
+    echo "run_obs_live_smoke: FAILED — bench died before the endpoint came up" >&2
+    cat bench.log >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+if [ -z "$url" ]; then
+  echo "run_obs_live_smoke: FAILED — no metrics endpoint URL in bench output" >&2
+  cat bench.log >&2
+  exit 1
+fi
+
+# --- 2. Probe the live endpoint while the run is in flight. ------------
+if ! "$CURL" -sf --max-time 5 "$url/healthz" | grep -q '^ok$'; then
+  echo "run_obs_live_smoke: FAILED — /healthz did not answer ok" >&2
+  exit 1
+fi
+
+# Give the exporter a moment to take its first in-run snapshot, then
+# require real serving metrics in the Prometheus text.
+metrics=""
+for _ in $(seq 1 60); do
+  metrics=$("$CURL" -sf --max-time 5 "$url/metrics" || true)
+  echo "$metrics" | grep -q '# TYPE serve_latency_us' && break
+  sleep 0.05
+done
+for needle in '# TYPE serve_latency_us' 'serve_latency_us_count' \
+              'serve_requests'; do
+  if ! echo "$metrics" | grep -q "$needle"; then
+    echo "run_obs_live_smoke: FAILED — /metrics is missing '$needle'" >&2
+    echo "$metrics" | head -n 40 >&2
+    exit 1
+  fi
+done
+
+if ! "$CURL" -sf --max-time 5 "$url/metrics.json" | "$JSON_VALIDATE"; then
+  echo "run_obs_live_smoke: FAILED — /metrics.json is not valid JSON" >&2
+  exit 1
+fi
+
+# --- 3. Let the run finish and audit the exported JSONL. ---------------
+wait "$bench_pid"
+status=$?
+bench_pid=""
+if [ "$status" -ne 0 ]; then
+  echo "run_obs_live_smoke: FAILED — bench exited $status" >&2
+  tail -n 30 bench.log >&2
+  exit 1
+fi
+
+jsonl="results/BENCH_serve_scale_metrics.jsonl"
+if ! [ -s "$jsonl" ]; then
+  echo "run_obs_live_smoke: FAILED — $jsonl was not written" >&2
+  exit 1
+fi
+if ! "$JSON_VALIDATE" --jsonl "$jsonl"; then
+  echo "run_obs_live_smoke: FAILED — $jsonl has invalid lines" >&2
+  exit 1
+fi
+# The point of the plane: exported aggregates resolve to concrete
+# requests. At least one snapshot must carry exemplars with trace ids.
+if ! grep -q '"exemplars"' "$jsonl" || ! grep -q '"trace_id"' "$jsonl"; then
+  echo "run_obs_live_smoke: FAILED — no exemplars in the exported JSONL" >&2
+  exit 1
+fi
+
+lines=$(wc -l < "$jsonl")
+echo "run_obs_live_smoke: OK (live /metrics + /metrics.json + $lines JSONL snapshots with exemplars)"

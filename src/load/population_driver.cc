@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "load/flaky_service.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -223,6 +224,14 @@ PopulationReport PopulationDriver::Run() {
                             Mix64(static_cast<uint64_t>(
                                 session.step_index))),
             std::memory_order_relaxed);
+        // Deterministic nonzero request trace id — (session, step) is
+        // unique for the whole run and independent of thread schedule,
+        // so a wire/exemplar/span id can be matched back to the exact
+        // request that produced it. Retries of a step reuse its id.
+        const uint64_t trace_id =
+            ((session.ordinal + 1) << 20) |
+            (static_cast<uint64_t>(session.step_index) + 1);
+        obs::TraceIdScope trace_scope(trace_id);
         try {
           const double start_us = obs::MonotonicMicros();
           const serve::ServeReply reply =

@@ -1,0 +1,184 @@
+#include "obs/exporter.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/snapshot_codec.h"
+
+namespace sim2rec {
+namespace obs {
+namespace {
+
+std::string FormatSeconds(double s) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", s < 0.0 ? 0.0 : s);
+  return buffer;
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(const MetricsExporterConfig& config)
+    : config_(config),
+      start_us_(MonotonicMicros()),
+      pid_(static_cast<int64_t>(::getpid())) {}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::AddSource(
+    std::function<bool(MetricsSnapshot*)> source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sources_.push_back(std::move(source));
+}
+
+void MetricsExporter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool MetricsExporter::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void MetricsExporter::RunLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    TakeSampleLocked();
+    wake_.wait_for(
+        lock,
+        std::chrono::milliseconds(std::max(1, config_.interval_ms)),
+        [this] { return stop_requested_; });
+  }
+  TakeSampleLocked();  // final sample so Stop() flushes the end state
+}
+
+ExporterSample MetricsExporter::TickOnce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return TakeSampleLocked();
+}
+
+ExporterSample MetricsExporter::TakeSampleLocked() {
+  MetricsRegistry& registry =
+      config_.registry != nullptr ? *config_.registry
+                                  : MetricsRegistry::Global();
+  const double uptime_s = (MonotonicMicros() - start_us_) * 1e-6;
+  const int64_t seq = seq_ + 1;
+
+  // The exporter's only writes: its own process gauges, themselves
+  // instrumentation and therefore behind the same Enabled() gate.
+  if (Enabled() && config_.process_gauges) {
+    registry.GetGauge("obs.uptime_s")->Set(uptime_s);
+    registry.GetGauge("obs.snapshot_seq")
+        ->Set(static_cast<double>(seq));
+    registry.GetGauge("obs.pid")->Set(static_cast<double>(pid_));
+    // build_info carries the snapshot codec version this process
+    // speaks — cheap provenance for mixed-version fleets.
+    registry.GetGauge("obs.build_info")
+        ->Set(static_cast<double>(SnapshotCodecVersion()));
+  }
+
+  ExporterSample sample;
+  sample.seq = seq;
+  sample.uptime_s = uptime_s;
+  sample.pid = pid_;
+
+  std::vector<MetricsSnapshot> parts;
+  parts.push_back(registry.Snapshot());
+  for (const auto& source : sources_) {
+    MetricsSnapshot remote;
+    if (source(&remote)) parts.push_back(std::move(remote));
+  }
+  sample.snapshot =
+      parts.size() == 1 ? std::move(parts[0]) : MergeSnapshots(parts);
+
+  seq_ = seq;
+  ring_.push_back(sample);
+  while (ring_.size() > std::max<size_t>(config_.ring_capacity, 1)) {
+    ring_.pop_front();
+  }
+
+  if (!config_.jsonl_path.empty()) {
+    if (!jsonl_opened_) {
+      jsonl_.open(config_.jsonl_path,
+                  std::ios::binary | std::ios::app);
+      jsonl_opened_ = true;
+    }
+    if (jsonl_.is_open()) {
+      jsonl_ << JsonlLine(sample) << '\n';
+      jsonl_.flush();
+    }
+  }
+  return sample;
+}
+
+bool MetricsExporter::Latest(ExporterSample* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) return false;
+  *out = ring_.back();
+  return true;
+}
+
+std::vector<ExporterSample> MetricsExporter::History() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<ExporterSample>(ring_.begin(), ring_.end());
+}
+
+std::vector<CounterRate> MetricsExporter::LatestRates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRate> rates;
+  if (ring_.size() < 2) return rates;
+  const ExporterSample& prev = ring_[ring_.size() - 2];
+  const ExporterSample& cur = ring_.back();
+  const double dt = cur.uptime_s - prev.uptime_s;
+  std::map<std::string, int64_t> previous;
+  for (const CounterSample& c : prev.snapshot.counters) {
+    previous[c.name] = c.value;
+  }
+  for (const CounterSample& c : cur.snapshot.counters) {
+    CounterRate rate;
+    rate.name = c.name;
+    auto it = previous.find(c.name);
+    rate.delta = c.value - (it == previous.end() ? 0 : it->second);
+    rate.per_sec = dt > 0.0 ? static_cast<double>(rate.delta) / dt : 0.0;
+    rates.push_back(std::move(rate));
+  }
+  return rates;
+}
+
+int64_t MetricsExporter::snapshots_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::string MetricsExporter::JsonlLine(const ExporterSample& sample) {
+  std::string out = "{\"seq\":" + std::to_string(sample.seq) +
+                    ",\"uptime_s\":" + FormatSeconds(sample.uptime_s) +
+                    ",\"pid\":" + std::to_string(sample.pid) +
+                    ",\"metrics\":" + sample.snapshot.ToJson() + '}';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sim2rec

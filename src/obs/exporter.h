@@ -1,0 +1,134 @@
+#ifndef SIM2REC_OBS_EXPORTER_H_
+#define SIM2REC_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sim2rec {
+namespace obs {
+
+/// Configuration for MetricsExporter.
+struct MetricsExporterConfig {
+  /// Background snapshot period (Start()); TickOnce() ignores it.
+  int interval_ms = 1000;
+  /// Append-only JSONL sink, one snapshot object per line; empty
+  /// disables file output. Opened at Start() / first TickOnce().
+  std::string jsonl_path;
+  /// In-memory ring of the most recent samples (History()).
+  size_t ring_capacity = 120;
+  /// Registry to snapshot; nullptr means MetricsRegistry::Global().
+  MetricsRegistry* registry = nullptr;
+  /// Publish the obs.* process gauges (uptime_s, snapshot_seq, pid,
+  /// build_info) into the registry before each snapshot, so merged
+  /// multi-process views stay attributable (see Gauge merge semantics
+  /// in metrics.h). Gated on obs::Enabled() like all instrumentation.
+  bool process_gauges = true;
+};
+
+/// One exporter observation: the merged snapshot plus when it was taken.
+struct ExporterSample {
+  int64_t seq = 0;        // 1, 2, 3, ... per exporter instance
+  double uptime_s = 0.0;  // seconds since exporter construction
+  int64_t pid = 0;        // exporting process (JSONL attribution)
+  MetricsSnapshot snapshot;
+};
+
+/// Counter movement between the two most recent samples.
+struct CounterRate {
+  std::string name;
+  int64_t delta = 0;
+  double per_sec = 0.0;
+};
+
+/// Background observer for long-running serving loops: periodically
+/// snapshots a MetricsRegistry — optionally merged with remote parts
+/// pulled through AddSource (PolicyClient::FetchMetrics and friends) —
+/// into (a) an append-only JSONL file a `tail -f` or offline plotter
+/// can follow and (b) an in-memory ring buffer of the last N samples
+/// with counter deltas/rates, which the HTTP endpoint and benches read.
+///
+/// Determinism contract: the exporter only *reads* metrics — it never
+/// mutates a histogram or counter, never touches an Rng, and its
+/// thread does nothing but snapshot + serialize + file I/O, so running
+/// it cannot change what the instrumented program computes (the
+/// bitwise instrumented-vs-disabled test stays the arbiter). Its only
+/// writes are the obs.* process gauges, which are themselves
+/// instrumentation and gated on obs::Enabled().
+///
+/// Thread-safety: Start/Stop/TickOnce/History/etc. may be called from
+/// any thread; snapshot sources must themselves be callable off-thread
+/// (PolicyClient is internally locked).
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(const MetricsExporterConfig& config);
+  ~MetricsExporter();  // Stop()s the background thread if running
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Adds a remote snapshot part (e.g. wrapping FetchMetrics on an ops
+  /// client). Sources returning false are skipped for that sample —
+  /// a flaky remote degrades the view, never the run. Call before
+  /// Start(); parts merge after the local registry in AddSource order
+  /// (so remote gauges win ties — see MergeSnapshots).
+  void AddSource(std::function<bool(MetricsSnapshot*)> source);
+
+  /// Launches the background thread (no-op if already running). A
+  /// final snapshot is always taken on Stop(), so short runs still get
+  /// at least one sample.
+  void Start();
+  /// Stops the thread after one last snapshot. Idempotent.
+  void Stop();
+  bool running() const;
+
+  /// Takes one snapshot synchronously on the calling thread — the
+  /// deterministic alternative to Start() for tick-driven loops
+  /// (bench tick hooks call this). Returns the sample it appended.
+  ExporterSample TickOnce();
+
+  /// Most recent sample; false when none taken yet.
+  bool Latest(ExporterSample* out) const;
+  /// Ring contents, oldest first (at most ring_capacity entries).
+  std::vector<ExporterSample> History() const;
+  /// Counter deltas between the two most recent samples (empty until
+  /// two samples exist). Sorted by name.
+  std::vector<CounterRate> LatestRates() const;
+  int64_t snapshots_taken() const;
+
+  /// The JSONL line format for one sample:
+  ///   {"seq":N,"uptime_s":S,"pid":P,"metrics":{...ToJson()...}}
+  static std::string JsonlLine(const ExporterSample& sample);
+
+ private:
+  void RunLoop();
+  ExporterSample TakeSampleLocked();  // requires mutex_
+
+  const MetricsExporterConfig config_;
+  const double start_us_;
+  const int64_t pid_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<std::function<bool(MetricsSnapshot*)>> sources_;
+  std::deque<ExporterSample> ring_;
+  std::ofstream jsonl_;
+  bool jsonl_opened_ = false;
+  int64_t seq_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace sim2rec
+
+#endif  // SIM2REC_OBS_EXPORTER_H_

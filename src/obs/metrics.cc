@@ -124,6 +124,83 @@ void LogHistogram::Record(double value) {
   count_.fetch_add(1, std::memory_order_release);
 }
 
+void LogHistogram::RecordWithExemplar(double value, uint64_t trace_id,
+                                      const char* tag_name0,
+                                      double tag_value0,
+                                      const char* tag_name1,
+                                      double tag_value1,
+                                      const char* tag_name2,
+                                      double tag_value2,
+                                      const char* tag_name3,
+                                      double tag_value3) {
+  Record(value);
+  if (!std::isfinite(value)) return;
+  value = std::max(value, 0.0);
+  const int bucket = BucketFor(value);
+  // The bucket's own (post-Record) sample count rotates the slot index:
+  // later samples displace earlier ones, no Rng involved.
+  const int64_t ticket = buckets_[bucket].load(std::memory_order_relaxed);
+  ExemplarSlot& slot =
+      exemplar_slots_[bucket][static_cast<size_t>(ticket) % kExemplarSlots];
+  uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1u) return;  // writer in flight: drop rather than wait
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    return;  // lost the claim race: drop
+  }
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  const char* names[kMaxExemplarTags] = {tag_name0, tag_name1, tag_name2,
+                                         tag_name3};
+  const double values[kMaxExemplarTags] = {tag_value0, tag_value1,
+                                           tag_value2, tag_value3};
+  int num_tags = 0;
+  for (int i = 0; i < kMaxExemplarTags; ++i) {
+    if (names[i] == nullptr) break;
+    slot.tag_names[num_tags].store(names[i], std::memory_order_relaxed);
+    slot.tag_values[num_tags].store(values[i], std::memory_order_relaxed);
+    ++num_tags;
+  }
+  slot.num_tags.store(num_tags, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<ExemplarSample> LogHistogram::Exemplars() const {
+  std::vector<ExemplarSample> out;
+  for (int b = 0; b < kBuckets; ++b) {
+    for (int s = 0; s < kExemplarSlots; ++s) {
+      const ExemplarSlot& slot = exemplar_slots_[b][s];
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const uint32_t before = slot.seq.load(std::memory_order_acquire);
+        if (before == 0) break;     // never written
+        if (before & 1u) continue;  // writer in flight; retry
+        ExemplarSample sample;
+        sample.bucket = b;
+        sample.value = slot.value.load(std::memory_order_relaxed);
+        sample.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+        const int num_tags = std::clamp(
+            slot.num_tags.load(std::memory_order_relaxed), 0,
+            kMaxExemplarTags);
+        for (int i = 0; i < num_tags; ++i) {
+          const char* name =
+              slot.tag_names[i].load(std::memory_order_relaxed);
+          if (name == nullptr) continue;
+          sample.tags.push_back(
+              {name, slot.tag_values[i].load(std::memory_order_relaxed)});
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != before) {
+          continue;  // torn by a concurrent writer; retry
+        }
+        out.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 double LogHistogram::mean() const {
   const int64_t n = count();
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
@@ -189,6 +266,18 @@ void LogHistogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+  for (auto& per_bucket : exemplar_slots_) {
+    for (ExemplarSlot& slot : per_bucket) {
+      slot.value.store(0.0, std::memory_order_relaxed);
+      slot.trace_id.store(0, std::memory_order_relaxed);
+      slot.num_tags.store(0, std::memory_order_relaxed);
+      for (int i = 0; i < kMaxExemplarTags; ++i) {
+        slot.tag_names[i].store(nullptr, std::memory_order_relaxed);
+        slot.tag_values[i].store(0.0, std::memory_order_relaxed);
+      }
+      slot.seq.store(0, std::memory_order_release);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +330,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     sample.p95 = histogram->Quantile(0.95);
     sample.p99 = histogram->Quantile(0.99);
     sample.buckets = histogram->BucketCounts();
+    sample.exemplars = histogram->Exemplars();
     snapshot.histograms.push_back(sample);
   }
   return snapshot;
@@ -277,6 +367,9 @@ MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts) {
         acc = h;
         continue;
       }
+      // Exemplars concatenate across parts (re-sorted by bucket below).
+      acc.exemplars.insert(acc.exemplars.end(), h.exemplars.begin(),
+                           h.exemplars.end());
       // Exact at bucket granularity when both sides carry buckets;
       // conservative (max of parts) otherwise.
       acc.mean = (acc.mean * static_cast<double>(acc.count) +
@@ -306,8 +399,12 @@ MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& parts) {
       }
     }
   }
-  for (const auto& [name, sample] : histograms) {
-    merged.histograms.push_back(sample);
+  for (auto& [name, sample] : histograms) {
+    std::stable_sort(sample.exemplars.begin(), sample.exemplars.end(),
+                     [](const ExemplarSample& a, const ExemplarSample& b) {
+                       return a.bucket < b.bucket;
+                     });
+    merged.histograms.push_back(std::move(sample));
   }
   return merged;
 }
@@ -348,7 +445,30 @@ std::string MetricsSnapshot::ToJson() const {
            ",\"max\":" + FormatJsonNumber(h.max) +
            ",\"p50\":" + FormatJsonNumber(h.p50) +
            ",\"p95\":" + FormatJsonNumber(h.p95) +
-           ",\"p99\":" + FormatJsonNumber(h.p99) + '}';
+           ",\"p99\":" + FormatJsonNumber(h.p99);
+    if (!h.exemplars.empty()) {
+      out += ",\"exemplars\":[";
+      bool first_exemplar = true;
+      for (const ExemplarSample& e : h.exemplars) {
+        if (!first_exemplar) out += ',';
+        first_exemplar = false;
+        // Trace ids are u64 — exported as decimal strings, since a
+        // JSON double cannot hold them exactly.
+        out += "{\"bucket\":" + std::to_string(e.bucket) +
+               ",\"value\":" + FormatJsonNumber(e.value) +
+               ",\"trace_id\":\"" + std::to_string(e.trace_id) +
+               "\",\"tags\":{";
+        bool first_tag = true;
+        for (const ExemplarTag& tag : e.tags) {
+          if (!first_tag) out += ',';
+          first_tag = false;
+          out += JsonQuote(tag.name) + ':' + FormatJsonNumber(tag.value);
+        }
+        out += "}}";
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "}}";
   return out;
@@ -381,6 +501,69 @@ std::string MetricsSnapshot::ToText() const {
                   static_cast<long long>(h.count), h.mean, h.min, h.max,
                   h.p50, h.p95, h.p99);
     out += line;
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+/// registry's dots in particular) becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string FormatPrometheusNumber(double v) {
+  if (!std::isfinite(v)) return std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const CounterSample& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + FormatPrometheusNumber(g.value) + '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    const std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " summary\n";
+    out += name + "{quantile=\"0.5\"} " + FormatPrometheusNumber(h.p50) +
+           '\n';
+    out += name + "{quantile=\"0.95\"} " + FormatPrometheusNumber(h.p95) +
+           '\n';
+    out += name + "{quantile=\"0.99\"} " + FormatPrometheusNumber(h.p99) +
+           '\n';
+    out += name + "_sum " +
+           FormatPrometheusNumber(h.mean * static_cast<double>(h.count)) +
+           '\n';
+    out += name + "_count " + std::to_string(h.count) + '\n';
+    // Exemplars as comments: scrape-transparent, human-visible.
+    for (const ExemplarSample& e : h.exemplars) {
+      out += "# exemplar " + name + " bucket=" + std::to_string(e.bucket) +
+             " value=" + FormatPrometheusNumber(e.value) +
+             " trace_id=" + std::to_string(e.trace_id);
+      for (const ExemplarTag& tag : e.tags) {
+        out += ' ' + tag.name + '=' + FormatPrometheusNumber(tag.value);
+      }
+      out += '\n';
+    }
   }
   return out;
 }

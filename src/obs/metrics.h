@@ -73,6 +73,14 @@ class Counter {
 };
 
 /// Last-written value (losses, learning rates, queue depths).
+///
+/// Merge semantics: gauges do not sum. When snapshots from several
+/// registries/processes are folded with MergeSnapshots, the LAST part
+/// (in the caller's part order) carrying a given gauge name wins
+/// wholesale. A merged multi-process view therefore shows one
+/// process's gauge values; the `obs.pid` / `obs.snapshot_seq` process
+/// gauges the MetricsExporter publishes exist precisely so the merged
+/// result stays attributable to the process that won.
 class Gauge {
  public:
   void Set(double value) {
@@ -92,6 +100,24 @@ class Gauge {
   std::atomic<bool> set_{false};
 };
 
+/// One numeric tag attached to an exemplar ("shard" -> 3, "batch" -> 17).
+struct ExemplarTag {
+  std::string name;
+  double value = 0.0;
+};
+
+/// One concrete sample retained for a histogram bucket: the recorded
+/// value, the trace id of the request that produced it (0 when none was
+/// in scope) and up to LogHistogram::kMaxExemplarTags numeric tags. The
+/// whole point of exemplars is that a p99 spike in the aggregate
+/// resolves to a specific request you can find in the trace output.
+struct ExemplarSample {
+  int bucket = 0;
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  std::vector<ExemplarTag> tags;
+};
+
 /// Log-bucketed histogram over non-negative doubles: O(1) memory and
 /// record cost at any sample volume. Buckets double from 1; bucket 0 is
 /// [0, 1). Record is lock-free (atomic bucket counters + CAS min/max),
@@ -101,11 +127,37 @@ class Gauge {
 /// exact observed values while interior quantiles carry bucket-sized
 /// error (fine for p50/p95/p99 reporting, not for asserting exact
 /// values).
+///
+/// Exemplars: each bucket additionally keeps a tiny reservoir of
+/// kExemplarSlots recent (value, trace_id, tags) samples, written via
+/// RecordWithExemplar. Writers claim a slot with a seqlock CAS and
+/// *drop the exemplar on contention* rather than wait — the aggregate
+/// counts above are always exact; the exemplar reservoir is best-effort
+/// by design and never blocks a hot path. Slot rotation is driven by
+/// the bucket's own sample count (no Rng — instrumentation stays
+/// determinism-neutral), so the reservoir holds the most recent
+/// samples per bucket.
 class LogHistogram {
  public:
   static constexpr int kBuckets = 64;
+  static constexpr int kExemplarSlots = 2;   // per-bucket reservoir size
+  static constexpr int kMaxExemplarTags = 4;
 
   void Record(double value);
+
+  /// Record + retain an exemplar for the owning bucket. Tag names must
+  /// be string literals (or otherwise immortal): the hot path stores
+  /// the pointer, never copies the text. Pass up to kMaxExemplarTags
+  /// (name, value) pairs.
+  void RecordWithExemplar(double value, uint64_t trace_id,
+                          const char* tag_name0 = nullptr,
+                          double tag_value0 = 0.0,
+                          const char* tag_name1 = nullptr,
+                          double tag_value1 = 0.0,
+                          const char* tag_name2 = nullptr,
+                          double tag_value2 = 0.0,
+                          const char* tag_name3 = nullptr,
+                          double tag_value3 = 0.0);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -122,9 +174,26 @@ class LogHistogram {
   /// bucket granularity lose nothing the individual quantile queries
   /// had.
   std::vector<int64_t> BucketCounts() const;
+  /// Stable copy of every written exemplar slot, ordered by bucket.
+  /// Seqlock-consistent against concurrent writers: a slot mid-write is
+  /// retried a few times, then skipped (best-effort, like the writes).
+  std::vector<ExemplarSample> Exemplars() const;
   void Reset();
 
  private:
+  /// Seqlock-guarded exemplar slot: even seq = stable, odd = writer in
+  /// flight, 0 = never written. Payload fields are relaxed atomics so
+  /// concurrent access is well-defined; the seq protocol makes reads
+  /// internally consistent.
+  struct alignas(64) ExemplarSlot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<double> value{0.0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<int> num_tags{0};
+    std::atomic<const char*> tag_names[kMaxExemplarTags] = {};
+    std::atomic<double> tag_values[kMaxExemplarTags] = {};
+  };
+
   static int BucketFor(double value);
 
   std::atomic<int64_t> buckets_[kBuckets] = {};
@@ -132,6 +201,7 @@ class LogHistogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};  // valid only when count_ > 0
   std::atomic<double> max_{0.0};
+  ExemplarSlot exemplar_slots_[kBuckets][kExemplarSlots];
 };
 
 struct CounterSample {
@@ -157,6 +227,9 @@ struct HistogramSample {
   /// granularity; empty for hand-built samples, in which case a merge
   /// falls back to conservative quantiles (max across parts).
   std::vector<int64_t> buckets;
+  /// Best-effort retained samples, ordered by bucket (see LogHistogram).
+  /// Merges concatenate and re-sort; codec v2 carries them on the wire.
+  std::vector<ExemplarSample> exemplars;
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -166,10 +239,19 @@ struct MetricsSnapshot {
   std::vector<HistogramSample> histograms;
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}} — strict
-  /// JSON (non-finite doubles exported as null).
+  /// JSON (non-finite doubles exported as null). Histogram objects
+  /// include an "exemplars" array when any were retained (trace ids as
+  /// decimal strings: u64 does not fit a JSON double).
   std::string ToJson() const;
   /// Aligned human-readable table, one metric per line.
   std::string ToText() const;
+  /// Prometheus text exposition (format 0.0.4): dots in metric names
+  /// become underscores, counters export as `# TYPE ... counter`,
+  /// gauges as gauge, histograms as summaries (quantile-labelled
+  /// series plus _sum/_count). Exemplars ride along as `# exemplar`
+  /// comment lines, which scrapers ignore but humans reading
+  /// `curl /metrics` do not.
+  std::string ToPrometheusText() const;
 };
 
 /// Quantile interpolation over log2 bucket counts (bucket 0 = [0, 1),
@@ -280,6 +362,19 @@ class ScopedTimerUs {
       static ::sim2rec::obs::LogHistogram* s2r_obs_histogram =           \
           ::sim2rec::obs::MetricsRegistry::Global().GetHistogram(name);  \
       s2r_obs_histogram->Record(value);                                  \
+    }                                                                    \
+  } while (0)
+
+// As S2R_HISTOGRAM, but also retains an exemplar: the trace id plus up
+// to four (literal-name, double) tag pairs, e.g.
+//   S2R_HISTOGRAM_EX("serve.latency_us", us, trace_id, "shard", sid);
+#define S2R_HISTOGRAM_EX(name, value, trace_id, ...)                     \
+  do {                                                                   \
+    if (::sim2rec::obs::Enabled()) {                                     \
+      static ::sim2rec::obs::LogHistogram* s2r_obs_histogram =           \
+          ::sim2rec::obs::MetricsRegistry::Global().GetHistogram(name);  \
+      s2r_obs_histogram->RecordWithExemplar(                             \
+          value, trace_id __VA_OPT__(, ) __VA_ARGS__);                   \
     }                                                                    \
   } while (0)
 

@@ -99,6 +99,16 @@ std::vector<std::string> TraceRecorder::SpanNames() const {
   return std::vector<std::string>(names.begin(), names.end());
 }
 
+std::vector<TraceEvent> TraceRecorder::EventsSnapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    out.insert(out.end(), log->events.begin(), log->events.end());
+  }
+  return out;
+}
+
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
@@ -112,12 +122,17 @@ std::string TraceRecorder::ToChromeTraceJson() const {
              ",\"cat\":\"sim2rec\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
              std::to_string(log->tid) + ",\"ts\":" + FormatMicros(event.ts_us) +
              ",\"dur\":" + FormatMicros(event.dur_us);
-      if (event.num_args > 0) {
+      if (event.num_args > 0 || event.trace_id != 0) {
         out += ",\"args\":{";
         for (int i = 0; i < event.num_args; ++i) {
           if (i > 0) out += ',';
           out += JsonQuote(event.arg_names[i]) + ':' +
                  FormatArgValue(event.arg_values[i]);
+        }
+        if (event.trace_id != 0) {
+          // Decimal string: u64 trace ids do not fit a JSON double.
+          if (event.num_args > 0) out += ',';
+          out += "\"trace_id\":\"" + std::to_string(event.trace_id) + "\"";
         }
         out += '}';
       }

@@ -30,6 +30,40 @@ struct TraceEvent {
   const char* arg_names[kMaxArgs] = {nullptr, nullptr, nullptr, nullptr};
   double arg_values[kMaxArgs] = {0.0, 0.0, 0.0, 0.0};
   int num_args = 0;
+  /// Trace id in scope when the span was constructed (see TraceIdScope);
+  /// 0 = none. Links this span to the wire request / histogram exemplar
+  /// carrying the same id. Exported into the Chrome-trace `args` map as
+  /// a decimal string when nonzero.
+  uint64_t trace_id = 0;
+};
+
+/// Current-thread trace id: the correlation key the whole observability
+/// plane shares. A client sets it around a request (TraceIdScope), the
+/// transport carries it in Act frames, the server restores it around
+/// handling, and spans (S2R_TRACE_SPAN) plus histogram exemplars
+/// (S2R_HISTOGRAM_EX) stamp it — so one id follows a request across
+/// processes. 0 means "no trace in scope". Reading or setting it never
+/// locks, allocates, or touches an Rng.
+inline thread_local uint64_t t_current_trace_id = 0;
+
+inline uint64_t CurrentTraceId() { return t_current_trace_id; }
+inline void SetCurrentTraceId(uint64_t trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+/// RAII guard installing `trace_id` as the current-thread trace id and
+/// restoring the previous one on destruction (nests cleanly).
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(uint64_t trace_id) : previous_(CurrentTraceId()) {
+    SetCurrentTraceId(trace_id);
+  }
+  ~TraceIdScope() { SetCurrentTraceId(previous_); }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  uint64_t previous_;
 };
 
 /// Process-wide scoped-span recorder, exporting Chrome trace-event
@@ -60,6 +94,10 @@ class TraceRecorder {
   int64_t dropped_count() const;
   /// Distinct span names seen, sorted (diagnostics and tests).
   std::vector<std::string> SpanNames() const;
+  /// Copy of every buffered event across all threads, in per-thread
+  /// order (diagnostics and tests — e.g. matching a span's trace_id
+  /// against an exemplar's).
+  std::vector<TraceEvent> EventsSnapshot() const;
 
   /// Serializes everything recorded so far as
   /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
@@ -97,6 +135,7 @@ class ScopedSpan {
     if (!Enabled()) return;
     if (!TraceRecorder::Global().active()) return;
     name_ = name;
+    trace_id_ = CurrentTraceId();
     start_us_ = MonotonicMicros();
   }
   ScopedSpan(const char* name, const char* k0, double v0) : ScopedSpan(name) {
@@ -135,6 +174,7 @@ class ScopedSpan {
       event.arg_names[i] = arg_names_[i];
       event.arg_values[i] = arg_values_[i];
     }
+    event.trace_id = trace_id_;
     TraceRecorder::Global().RecordComplete(event);
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -151,6 +191,7 @@ class ScopedSpan {
 
   const char* name_ = nullptr;
   double start_us_ = 0.0;
+  uint64_t trace_id_ = 0;
   const char* arg_names_[TraceEvent::kMaxArgs] = {};
   double arg_values_[TraceEvent::kMaxArgs] = {};
   int num_args_ = 0;

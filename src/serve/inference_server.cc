@@ -91,6 +91,7 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
   pending.user_id = user_id;
   pending.obs = &obs;
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.trace_id = obs::CurrentTraceId();
 
   if (!config_.micro_batching) {
     // Serial reference path: one request, inline on the caller.
@@ -103,7 +104,11 @@ ServeReply InferenceServer::Act(uint64_t user_id, const nn::Tensor& obs) {
             std::chrono::steady_clock::now() - pending.enqueued)
             .count();
     latency_.Record(latency_us);
-    if (obs::Enabled()) metric_latency_us_->Record(latency_us);
+    if (obs::Enabled()) {
+      metric_latency_us_->RecordWithExemplar(
+          latency_us, pending.trace_id, "shard",
+          static_cast<double>(config_.shard_id), "batch", 1.0);
+    }
     return pending.reply;
   }
 
@@ -176,7 +181,12 @@ void InferenceServer::BatcherLoop() {
                                     fulfilled - p->enqueued)
                                     .count();
       latency_.Record(latency_us);
-      if (obs::Enabled()) metric_latency_us_->Record(latency_us);
+      if (obs::Enabled()) {
+        metric_latency_us_->RecordWithExemplar(
+            latency_us, p->trace_id, "shard",
+            static_cast<double>(config_.shard_id), "batch",
+            static_cast<double>(batch.size()));
+      }
     }
     lock.lock();
     for (Pending* p : batch) p->done = true;

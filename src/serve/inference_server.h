@@ -154,6 +154,10 @@ class InferenceServer : public PolicyService {
     uint64_t user_id = 0;
     const nn::Tensor* obs = nullptr;
     std::chrono::steady_clock::time_point enqueued;
+    /// Caller's obs::CurrentTraceId() captured at Act() entry — the
+    /// batcher thread records the latency exemplar, so the id must
+    /// travel with the request, not sit in a thread-local.
+    uint64_t trace_id = 0;
     ServeReply reply;
     bool done = false;
   };

@@ -1,0 +1,158 @@
+#include "transport/http_endpoint.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace transport {
+namespace {
+
+constexpr int kIdleTickMs = 50;
+
+/// "GET /metrics HTTP/1.0" -> method "GET", target "/metrics". Query
+/// strings are stripped; false when the request line is not even
+/// method-SP-target shaped.
+bool ParseRequestLine(const std::string& request, std::string* method,
+                      std::string* target) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  *method = line.substr(0, sp1);
+  *target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = target->find('?');
+  if (query != std::string::npos) target->resize(query);
+  return true;
+}
+
+std::string BuildResponse(int status, const char* reason,
+                          const char* content_type,
+                          const std::string& body, bool include_body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + ' ' + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpMetricsServer::HttpMetricsServer(
+    std::function<obs::MetricsSnapshot()> snapshot_source,
+    const HttpMetricsConfig& config)
+    : snapshot_source_(std::move(snapshot_source)), config_(config) {
+  S2R_CHECK(snapshot_source_ != nullptr);
+  S2R_CHECK(config.request_timeout_ms > 0);
+  S2R_CHECK(config.max_request_bytes >= 16);
+}
+
+HttpMetricsServer::~HttpMetricsServer() { Shutdown(); }
+
+bool HttpMetricsServer::Start() {
+  S2R_CHECK_MSG(!started_, "HttpMetricsServer::Start called twice");
+  if (!listener_.Listen(config_.host, config_.port, /*backlog=*/16)) {
+    S2R_LOG_ERROR("http: cannot bind %s:%d", config_.host.c_str(),
+                  config_.port);
+    return false;
+  }
+  port_ = listener_.port();
+  started_ = true;
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void HttpMetricsServer::Shutdown() {
+  if (!started_) return;
+  if (stop_.exchange(true, std::memory_order_relaxed)) return;
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+std::string HttpMetricsServer::url() const {
+  return "http://" + config_.host + ':' + std::to_string(port_);
+}
+
+HttpMetricsStats HttpMetricsServer::stats() const {
+  HttpMetricsStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.not_found = not_found_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HttpMetricsServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    IoStatus status = IoStatus::kOk;
+    TcpConnection conn = listener_.Accept(kIdleTickMs, &status);
+    if (status == IoStatus::kTimeout) continue;
+    if (!conn.valid()) {
+      if (!stop_.load(std::memory_order_relaxed)) {
+        S2R_LOG_ERROR("http: accept failed, stopping metrics endpoint");
+      }
+      return;
+    }
+    ServeConnection(std::move(conn));
+  }
+}
+
+void HttpMetricsServer::ServeConnection(TcpConnection conn) {
+  // Read until the end of the header block or the size cap; a GET has
+  // no body, so "\r\n\r\n" is the whole request.
+  std::string request;
+  bool complete = false;
+  while (request.size() < config_.max_request_bytes) {
+    char buffer[1024];
+    size_t n = 0;
+    const IoStatus status =
+        conn.ReadSome(buffer, sizeof(buffer), config_.request_timeout_ms,
+                      &n);
+    if (status != IoStatus::kOk) break;
+    request.append(buffer, n);
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+
+  std::string method, target;
+  if (!complete || !ParseRequestLine(request, &method, &target)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    const std::string response = BuildResponse(
+        400, "Bad Request", "text/plain", "bad request\n", true);
+    conn.WriteFull(response.data(), response.size(),
+                   config_.request_timeout_ms);
+    return;
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const bool head = method == "HEAD";
+  std::string response;
+  if (method != "GET" && !head) {
+    response = BuildResponse(405, "Method Not Allowed", "text/plain",
+                             "GET only\n", true);
+  } else if (target == "/healthz") {
+    response = BuildResponse(200, "OK", "text/plain", "ok\n", !head);
+  } else if (target == "/metrics") {
+    response = BuildResponse(
+        200, "OK", "text/plain; version=0.0.4",
+        snapshot_source_().ToPrometheusText(), !head);
+  } else if (target == "/metrics.json") {
+    response = BuildResponse(200, "OK", "application/json",
+                             snapshot_source_().ToJson() + "\n", !head);
+  } else {
+    not_found_.fetch_add(1, std::memory_order_relaxed);
+    response = BuildResponse(404, "Not Found", "text/plain",
+                             "unknown path\n", !head);
+  }
+  conn.WriteFull(response.data(), response.size(),
+                 config_.request_timeout_ms);
+}
+
+}  // namespace transport
+}  // namespace sim2rec

@@ -1,0 +1,99 @@
+#ifndef SIM2REC_TRANSPORT_HTTP_ENDPOINT_H_
+#define SIM2REC_TRANSPORT_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "transport/socket.h"
+
+namespace sim2rec {
+namespace transport {
+
+struct HttpMetricsConfig {
+  /// Numeric IPv4 address to bind; loopback by default — this is an
+  /// operator peephole, not a public surface.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port, readable from port() after Start().
+  int port = 0;
+  /// Per-request read/write deadline.
+  int request_timeout_ms = 2000;
+  /// Request lines + headers larger than this get a 400.
+  size_t max_request_bytes = 8192;
+};
+
+struct HttpMetricsStats {
+  int64_t requests = 0;      // well-formed requests answered (any status)
+  int64_t bad_requests = 0;  // 400s (unparseable / oversized)
+  int64_t not_found = 0;     // 404s
+};
+
+/// Minimal single-threaded HTTP/1.0 read-only endpoint over the
+/// existing socket layer, so a live serving run can be watched with
+/// nothing fancier than curl:
+///
+///   GET /metrics       Prometheus text exposition
+///                      (MetricsSnapshot::ToPrometheusText, exemplars
+///                      as trailing comments)
+///   GET /metrics.json  the same snapshot as strict JSON (ToJson)
+///   GET /healthz       "ok\n" — liveness probe
+///
+/// The snapshot callback decides what "the metrics" are: wire it to a
+/// MetricsExporter's latest merged sample, a ServeRouter's
+/// MergedMetrics(), or the global registry directly. It runs on the
+/// serving thread per request, so it should be cheap (snapshotting a
+/// registry is; re-fetching remote shards per hit is not — let the
+/// exporter do that on its own cadence and serve its cached view).
+///
+/// Deliberately NOT a web server: one thread, one connection at a
+/// time, HTTP/1.0 close-per-response, GET/HEAD only. Malformed or
+/// oversized requests get a 400 and the connection is closed; the
+/// endpoint itself never aborts. Like the exporter, serving a request
+/// only *reads* metrics — determinism-neutral by construction.
+class HttpMetricsServer {
+ public:
+  HttpMetricsServer(std::function<obs::MetricsSnapshot()> snapshot_source,
+                    const HttpMetricsConfig& config);
+  ~HttpMetricsServer();  // Shutdown()
+
+  HttpMetricsServer(const HttpMetricsServer&) = delete;
+  HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+  /// Binds and spawns the serving thread; false when the address
+  /// cannot be bound. Must be called at most once.
+  bool Start();
+  /// Stops serving and joins the thread. Idempotent.
+  void Shutdown();
+
+  /// The bound port (resolves config.port == 0), valid after Start().
+  int port() const { return port_; }
+  /// "http://host:port" — what benches print next to their tables.
+  std::string url() const;
+
+  HttpMetricsStats stats() const;
+
+ private:
+  void ServeLoop();
+  void ServeConnection(TcpConnection conn);
+
+  std::function<obs::MetricsSnapshot()> snapshot_source_;
+  HttpMetricsConfig config_;
+  int port_ = 0;
+
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread thread_;
+
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> bad_requests_{0};
+  std::atomic<int64_t> not_found_{0};
+};
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_HTTP_ENDPOINT_H_

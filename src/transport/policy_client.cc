@@ -132,8 +132,10 @@ TransportStatus PolicyClient::RoundTripLocked(
   }
 
   *reply_payload = std::move(payload);
-  S2R_HISTOGRAM("transport.client.request_us",
-                obs::MonotonicMicros() - start_us);
+  S2R_HISTOGRAM_EX(
+      "transport.client.request_us", obs::MonotonicMicros() - start_us,
+      obs::CurrentTraceId(), "type",
+      static_cast<double>(static_cast<uint8_t>(request_type)));
   return TransportStatus::kOk;
 }
 
@@ -183,10 +185,14 @@ TransportStatus PolicyClient::TryAct(uint64_t user_id, const nn::Tensor& obs,
                                      serve::ServeReply* reply) {
   std::string reply_payload;
   TransportStatus status;
+  // The caller's current trace id (0 when none) travels in the v2
+  // request payload, so server-side spans and exemplars can be joined
+  // back to this client-observed request.
+  const uint64_t trace_id = obs::CurrentTraceId();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     status = RoundTripLocked(MessageType::kActRequest,
-                             EncodeActRequest(user_id, obs),
+                             EncodeActRequest(user_id, obs, trace_id),
                              MessageType::kActReply, &reply_payload);
   }
   if (status != TransportStatus::kOk) return status;

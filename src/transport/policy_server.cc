@@ -209,16 +209,30 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
     return true;
   }
 
+  // Replies (and typed errors) echo the request's version so an old
+  // client only ever sees frames it understands; reply payload layouts
+  // are identical across versions 1 and 2.
+  const uint8_t reply_version = header.version;
+  uint64_t trace_id = 0;  // nonzero once an Act request carried one
+
   bool ok = true;
   switch (header.type) {
     case MessageType::kActRequest: {
       uint64_t user_id = 0;
       nn::Tensor obs;
-      if (!DecodeActRequest(payload, &user_id, &obs) || obs.rows() != 1 ||
-          obs.cols() < 1) {
-        SendError(conn, WireError::kBadPayload, "bad act request");
+      if (!DecodeActRequest(payload, header.version, &user_id, &trace_id,
+                            &obs) ||
+          obs.rows() != 1 || obs.cols() < 1) {
+        SendError(conn, WireError::kBadPayload, "bad act request",
+                  reply_version);
         return true;
       }
+      // The client's trace id becomes this thread's current trace id
+      // for the whole handling window: the span below and every
+      // exemplar recorded beneath service_->Act stamp it, which is
+      // what lets a client-observed slow request resolve to the
+      // server-side work that caused it.
+      obs::TraceIdScope trace_scope(trace_id);
       serve::ServeReply reply;
       try {
         S2R_TRACE_SPAN("transport/act", "user",
@@ -228,64 +242,75 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
         // A throwing backend (fault injection, transient shard trouble)
         // fails this request only: typed error frame, connection — and
         // every other session on it — survives.
-        SendError(conn, WireError::kInternal, e.what());
+        SendError(conn, WireError::kInternal, e.what(), reply_version);
         return true;
       }
-      ok = SendFrame(conn, MessageType::kActReply, EncodeActReply(reply));
+      ok = SendFrame(conn, MessageType::kActReply, EncodeActReply(reply),
+                     reply_version);
       break;
     }
     case MessageType::kEndSessionRequest: {
       uint64_t user_id = 0;
       if (!DecodeU64(payload, &user_id)) {
-        SendError(conn, WireError::kBadPayload, "bad end-session request");
+        SendError(conn, WireError::kBadPayload, "bad end-session request",
+                  reply_version);
         return true;
       }
       try {
         service_->EndSession(user_id);
       } catch (const std::exception& e) {
-        SendError(conn, WireError::kInternal, e.what());
+        SendError(conn, WireError::kInternal, e.what(), reply_version);
         return true;
       }
-      ok = SendFrame(conn, MessageType::kEndSessionReply, std::string());
+      ok = SendFrame(conn, MessageType::kEndSessionReply, std::string(),
+                     reply_version);
       break;
     }
     case MessageType::kPingRequest: {
       uint64_t nonce = 0;
       if (!DecodeU64(payload, &nonce)) {
-        SendError(conn, WireError::kBadPayload, "bad ping request");
+        SendError(conn, WireError::kBadPayload, "bad ping request",
+                  reply_version);
         return true;
       }
       ok = SendFrame(conn, MessageType::kPingReply,
-                     EncodePingReply(nonce, kProtocolVersion));
+                     EncodePingReply(nonce, kProtocolVersion),
+                     reply_version);
       break;
     }
     case MessageType::kMetricsRequest: {
       if (!payload.empty()) {
-        SendError(conn, WireError::kBadPayload, "bad metrics request");
+        SendError(conn, WireError::kBadPayload, "bad metrics request",
+                  reply_version);
         return true;
       }
       if (!config_.metrics_source) {
-        SendError(conn, WireError::kUnavailable, "no metrics source");
+        SendError(conn, WireError::kUnavailable, "no metrics source",
+                  reply_version);
         return true;
       }
       ok = SendFrame(conn, MessageType::kMetricsReply,
-                     obs::EncodeSnapshot(config_.metrics_source()));
+                     obs::EncodeSnapshot(config_.metrics_source()),
+                     reply_version);
       break;
     }
     default:
       // Forward compatibility: a type from the future is an intact
       // request this binary cannot serve; say so and keep going.
-      SendError(conn, WireError::kUnsupportedType, "unknown message type");
+      SendError(conn, WireError::kUnsupportedType, "unknown message type",
+                reply_version);
       return true;
   }
-  S2R_HISTOGRAM("transport.request_us",
-                obs::MonotonicMicros() - start_us);
+  S2R_HISTOGRAM_EX("transport.request_us",
+                   obs::MonotonicMicros() - start_us, trace_id, "type",
+                   static_cast<double>(static_cast<uint8_t>(header.type)),
+                   "bytes", static_cast<double>(payload.size()));
   return ok;
 }
 
 bool PolicyServer::SendFrame(TcpConnection& conn, MessageType type,
-                             const std::string& payload) {
-  const std::string frame = EncodeFrame(type, payload);
+                             const std::string& payload, uint8_t version) {
+  const std::string frame = EncodeFrame(type, payload, version);
   const IoStatus status =
       conn.WriteFull(frame.data(), frame.size(), config_.request_timeout_ms);
   if (status == IoStatus::kTimeout) {
@@ -297,10 +322,11 @@ bool PolicyServer::SendFrame(TcpConnection& conn, MessageType type,
 }
 
 bool PolicyServer::SendError(TcpConnection& conn, WireError code,
-                             const char* message) {
+                             const char* message, uint8_t version) {
   errors_sent_.fetch_add(1, std::memory_order_relaxed);
   S2R_COUNT("transport.errors_sent", 1);
-  return SendFrame(conn, MessageType::kError, EncodeError(code, message));
+  return SendFrame(conn, MessageType::kError, EncodeError(code, message),
+                   version);
 }
 
 }  // namespace transport

@@ -120,9 +120,14 @@ class PolicyServer {
   /// connection must close (framing broken or reply unwritable).
   bool HandleFrame(TcpConnection& conn, const FrameHeader& header,
                    const std::string& payload);
+  /// `version` is the version byte stamped on the outgoing frame —
+  /// replies echo the request's version (capped at our own) so a v1
+  /// client never receives a frame it would reject as too new.
   bool SendFrame(TcpConnection& conn, MessageType type,
-                 const std::string& payload);
-  bool SendError(TcpConnection& conn, WireError code, const char* message);
+                 const std::string& payload,
+                 uint8_t version = kProtocolVersion);
+  bool SendError(TcpConnection& conn, WireError code, const char* message,
+                 uint8_t version = kProtocolVersion);
 
   serve::PolicyService* service_;
   PolicyServerConfig config_;

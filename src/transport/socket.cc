@@ -174,6 +174,28 @@ IoStatus TcpConnection::WriteFull(const void* buffer, size_t size,
   return IoStatus::kOk;
 }
 
+IoStatus TcpConnection::ReadSome(void* buffer, size_t max_size,
+                                 int timeout_ms, size_t* bytes_read) {
+  *bytes_read = 0;
+  if (fd_ < 0) return IoStatus::kClosed;
+  if (max_size == 0) return IoStatus::kOk;
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const int rc = PollOne(fd_, POLLIN, RemainingMs(deadline));
+    if (rc < 0) return IoStatus::kError;
+    if (rc == 0) return IoStatus::kTimeout;
+    const ssize_t n = ::recv(fd_, buffer, max_size, 0);
+    if (n > 0) {
+      *bytes_read = static_cast<size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    return IoStatus::kError;
+  }
+}
+
 IoStatus TcpConnection::WaitReadable(int timeout_ms) {
   if (fd_ < 0) return IoStatus::kClosed;
   const int rc = PollOne(fd_, POLLIN, timeout_ms);

@@ -51,6 +51,14 @@ class TcpConnection {
   /// passes.
   IoStatus WriteFull(const void* buffer, size_t size, int timeout_ms);
 
+  /// Reads whatever is available (at most `max_size` bytes) within the
+  /// deadline — one poll + one recv. For delimiter-terminated protocols
+  /// (the HTTP metrics endpoint) where the total length is unknown up
+  /// front. kOk stores >= 1 byte into *bytes_read; kClosed is a clean
+  /// EOF with zero bytes.
+  IoStatus ReadSome(void* buffer, size_t max_size, int timeout_ms,
+                    size_t* bytes_read);
+
   /// Waits up to `timeout_ms` for the stream to become readable —
   /// the idle tick a server loop uses between requests so it can check
   /// its stop flag. kOk means bytes (or EOF) are waiting.

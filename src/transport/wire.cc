@@ -121,17 +121,32 @@ bool FrameCrcMatches(const uint8_t* header, const std::string& payload) {
   return stored == actual;
 }
 
-std::string EncodeActRequest(uint64_t user_id, const nn::Tensor& obs) {
+std::string EncodeActRequest(uint64_t user_id, const nn::Tensor& obs,
+                             uint64_t trace_id) {
+  std::string out;
+  AppendU64(&out, user_id);
+  AppendU64(&out, trace_id);
+  AppendTensor(&out, obs);
+  return out;
+}
+
+std::string EncodeActRequestV1(uint64_t user_id, const nn::Tensor& obs) {
   std::string out;
   AppendU64(&out, user_id);
   AppendTensor(&out, obs);
   return out;
 }
 
-bool DecodeActRequest(const std::string& payload, uint64_t* user_id,
+bool DecodeActRequest(const std::string& payload, uint8_t version,
+                      uint64_t* user_id, uint64_t* trace_id,
                       nn::Tensor* obs) {
   ByteReader reader(payload.data(), payload.size());
   if (!reader.ReadU64(user_id)) return false;
+  if (version >= 2) {
+    if (!reader.ReadU64(trace_id)) return false;
+  } else {
+    *trace_id = 0;
+  }
   if (!ReadTensor(&reader, obs)) return false;
   return reader.remaining() == 0;
 }

@@ -20,7 +20,7 @@ namespace transport {
 ///
 ///   offset size field
 ///   0      4    magic 0x54523253 ("S2RT" when read as bytes)
-///   4      1    protocol version of the sender (currently 1)
+///   4      1    protocol version of the sender (currently 2)
 ///   5      1    message type (MessageType)
 ///   6      2    flags — reserved, senders write 0, receivers ignore
 ///   8      4    payload length in bytes
@@ -41,16 +41,26 @@ namespace transport {
 /// ignore bits they do not know). Receivers accept every version up to
 /// their own; a newer version is answered with kUnsupportedVersion —
 /// reported distinctly, never conflated with corruption.
+///
+/// Version history:
+///   1  initial protocol.
+///   2  Act request payload gains a u64 trace id between the user id
+///      and the observation tensor (the correlation key the
+///      observability plane shares — see obs/trace.h). Version-2
+///      request payloads need new decoding, hence the bump; every
+///      reply payload is unchanged, and a server answering a v1
+///      request echoes version 1 on the reply frame, so v1 clients
+///      interoperate with v2 servers in both directions.
 
 constexpr uint32_t kFrameMagic = 0x54523253;  // "S2RT"
-constexpr uint8_t kProtocolVersion = 1;
+constexpr uint8_t kProtocolVersion = 2;
 constexpr size_t kFrameHeaderBytes = 16;
 /// Default per-side frame-size bound; both PolicyServer and
 /// PolicyClient reject larger frames before allocating for them.
 constexpr size_t kDefaultMaxFrameBytes = size_t{4} << 20;
 
 enum class MessageType : uint8_t {
-  kActRequest = 1,         // u64 user_id, tensor obs
+  kActRequest = 1,         // u64 user_id, u64 trace_id (v2+), tensor obs
   kActReply = 2,           // tensor action, u8 clamped, f64 value, u32 batch
   kEndSessionRequest = 3,  // u64 user_id
   kEndSessionReply = 4,    // empty
@@ -128,8 +138,17 @@ bool FrameCrcMatches(const uint8_t* header, const std::string& payload);
 // oversized or trailing bytes and leaves outputs unspecified-but-valid;
 // none of them aborts on malformed input. -------------------------------
 
-std::string EncodeActRequest(uint64_t user_id, const nn::Tensor& obs);
-bool DecodeActRequest(const std::string& payload, uint64_t* user_id,
+/// Current-version (v2) Act request: u64 user id, u64 trace id (0 =
+/// no trace in scope), tensor obs.
+std::string EncodeActRequest(uint64_t user_id, const nn::Tensor& obs,
+                             uint64_t trace_id = 0);
+/// Version-1 layout (no trace id) — kept so v2 builds can still emit
+/// frames an old peer understands, and for compatibility tests.
+std::string EncodeActRequestV1(uint64_t user_id, const nn::Tensor& obs);
+/// Version-aware decode: `version` is the frame header's version byte.
+/// Version <= 1 payloads carry no trace id (*trace_id set to 0).
+bool DecodeActRequest(const std::string& payload, uint8_t version,
+                      uint64_t* user_id, uint64_t* trace_id,
                       nn::Tensor* obs);
 
 std::string EncodeActReply(const serve::ServeReply& reply);

@@ -1,0 +1,78 @@
+// Command-line wrapper around obs::JsonValidate for shell-driven checks
+// (scripts/run_obs_live_smoke.sh pipes `curl /metrics.json` and exporter
+// JSONL files through it). Reads a file argument or stdin.
+//
+//   json_validate [--jsonl] [file]
+//
+// Default mode validates the whole input as one JSON document. --jsonl
+// validates line-by-line (blank lines skipped) — the exporter's
+// append-only format. Exit 0 when everything parses, 1 with a
+// line-numbered message on stderr otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  bool jsonl = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jsonl") {
+      jsonl = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: json_validate [--jsonl] [file]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "json_validate: unknown flag " << arg << "\n";
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "json_validate: at most one file argument\n";
+      return 2;
+    }
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!path.empty()) {
+    file.open(path);
+    if (!file.good()) {
+      std::cerr << "json_validate: cannot open " << path << "\n";
+      return 2;
+    }
+    in = &file;
+  }
+
+  std::string error;
+  if (jsonl) {
+    std::string line;
+    int64_t line_number = 0;
+    int64_t validated = 0;
+    while (std::getline(*in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      if (!sim2rec::obs::JsonValidate(line, &error)) {
+        std::cerr << "json_validate: line " << line_number << ": " << error
+                  << "\n";
+        return 1;
+      }
+      ++validated;
+    }
+    std::cout << "json_validate: OK (" << validated << " JSONL lines)\n";
+    return 0;
+  }
+
+  std::stringstream buffer;
+  buffer << in->rdbuf();
+  if (!sim2rec::obs::JsonValidate(buffer.str(), &error)) {
+    std::cerr << "json_validate: " << error << "\n";
+    return 1;
+  }
+  std::cout << "json_validate: OK\n";
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "envs/lts_env.h"
 #include "experiments/iteration_export.h"
 #include "experiments/lts_experiment.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/snapshot_codec.h"
@@ -893,6 +894,502 @@ TEST(IterationLogExporter, LtsPipelineStreamsPerIteration) {
   int csv_lines = 0;
   while (std::getline(csv, line)) ++csv_lines;
   EXPECT_EQ(csv_lines, config.iterations + 1);  // header + rows
+}
+
+// ---------------------------------------------------------------------------
+// Exemplar reservoirs: the per-bucket (value, trace_id, tags) samples
+// that turn an aggregate p99 into a findable request.
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogramExemplars, RecordAndReadBackWithTags) {
+  LogHistogram histogram;
+  EXPECT_TRUE(histogram.Exemplars().empty());
+
+  histogram.RecordWithExemplar(37.0, 0xDEADBEEFu, "shard", 3.0, "batch",
+                               17.0);
+  ASSERT_EQ(histogram.count(), 1);  // aggregate recorded too
+
+  const std::vector<ExemplarSample> exemplars = histogram.Exemplars();
+  ASSERT_EQ(exemplars.size(), 1u);
+  EXPECT_DOUBLE_EQ(exemplars[0].value, 37.0);
+  EXPECT_EQ(exemplars[0].trace_id, 0xDEADBEEFu);
+  ASSERT_EQ(exemplars[0].tags.size(), 2u);
+  EXPECT_EQ(exemplars[0].tags[0].name, "shard");
+  EXPECT_DOUBLE_EQ(exemplars[0].tags[0].value, 3.0);
+  EXPECT_EQ(exemplars[0].tags[1].name, "batch");
+  EXPECT_DOUBLE_EQ(exemplars[0].tags[1].value, 17.0);
+  // 37.0 lives in bucket [32, 64).
+  EXPECT_GE(exemplars[0].bucket, 1);
+  EXPECT_LT(exemplars[0].bucket, LogHistogram::kBuckets);
+
+  histogram.Reset();
+  EXPECT_TRUE(histogram.Exemplars().empty());
+}
+
+TEST(LogHistogramExemplars, ReservoirRotatesAndKeepsMostRecent) {
+  LogHistogram histogram;
+  // All samples land in one bucket [32, 64): the reservoir holds at most
+  // kExemplarSlots of them and rotation keeps the most recent write.
+  for (uint64_t i = 1; i <= 20; ++i) {
+    histogram.RecordWithExemplar(32.0 + static_cast<double>(i % 8), i);
+  }
+  const std::vector<ExemplarSample> exemplars = histogram.Exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  EXPECT_LE(exemplars.size(),
+            static_cast<size_t>(LogHistogram::kExemplarSlots));
+  bool saw_recent = false;
+  for (const ExemplarSample& e : exemplars) {
+    EXPECT_GE(e.trace_id, 1u);
+    EXPECT_LE(e.trace_id, 20u);
+    if (e.trace_id == 20u) saw_recent = true;
+  }
+  EXPECT_TRUE(saw_recent) << "rotation should retain the last write";
+}
+
+TEST(LogHistogramExemplars, ConcurrentWritesStayInternallyConsistent) {
+  LogHistogram histogram;
+  // Writers encode (value bucket, payload) redundantly: trace id mirrors
+  // the recorded value, so a torn exemplar read would surface as a
+  // mismatched pair even under heavy slot contention.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&histogram, w] {
+      for (int i = 0; i < 2000; ++i) {
+        const double value = static_cast<double>((w * 2000 + i) % 100) + 1.0;
+        histogram.RecordWithExemplar(
+            value, static_cast<uint64_t>(value * 1000.0), "value", value);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const ExemplarSample& e : histogram.Exemplars()) {
+        ASSERT_EQ(e.trace_id,
+                  static_cast<uint64_t>(e.value * 1000.0))
+            << "torn exemplar read";
+        ASSERT_EQ(e.tags.size(), 1u);
+        ASSERT_DOUBLE_EQ(e.tags[0].value, e.value);
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(histogram.count(), 4 * 2000);  // aggregates are never dropped
+  EXPECT_FALSE(histogram.Exemplars().empty());
+}
+
+TEST(MetricsSnapshot, CarriesExemplarsIntoJsonAsDecimalStrings) {
+  MetricsRegistry registry;
+  registry.GetHistogram("serve.latency_us")
+      ->RecordWithExemplar(40.0, 0xFFFFFFFFFFFFFFFFull, "shard", 2.0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  ASSERT_EQ(snapshot.histograms[0].exemplars.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].exemplars[0].trace_id,
+            0xFFFFFFFFFFFFFFFFull);
+
+  const std::string json = snapshot.ToJson();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error << "\n" << json;
+  // u64 trace ids do not fit a JSON double: exported as decimal strings.
+  EXPECT_NE(json.find("\"trace_id\":\"18446744073709551615\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":2"), std::string::npos);
+}
+
+TEST(MergeSnapshots, ConcatenatesExemplarsAcrossParts) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetHistogram("serve.latency_us")->RecordWithExemplar(10.0, 111);
+  b.GetHistogram("serve.latency_us")->RecordWithExemplar(500.0, 222);
+
+  const MetricsSnapshot merged =
+      MergeSnapshots({a.Snapshot(), b.Snapshot()});
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const std::vector<ExemplarSample>& exemplars =
+      merged.histograms[0].exemplars;
+  ASSERT_EQ(exemplars.size(), 2u);
+  bool saw_a = false, saw_b = false;
+  for (const ExemplarSample& e : exemplars) {
+    if (e.trace_id == 111) saw_a = true;
+    if (e.trace_id == 222) saw_b = true;
+  }
+  EXPECT_TRUE(saw_a && saw_b);
+  // Ordered by bucket after the merge re-sort.
+  for (size_t i = 1; i < exemplars.size(); ++i) {
+    EXPECT_LE(exemplars[i - 1].bucket, exemplars[i].bucket);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot codec v2: exemplar sections and the cross-version contract.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCodecV2, ExemplarRoundTripIsExact) {
+  MetricsRegistry registry;
+  registry.GetCounter("transport.requests")->Add(9);
+  registry.GetHistogram("transport.request_us")
+      ->RecordWithExemplar(123.5, 0xAB54A98CEB1F0AD2ull, "shard", 1.0,
+                           "batch", 8.0);
+  const MetricsSnapshot original = registry.Snapshot();
+
+  const std::string encoded = EncodeSnapshot(original);
+  ASSERT_GE(encoded.size(), 6u);
+  EXPECT_EQ(encoded[4], 2);  // exemplars force a version-2 payload
+  EXPECT_EQ(encoded[5], 0);
+
+  MetricsSnapshot decoded;
+  ASSERT_EQ(DecodeSnapshotEx(encoded, &decoded),
+            SnapshotDecodeStatus::kOk);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  ASSERT_EQ(decoded.histograms[0].exemplars.size(), 1u);
+  const ExemplarSample& e = decoded.histograms[0].exemplars[0];
+  EXPECT_EQ(e.trace_id, 0xAB54A98CEB1F0AD2ull);
+  uint64_t got, want;
+  const double original_value = original.histograms[0].exemplars[0].value;
+  std::memcpy(&got, &e.value, 8);
+  std::memcpy(&want, &original_value, 8);
+  EXPECT_EQ(got, want);  // bit-exact value
+  ASSERT_EQ(e.tags.size(), 2u);
+  EXPECT_EQ(e.tags[0].name, "shard");
+  EXPECT_EQ(e.tags[1].name, "batch");
+  EXPECT_DOUBLE_EQ(e.tags[1].value, 8.0);
+}
+
+TEST(SnapshotCodecV2, ExemplarFreeSnapshotEncodesAsByteIdenticalV1) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  registry.GetHistogram("h")->Record(3.0);  // no exemplar
+  const std::string encoded = EncodeSnapshot(registry.Snapshot());
+  ASSERT_GE(encoded.size(), 6u);
+  // Version bytes (u16 little-endian) say 1: pre-exemplar readers never
+  // see a version they don't know.
+  EXPECT_EQ(encoded[4], 1);
+  EXPECT_EQ(encoded[5], 0);
+  MetricsSnapshot decoded;
+  EXPECT_EQ(DecodeSnapshotEx(encoded, &decoded),
+            SnapshotDecodeStatus::kOk);
+}
+
+TEST(SnapshotCodecV2, OldReaderSeesMetricsWithoutExemplars) {
+  MetricsRegistry registry;
+  registry.GetCounter("transport.requests")->Add(5);
+  registry.GetHistogram("transport.request_us")
+      ->RecordWithExemplar(99.0, 4242);
+  const std::string encoded = EncodeSnapshot(registry.Snapshot());
+  ASSERT_EQ(encoded[4], 2);
+
+  // max_version=1 simulates a pre-exemplar reader: the base body still
+  // decodes, the exemplar section is skipped, and the verdict says so.
+  MetricsSnapshot decoded;
+  ASSERT_EQ(DecodeSnapshotEx(encoded, &decoded, /*max_version=*/1),
+            SnapshotDecodeStatus::kOkIgnoredNewer);
+  ASSERT_EQ(decoded.counters.size(), 1u);
+  EXPECT_EQ(decoded.counters[0].value, 5);
+  ASSERT_EQ(decoded.histograms.size(), 1u);
+  EXPECT_EQ(decoded.histograms[0].count, 1);
+  EXPECT_TRUE(decoded.histograms[0].exemplars.empty());
+  // The boolean wrapper treats the degraded decode as usable.
+  MetricsSnapshot via_bool;
+  EXPECT_TRUE(DecodeSnapshot(encoded, &via_bool));
+}
+
+TEST(SnapshotCodecV2, FutureVersionIsTypedRefusalNotAGuess) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  std::string encoded = EncodeSnapshot(registry.Snapshot());
+  encoded[4] = 99;  // claims a version this build has never seen
+
+  MetricsSnapshot out;
+  out.counters.push_back({"sentinel", 7});
+  EXPECT_EQ(DecodeSnapshotEx(encoded, &out),
+            SnapshotDecodeStatus::kUnsupportedVersion);
+  ASSERT_EQ(out.counters.size(), 1u);  // untouched on refusal
+  EXPECT_EQ(out.counters[0].name, "sentinel");
+
+  // Version 0 is malformed (the codec starts at 1); bad magic is typed
+  // separately.
+  encoded[4] = 0;
+  EXPECT_EQ(DecodeSnapshotEx(encoded, &out),
+            SnapshotDecodeStatus::kMalformed);
+  encoded[0] = 'Z';
+  EXPECT_EQ(DecodeSnapshotEx(encoded, &out),
+            SnapshotDecodeStatus::kBadMagic);
+}
+
+TEST(SnapshotCodecV2, TruncationFuzzOverExemplarPayload) {
+  MetricsRegistry registry;
+  registry.GetCounter("transport.requests")->Add(3);
+  registry.GetHistogram("transport.request_us")
+      ->RecordWithExemplar(50.0, 777, "shard", 0.0);
+  const MetricsSnapshot original = registry.Snapshot();
+  const std::string good = EncodeSnapshot(original);
+  ASSERT_EQ(good[4], 2);
+
+  // The one prefix that is NOT damage: cutting exactly at the end of the
+  // base body leaves a complete "v2 with zero trailing sections" payload
+  // (sections are self-describing, there is no section count to
+  // contradict). Its length equals the exemplar-free encoding's.
+  MetricsSnapshot stripped = original;
+  for (HistogramSample& h : stripped.histograms) h.exemplars.clear();
+  const size_t base_end = EncodeSnapshot(stripped).size();
+  MetricsSnapshot at_boundary;
+  EXPECT_EQ(DecodeSnapshotEx(good.substr(0, base_end), &at_boundary),
+            SnapshotDecodeStatus::kOk);
+  EXPECT_TRUE(at_boundary.histograms[0].exemplars.empty());
+
+  MetricsSnapshot out;
+  out.counters.push_back({"sentinel", 9});
+  // Every other proper prefix must produce a typed failure, never a
+  // crash and never a partial commit into `out`.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    if (cut == base_end) continue;
+    const SnapshotDecodeStatus status =
+        DecodeSnapshotEx(good.substr(0, cut), &out);
+    EXPECT_TRUE(status == SnapshotDecodeStatus::kBadMagic ||
+                status == SnapshotDecodeStatus::kMalformed)
+        << "cut=" << cut;
+  }
+  // Trailing garbage after the last section is framing damage too.
+  EXPECT_EQ(DecodeSnapshotEx(good + "x", &out),
+            SnapshotDecodeStatus::kMalformed);
+  ASSERT_EQ(out.counters.size(), 1u);
+  EXPECT_EQ(out.counters[0].name, "sentinel");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (what `curl /metrics` returns).
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, ExportsTypedSeriesAndExemplarComments) {
+  MetricsRegistry registry;
+  registry.GetCounter("transport.requests")->Add(42);
+  registry.GetGauge("serve.queue_depth")->Set(1.5);
+  registry.GetHistogram("serve.latency_us")
+      ->RecordWithExemplar(100.0, 555, "shard", 2.0);
+
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  // Dots become underscores; each metric leads with a # TYPE line.
+  EXPECT_NE(text.find("# TYPE transport_requests counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("transport_requests 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_queue_depth 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us{quantile=\"0.99\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_count 1\n"), std::string::npos);
+  // Exemplars ride as comments: scrapers skip them, humans don't.
+  EXPECT_NE(text.find("# exemplar serve_latency_us"), std::string::npos);
+  EXPECT_NE(text.find("trace_id=555"), std::string::npos);
+  EXPECT_NE(text.find("shard=2"), std::string::npos);
+  // Every line is either a comment or `name value` — no stray blanks.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_FALSE(line.empty());
+}
+
+TEST(PrometheusText, MetricNameSanitization) {
+  MetricsRegistry registry;
+  registry.GetCounter("0weird-name.x")->Add(1);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  // Leading digit gets a '_' prefix; '-' and '.' become '_'.
+  EXPECT_NE(text.find("_0weird_name_x 1\n"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter: the background observer feeding JSONL and /metrics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsExporter, TickOnceSamplesRatesAndJsonl) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  ScratchDir dir("exporter_tick");
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Add(10);
+
+  MetricsExporterConfig config;
+  config.registry = &registry;
+  config.jsonl_path = (dir.path() / "metrics.jsonl").string();
+  MetricsExporter exporter(config);
+
+  const ExporterSample first = exporter.TickOnce();
+  EXPECT_EQ(first.seq, 1);
+  registry.GetCounter("serve.requests")->Add(5);
+  const ExporterSample second = exporter.TickOnce();
+  EXPECT_EQ(second.seq, 2);
+  EXPECT_GE(second.uptime_s, first.uptime_s);
+  EXPECT_EQ(exporter.snapshots_taken(), 2);
+
+  ExporterSample latest;
+  ASSERT_TRUE(exporter.Latest(&latest));
+  EXPECT_EQ(latest.seq, 2);
+
+  // Rates come from the last two samples: 15 - 10 = 5.
+  const std::vector<CounterRate> rates = exporter.LatestRates();
+  bool found = false;
+  for (const CounterRate& rate : rates) {
+    if (rate.name == "serve.requests") {
+      EXPECT_EQ(rate.delta, 5);
+      EXPECT_GE(rate.per_sec, 0.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // Process gauges make merged multi-process views attributable.
+  bool saw_pid = false, saw_seq = false, saw_uptime = false,
+       saw_build = false;
+  for (const GaugeSample& g : latest.snapshot.gauges) {
+    if (g.name == "obs.pid") saw_pid = true;
+    if (g.name == "obs.snapshot_seq") saw_seq = true;
+    if (g.name == "obs.uptime_s") saw_uptime = true;
+    if (g.name == "obs.build_info") saw_build = true;
+  }
+  EXPECT_TRUE(saw_pid && saw_seq && saw_uptime && saw_build);
+
+  // JSONL: one valid object per line, flushed as it goes.
+  std::ifstream jsonl(config.jsonl_path);
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(jsonl, line)) {
+    std::string error;
+    EXPECT_TRUE(JsonValidate(line, &error)) << error << "\n" << line;
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"metrics\":"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::string error;
+  EXPECT_TRUE(JsonValidate(MetricsExporter::JsonlLine(latest), &error))
+      << error;
+}
+
+TEST(MetricsExporter, RingKeepsOnlyTheMostRecentSamples) {
+  MetricsRegistry registry;
+  MetricsExporterConfig config;
+  config.registry = &registry;
+  config.ring_capacity = 3;
+  MetricsExporter exporter(config);
+  for (int i = 0; i < 5; ++i) exporter.TickOnce();
+  const std::vector<ExporterSample> history = exporter.History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history.front().seq, 3);  // oldest surviving
+  EXPECT_EQ(history.back().seq, 5);
+  EXPECT_EQ(exporter.snapshots_taken(), 5);
+}
+
+TEST(MetricsExporter, RemoteSourcesMergeAndFlakySourceDegrades) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Add(1);
+  MetricsExporterConfig config;
+  config.registry = &registry;
+  config.process_gauges = false;
+  MetricsExporter exporter(config);
+  // A healthy remote part sums into the merged view...
+  exporter.AddSource([](MetricsSnapshot* out) {
+    MetricsRegistry remote;
+    remote.GetCounter("serve.requests")->Add(41);
+    *out = remote.Snapshot();
+    return true;
+  });
+  // ...and a flaky one degrades that sample, never the run.
+  exporter.AddSource([](MetricsSnapshot*) { return false; });
+
+  const ExporterSample sample = exporter.TickOnce();
+  ASSERT_EQ(sample.snapshot.counters.size(), 1u);
+  EXPECT_EQ(sample.snapshot.counters[0].value, 42);
+}
+
+TEST(MetricsExporter, StartStopAlwaysYieldsAFinalSample) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(1);
+  MetricsExporterConfig config;
+  config.registry = &registry;
+  config.interval_ms = 60'000;  // far longer than the test: Stop() flushes
+  MetricsExporter exporter(config);
+  exporter.Start();
+  EXPECT_TRUE(exporter.running());
+  exporter.Start();  // idempotent
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+  EXPECT_GE(exporter.snapshots_taken(), 1);
+  ExporterSample latest;
+  EXPECT_TRUE(exporter.Latest(&latest));
+  exporter.Stop();  // idempotent
+}
+
+// ---------------------------------------------------------------------------
+// Trace-id scoping: the thread-local request identity the whole
+// observability plane shares.
+// ---------------------------------------------------------------------------
+
+TEST(TraceIdScope, NestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceIdScope outer(100);
+    EXPECT_EQ(CurrentTraceId(), 100u);
+    {
+      TraceIdScope inner(200);
+      EXPECT_EQ(CurrentTraceId(), 200u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 100u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST(TraceIdScope, IsPerThread) {
+  TraceIdScope scope(999);
+  uint64_t seen_on_other_thread = 1;
+  std::thread other(
+      [&seen_on_other_thread] { seen_on_other_thread = CurrentTraceId(); });
+  other.join();
+  EXPECT_EQ(seen_on_other_thread, 0u);  // scope does not leak across threads
+  EXPECT_EQ(CurrentTraceId(), 999u);
+}
+
+TEST(TraceIdScope, SpansCaptureTheCurrentIdIntoChromeJson) {
+  EnabledGuard guard;
+  SetEnabled(true);
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceIdScope scope(0xABCDEFull);
+    S2R_TRACE_SPAN("test/traced_span");
+  }
+  {
+    S2R_TRACE_SPAN("test/untraced_span");
+  }
+  recorder.Stop();
+
+  bool saw_traced = false, saw_untraced = false;
+  for (const TraceEvent& event : recorder.EventsSnapshot()) {
+    if (std::string(event.name) == "test/traced_span") {
+      EXPECT_EQ(event.trace_id, 0xABCDEFull);
+      saw_traced = true;
+    }
+    if (std::string(event.name) == "test/untraced_span") {
+      EXPECT_EQ(event.trace_id, 0u);
+      saw_untraced = true;
+    }
+  }
+  EXPECT_TRUE(saw_traced && saw_untraced);
+
+  const std::string json = recorder.ToChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(JsonValidate(json, &error)) << error;
+  EXPECT_NE(json.find("\"trace_id\":\"11259375\""), std::string::npos)
+      << json;  // 0xABCDEF in the decimal-string encoding
 }
 
 }  // namespace

@@ -10,8 +10,11 @@
 #include "core/context_agent.h"
 #include "envs/lts_env.h"
 #include "load/flaky_service.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/snapshot_codec.h"
+#include "obs/trace.h"
+#include "transport/http_endpoint.h"
 #include "sadae/sadae.h"
 #include "serve/inference_server.h"
 #include "serve/serve_router.h"
@@ -189,12 +192,37 @@ TEST(Wire, ActRequestRoundTripIsBitwise) {
   const double specials[] = {1.0 / 3.0, -0.0, 5e-324, 1e300, 0.1};
   for (int c = 0; c < 5; ++c) obs(0, c) = specials[c];
 
-  const std::string payload = EncodeActRequest(0xDEADBEEFCAFEF00D, obs);
+  const std::string payload =
+      EncodeActRequest(0xDEADBEEFCAFEF00D, obs, /*trace_id=*/0x1234F00D);
   uint64_t user_id = 0;
+  uint64_t trace_id = 0;
   nn::Tensor decoded;
-  ASSERT_TRUE(DecodeActRequest(payload, &user_id, &decoded));
+  ASSERT_TRUE(DecodeActRequest(payload, kProtocolVersion, &user_id,
+                               &trace_id, &decoded));
   EXPECT_EQ(user_id, 0xDEADBEEFCAFEF00D);
+  EXPECT_EQ(trace_id, 0x1234F00Du);
   EXPECT_TRUE(BitwiseEqual(obs, decoded));
+}
+
+TEST(Wire, ActRequestV1LayoutStillDecodes) {
+  // A v1 peer encodes no trace id; a v2 decoder handed the request's
+  // version byte must read the old layout and report trace id 0.
+  const nn::Tensor obs = ObsFor(2, 3);
+  const std::string v1 = EncodeActRequestV1(9, obs);
+  uint64_t user_id = 0;
+  uint64_t trace_id = 0xFF;  // must be overwritten to 0
+  nn::Tensor decoded;
+  ASSERT_TRUE(DecodeActRequest(v1, /*version=*/1, &user_id, &trace_id,
+                               &decoded));
+  EXPECT_EQ(user_id, 9u);
+  EXPECT_EQ(trace_id, 0u);
+  EXPECT_TRUE(BitwiseEqual(obs, decoded));
+  // The v2 layout is the v1 layout plus the trace-id field; a v1
+  // payload misread as v2 (or vice versa) must fail, not alias.
+  EXPECT_FALSE(DecodeActRequest(v1, kProtocolVersion, &user_id, &trace_id,
+                                &decoded));
+  EXPECT_FALSE(DecodeActRequest(EncodeActRequest(9, obs, 1), /*version=*/1,
+                                &user_id, &trace_id, &decoded));
 }
 
 TEST(Wire, ActReplyRoundTripIsBitwise) {
@@ -222,12 +250,15 @@ TEST(Wire, DecodersRejectTruncatedAndTrailingBytes) {
   nn::Tensor obs = ObsFor(1, 1);
   const std::string act = EncodeActRequest(7, obs);
   uint64_t user_id = 0;
+  uint64_t trace_id = 0;
   nn::Tensor decoded;
   for (size_t cut = 0; cut < act.size(); ++cut) {
-    EXPECT_FALSE(DecodeActRequest(act.substr(0, cut), &user_id, &decoded))
+    EXPECT_FALSE(DecodeActRequest(act.substr(0, cut), kProtocolVersion,
+                                  &user_id, &trace_id, &decoded))
         << "cut=" << cut;
   }
-  EXPECT_FALSE(DecodeActRequest(act + "x", &user_id, &decoded));
+  EXPECT_FALSE(DecodeActRequest(act + "x", kProtocolVersion, &user_id,
+                                &trace_id, &decoded));
 
   serve::ServeReply reply;
   reply.action = obs;
@@ -253,11 +284,15 @@ TEST(Wire, ActRequestRejectsAbsurdDimensions) {
   // Hand-build a payload whose tensor claims 2^31 rows: the decoder
   // must refuse before allocating, not die trying.
   std::string payload = EncodeActRequest(1, ObsFor(0, 0));
+  // rows field, little-endian (after user id + trace id in the v2
+  // layout).
   const uint32_t huge = 0x80000000u;
-  std::memcpy(payload.data() + 8, &huge, 4);  // rows field, little-endian
+  std::memcpy(payload.data() + 16, &huge, 4);
   uint64_t user_id = 0;
+  uint64_t trace_id = 0;
   nn::Tensor decoded;
-  EXPECT_FALSE(DecodeActRequest(payload, &user_id, &decoded));
+  EXPECT_FALSE(DecodeActRequest(payload, kProtocolVersion, &user_id,
+                                &trace_id, &decoded));
 }
 
 // ---------------------------------------------------------------------------
@@ -772,6 +807,207 @@ TEST(TransportFlaky, InjectedDelayTripsClientDeadlineAndClientRecovers) {
   // The driver-facing accounting stays exact: the flaky wrapper saw
   // every attempt, including the one whose reply nobody read.
   EXPECT_EQ(flaky.stats().injected_delays, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Wire version compatibility: a v1 peer still interoperates with a v2
+// server, and replies echo the request's version.
+// ---------------------------------------------------------------------------
+
+TEST(Transport, V1ActFrameIsServedAndRepliedAtV1) {
+  FakeEchoService service;
+  PolicyServerConfig config;
+  config.num_workers = 1;
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+
+  TcpConnection conn =
+      TcpConnection::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(conn.valid());
+
+  // Exactly what a pre-trace-id client puts on the wire: the v1 Act
+  // payload layout inside a version-1 frame.
+  const nn::Tensor obs = ObsFor(5, 2);
+  ASSERT_TRUE(WriteAll(
+      conn, EncodeFrame(MessageType::kActRequest, EncodeActRequestV1(5, obs),
+                        /*version=*/1)));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kActReply);
+  // The reply echoes the request's version, so a v1 client never sees
+  // a frame newer than it understands.
+  EXPECT_EQ(header.version, 1);
+  serve::ServeReply reply;
+  ASSERT_TRUE(DecodeActReply(payload, &reply));
+  EXPECT_TRUE(BitwiseEqual(reply.action, obs));
+
+  // A v1 ping answers at v1 too (ping payload still reports the
+  // server's own max version, which is how a client learns it may
+  // upgrade).
+  ASSERT_TRUE(WriteAll(conn, EncodeFrame(MessageType::kPingRequest,
+                                         EncodeU64(3), /*version=*/1)));
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kPingReply);
+  EXPECT_EQ(header.version, 1);
+  uint64_t nonce = 0;
+  uint8_t server_version = 0;
+  ASSERT_TRUE(DecodePingReply(payload, &nonce, &server_version));
+  EXPECT_EQ(nonce, 3u);
+  EXPECT_EQ(server_version, kProtocolVersion);
+  EXPECT_EQ(server.stats().malformed_frames, 0);
+}
+
+TEST(Transport, TraceIdPropagatesToServerSpansAndExemplars) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::TraceRecorder::Global().Start();
+
+  FakeEchoService service;
+  PolicyServer server(&service, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+  PolicyClient client(ClientFor(server));
+
+  constexpr uint64_t kTraceId = 0xABCDEF0123456789ULL;
+  {
+    obs::TraceIdScope scope(kTraceId);
+    serve::ServeReply reply;
+    ASSERT_EQ(client.TryAct(11, ObsFor(11, 0), &reply),
+              TransportStatus::kOk);
+  }
+  obs::TraceRecorder::Global().Stop();
+
+  // The id crossed the wire: a server-side transport/act span carries
+  // it (the server thread, not the client thread, recorded that span).
+  bool span_found = false;
+  for (const obs::TraceEvent& event :
+       obs::TraceRecorder::Global().EventsSnapshot()) {
+    if (std::string(event.name) == "transport/act" &&
+        event.trace_id == kTraceId) {
+      span_found = true;
+    }
+  }
+  EXPECT_TRUE(span_found);
+
+  // ... and the server's latency histogram retained an exemplar
+  // stamped with the same id. The server records that histogram after
+  // writing the reply (the measured latency includes the reply write),
+  // so the client can observe the reply a beat before the exemplar
+  // lands in the registry — poll briefly instead of snapshotting once.
+  bool exemplar_found = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!exemplar_found && std::chrono::steady_clock::now() < deadline) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    for (const obs::HistogramSample& h : snapshot.histograms) {
+      if (h.name != "transport.request_us") continue;
+      for (const obs::ExemplarSample& exemplar : h.exemplars) {
+        if (exemplar.trace_id == kTraceId) exemplar_found = true;
+      }
+    }
+    if (!exemplar_found) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(exemplar_found);
+  obs::SetEnabled(was_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP metrics endpoint: the curl-facing peephole.
+// ---------------------------------------------------------------------------
+
+std::string HttpRequest(int port, const std::string& raw) {
+  TcpConnection conn = TcpConnection::Connect("127.0.0.1", port, 2000);
+  EXPECT_TRUE(conn.valid());
+  if (!conn.valid()) return "";
+  EXPECT_TRUE(WriteAll(conn, raw));
+  std::string response;
+  char buffer[4096];
+  size_t n = 0;
+  while (conn.ReadSome(buffer, sizeof(buffer), 2000, &n) == IoStatus::kOk) {
+    response.append(buffer, n);
+  }
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& target) {
+  return HttpRequest(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(HttpEndpoint, ServesHealthzMetricsAndJson) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("demo.requests")->Add(7);
+  registry.GetGauge("demo.depth")->Set(1.5);
+  registry.GetHistogram("demo.latency_us")
+      ->RecordWithExemplar(120.0, /*trace_id=*/99, "shard", 2.0);
+
+  HttpMetricsConfig config;
+  HttpMetricsServer server([&registry] { return registry.Snapshot(); },
+                           config);
+  ASSERT_TRUE(server.Start());
+
+  const std::string healthz = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE demo_requests counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("demo_requests 7"), std::string::npos);
+  EXPECT_NE(metrics.find("demo_depth 1.5"), std::string::npos);
+  EXPECT_NE(metrics.find("demo_latency_us_count 1"), std::string::npos);
+  EXPECT_NE(metrics.find("trace_id=99"), std::string::npos);
+
+  const std::string json = HttpGet(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  const size_t body = json.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  std::string json_error;
+  EXPECT_TRUE(obs::JsonValidate(json.substr(body + 4), &json_error))
+      << json_error;
+
+  // Query strings are stripped; HEAD omits the body.
+  EXPECT_NE(HttpGet(server.port(), "/healthz?probe=1").find("200 OK"),
+            std::string::npos);
+  const std::string head =
+      HttpRequest(server.port(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(head.find("200 OK"), std::string::npos);
+  EXPECT_EQ(head.find("ok\n"), std::string::npos);
+}
+
+TEST(HttpEndpoint, RejectsUnknownPathsMethodsAndGarbage) {
+  obs::MetricsRegistry registry;
+  HttpMetricsConfig config;
+  config.max_request_bytes = 256;
+  HttpMetricsServer server([&registry] { return registry.Snapshot(); },
+                           config);
+  ASSERT_TRUE(server.Start());
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(
+      HttpRequest(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+          .find("405"),
+      std::string::npos);
+  EXPECT_NE(HttpRequest(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  // Oversized request line: the size cap answers 400 before the
+  // request completes.
+  EXPECT_NE(HttpRequest(server.port(),
+                        "GET /" + std::string(512, 'a') + " HTTP/1.0\r\n")
+                .find("400"),
+            std::string::npos);
+  // A well-behaved probe still works on the next connection: bad
+  // requests cost nothing but their own connection.
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const HttpMetricsStats stats = server.stats();
+  EXPECT_GE(stats.bad_requests, 2);
+  EXPECT_GE(stats.not_found, 1);
 }
 
 }  // namespace
