@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/context_agent.h"
+#include "load/client_pool.h"
 #include "load/flaky_service.h"
 #include "load/population_driver.h"
 #include "obs/exporter.h"
@@ -92,36 +93,6 @@ serve::ServeRouterConfig RouterConfig() {
   config.shard.sessions.ttl_ms = 0;
   return config;
 }
-
-/// Fans the driver's worker threads out over a fixed pool of
-/// transport::PolicyClient connections, round-robin per request. Each
-/// client serializes its own wire round trips internally, so the pool
-/// as a whole serves any number of driver threads.
-class ClientPool : public serve::PolicyService {
- public:
-  ClientPool(int port, int size) {
-    for (int i = 0; i < size; ++i) {
-      transport::PolicyClientConfig config;
-      config.port = port;
-      clients_.push_back(
-          std::make_unique<transport::PolicyClient>(config));
-    }
-  }
-  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override {
-    return Next()->Act(user_id, obs);
-  }
-  void EndSession(uint64_t user_id) override {
-    Next()->EndSession(user_id);
-  }
-
- private:
-  transport::PolicyClient* Next() {
-    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    return clients_[i % clients_.size()].get();
-  }
-  std::vector<std::unique_ptr<transport::PolicyClient>> clients_;
-  std::atomic<size_t> next_{0};
-};
 
 struct Mode {
   const char* name;
@@ -265,7 +236,7 @@ int Run(int argc, char** argv) {
         std::printf("FAIL: could not start the loopback PolicyServer\n");
         return 1;
       }
-      ClientPool pool(server.port(), kThreads);
+      load::ClientPool pool(server.port(), kThreads);
       load::PopulationDriver driver(&pool, transport_config());
       wire = driver.Run();
       server.Shutdown();
@@ -380,7 +351,7 @@ int Run(int argc, char** argv) {
       // is still alive (stdout is block-buffered into a file).
       std::fflush(stdout);
 
-      ClientPool pool(server.port(), kThreads);
+      load::ClientPool pool(server.port(), kThreads);
       load::PopulationDriverConfig config = transport_config();
       config.tick_hook = [&exporter](int) { exporter.TickOnce(); };
       load::PopulationDriver driver(&pool, config);

@@ -77,4 +77,36 @@ if [ -e docs/OPERATIONS.md ]; then
     exit 1
   fi
 fi
-echo "check_docs: OK (documented binaries and metric names all exist)"
+
+# --- 4. PROTOCOL.md message-type table must match the wire.h enum. ----
+# The protocol doc's "Message types" table rows look like
+#   | 1 | `kActRequest` | ... |
+# and the executable counterpart is the MessageType enum in
+# src/transport/wire.h (`kActRequest = 1,`). Both directions are
+# checked: a documented type that is not in the enum, or an enum value
+# the doc forgot, fails — so the byte-level reference can never drift
+# from the codec.
+if [ -e docs/PROTOCOL.md ] && [ -e src/transport/wire.h ]; then
+  doc_types=$(awk '/^## Message types/{sec=1; next} /^## /{sec=0} sec' \
+      docs/PROTOCOL.md |
+    grep -oE '^\| *[0-9]+ *\| *`k[A-Za-z]+`' |
+    sed 's/[|`]//g' | awk '{print $1 " " $2}' | sort -u)
+  enum_types=$(awk '/^enum class MessageType/,/^\};/' src/transport/wire.h |
+    grep -oE 'k[A-Za-z]+ = [0-9]+' | awk '{print $3 " " $1}' | sort -u)
+  if [ -z "$doc_types" ] || [ -z "$enum_types" ]; then
+    echo "check_docs: could not extract message types (doc table or enum moved?)" >&2
+    fail=1
+  elif [ "$doc_types" != "$enum_types" ]; then
+    echo "check_docs: PROTOCOL.md message-type table disagrees with wire.h MessageType enum" >&2
+    echo "--- documented (docs/PROTOCOL.md):" >&2
+    echo "$doc_types" >&2
+    echo "--- declared (src/transport/wire.h):" >&2
+    echo "$enum_types" >&2
+    fail=1
+  fi
+  if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED — protocol doc out of sync with the wire enum" >&2
+    exit 1
+  fi
+fi
+echo "check_docs: OK (documented binaries, metric names and message types all exist)"

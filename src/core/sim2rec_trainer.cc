@@ -107,18 +107,16 @@ std::vector<IterationLog> ZeroShotTrainer::Train() {
           "iter %d: train_return=%.3f eval_return=%.3f kl=%.4f", iter,
           log.train_return, log.eval_return, log.approx_kl);
     }
-    if ((observer_ != nullptr || checkpoint_sink_) &&
+    if (observer_ != nullptr &&
         ((config_.checkpoint_every > 0 &&
           (iter + 1) % config_.checkpoint_every == 0) ||
          iter == config_.iterations - 1)) {
-      if (observer_ != nullptr) observer_->OnCheckpoint(iter);
-      if (checkpoint_sink_) checkpoint_sink_(iter);
+      observer_->OnCheckpoint(iter);
     }
     S2R_COUNT("train.iterations", 1);
     S2R_GAUGE_SET("train.return", log.train_return);
     if (log.has_eval()) S2R_GAUGE_SET("train.eval_return", log.eval_return);
     if (observer_ != nullptr) observer_->OnIteration(log);
-    if (iteration_sink_) iteration_sink_(log);
     logs.push_back(log);
   }
   return logs;

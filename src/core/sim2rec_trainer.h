@@ -32,7 +32,7 @@ struct TrainLoopConfig {
   int eval_every = 10;
   int eval_episodes = 2;
 
-  /// Invoke the checkpoint sink (see set_checkpoint_sink) every this
+  /// Fire the observer's OnCheckpoint (see set_observer) every this
   /// many iterations in addition to the final one; 0 = final only.
   int checkpoint_every = 0;
 
@@ -105,22 +105,6 @@ class ZeroShotTrainer {
   /// Train(); pass nullptr to clear.
   void set_observer(TrainingObserver* observer) { observer_ = observer; }
 
-  /// Deprecated: install a TrainingObserver overriding OnCheckpoint via
-  /// set_observer instead. Kept as a thin shim — the sink still fires,
-  /// in addition to any observer.
-  [[deprecated("use set_observer(TrainingObserver*)")]]
-  void set_checkpoint_sink(std::function<void(int)> sink) {
-    checkpoint_sink_ = std::move(sink);
-  }
-
-  /// Deprecated: install a TrainingObserver overriding OnIteration via
-  /// set_observer instead. Kept as a thin shim — the sink still fires,
-  /// in addition to any observer.
-  [[deprecated("use set_observer(TrainingObserver*)")]]
-  void set_iteration_sink(std::function<void(const IterationLog&)> sink) {
-    iteration_sink_ = std::move(sink);
-  }
-
   /// Runs the loop; returns one log entry per iteration.
   std::vector<IterationLog> Train();
 
@@ -137,8 +121,6 @@ class ZeroShotTrainer {
   std::function<void(envs::GroupBatchEnv*, Rng&)> on_env_selected_;
   std::function<double(rl::Agent&, Rng&)> evaluator_;
   TrainingObserver* observer_ = nullptr;
-  std::function<void(int)> checkpoint_sink_;       // legacy shim
-  std::function<void(const IterationLog&)> iteration_sink_;  // legacy shim
 };
 
 }  // namespace core

@@ -1,0 +1,46 @@
+#include "load/client_pool.h"
+
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace load {
+
+ClientPool::ClientPool(const ClientPoolConfig& config) {
+  S2R_CHECK_MSG(config.size > 0, "ClientPool needs at least one client");
+  clients_.reserve(static_cast<size_t>(config.size));
+  for (int i = 0; i < config.size; ++i) {
+    transport::PolicyClientConfig client_config;
+    client_config.endpoint = config.endpoint;
+    client_config.host = config.host;
+    client_config.port = config.port;
+    client_config.limits = config.limits;
+    clients_.push_back(
+        std::make_unique<transport::PolicyClient>(client_config));
+  }
+}
+
+ClientPool::ClientPool(int port, int size) {
+  S2R_CHECK_MSG(size > 0, "ClientPool needs at least one client");
+  clients_.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    transport::PolicyClientConfig config;
+    config.port = port;
+    clients_.push_back(std::make_unique<transport::PolicyClient>(config));
+  }
+}
+
+serve::ServeReply ClientPool::Act(uint64_t user_id, const nn::Tensor& obs) {
+  return Next()->Act(user_id, obs);
+}
+
+void ClientPool::EndSession(uint64_t user_id) {
+  Next()->EndSession(user_id);
+}
+
+transport::PolicyClient* ClientPool::Next() {
+  const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  return clients_[i % clients_.size()].get();
+}
+
+}  // namespace load
+}  // namespace sim2rec

@@ -1,0 +1,62 @@
+#ifndef SIM2REC_LOAD_CLIENT_POOL_H_
+#define SIM2REC_LOAD_CLIENT_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/policy_service.h"
+#include "transport/limits.h"
+#include "transport/policy_client.h"
+
+namespace sim2rec {
+namespace load {
+
+struct ClientPoolConfig {
+  /// Where every pooled client dials. When `endpoint` is non-empty it
+  /// wins (any scheme transport::Dial understands — "transport://" TCP
+  /// or "shm://" lane group); otherwise host/port name a TCP server.
+  std::string endpoint;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Number of pooled connections.
+  int size = 4;
+  /// Shared framing/deadline bounds for every pooled client.
+  transport::Limits limits;
+};
+
+/// Fans any number of driver threads out over a fixed pool of
+/// transport::PolicyClient connections, round-robin per request. Each
+/// client serializes its own wire round trips internally, so the pool
+/// as a whole is safe from any number of threads — this is the seam
+/// the population driver uses to push a load run through the real
+/// transport instead of in-process calls, without the driver knowing
+/// which lane (TCP or shm) carries the frames.
+class ClientPool : public serve::PolicyService {
+ public:
+  explicit ClientPool(const ClientPoolConfig& config);
+  /// Loopback-TCP convenience used by benches: pool of `size` clients
+  /// against 127.0.0.1:port.
+  ClientPool(int port, int size);
+
+  serve::ServeReply Act(uint64_t user_id, const nn::Tensor& obs) override;
+  void EndSession(uint64_t user_id) override;
+
+  /// Direct access for callers that want the async tier of one pooled
+  /// client (benches pipelining through a single connection).
+  transport::PolicyClient* client(size_t i) { return clients_[i].get(); }
+  size_t size() const { return clients_.size(); }
+
+ private:
+  transport::PolicyClient* Next();
+
+  std::vector<std::unique_ptr<transport::PolicyClient>> clients_;
+  std::atomic<size_t> next_{0};
+};
+
+}  // namespace load
+}  // namespace sim2rec
+
+#endif  // SIM2REC_LOAD_CLIENT_POOL_H_

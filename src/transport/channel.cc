@@ -1,0 +1,143 @@
+#include "transport/channel.h"
+
+#include <memory>
+#include <utility>
+
+#include "transport/shm_lane.h"
+
+namespace sim2rec {
+namespace transport {
+namespace {
+
+bool ValidShmName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Owns the lane mapping alongside the channel borrowed from it, so a
+/// dialed shm channel is self-contained like a dialed TCP one.
+class OwningShmChannel : public ByteChannel {
+ public:
+  OwningShmChannel(std::unique_ptr<ShmLane> lane,
+                   std::unique_ptr<ByteChannel> channel)
+      : lane_(std::move(lane)), channel_(std::move(channel)) {}
+
+  IoStatus ReadFull(void* buffer, size_t size, int timeout_ms) override {
+    return channel_->ReadFull(buffer, size, timeout_ms);
+  }
+  IoStatus WriteFull(const void* buffer, size_t size,
+                     int timeout_ms) override {
+    return channel_->WriteFull(buffer, size, timeout_ms);
+  }
+  IoStatus WaitReadable(int timeout_ms) override {
+    return channel_->WaitReadable(timeout_ms);
+  }
+  void ShutdownBoth() override { channel_->ShutdownBoth(); }
+  void Close() override { channel_->Close(); }
+  bool valid() const override { return channel_->valid(); }
+  const char* scheme() const override { return "shm"; }
+
+ private:
+  std::unique_ptr<ShmLane> lane_;  // mapping must outlive channel_
+  std::unique_ptr<ByteChannel> channel_;
+};
+
+}  // namespace
+
+bool ParseEndpoint(const std::string& endpoint, Endpoint* out) {
+  *out = Endpoint();
+  std::string rest;
+  Endpoint::Scheme scheme = Endpoint::Scheme::kInvalid;
+  const std::string kTransport = "transport://";
+  const std::string kTcp = "tcp://";
+  const std::string kShm = "shm://";
+  if (endpoint.rfind(kTransport, 0) == 0) {
+    scheme = Endpoint::Scheme::kTcp;
+    rest = endpoint.substr(kTransport.size());
+  } else if (endpoint.rfind(kTcp, 0) == 0) {
+    scheme = Endpoint::Scheme::kTcp;
+    rest = endpoint.substr(kTcp.size());
+  } else if (endpoint.rfind(kShm, 0) == 0) {
+    scheme = Endpoint::Scheme::kShm;
+    rest = endpoint.substr(kShm.size());
+  } else {
+    return false;
+  }
+
+  if (scheme == Endpoint::Scheme::kShm) {
+    if (!ValidShmName(rest)) return false;
+    out->scheme = Endpoint::Scheme::kShm;
+    out->name = rest;
+    return true;
+  }
+
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= rest.size()) {
+    return false;
+  }
+  const std::string host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  if (port_str.size() > 5) return false;
+  int port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') return false;
+    port = port * 10 + (c - '0');
+  }
+  if (port <= 0 || port > 65535) return false;
+  out->scheme = Endpoint::Scheme::kTcp;
+  out->host = host;
+  out->port = port;
+  return true;
+}
+
+std::unique_ptr<ByteChannel> Dial(const std::string& endpoint,
+                                  const Limits& limits) {
+  Endpoint parsed;
+  if (!ParseEndpoint(endpoint, &parsed)) return nullptr;
+  switch (parsed.scheme) {
+    case Endpoint::Scheme::kTcp: {
+      TcpConnection conn = TcpConnection::Connect(parsed.host, parsed.port,
+                                                  limits.connect_timeout_ms);
+      if (!conn.valid()) return nullptr;
+      return std::make_unique<TcpChannel>(std::move(conn));
+    }
+    case Endpoint::Scheme::kShm: {
+      // A lane group is `name.0`, `name.1`, ...; scan for the first
+      // free lane. A claimed lane still Exists, so keep scanning; a
+      // missing segment means the group ended. A bare `name` segment
+      // (single-lane server) is tried first.
+      if (ShmLane::Exists(parsed.name)) {
+        auto lane = ShmLane::Attach(parsed.name);
+        if (lane != nullptr) {
+          auto channel = lane->ClientChannel();
+          return std::make_unique<OwningShmChannel>(std::move(lane),
+                                                    std::move(channel));
+        }
+      }
+      for (int i = 0;; ++i) {
+        const std::string lane_name =
+            parsed.name + "." + std::to_string(i);
+        if (!ShmLane::Exists(lane_name)) break;
+        auto lane = ShmLane::Attach(lane_name);
+        if (lane == nullptr) continue;  // busy; try the next lane
+        auto channel = lane->ClientChannel();
+        return std::make_unique<OwningShmChannel>(std::move(lane),
+                                                  std::move(channel));
+      }
+      return nullptr;
+    }
+    case Endpoint::Scheme::kInvalid:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace transport
+}  // namespace sim2rec

@@ -1,0 +1,99 @@
+#ifndef SIM2REC_TRANSPORT_CHANNEL_H_
+#define SIM2REC_TRANSPORT_CHANNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "transport/limits.h"
+#include "transport/socket.h"
+
+namespace sim2rec {
+namespace transport {
+
+/// One bidirectional byte stream carrying wire frames — the seam that
+/// lets PolicyClient and PolicyServer speak the identical framed
+/// protocol over loopback TCP or a same-host shared-memory lane. The
+/// contract matches TcpConnection's blocking deadline semantics:
+/// ReadFull/WriteFull transfer exactly `size` bytes or report why not,
+/// WaitReadable is the idle tick a serving loop uses to poll its stop
+/// flag.
+///
+/// Threading: one reader thread and one writer thread may use a
+/// channel concurrently (the two directions are independent), and
+/// Close()/ShutdownBoth() may race with either. Multiple concurrent
+/// readers or writers are the caller's problem to serialize.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  virtual IoStatus ReadFull(void* buffer, size_t size, int timeout_ms) = 0;
+  virtual IoStatus WriteFull(const void* buffer, size_t size,
+                             int timeout_ms) = 0;
+  virtual IoStatus WaitReadable(int timeout_ms) = 0;
+
+  /// Wakes both directions so blocked peers and local threads observe
+  /// kClosed, WITHOUT releasing the underlying resource — safe to call
+  /// from another thread while a read is in flight. Close() afterwards
+  /// (from the owning thread) releases the fd / lane claim.
+  virtual void ShutdownBoth() = 0;
+  virtual void Close() = 0;
+  virtual bool valid() const = 0;
+
+  /// "transport" (TCP) or "shm" — what Dial parsed; benches and logs
+  /// label rows with it.
+  virtual const char* scheme() const = 0;
+};
+
+/// TcpConnection behind the ByteChannel interface.
+class TcpChannel : public ByteChannel {
+ public:
+  explicit TcpChannel(TcpConnection conn) : conn_(std::move(conn)) {}
+
+  IoStatus ReadFull(void* buffer, size_t size, int timeout_ms) override {
+    return conn_.ReadFull(buffer, size, timeout_ms);
+  }
+  IoStatus WriteFull(const void* buffer, size_t size,
+                     int timeout_ms) override {
+    return conn_.WriteFull(buffer, size, timeout_ms);
+  }
+  IoStatus WaitReadable(int timeout_ms) override {
+    return conn_.WaitReadable(timeout_ms);
+  }
+  void ShutdownBoth() override { conn_.ShutdownBoth(); }
+  void Close() override { conn_.Close(); }
+  bool valid() const override { return conn_.valid(); }
+  const char* scheme() const override { return "transport"; }
+
+ private:
+  TcpConnection conn_;
+};
+
+/// Parsed endpoint of the `transport://host:port` / `shm://name`
+/// scheme family ("tcp://" is accepted as an alias of "transport://").
+struct Endpoint {
+  enum class Scheme { kInvalid = 0, kTcp, kShm };
+  Scheme scheme = Scheme::kInvalid;
+  std::string host;  // kTcp
+  int port = 0;      // kTcp
+  std::string name;  // kShm lane-group name, [A-Za-z0-9._-]+
+};
+
+/// Parses "transport://127.0.0.1:7447" or "shm://lane-name". Returns
+/// false (and leaves *out invalid) on anything else — hostile or
+/// mistyped endpoint strings never abort.
+bool ParseEndpoint(const std::string& endpoint, Endpoint* out);
+
+/// The one client-side entry point for opening a frame channel: picks
+/// the lane from the endpoint scheme — TCP connect for transport://,
+/// shared-memory lane attach for shm:// — and returns nullptr when the
+/// endpoint is invalid or unreachable (no free lane, no such shm
+/// segment, connect refused/timed out). Both lanes carry the exact
+/// same wire frames: same codec, same CRC-32, same bitwise-identical
+/// raw IEEE-754 reply bytes.
+std::unique_ptr<ByteChannel> Dial(const std::string& endpoint,
+                                  const Limits& limits);
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_CHANNEL_H_

@@ -47,7 +47,7 @@ HttpMetricsServer::HttpMetricsServer(
     const HttpMetricsConfig& config)
     : snapshot_source_(std::move(snapshot_source)), config_(config) {
   S2R_CHECK(snapshot_source_ != nullptr);
-  S2R_CHECK(config.request_timeout_ms > 0);
+  S2R_CHECK(config.limits.request_timeout_ms > 0);
   S2R_CHECK(config.max_request_bytes >= 16);
 }
 
@@ -109,7 +109,7 @@ void HttpMetricsServer::ServeConnection(TcpConnection conn) {
     char buffer[1024];
     size_t n = 0;
     const IoStatus status =
-        conn.ReadSome(buffer, sizeof(buffer), config_.request_timeout_ms,
+        conn.ReadSome(buffer, sizeof(buffer), config_.limits.request_timeout_ms,
                       &n);
     if (status != IoStatus::kOk) break;
     request.append(buffer, n);
@@ -126,7 +126,7 @@ void HttpMetricsServer::ServeConnection(TcpConnection conn) {
     const std::string response = BuildResponse(
         400, "Bad Request", "text/plain", "bad request\n", true);
     conn.WriteFull(response.data(), response.size(),
-                   config_.request_timeout_ms);
+                   config_.limits.request_timeout_ms);
     return;
   }
 
@@ -151,7 +151,7 @@ void HttpMetricsServer::ServeConnection(TcpConnection conn) {
                              "unknown path\n", !head);
   }
   conn.WriteFull(response.data(), response.size(),
-                 config_.request_timeout_ms);
+                 config_.limits.request_timeout_ms);
 }
 
 }  // namespace transport

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "transport/limits.h"
 #include "transport/socket.h"
 
 namespace sim2rec {
@@ -19,8 +20,13 @@ struct HttpMetricsConfig {
   std::string host = "127.0.0.1";
   /// 0 picks an ephemeral port, readable from port() after Start().
   int port = 0;
-  /// Per-request read/write deadline.
-  int request_timeout_ms = 2000;
+  /// Shared deadline bounds (transport/limits.h): only
+  /// request_timeout_ms applies here (read/write deadline per HTTP
+  /// request, defaulted tighter than the framed lanes — an operator
+  /// peephole should fail fast). max_frame_bytes and
+  /// connect_timeout_ms are ignored; HTTP framing is bounded by
+  /// max_request_bytes below.
+  Limits limits{.request_timeout_ms = 2000};
   /// Request lines + headers larger than this get a 400.
   size_t max_request_bytes = 8192;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 #include <utility>
 
 #include "obs/snapshot_codec.h"
@@ -11,13 +10,37 @@
 
 namespace sim2rec {
 namespace transport {
+namespace {
+
+/// Receiver idle tick: how often a quiet receiver re-checks the
+/// connection-dead flag. Bounds Close() latency, not reply latency.
+constexpr int kRxTickMs = 50;
+
+TransportStatus FromIo(IoStatus status) {
+  switch (status) {
+    case IoStatus::kTimeout:
+      return TransportStatus::kTimeout;
+    case IoStatus::kClosed:
+      return TransportStatus::kClosed;
+    default:
+      return TransportStatus::kClosed;  // errno-shaped → unusable stream
+  }
+}
+
+std::chrono::steady_clock::time_point DeadlineFrom(int timeout_ms) {
+  return std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(timeout_ms);
+}
+
+}  // namespace
 
 PolicyClient::PolicyClient(const PolicyClientConfig& config)
     : config_(config) {
-  S2R_CHECK(config.port > 0);
-  S2R_CHECK(config.connect_timeout_ms > 0);
-  S2R_CHECK(config.request_timeout_ms > 0);
-  S2R_CHECK(config.max_frame_bytes > kFrameHeaderBytes);
+  S2R_CHECK_MSG(config.port > 0 || !config.endpoint.empty(),
+                "PolicyClient needs a port or an endpoint URI");
+  S2R_CHECK(config.limits.connect_timeout_ms > 0);
+  S2R_CHECK(config.limits.request_timeout_ms > 0);
+  S2R_CHECK(config.limits.max_frame_bytes > kMaxFrameHeaderBytes);
   S2R_CHECK(config.max_retries >= 0);
   S2R_CHECK(config.retry_backoff_initial_ms >= 1);
   S2R_CHECK(config.retry_backoff_max_ms >= config.retry_backoff_initial_ms);
@@ -25,144 +48,437 @@ PolicyClient::PolicyClient(const PolicyClientConfig& config)
 
 PolicyClient::~PolicyClient() { Close(); }
 
-TransportStatus PolicyClient::Connect() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EnsureConnectedLocked();
+std::string PolicyClient::EndpointString() const {
+  if (!config_.endpoint.empty()) return config_.endpoint;
+  return "transport://" + config_.host + ":" +
+         std::to_string(config_.port);
 }
 
-void PolicyClient::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  conn_.Close();
+TransportStatus PolicyClient::Connect() { return EnsureConnected(); }
+
+TransportStatus PolicyClient::EnsureConnected() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  if (channel_ != nullptr && !conn_dead_.load(std::memory_order_acquire)) {
+    return TransportStatus::kOk;
+  }
+  return ConnectLocked();
 }
 
-TransportStatus PolicyClient::EnsureConnectedLocked() {
-  if (conn_.valid()) return TransportStatus::kOk;
-  conn_ = TcpConnection::Connect(config_.host, config_.port,
-                                 config_.connect_timeout_ms);
-  if (!conn_.valid()) {
+TransportStatus PolicyClient::ConnectLocked() {
+  // Retire the previous connection first: wake its receiver and wait
+  // for it to fail any stragglers, so old state can never bleed into
+  // the new stream.
+  conn_dead_.store(true, std::memory_order_release);
+  if (channel_ != nullptr) channel_->ShutdownBoth();
+  if (rx_thread_.joinable()) rx_thread_.join();
+  channel_.reset();
+  {
+    std::lock_guard<std::mutex> state_lock(mu_);
+    abandoned_.clear();  // tombstones are per-connection
+  }
+
+  std::shared_ptr<ByteChannel> channel =
+      Dial(EndpointString(), config_.limits);
+  if (channel == nullptr) {
     S2R_COUNT("transport.client.connect_failures", 1);
     return TransportStatus::kConnectFailed;
   }
+
+  // Version handshake: a v2 ping — the newest frame every deployed
+  // server generation decodes — asking the server to advertise its
+  // protocol version. Runs synchronously on the bare channel; the
+  // receiver thread only starts once the connection's version is
+  // settled.
+  const uint64_t nonce = ping_nonce_.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame =
+      EncodeFrame(MessageType::kPingRequest, EncodeU64(nonce),
+                  /*version=*/2);
+  // An IO failure here is a *connection-establishment* failure: no
+  // user request is in flight yet, so report the retryable
+  // kConnectFailed rather than kClosed/kTimeout — callers' dial-retry
+  // loops then recover (e.g. a peer that accepted the connection but
+  // died before answering the handshake).
+  IoStatus io = channel->WriteFull(frame.data(), frame.size(),
+                                   config_.limits.request_timeout_ms);
+  if (io != IoStatus::kOk) {
+    S2R_COUNT("transport.client.connect_failures", 1);
+    return TransportStatus::kConnectFailed;
+  }
+  uint8_t header_bytes[kFrameHeaderBytes];
+  io = channel->ReadFull(header_bytes, kFrameHeaderBytes,
+                         config_.limits.request_timeout_ms);
+  if (io != IoStatus::kOk) {
+    S2R_COUNT("transport.client.connect_failures", 1);
+    return TransportStatus::kConnectFailed;
+  }
+  FrameHeader header;
+  if (DecodeHeader(header_bytes, config_.limits.max_frame_bytes,
+                   &header) != HeaderStatus::kOk ||
+      header.version > 2) {
+    return TransportStatus::kMalformedReply;
+  }
+  std::string payload(header.payload_len, '\0');
+  if (header.payload_len > 0) {
+    io = channel->ReadFull(payload.data(), payload.size(),
+                           config_.limits.request_timeout_ms);
+    if (io != IoStatus::kOk) {
+      S2R_COUNT("transport.client.connect_failures", 1);
+      return TransportStatus::kConnectFailed;
+    }
+  }
+  if (!FrameCrcMatches(header_bytes, kFrameHeaderBytes, payload) ||
+      header.type != MessageType::kPingReply) {
+    return TransportStatus::kMalformedReply;
+  }
+  uint64_t echoed = 0;
+  uint8_t server_version = 0;
+  if (!DecodePingReply(payload, &echoed, &server_version)) {
+    // A v1-era reply carries the nonce alone; treat it as version 1.
+    if (!DecodeU64(payload, &echoed)) {
+      return TransportStatus::kMalformedReply;
+    }
+    server_version = 1;
+  }
+  if (echoed != nonce) return TransportStatus::kMalformedReply;
+
+  const uint8_t negotiated =
+      std::min<uint8_t>(kProtocolVersion, server_version);
+  server_version_.store(server_version, std::memory_order_relaxed);
+  negotiated_version_.store(negotiated, std::memory_order_relaxed);
+  if (server_version != kProtocolVersion && !version_mismatch_logged_) {
+    version_mismatch_logged_ = true;
+    S2R_LOG_WARN(
+        "transport: server at %s speaks protocol v%d, client v%d; "
+        "negotiated v%d%s",
+        EndpointString().c_str(), static_cast<int>(server_version),
+        static_cast<int>(kProtocolVersion), static_cast<int>(negotiated),
+        negotiated < 3 ? " (pipelining degraded to serial matching)" : "");
+  }
+
+  ++generation_;
+  conn_dead_.store(false, std::memory_order_release);
+  channel_ = std::move(channel);
+  rx_thread_ = std::thread(
+      [this, ch = channel_, gen = generation_] { ReceiverLoop(ch, gen); });
   reconnects_.fetch_add(1, std::memory_order_relaxed);
   S2R_COUNT("transport.client.connects", 1);
   return TransportStatus::kOk;
 }
 
-TransportStatus PolicyClient::RoundTripLocked(
-    MessageType request_type, const std::string& request_payload,
-    MessageType expected_reply, std::string* reply_payload) {
-  const TransportStatus connected = EnsureConnectedLocked();
-  if (connected != TransportStatus::kOk) return connected;
+void PolicyClient::Close() {
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  conn_dead_.store(true, std::memory_order_release);
+  if (channel_ != nullptr) channel_->ShutdownBoth();
+  if (rx_thread_.joinable()) rx_thread_.join();
+  channel_.reset();
+  // The receiver failed every pending request on its way out; anything
+  // submitted after it exited is failed here.
+  Poison(0, TransportStatus::kClosed);
+}
+
+void PolicyClient::Poison(uint64_t this_id, TransportStatus this_status) {
+  conn_dead_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, pending] : pending_) {
+      if (pending.done) continue;
+      pending.done = true;
+      pending.status =
+          id == this_id ? this_status : TransportStatus::kClosed;
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t PolicyClient::Submit(MessageType type, const std::string& payload,
+                              MessageType expected_reply, int deadline_ms) {
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const int timeout_ms =
+      deadline_ms > 0 ? deadline_ms : config_.limits.request_timeout_ms;
+
+  std::shared_ptr<ByteChannel> channel;
+  uint8_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    TransportStatus status = TransportStatus::kOk;
+    if (channel_ == nullptr ||
+        conn_dead_.load(std::memory_order_acquire)) {
+      status = ConnectLocked();
+    }
+    if (status != TransportStatus::kOk) {
+      // The failure surfaces at Await, keeping submission loops
+      // branch-free.
+      std::lock_guard<std::mutex> state_lock(mu_);
+      Pending& pending = pending_[id];
+      pending.done = true;
+      pending.status = status;
+      return id;
+    }
+    channel = channel_;
+    version = negotiated_version_.load(std::memory_order_relaxed);
+  }
 
   requests_.fetch_add(1, std::memory_order_relaxed);
   S2R_COUNT("transport.client.requests", 1);
   S2R_TRACE_SPAN("transport/client_request", "type",
-                 static_cast<double>(static_cast<uint8_t>(request_type)));
-  const double start_us = obs::MonotonicMicros();
+                 static_cast<double>(static_cast<uint8_t>(type)));
 
-  // Any failure past this point poisons the stream (a reply may be in
-  // flight for a request we gave up on), so drop the connection; the
-  // next call reconnects.
-  const auto fail = [this](TransportStatus status) {
-    conn_.Close();
+  // Register before writing: on a fast lane the reply can race back
+  // before this thread runs again, and the receiver must find the
+  // entry.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Pending& pending = pending_[id];
+    pending.expected = expected_reply;
+    pending.type = type;
+    pending.submit_us = obs::MonotonicMicros();
+    pending.deadline = DeadlineFrom(timeout_ms);
+  }
+
+  const std::string frame =
+      EncodeFrame(type, payload, version, /*flags=*/0, id);
+  IoStatus io;
+  {
+    // Writes serialize on their own mutex — never on mu_, which the
+    // receiver needs to complete replies while this write may be
+    // blocked on a full socket buffer.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    io = channel->WriteFull(frame.data(), frame.size(), timeout_ms);
+  }
+  if (io != IoStatus::kOk) {
+    // A partial frame corrupts the stream for every in-flight request.
+    channel->ShutdownBoth();
     S2R_COUNT("transport.client.failures", 1);
-    return status;
-  };
-  const auto from_io = [](IoStatus status) {
-    switch (status) {
-      case IoStatus::kTimeout:
+    Poison(id, FromIo(io));
+  }
+  return id;
+}
+
+TransportStatus PolicyClient::AwaitPayload(uint64_t id,
+                                           std::string* payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return TransportStatus::kInvalidHandle;
+  while (!it->second.done) {
+    if (cv_.wait_until(lock, it->second.deadline) ==
+        std::cv_status::timeout &&
+        !it->second.done) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.client.timeouts", 1);
+      const bool serial = negotiated_version_.load(
+                              std::memory_order_relaxed) < 3;
+      pending_.erase(it);
+      if (!serial) {
+        // v3: abandon just this request; its late reply (if any) is
+        // recognized by id and dropped, the connection lives on.
+        abandoned_.insert(id);
         return TransportStatus::kTimeout;
-      case IoStatus::kClosed:
-        return TransportStatus::kClosed;
-      default:
-        return TransportStatus::kClosed;  // errno-shaped → unusable stream
+      }
+      // Pre-v3 replies match by order alone: once one request is
+      // abandoned the stream can never be re-synchronized. Poison it.
+      lock.unlock();
+      S2R_COUNT("transport.client.failures", 1);
+      std::shared_ptr<ByteChannel> channel;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn_mutex_);
+        channel = channel_;
+      }
+      if (channel != nullptr) channel->ShutdownBoth();
+      Poison(0, TransportStatus::kClosed);
+      return TransportStatus::kTimeout;
     }
-  };
-
-  const std::string frame = EncodeFrame(request_type, request_payload);
-  IoStatus io =
-      conn_.WriteFull(frame.data(), frame.size(), config_.request_timeout_ms);
-  if (io != IoStatus::kOk) return fail(from_io(io));
-
-  uint8_t header_bytes[kFrameHeaderBytes];
-  io = conn_.ReadFull(header_bytes, kFrameHeaderBytes,
-                      config_.request_timeout_ms);
-  if (io != IoStatus::kOk) return fail(from_io(io));
-
-  FrameHeader header;
-  const HeaderStatus decoded =
-      DecodeHeader(header_bytes, config_.max_frame_bytes, &header);
-  if (decoded == HeaderStatus::kTooLarge) {
-    return fail(TransportStatus::kFrameTooLarge);
   }
-  if (decoded != HeaderStatus::kOk) {
-    return fail(TransportStatus::kMalformedReply);
-  }
-  if (header.version > kProtocolVersion) {
-    // A server from the future; we cannot trust our decode of its reply.
-    return fail(TransportStatus::kMalformedReply);
-  }
-
-  std::string payload(header.payload_len, '\0');
-  if (header.payload_len > 0) {
-    io = conn_.ReadFull(payload.data(), payload.size(),
-                        config_.request_timeout_ms);
-    if (io != IoStatus::kOk) return fail(from_io(io));
-  }
-  if (!FrameCrcMatches(header_bytes, payload)) {
-    return fail(TransportStatus::kMalformedReply);
-  }
-
-  if (header.type == MessageType::kError) {
-    WireError code = WireError::kInternal;
-    std::string message;
-    if (!DecodeError(payload, &code, &message)) {
-      return fail(TransportStatus::kMalformedReply);
-    }
-    last_error_ = code;
-    last_error_message_ = std::move(message);
-    remote_errors_.fetch_add(1, std::memory_order_relaxed);
-    S2R_COUNT("transport.client.remote_errors", 1);
-    // The error frame is a complete, well-formed reply: the stream is
-    // still synchronized, so keep the connection.
+  Pending done = std::move(it->second);
+  pending_.erase(it);
+  if (done.status == TransportStatus::kRemoteError) {
+    last_error_ = done.remote_code;
+    last_error_message_ = std::move(done.remote_message);
     return TransportStatus::kRemoteError;
   }
-  if (header.type != expected_reply) {
-    return fail(TransportStatus::kMalformedReply);
+  if (done.status == TransportStatus::kOk) {
+    *payload = std::move(done.payload);
+    S2R_HISTOGRAM_EX(
+        "transport.client.request_us",
+        obs::MonotonicMicros() - done.submit_us, obs::CurrentTraceId(),
+        "type", static_cast<double>(static_cast<uint8_t>(done.type)));
+  } else if (done.status != TransportStatus::kInvalidHandle) {
+    S2R_COUNT("transport.client.failures", 1);
   }
+  return done.status;
+}
 
-  *reply_payload = std::move(payload);
-  S2R_HISTOGRAM_EX(
-      "transport.client.request_us", obs::MonotonicMicros() - start_us,
-      obs::CurrentTraceId(), "type",
-      static_cast<double>(static_cast<uint8_t>(request_type)));
+void PolicyClient::ReceiverLoop(std::shared_ptr<ByteChannel> channel,
+                                int generation) {
+  (void)generation;  // diagnostics only; the channel copy is the identity
+  uint8_t header_bytes[kMaxFrameHeaderBytes];
+
+  // Any exit fails every in-flight request: replies can no longer
+  // arrive once the receiver is gone.
+  const auto fail_all = [&](TransportStatus status) {
+    conn_dead_.store(true, std::memory_order_release);
+    channel->ShutdownBoth();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, pending] : pending_) {
+        if (pending.done) continue;
+        pending.done = true;
+        pending.status = status;
+      }
+    }
+    cv_.notify_all();
+  };
+
+  for (;;) {
+    if (conn_dead_.load(std::memory_order_acquire)) {
+      fail_all(TransportStatus::kClosed);
+      return;
+    }
+    const IoStatus readable = channel->WaitReadable(kRxTickMs);
+    if (readable == IoStatus::kTimeout) continue;
+    if (readable != IoStatus::kOk) {
+      fail_all(TransportStatus::kClosed);
+      return;
+    }
+
+    IoStatus io = channel->ReadFull(header_bytes, kFrameHeaderBytes,
+                                    config_.limits.request_timeout_ms);
+    if (io != IoStatus::kOk) {
+      fail_all(TransportStatus::kClosed);
+      return;
+    }
+    FrameHeader header;
+    const HeaderStatus decoded = DecodeHeader(
+        header_bytes, config_.limits.max_frame_bytes, &header);
+    if (decoded == HeaderStatus::kTooLarge) {
+      fail_all(TransportStatus::kFrameTooLarge);
+      return;
+    }
+    if (decoded != HeaderStatus::kOk ||
+        header.version > kProtocolVersion) {
+      fail_all(TransportStatus::kMalformedReply);
+      return;
+    }
+    const size_t header_len = FrameHeaderBytesFor(header.version);
+    if (header_len > kFrameHeaderBytes) {
+      io = channel->ReadFull(header_bytes + kFrameHeaderBytes,
+                             header_len - kFrameHeaderBytes,
+                             config_.limits.request_timeout_ms);
+      if (io != IoStatus::kOk) {
+        fail_all(TransportStatus::kClosed);
+        return;
+      }
+      DecodeRequestId(header_bytes + kFrameHeaderBytes, &header);
+    }
+    std::string payload(header.payload_len, '\0');
+    if (header.payload_len > 0) {
+      io = channel->ReadFull(payload.data(), payload.size(),
+                             config_.limits.request_timeout_ms);
+      if (io != IoStatus::kOk) {
+        fail_all(TransportStatus::kClosed);
+        return;
+      }
+    }
+    if (!FrameCrcMatches(header_bytes, header_len, payload)) {
+      // Corrupt bytes mid-pipeline: nothing downstream of this point
+      // on the stream can be trusted, so every in-flight request
+      // fails, not just the one this frame answered.
+      fail_all(TransportStatus::kMalformedReply);
+      return;
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    std::map<uint64_t, Pending>::iterator it;
+    if (header.version >= 3) {
+      it = pending_.find(header.request_id);
+      if (it == pending_.end()) {
+        if (abandoned_.erase(header.request_id) > 0) {
+          continue;  // late reply to a timed-out request; drop it
+        }
+        // A reply to an id we never sent (or sent and already
+        // answered): protocol violation — reply routing can no longer
+        // be trusted.
+        lock.unlock();
+        fail_all(TransportStatus::kClosed);
+        return;
+      }
+      if (it->second.done) {
+        lock.unlock();
+        fail_all(TransportStatus::kClosed);  // duplicate reply id
+        return;
+      }
+    } else {
+      // Pre-v3 frames carry no id: the reply answers the oldest
+      // still-unanswered request (the server is strictly FIFO).
+      it = pending_.begin();
+      while (it != pending_.end() && it->second.done) ++it;
+      if (it == pending_.end()) {
+        lock.unlock();
+        fail_all(TransportStatus::kClosed);  // unsolicited reply
+        return;
+      }
+    }
+
+    Pending& pending = it->second;
+    if (header.type == MessageType::kError) {
+      WireError code = WireError::kInternal;
+      std::string message;
+      if (!DecodeError(payload, &code, &message)) {
+        lock.unlock();
+        fail_all(TransportStatus::kMalformedReply);
+        return;
+      }
+      pending.status = TransportStatus::kRemoteError;
+      pending.remote_code = code;
+      pending.remote_message = message;
+      last_error_ = code;
+      last_error_message_ = std::move(message);
+      remote_errors_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.client.remote_errors", 1);
+    } else if (header.type != pending.expected) {
+      // Well-framed but wrong type: fail this request; the stream
+      // itself is still synchronized.
+      pending.status = TransportStatus::kMalformedReply;
+    } else {
+      pending.status = TransportStatus::kOk;
+      pending.payload = std::move(payload);
+    }
+    pending.done = true;
+    lock.unlock();
+    cv_.notify_all();
+  }
+}
+
+PolicyClient::ActHandle PolicyClient::SubmitAct(uint64_t user_id,
+                                                const nn::Tensor& obs,
+                                                int deadline_ms) {
+  // The caller's current trace id (0 when none) travels in the request
+  // payload, so server-side spans and exemplars can be joined back to
+  // this client-observed request.
+  const uint64_t trace_id = obs::CurrentTraceId();
+  return ActHandle{Submit(MessageType::kActRequest,
+                          EncodeActRequest(user_id, obs, trace_id),
+                          MessageType::kActReply, deadline_ms)};
+}
+
+TransportStatus PolicyClient::Await(ActHandle handle,
+                                    serve::ServeReply* reply) {
+  if (!handle.valid()) return TransportStatus::kInvalidHandle;
+  std::string payload;
+  const TransportStatus status = AwaitPayload(handle.id, &payload);
+  if (status != TransportStatus::kOk) return status;
+  if (!DecodeActReply(payload, reply)) {
+    return TransportStatus::kMalformedReply;
+  }
   return TransportStatus::kOk;
 }
 
-TransportStatus PolicyClient::RetryingRoundTrip(
-    MessageType request_type, const std::string& request_payload,
-    MessageType expected_reply, std::string* reply_payload) {
-  int backoff_ms = config_.retry_backoff_initial_ms;
-  TransportStatus status = TransportStatus::kClosed;
-  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
-    if (attempt > 0) {
-      retries_.fetch_add(1, std::memory_order_relaxed);
-      S2R_COUNT("transport.client.retries", 1);
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, config_.retry_backoff_max_ms);
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      status = RoundTripLocked(request_type, request_payload, expected_reply,
-                               reply_payload);
-    }
-    // kRemoteError is a definitive answer, not a transient fault.
-    if (status == TransportStatus::kOk ||
-        status == TransportStatus::kRemoteError) {
-      return status;
-    }
+std::vector<PolicyClient::ActResult> PolicyClient::AwaitAll(
+    const std::vector<ActHandle>& handles) {
+  std::vector<ActResult> results(handles.size());
+  for (size_t i = 0; i < handles.size(); ++i) {
+    results[i].status = Await(handles[i], &results[i].reply);
   }
-  return status;
+  return results;
 }
 
 serve::ServeReply PolicyClient::Act(uint64_t user_id, const nn::Tensor& obs) {
@@ -183,39 +499,42 @@ void PolicyClient::EndSession(uint64_t user_id) {
 
 TransportStatus PolicyClient::TryAct(uint64_t user_id, const nn::Tensor& obs,
                                      serve::ServeReply* reply) {
-  std::string reply_payload;
-  TransportStatus status;
-  // The caller's current trace id (0 when none) travels in the v2
-  // request payload, so server-side spans and exemplars can be joined
-  // back to this client-observed request.
-  const uint64_t trace_id = obs::CurrentTraceId();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    status = RoundTripLocked(MessageType::kActRequest,
-                             EncodeActRequest(user_id, obs, trace_id),
-                             MessageType::kActReply, &reply_payload);
-  }
-  if (status != TransportStatus::kOk) return status;
-  if (!DecodeActReply(reply_payload, reply)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    conn_.Close();
-    return TransportStatus::kMalformedReply;
-  }
-  return TransportStatus::kOk;
+  return Await(SubmitAct(user_id, obs), reply);
 }
 
 TransportStatus PolicyClient::TryEndSession(uint64_t user_id) {
-  std::string reply_payload;
-  TransportStatus status;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    status = RoundTripLocked(MessageType::kEndSessionRequest,
-                             EncodeU64(user_id),
-                             MessageType::kEndSessionReply, &reply_payload);
-  }
+  const uint64_t id =
+      Submit(MessageType::kEndSessionRequest, EncodeU64(user_id),
+             MessageType::kEndSessionReply, 0);
+  std::string payload;
+  const TransportStatus status = AwaitPayload(id, &payload);
   if (status != TransportStatus::kOk) return status;
-  if (!reply_payload.empty()) return TransportStatus::kMalformedReply;
+  if (!payload.empty()) return TransportStatus::kMalformedReply;
   return TransportStatus::kOk;
+}
+
+TransportStatus PolicyClient::RetryingRoundTrip(
+    MessageType request_type, const std::string& request_payload,
+    MessageType expected_reply, std::string* reply_payload) {
+  int backoff_ms = config_.retry_backoff_initial_ms;
+  TransportStatus status = TransportStatus::kClosed;
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.client.retries", 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.retry_backoff_max_ms);
+    }
+    const uint64_t id =
+        Submit(request_type, request_payload, expected_reply, 0);
+    status = AwaitPayload(id, reply_payload);
+    // kRemoteError is a definitive answer, not a transient fault.
+    if (status == TransportStatus::kOk ||
+        status == TransportStatus::kRemoteError) {
+      return status;
+    }
+  }
+  return status;
 }
 
 TransportStatus PolicyClient::Ping(uint8_t* server_version) {
@@ -249,12 +568,12 @@ TransportStatus PolicyClient::FetchMetrics(obs::MetricsSnapshot* snapshot) {
 }
 
 WireError PolicyClient::last_remote_error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mu_);
   return last_error_;
 }
 
 std::string PolicyClient::last_remote_message() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mu_);
   return last_error_message_;
 }
 
@@ -264,6 +583,11 @@ PolicyClientStats PolicyClient::stats() const {
   stats.reconnects = reconnects_.load(std::memory_order_relaxed);
   stats.retries = retries_.load(std::memory_order_relaxed);
   stats.remote_errors = remote_errors_.load(std::memory_order_relaxed);
+  stats.timeouts = timeouts_.load(std::memory_order_relaxed);
+  stats.server_version =
+      static_cast<int>(server_version_.load(std::memory_order_relaxed));
+  stats.negotiated_version = static_cast<int>(
+      negotiated_version_.load(std::memory_order_relaxed));
   return stats;
 }
 

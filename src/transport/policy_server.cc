@@ -1,5 +1,6 @@
 #include "transport/policy_server.h"
 
+#include <chrono>
 #include <utility>
 
 #include "obs/snapshot_codec.h"
@@ -12,7 +13,7 @@ namespace {
 
 /// Idle tick between requests: how often a worker blocked on a quiet
 /// connection re-checks the stop flag. Bounds shutdown latency, not
-/// request latency (a readable socket is handled immediately).
+/// request latency (a readable channel is handled immediately).
 constexpr int kIdleTickMs = 50;
 
 }  // namespace
@@ -23,8 +24,11 @@ PolicyServer::PolicyServer(serve::PolicyService* service,
   S2R_CHECK(service != nullptr);
   S2R_CHECK(config.num_workers >= 1);
   S2R_CHECK(config.max_pending_connections >= 1);
-  S2R_CHECK(config.request_timeout_ms > 0);
-  S2R_CHECK(config.max_frame_bytes > kFrameHeaderBytes);
+  S2R_CHECK(config.dispatch_threads >= 1);
+  S2R_CHECK(config.max_inflight_per_connection >= 1);
+  S2R_CHECK(config.shm_lanes >= 0);
+  S2R_CHECK(config.limits.request_timeout_ms > 0);
+  S2R_CHECK(config.limits.max_frame_bytes > kMaxFrameHeaderBytes);
 }
 
 PolicyServer::~PolicyServer() { Shutdown(); }
@@ -39,12 +43,41 @@ bool PolicyServer::Start() {
   }
   port_ = listener_.port();
   started_ = true;
+
+  for (int i = 0; i < config_.shm_lanes; ++i) {
+    ShmLaneConfig lane_config;
+    lane_config.ring_bytes = config_.shm_ring_bytes;
+    lane_config.max_frame_bytes = config_.limits.max_frame_bytes;
+    const std::string lane_name =
+        config_.shm_name + "." + std::to_string(i);
+    auto lane = ShmLane::Create(lane_name, lane_config);
+    if (lane == nullptr) {
+      // Shared memory unavailable or a stale segment in the way:
+      // degrade to TCP-only rather than refusing to serve.
+      S2R_LOG_ERROR("transport: cannot create shm lane %s; %s",
+                    lane_name.c_str(),
+                    i == 0 ? "serving TCP only"
+                           : "serving with fewer lanes");
+      break;
+    }
+    lanes_.push_back(std::move(lane));
+  }
+
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  S2R_LOG_INFO("transport: serving on %s:%d (%d workers)",
-               config_.host.c_str(), port_, config_.num_workers);
+  for (auto& lane : lanes_) {
+    pumps_.emplace_back([this, raw = lane.get()] { PumpLoop(raw); });
+  }
+  for (int i = 0; i < config_.dispatch_threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+  S2R_LOG_INFO(
+      "transport: serving on %s:%d (%d workers, %d dispatchers, "
+      "%zu shm lanes)",
+      config_.host.c_str(), port_, config_.num_workers,
+      config_.dispatch_threads, lanes_.size());
   return true;
 }
 
@@ -59,9 +92,24 @@ void PolicyServer::Shutdown() {
   // thread is polling would race.
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
+  // Workers and pumps drain their connections' in-flight requests
+  // before returning, which requires live dispatchers — so those are
+  // stopped last.
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  for (auto& pump : pumps_) {
+    if (pump.joinable()) pump.join();
+  }
+  {
+    std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+    dispatch_stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (auto& dispatcher : dispatchers_) {
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+  lanes_.clear();  // unlinks the shm segments
   std::lock_guard<std::mutex> queue_lock(queue_mutex_);
   pending_.clear();
 }
@@ -73,6 +121,9 @@ PolicyServerStats PolicyServer::stats() const {
   stats.connections_rejected =
       connections_rejected_.load(std::memory_order_relaxed);
   stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.dispatched_requests =
+      dispatched_requests_.load(std::memory_order_relaxed);
+  stats.shm_sessions = shm_sessions_.load(std::memory_order_relaxed);
   stats.malformed_frames =
       malformed_frames_.load(std::memory_order_relaxed);
   stats.errors_sent = errors_sent_.load(std::memory_order_relaxed);
@@ -122,23 +173,90 @@ void PolicyServer::WorkerLoop() {
       conn = std::move(pending_.front());
       pending_.pop_front();
     }
-    ServeConnection(std::move(conn));
+    TcpChannel channel(std::move(conn));
+    ServeChannel(&channel);
   }
 }
 
-void PolicyServer::ServeConnection(TcpConnection conn) {
-  uint8_t header[kFrameHeaderBytes];
+void PolicyServer::PumpLoop(ShmLane* lane) {
   while (!stop_.load(std::memory_order_relaxed)) {
+    auto channel = lane->ServerChannel();
+    // ServeChannel idles on WaitReadable ticks until a client attaches
+    // and writes its first frame; a hangup (client_gone with the ring
+    // drained) reads as kClosed, same as a TCP disconnect.
+    ServeChannel(channel.get());
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (lane->claimed()) {
+      shm_sessions_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.shm_sessions", 1);
+    }
+    // Closing the channel raises server_gone and wakes the client;
+    // wait for it to acknowledge (client_gone) before recycling the
+    // rings — resetting under a still-mapped client would let a new
+    // claimant share the lane with the old one.
+    channel.reset();
+    while (!stop_.load(std::memory_order_relaxed) && lane->claimed() &&
+           !lane->client_departed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    lane->ResetForNextClient();
+  }
+}
+
+void PolicyServer::DispatcherLoop() {
+  for (;;) {
+    DispatchTask task;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mutex_);
+      dispatch_cv_.wait(lock, [this] {
+        return dispatch_stop_ || !dispatch_queue_.empty();
+      });
+      // Drain-then-stop: tasks still queued at shutdown must run (or
+      // their readers would wait on inflight forever).
+      if (dispatch_queue_.empty()) {
+        if (dispatch_stop_) return;
+        continue;
+      }
+      task = std::move(dispatch_queue_.front());
+      dispatch_queue_.pop_front();
+    }
+    const bool ok = HandleFrame(*task.conn, task.header, task.payload);
+    if (!ok) {
+      // Reply unwritable: poison the connection and kick its reader
+      // out of any blocked wait.
+      task.conn->broken.store(true, std::memory_order_release);
+      task.conn->channel->ShutdownBoth();
+    }
+    {
+      // Notify while still holding mu: the reader destroys ConnState
+      // (a stack object) the moment it observes inflight == 0, so an
+      // after-unlock notify could touch a dead condvar.
+      std::lock_guard<std::mutex> lock(task.conn->mu);
+      --task.conn->inflight;
+      task.conn->cv.notify_all();
+    }
+  }
+}
+
+void PolicyServer::ServeChannel(ByteChannel* channel) {
+  ConnState conn;
+  conn.channel = channel;
+  uint8_t header[kMaxFrameHeaderBytes];
+  bool send_malformed_error = false;
+  const char* malformed_reason = nullptr;
+
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !conn.broken.load(std::memory_order_acquire)) {
     // Idle tick: wait for the next request without holding a deadline
     // against a client that simply has nothing to ask yet.
-    const IoStatus readable = conn.WaitReadable(kIdleTickMs);
+    const IoStatus readable = channel->WaitReadable(kIdleTickMs);
     if (readable == IoStatus::kTimeout) continue;
-    if (readable != IoStatus::kOk) return;
+    if (readable != IoStatus::kOk) break;
 
     // Bytes are flowing: the rest of the request runs on the deadline.
-    const IoStatus header_status =
-        conn.ReadFull(header, kFrameHeaderBytes, config_.request_timeout_ms);
-    if (header_status == IoStatus::kClosed) return;  // orderly hangup
+    const IoStatus header_status = channel->ReadFull(
+        header, kFrameHeaderBytes, config_.limits.request_timeout_ms);
+    if (header_status == IoStatus::kClosed) break;  // orderly hangup
     if (header_status != IoStatus::kOk) {
       // Truncated header / mid-stream disconnect / timeout.
       if (header_status == IoStatus::kTimeout) {
@@ -147,25 +265,46 @@ void PolicyServer::ServeConnection(TcpConnection conn) {
       }
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       S2R_COUNT("transport.malformed_frames", 1);
-      return;
+      break;
     }
 
     FrameHeader frame;
     const HeaderStatus decoded =
-        DecodeHeader(header, config_.max_frame_bytes, &frame);
+        DecodeHeader(header, config_.limits.max_frame_bytes, &frame);
     if (decoded != HeaderStatus::kOk) {
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       S2R_COUNT("transport.malformed_frames", 1);
-      SendError(conn, WireError::kMalformedFrame,
-                decoded == HeaderStatus::kBadMagic ? "bad magic"
-                                                   : "frame too large");
-      return;  // framing lost; the stream cannot be trusted again
+      send_malformed_error = true;
+      malformed_reason = decoded == HeaderStatus::kBadMagic
+                             ? "bad magic"
+                             : "frame too large";
+      break;  // framing lost; the stream cannot be trusted again
+    }
+
+    // v3 (and anything newer, which by contract keeps the v3 prefix)
+    // carries the request id between the fixed header and the payload.
+    const size_t header_len = FrameHeaderBytesFor(frame.version);
+    if (header_len > kFrameHeaderBytes) {
+      const IoStatus id_status = channel->ReadFull(
+          header + kFrameHeaderBytes, header_len - kFrameHeaderBytes,
+          config_.limits.request_timeout_ms);
+      if (id_status != IoStatus::kOk) {
+        if (id_status == IoStatus::kTimeout) {
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          S2R_COUNT("transport.timeouts", 1);
+        }
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        S2R_COUNT("transport.malformed_frames", 1);
+        break;
+      }
+      DecodeRequestId(header + kFrameHeaderBytes, &frame);
     }
 
     std::string payload(frame.payload_len, '\0');
     if (frame.payload_len > 0) {
-      const IoStatus payload_status = conn.ReadFull(
-          payload.data(), payload.size(), config_.request_timeout_ms);
+      const IoStatus payload_status =
+          channel->ReadFull(payload.data(), payload.size(),
+                            config_.limits.request_timeout_ms);
       if (payload_status != IoStatus::kOk) {
         if (payload_status == IoStatus::kTimeout) {
           timeouts_.fetch_add(1, std::memory_order_relaxed);
@@ -173,23 +312,64 @@ void PolicyServer::ServeConnection(TcpConnection conn) {
         }
         malformed_frames_.fetch_add(1, std::memory_order_relaxed);
         S2R_COUNT("transport.malformed_frames", 1);
-        return;
+        break;
       }
     }
 
-    if (!FrameCrcMatches(header, payload)) {
+    if (!FrameCrcMatches(header, header_len, payload)) {
       malformed_frames_.fetch_add(1, std::memory_order_relaxed);
       S2R_COUNT("transport.malformed_frames", 1);
-      SendError(conn, WireError::kMalformedFrame, "crc mismatch");
-      return;  // bytes corrupted in flight; close
+      send_malformed_error = true;
+      malformed_reason = "crc mismatch";
+      break;  // bytes corrupted in flight; close
     }
 
-    if (!HandleFrame(conn, frame, payload)) return;
+    if (frame.version >= 3) {
+      // Multiplexed lane: hand the request to the dispatch pool and go
+      // straight back to reading, so several requests from this one
+      // connection can sit inside the micro-batcher together. The
+      // inflight cap is the per-connection backpressure valve.
+      {
+        std::unique_lock<std::mutex> lock(conn.mu);
+        conn.cv.wait(lock, [this, &conn] {
+          return conn.inflight < config_.max_inflight_per_connection ||
+                 conn.broken.load(std::memory_order_acquire) ||
+                 stop_.load(std::memory_order_relaxed);
+        });
+        if (conn.broken.load(std::memory_order_acquire)) break;
+        ++conn.inflight;
+      }
+      dispatched_requests_.fetch_add(1, std::memory_order_relaxed);
+      S2R_COUNT("transport.dispatched_requests", 1);
+      {
+        std::lock_guard<std::mutex> lock(dispatch_mutex_);
+        dispatch_queue_.push_back(
+            DispatchTask{&conn, frame, std::move(payload)});
+      }
+      dispatch_cv_.notify_one();
+    } else {
+      // Pre-v3 frames carry no request id, so replies are matched by
+      // order alone: serve serially, exactly like the v2 server did.
+      if (!HandleFrame(conn, frame, payload)) break;
+    }
+  }
+
+  // The reader is done with the socket, but dispatched requests still
+  // hold pointers to `conn` and the channel: drain before unwinding.
+  {
+    std::unique_lock<std::mutex> lock(conn.mu);
+    conn.cv.wait(lock, [&conn] { return conn.inflight == 0; });
+  }
+  if (send_malformed_error &&
+      !conn.broken.load(std::memory_order_acquire)) {
+    // Best-effort diagnostic after the pipeline drained (a poisoned
+    // frame must not interleave with in-flight replies).
+    SendError(conn, WireError::kMalformedFrame, malformed_reason,
+              kProtocolVersion, 0);
   }
 }
 
-bool PolicyServer::HandleFrame(TcpConnection& conn,
-                               const FrameHeader& header,
+bool PolicyServer::HandleFrame(ConnState& conn, const FrameHeader& header,
                                const std::string& payload) {
   S2R_TRACE_SPAN("transport/request", "type",
                  static_cast<double>(static_cast<uint8_t>(header.type)),
@@ -197,22 +377,29 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
   requests_.fetch_add(1, std::memory_order_relaxed);
   S2R_COUNT("transport.requests", 1);
   S2R_HISTOGRAM("transport.request_bytes",
-                static_cast<double>(kFrameHeaderBytes + payload.size()));
+                static_cast<double>(FrameHeaderBytesFor(header.version) +
+                                    payload.size()));
   const double start_us = obs::MonotonicMicros();
 
-  // Version gate: the frame decoded (the header layout is fixed across
+  // Replies (and typed errors) echo the request's version capped at
+  // our own, so an old client only ever sees frames it understands;
+  // reply payload layouts are identical across versions 1..3. The
+  // request id rides back on every v3 reply — it is the multiplexing
+  // key.
+  const uint8_t reply_version = header.version > kProtocolVersion
+                                    ? kProtocolVersion
+                                    : header.version;
+  const uint64_t id = header.request_id;
+
+  // Version gate: the frame decoded (the header prefix is fixed across
   // versions), but its payload may mean something newer than this
   // binary. Intact request, unsupported — connection survives.
   if (header.version > kProtocolVersion) {
     SendError(conn, WireError::kUnsupportedVersion,
-              "protocol version newer than server");
+              "protocol version newer than server", reply_version, id);
     return true;
   }
 
-  // Replies (and typed errors) echo the request's version so an old
-  // client only ever sees frames it understands; reply payload layouts
-  // are identical across versions 1 and 2.
-  const uint8_t reply_version = header.version;
   uint64_t trace_id = 0;  // nonzero once an Act request carried one
 
   bool ok = true;
@@ -224,7 +411,7 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
                             &obs) ||
           obs.rows() != 1 || obs.cols() < 1) {
         SendError(conn, WireError::kBadPayload, "bad act request",
-                  reply_version);
+                  reply_version, id);
         return true;
       }
       // The client's trace id becomes this thread's current trace id
@@ -242,63 +429,63 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
         // A throwing backend (fault injection, transient shard trouble)
         // fails this request only: typed error frame, connection — and
         // every other session on it — survives.
-        SendError(conn, WireError::kInternal, e.what(), reply_version);
+        SendError(conn, WireError::kInternal, e.what(), reply_version, id);
         return true;
       }
       ok = SendFrame(conn, MessageType::kActReply, EncodeActReply(reply),
-                     reply_version);
+                     reply_version, id);
       break;
     }
     case MessageType::kEndSessionRequest: {
       uint64_t user_id = 0;
       if (!DecodeU64(payload, &user_id)) {
         SendError(conn, WireError::kBadPayload, "bad end-session request",
-                  reply_version);
+                  reply_version, id);
         return true;
       }
       try {
         service_->EndSession(user_id);
       } catch (const std::exception& e) {
-        SendError(conn, WireError::kInternal, e.what(), reply_version);
+        SendError(conn, WireError::kInternal, e.what(), reply_version, id);
         return true;
       }
       ok = SendFrame(conn, MessageType::kEndSessionReply, std::string(),
-                     reply_version);
+                     reply_version, id);
       break;
     }
     case MessageType::kPingRequest: {
       uint64_t nonce = 0;
       if (!DecodeU64(payload, &nonce)) {
         SendError(conn, WireError::kBadPayload, "bad ping request",
-                  reply_version);
+                  reply_version, id);
         return true;
       }
       ok = SendFrame(conn, MessageType::kPingReply,
                      EncodePingReply(nonce, kProtocolVersion),
-                     reply_version);
+                     reply_version, id);
       break;
     }
     case MessageType::kMetricsRequest: {
       if (!payload.empty()) {
         SendError(conn, WireError::kBadPayload, "bad metrics request",
-                  reply_version);
+                  reply_version, id);
         return true;
       }
       if (!config_.metrics_source) {
         SendError(conn, WireError::kUnavailable, "no metrics source",
-                  reply_version);
+                  reply_version, id);
         return true;
       }
       ok = SendFrame(conn, MessageType::kMetricsReply,
                      obs::EncodeSnapshot(config_.metrics_source()),
-                     reply_version);
+                     reply_version, id);
       break;
     }
     default:
       // Forward compatibility: a type from the future is an intact
       // request this binary cannot serve; say so and keep going.
       SendError(conn, WireError::kUnsupportedType, "unknown message type",
-                reply_version);
+                reply_version, id);
       return true;
   }
   S2R_HISTOGRAM_EX("transport.request_us",
@@ -308,11 +495,19 @@ bool PolicyServer::HandleFrame(TcpConnection& conn,
   return ok;
 }
 
-bool PolicyServer::SendFrame(TcpConnection& conn, MessageType type,
-                             const std::string& payload, uint8_t version) {
-  const std::string frame = EncodeFrame(type, payload, version);
-  const IoStatus status =
-      conn.WriteFull(frame.data(), frame.size(), config_.request_timeout_ms);
+bool PolicyServer::SendFrame(ConnState& conn, MessageType type,
+                             const std::string& payload, uint8_t version,
+                             uint64_t request_id) {
+  const std::string frame =
+      EncodeFrame(type, payload, version, /*flags=*/0, request_id);
+  IoStatus status;
+  {
+    // Dispatchers finish in completion order; the write mutex keeps
+    // their reply frames from interleaving on the byte stream.
+    std::lock_guard<std::mutex> lock(conn.write_mutex);
+    status = conn.channel->WriteFull(frame.data(), frame.size(),
+                                     config_.limits.request_timeout_ms);
+  }
   if (status == IoStatus::kTimeout) {
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     S2R_COUNT("transport.timeouts", 1);
@@ -321,12 +516,13 @@ bool PolicyServer::SendFrame(TcpConnection& conn, MessageType type,
   return status == IoStatus::kOk;
 }
 
-bool PolicyServer::SendError(TcpConnection& conn, WireError code,
-                             const char* message, uint8_t version) {
+bool PolicyServer::SendError(ConnState& conn, WireError code,
+                             const char* message, uint8_t version,
+                             uint64_t request_id) {
   errors_sent_.fetch_add(1, std::memory_order_relaxed);
   S2R_COUNT("transport.errors_sent", 1);
   return SendFrame(conn, MessageType::kError, EncodeError(code, message),
-                   version);
+                   version, request_id);
 }
 
 }  // namespace transport

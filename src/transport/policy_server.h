@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -13,6 +14,9 @@
 
 #include "obs/metrics.h"
 #include "serve/policy_service.h"
+#include "transport/channel.h"
+#include "transport/limits.h"
+#include "transport/shm_lane.h"
 #include "transport/socket.h"
 #include "transport/wire.h"
 
@@ -26,25 +30,49 @@ struct PolicyServerConfig {
   /// 0 picks an ephemeral port, readable from port() after Start().
   int port = 0;
 
-  /// Connection-handling worker threads. Each worker owns one
-  /// connection at a time (blocking request/reply loop), so this is
-  /// also the number of clients served concurrently; size it at least
-  /// to the expected client count. The micro-batching InferenceServer
-  /// behind the transport is what coalesces concurrency, so a handful
-  /// of workers front a much larger user population.
+  /// Connection-reading worker threads. Each worker owns one
+  /// connection at a time (it reads frames; v3 requests are handed to
+  /// the dispatch pool, older versions are answered in place), so this
+  /// is also the number of clients served concurrently; size it at
+  /// least to the expected client count. The micro-batching
+  /// InferenceServer behind the transport is what coalesces
+  /// concurrency, so a handful of workers front a much larger user
+  /// population.
   int num_workers = 4;
   /// Accepted connections waiting for a free worker. Beyond this the
   /// accept loop closes new connections immediately (graceful
   /// degradation: refuse, never queue unboundedly).
   int max_pending_connections = 64;
 
-  /// Per-request deadline: once a frame header starts arriving, the
-  /// rest of the frame, the service call and the reply write must all
-  /// finish within this budget, or the connection is dropped.
-  int request_timeout_ms = 5000;
-  /// Frames (header + payload) larger than this are rejected before
-  /// any payload allocation.
-  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Threads executing dispatched v3 requests, shared across all
+  /// connections and lanes. They are what lets one pipelined
+  /// connection have several Acts inside the micro-batcher at once.
+  int dispatch_threads = 4;
+  /// Per-connection cap on dispatched-but-unanswered requests. The
+  /// reader stops pulling frames off a connection that has this many
+  /// in flight — TCP (or the shm ring filling up) pushes the
+  /// backpressure to the client, bounding server memory per
+  /// connection.
+  int max_inflight_per_connection = 32;
+
+  /// Same-host shared-memory fast lanes: segments
+  /// `s2r.<shm_name>.<i>` for i in [0, shm_lanes). 0 disables; when a
+  /// lane cannot be created (no /dev/shm) the server logs and serves
+  /// TCP only. Each lane carries one client at a time; clients dial
+  /// them with "shm://<shm_name>".
+  int shm_lanes = 0;
+  std::string shm_name = "policy";
+  /// Per-direction ring bytes for each lane; must exceed
+  /// limits.max_frame_bytes (Create refuses otherwise).
+  size_t shm_ring_bytes = (size_t{4} << 20) + (size_t{64} << 10);
+
+  /// Framing and deadline bounds shared with the client and the HTTP
+  /// endpoint (transport/limits.h): request_timeout_ms is the budget
+  /// from the first header byte of a request to its reply being fully
+  /// written; max_frame_bytes rejects oversized frames before any
+  /// payload allocation. connect_timeout_ms is client-side only and
+  /// ignored here.
+  Limits limits;
 
   /// Answers kMetricsRequest frames. Unset, the server replies
   /// kUnavailable. Typical wiring merges the fronted service's view
@@ -61,35 +89,46 @@ struct PolicyServerStats {
   int64_t connections_accepted = 0;
   int64_t connections_rejected = 0;  // pending queue full
   int64_t requests = 0;              // well-formed frames handled
+  int64_t dispatched_requests = 0;   // v3 frames run on the dispatch pool
+  int64_t shm_sessions = 0;          // shm-lane client sessions completed
   int64_t malformed_frames = 0;      // bad magic / oversized / CRC
   int64_t errors_sent = 0;           // kError frames written
   int64_t timeouts = 0;              // request deadlines missed
 };
 
-/// Blocking TCP front end for any serve::PolicyService — an
+/// Blocking front end for any serve::PolicyService — an
 /// InferenceServer or a ServeRouter — speaking the framed protocol in
-/// transport/wire (documented byte-by-byte in docs/PROTOCOL.md).
+/// transport/wire (documented byte-by-byte in docs/PROTOCOL.md) over
+/// TCP connections and, when configured, same-host shared-memory
+/// lanes. Both lanes run the identical frame codec; shm only swaps the
+/// byte carrier.
 ///
-/// Threading: one accept thread plus num_workers connection workers
-/// (the accept/worker split mirrors core::ThreadPool's
-/// caller-plus-workers pattern, with connections instead of index
-/// ranges). The fronted service must be thread-safe for concurrent
+/// Threading: one accept thread, num_workers connection readers, one
+/// pump thread per shm lane, and dispatch_threads request executors.
+/// A reader decodes frames; protocol-v3 requests (which carry a
+/// request id) are enqueued to the dispatch pool so several requests
+/// from ONE connection can be inside the service concurrently, with
+/// replies written as they finish — tagged with the request id, in
+/// whatever order they complete. v1/v2 frames have no id, so those
+/// connections are served serially in arrival order, exactly as
+/// before. The fronted service must be thread-safe for concurrent
 /// Act/EndSession — both PolicyService implementations are — and must
 /// outlive the server.
 ///
 /// Degradation: malformed frames (bad magic, oversized length, CRC
 /// mismatch) are answered with a best-effort kError frame and the
-/// connection is closed — a byte stream that failed framing cannot be
-/// resynchronized — but the server itself never aborts and other
-/// connections are unaffected. Well-framed but unintelligible requests
-/// (unknown type, undecodable payload, version from the future) get a
-/// kError reply and the connection stays usable.
+/// connection is closed after in-flight requests drain — a byte
+/// stream that failed framing cannot be resynchronized — but the
+/// server itself never aborts and other connections are unaffected.
+/// Well-framed but unintelligible requests (unknown type, undecodable
+/// payload, version from the future) get a kError reply and the
+/// connection stays usable.
 ///
 /// Shutdown: Start()/Shutdown() bracket the serving window. Shutdown
 /// stops accepting, lets every in-flight request finish and its reply
-/// drain to the socket, then closes connections and joins all threads
-/// (idle connections are noticed at the next idle tick, <= ~50ms).
-/// Called by the destructor; idempotent.
+/// drain, then closes connections and joins all threads (idle
+/// connections are noticed at the next idle tick, <= ~50ms). Called by
+/// the destructor; idempotent.
 class PolicyServer {
  public:
   PolicyServer(serve::PolicyService* service,
@@ -99,8 +138,10 @@ class PolicyServer {
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
-  /// Binds, listens and spawns the accept/worker threads. False when
-  /// the address cannot be bound. Must be called at most once.
+  /// Binds, listens, creates shm lanes and spawns all threads. False
+  /// when the TCP address cannot be bound (shm-lane creation failure
+  /// only logs — the server degrades to TCP-only). Must be called at
+  /// most once.
   bool Start();
 
   /// Drains in-flight requests, closes every connection and joins all
@@ -110,24 +151,52 @@ class PolicyServer {
   /// The bound port (resolves config.port == 0), valid after Start().
   int port() const { return port_; }
 
+  /// Number of shm lanes actually created (<= config.shm_lanes).
+  int shm_lane_count() const { return static_cast<int>(lanes_.size()); }
+
   PolicyServerStats stats() const;
 
  private:
+  /// Per-connection state shared between the reader and the dispatch
+  /// pool. The write mutex serializes reply frames from concurrent
+  /// dispatchers; inflight/cv implement both the backpressure cap and
+  /// the drain-before-close barrier.
+  struct ConnState {
+    ByteChannel* channel = nullptr;
+    std::mutex write_mutex;
+    std::mutex mu;
+    std::condition_variable cv;
+    int inflight = 0;                // guarded by mu
+    std::atomic<bool> broken{false};  // reply unwritable; stop reading
+  };
+
+  struct DispatchTask {
+    ConnState* conn = nullptr;
+    FrameHeader header;
+    std::string payload;
+  };
+
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(TcpConnection conn);
-  /// Handles one well-framed message. Returns false when the
-  /// connection must close (framing broken or reply unwritable).
-  bool HandleFrame(TcpConnection& conn, const FrameHeader& header,
+  void PumpLoop(ShmLane* lane);
+  void DispatcherLoop();
+  /// Reads frames off one channel until hangup, framing loss or
+  /// shutdown; waits for in-flight dispatched requests to drain before
+  /// returning.
+  void ServeChannel(ByteChannel* channel);
+  /// Handles one well-framed message (on the reader for v1/v2, on a
+  /// dispatcher for v3). Returns false when the connection must close
+  /// (reply unwritable).
+  bool HandleFrame(ConnState& conn, const FrameHeader& header,
                    const std::string& payload);
-  /// `version` is the version byte stamped on the outgoing frame —
-  /// replies echo the request's version (capped at our own) so a v1
-  /// client never receives a frame it would reject as too new.
-  bool SendFrame(TcpConnection& conn, MessageType type,
-                 const std::string& payload,
-                 uint8_t version = kProtocolVersion);
-  bool SendError(TcpConnection& conn, WireError code, const char* message,
-                 uint8_t version = kProtocolVersion);
+  /// `version` stamps the outgoing frame — replies echo the request's
+  /// version (capped at our own) so a v1 client never receives a frame
+  /// it would reject as too new; `request_id` is echoed on v3 frames.
+  bool SendFrame(ConnState& conn, MessageType type,
+                 const std::string& payload, uint8_t version,
+                 uint64_t request_id);
+  bool SendError(ConnState& conn, WireError code, const char* message,
+                 uint8_t version, uint64_t request_id);
 
   serve::PolicyService* service_;
   PolicyServerConfig config_;
@@ -141,14 +210,24 @@ class PolicyServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<ShmLane>> lanes_;
+  std::vector<std::thread> pumps_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<TcpConnection> pending_;  // guarded by queue_mutex_
 
+  std::vector<std::thread> dispatchers_;
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  std::deque<DispatchTask> dispatch_queue_;  // guarded by dispatch_mutex_
+  bool dispatch_stop_ = false;               // guarded by dispatch_mutex_
+
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_rejected_{0};
   std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> dispatched_requests_{0};
+  std::atomic<int64_t> shm_sessions_{0};
   std::atomic<int64_t> malformed_frames_{0};
   std::atomic<int64_t> errors_sent_{0};
   std::atomic<int64_t> timeouts_{0};

@@ -1,0 +1,126 @@
+#ifndef SIM2REC_TRANSPORT_SHM_LANE_H_
+#define SIM2REC_TRANSPORT_SHM_LANE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "transport/channel.h"
+
+namespace sim2rec {
+namespace transport {
+
+struct ShmLaneConfig {
+  /// Per-direction ring capacity in bytes. Must comfortably exceed
+  /// max_frame_bytes of the frames travelling the lane, or large
+  /// frames deadlock waiting for space that can never appear (Create
+  /// refuses rings smaller than one maximal frame + header).
+  size_t ring_bytes = size_t{1} << 20;
+  /// Bound for frames read off the lane (same meaning as the TCP
+  /// sides' Limits::max_frame_bytes; kept here so a lane is
+  /// self-describing about what it can carry).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+/// Same-host shared-memory fast lane: one POSIX shm segment holding a
+/// pair of fixed-size SPSC byte rings (client→server requests,
+/// server→client replies) that carry the *same* wire frames as the TCP
+/// lane — same codec, same CRC-32, same raw IEEE-754 reply bytes, so
+/// the bitwise-reply guarantee holds unchanged while the kernel
+/// socket stack drops out of the round trip.
+///
+/// Ring discipline: bytes are published with release stores on the
+/// producer cursor and consumed with acquire loads, so the frame bytes
+/// themselves need no locks; each ring has exactly one producer and
+/// one consumer. Waiting sides park on a futex word (a short spin
+/// first) — no busy polling, which matters on shared or single-core
+/// hosts where spinning would steal the peer's timeslice.
+///
+/// Lifecycle: the server Create()s a lane (owns the segment, unlinks
+/// it on destruction) and pumps it with ServerChannel(). A client
+/// Attach()es by name, claiming the lane with a CAS — one client at a
+/// time per lane; Dial("shm://name") scans `name.0`, `name.1`, ... for
+/// a free lane. When the client hangs up the server resets the rings
+/// and reopens the lane for the next client. A client that dies
+/// without closing leaves the lane claimed until the server notices
+/// EOF-silence is not detectable here — operators size `shm_lanes`
+/// per expected same-host client and treat a leaked claim like a
+/// leaked fd (restart the client, or the server).
+class ShmLane {
+ public:
+  ~ShmLane();
+
+  ShmLane(const ShmLane&) = delete;
+  ShmLane& operator=(const ShmLane&) = delete;
+
+  /// Server side: creates (O_EXCL) and maps `/dev/shm` segment
+  /// `s2r.<name>`. Returns nullptr when shared memory is unavailable
+  /// (no /dev/shm, permissions) or the name already exists — callers
+  /// degrade to TCP-only and log, never abort.
+  static std::unique_ptr<ShmLane> Create(const std::string& name,
+                                         const ShmLaneConfig& config);
+
+  /// Client side: maps an existing lane and claims it. Returns nullptr
+  /// when the segment does not exist, is incompatible (magic/version/
+  /// size mismatch), the server is gone, or another client holds the
+  /// claim.
+  static std::unique_ptr<ShmLane> Attach(const std::string& name);
+
+  /// True when segment `s2r.<name>` exists — lets Dial's lane scan
+  /// tell "all lanes busy, keep scanning" apart from "ran off the end
+  /// of the lane group".
+  static bool Exists(const std::string& name);
+
+  /// The serving end: ReadFull consumes the request ring, WriteFull
+  /// produces into the reply ring. Call once; the channel borrows the
+  /// lane (the lane must outlive it).
+  std::unique_ptr<ByteChannel> ServerChannel();
+  /// The dialing end: mirror roles. The returned channel's Close()
+  /// releases the claim so the lane can serve the next client.
+  std::unique_ptr<ByteChannel> ClientChannel();
+
+  /// Server side, between clients: bumps the session epoch (so any
+  /// straggling hangup store from the departed client's teardown is
+  /// ignored), drops any unconsumed bytes, clears the hangup flags and
+  /// reopens the lane for the next Attach. Must only run with no
+  /// client attached (claim still held by the departed client until
+  /// this clears it).
+  void ResetForNextClient();
+
+  /// True while a client holds the claim.
+  bool claimed() const;
+
+  /// True once the attached client has hung up (set by its channel
+  /// Close or its ShmLane destructor). The server's pump waits for
+  /// this before ResetForNextClient so the rings are never recycled
+  /// under a client that is still mapped.
+  bool client_departed() const;
+
+  const std::string& name() const { return name_; }
+  size_t ring_bytes() const;
+
+ private:
+  ShmLane() = default;
+
+  std::string name_;        // lane name (not the shm path)
+  std::string shm_path_;    // "/s2r.<name>"
+  bool owner_ = false;      // created (server) vs attached (client)
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  // Client side: the lane epoch read when the claim was won. All of
+  // this session's hangup stamps carry this value, so a store that
+  // lands after the server has recycled the lane is inert.
+  uint32_t attach_epoch_ = 0;
+};
+
+/// True when POSIX shared memory is usable in this environment (probed
+/// once by creating and unlinking a scratch segment). Benches and
+/// tests use it to skip shm rows instead of failing.
+bool ShmAvailable();
+
+}  // namespace transport
+}  // namespace sim2rec
+
+#endif  // SIM2REC_TRANSPORT_SHM_LANE_H_

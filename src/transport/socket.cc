@@ -87,6 +87,10 @@ void TcpConnection::Close() {
   }
 }
 
+void TcpConnection::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 TcpConnection TcpConnection::Connect(const std::string& host, int port,
                                      int timeout_ms) {
   struct sockaddr_in addr;

@@ -42,6 +42,13 @@ class TcpConnection {
   bool valid() const { return fd_ >= 0; }
   void Close();
 
+  /// shutdown(2) both directions without closing the fd: blocked reads
+  /// and writes (on this or any thread) return kClosed promptly, and
+  /// because fd_ itself is untouched this is safe to call from another
+  /// thread racing an in-flight ReadFull — the cross-thread wakeup a
+  /// multiplexing client needs. Close() still releases the fd.
+  void ShutdownBoth();
+
   /// Blocks until exactly `size` bytes are read or the deadline
   /// (`timeout_ms` from the call) passes. Partial data on failure is
   /// discarded by callers — a frame either arrives whole or not at all.

@@ -64,22 +64,35 @@ const char* TransportStatusName(TransportStatus status) {
     case TransportStatus::kMalformedReply: return "malformed_reply";
     case TransportStatus::kFrameTooLarge: return "frame_too_large";
     case TransportStatus::kRemoteError: return "remote_error";
+    case TransportStatus::kInvalidHandle: return "invalid_handle";
   }
   return "unknown";
 }
 
 std::string EncodeFrame(MessageType type, const std::string& payload,
-                        uint8_t version, uint16_t flags) {
+                        uint8_t version, uint16_t flags,
+                        uint64_t request_id) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(FrameHeaderBytesFor(version) + payload.size());
   AppendU32(&out, kFrameMagic);
   AppendU8(&out, version);
   AppendU8(&out, static_cast<uint8_t>(type));
   AppendU16(&out, flags);
   AppendU32(&out, static_cast<uint32_t>(payload.size()));
   uint32_t crc = Crc32(out.data(), out.size());
-  crc = Crc32(payload.data(), payload.size(), crc);
-  AppendU32(&out, crc);
+  if (version >= 3) {
+    // The request id sits after the CRC slot but is CRC-covered, so a
+    // corrupted id can never route a reply to the wrong request.
+    std::string id_bytes;
+    AppendU64(&id_bytes, request_id);
+    crc = Crc32(id_bytes.data(), id_bytes.size(), crc);
+    crc = Crc32(payload.data(), payload.size(), crc);
+    AppendU32(&out, crc);
+    out += id_bytes;
+  } else {
+    crc = Crc32(payload.data(), payload.size(), crc);
+    AppendU32(&out, crc);
+  }
   out += payload;
   return out;
 }
@@ -110,13 +123,23 @@ HeaderStatus DecodeHeader(const uint8_t* header, size_t max_frame_bytes,
   return HeaderStatus::kOk;
 }
 
-bool FrameCrcMatches(const uint8_t* header, const std::string& payload) {
+void DecodeRequestId(const uint8_t* bytes, FrameHeader* out) {
+  ByteReader reader(bytes, kRequestIdBytes);
+  reader.ReadU64(&out->request_id);
+}
+
+bool FrameCrcMatches(const uint8_t* header, size_t header_len,
+                     const std::string& payload) {
   // The header stores the CRC little-endian; reassemble explicitly so
   // the check is host-order independent.
   uint32_t stored = 0;
   ByteReader reader(header + 12, 4);
   reader.ReadU32(&stored);
   uint32_t actual = Crc32(header, 12);
+  if (header_len > kFrameHeaderBytes) {
+    actual = Crc32(header + kFrameHeaderBytes,
+                   header_len - kFrameHeaderBytes, actual);
+  }
   actual = Crc32(payload.data(), payload.size(), actual);
   return stored == actual;
 }

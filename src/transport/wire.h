@@ -7,6 +7,7 @@
 
 #include "nn/tensor.h"
 #include "serve/policy_service.h"
+#include "transport/limits.h"
 
 namespace sim2rec {
 namespace transport {
@@ -20,18 +21,32 @@ namespace transport {
 ///
 ///   offset size field
 ///   0      4    magic 0x54523253 ("S2RT" when read as bytes)
-///   4      1    protocol version of the sender (currently 2)
+///   4      1    protocol version of the sender (currently 3)
 ///   5      1    message type (MessageType)
 ///   6      2    flags — reserved, senders write 0, receivers ignore
 ///   8      4    payload length in bytes
 ///   12     4    CRC-32 (zlib polynomial, util/crc32) over header
-///               bytes [0, 12) followed by the payload
-///   16     n    payload
+///               bytes [0, 12), then (v3+) the request-id bytes,
+///               then the payload
+///   16     8    u64 request id — v3+ frames only; v1/v2 headers end
+///               at offset 16
+///   16/24  n    payload
 ///
 /// All integers are little-endian; doubles are IEEE-754 binary64 bit
 /// patterns, so replies decoded from the wire are bitwise-identical to
 /// the in-process values — the repo's replay guarantee crosses the
 /// network boundary intact.
+///
+/// The request id is the multiplexing key: a v3 client may pipeline
+/// many requests on one connection, the server dispatches them to its
+/// worker pool concurrently, and every reply (including typed kError
+/// replies) carries the id of the request it answers — so replies may
+/// arrive in any order. The id is opaque to the server (echoed, never
+/// interpreted); uniqueness among a connection's in-flight requests is
+/// the client's job. Within one connection, pipelined requests may be
+/// *processed* concurrently: callers must not pipeline two
+/// order-dependent requests (e.g. two Acts for the same user, or an
+/// Act and the EndSession that follows it) without awaiting the first.
 ///
 /// Compatibility policy (mirrors the checkpoint-manifest policy in
 /// serve/checkpoint.h): the version is bumped ONLY when correct
@@ -51,13 +66,25 @@ namespace transport {
 ///      reply payload is unchanged, and a server answering a v1
 ///      request echoes version 1 on the reply frame, so v1 clients
 ///      interoperate with v2 servers in both directions.
+///   3  the frame header grows a u64 request id after the CRC (header
+///      is 24 bytes, CRC covers the id), enabling out-of-order replies
+///      and pipelining. v1/v2 frames keep their 16-byte header and are
+///      served one at a time in arrival order, replied at the sender's
+///      version — the reply-echo policy unchanged.
 
 constexpr uint32_t kFrameMagic = 0x54523253;  // "S2RT"
-constexpr uint8_t kProtocolVersion = 2;
+constexpr uint8_t kProtocolVersion = 3;
+/// Fixed header prefix shared by every protocol version. v3+ frames
+/// append kRequestIdBytes more header bytes (the u64 request id).
 constexpr size_t kFrameHeaderBytes = 16;
-/// Default per-side frame-size bound; both PolicyServer and
-/// PolicyClient reject larger frames before allocating for them.
-constexpr size_t kDefaultMaxFrameBytes = size_t{4} << 20;
+constexpr size_t kRequestIdBytes = 8;
+constexpr size_t kMaxFrameHeaderBytes = kFrameHeaderBytes + kRequestIdBytes;
+
+/// Header size (prefix + request id when present) for a given frame
+/// version — how many bytes precede the payload.
+constexpr size_t FrameHeaderBytesFor(uint8_t version) {
+  return version >= 3 ? kMaxFrameHeaderBytes : kFrameHeaderBytes;
+}
 
 enum class MessageType : uint8_t {
   kActRequest = 1,         // u64 user_id, u64 trace_id (v2+), tensor obs
@@ -99,18 +126,22 @@ enum class TransportStatus {
   kMalformedReply,  // reply frame failed magic/CRC/decode checks
   kFrameTooLarge,   // reply exceeded this side's max_frame_bytes
   kRemoteError,     // server sent a kError frame
+  kInvalidHandle,   // Await on an unknown / already-awaited handle
 };
 
 const char* TransportStatusName(TransportStatus status);
 
 /// Decoded frame header, validated against magic and a frame-size
 /// bound but not yet against the CRC (the payload is needed for that).
+/// `request_id` stays 0 until the caller reads the v3 header extension
+/// (DecodeRequestId) — v1/v2 frames have no request-id field.
 struct FrameHeader {
   uint8_t version = 0;
   MessageType type = MessageType::kError;
   uint16_t flags = 0;
   uint32_t payload_len = 0;
   uint32_t crc32 = 0;
+  uint64_t request_id = 0;
 };
 
 enum class HeaderStatus {
@@ -120,19 +151,32 @@ enum class HeaderStatus {
 };
 
 /// Encodes one complete frame (header + payload) ready to write.
+/// Version >= 3 frames carry `request_id` in the header (CRC-covered);
+/// the id is ignored for v1/v2 frames, which have no field for it.
 std::string EncodeFrame(MessageType type, const std::string& payload,
                         uint8_t version = kProtocolVersion,
-                        uint16_t flags = 0);
+                        uint16_t flags = 0, uint64_t request_id = 0);
 
-/// Validates the fixed-size header. `header` must hold
+/// Validates the fixed-size header prefix. `header` must hold
 /// kFrameHeaderBytes bytes. The type byte is NOT range-checked here —
 /// an unknown type must survive header decoding so the receiver can
-/// answer kUnsupportedType instead of dropping the connection.
+/// answer kUnsupportedType instead of dropping the connection. For a
+/// v3+ frame the caller then reads kRequestIdBytes more header bytes
+/// and hands them to DecodeRequestId.
 HeaderStatus DecodeHeader(const uint8_t* header, size_t max_frame_bytes,
                           FrameHeader* out);
 
-/// True when the stored CRC matches header bytes [0, 12) + payload.
-bool FrameCrcMatches(const uint8_t* header, const std::string& payload);
+/// Decodes the v3 header extension (`bytes` holds kRequestIdBytes)
+/// into out->request_id.
+void DecodeRequestId(const uint8_t* bytes, FrameHeader* out);
+
+/// True when the stored CRC matches header bytes [0, 12), then header
+/// bytes [16, header_len) — the request id, when present — then the
+/// payload. `header_len` is FrameHeaderBytesFor(version): 16 for
+/// v1/v2 frames, 24 for v3+ (the caller must have read the request-id
+/// bytes into `header + 16`).
+bool FrameCrcMatches(const uint8_t* header, size_t header_len,
+                     const std::string& payload);
 
 // --- Payload codecs. Every Decode* returns false on truncated,
 // oversized or trailing bytes and leaves outputs unspecified-but-valid;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -14,7 +16,9 @@
 #include "obs/metrics.h"
 #include "obs/snapshot_codec.h"
 #include "obs/trace.h"
+#include "transport/channel.h"
 #include "transport/http_endpoint.h"
+#include "transport/shm_lane.h"
 #include "sadae/sadae.h"
 #include "serve/inference_server.h"
 #include "serve/serve_router.h"
@@ -106,9 +110,11 @@ PolicyClientConfig ClientFor(const PolicyServer& server) {
 }
 
 /// Reads one whole frame off a raw connection (test-side peer).
+/// Version-aware: v3+ frames carry the 8-byte request id, surfaced via
+/// header->request_id.
 bool ReadFrame(TcpConnection& conn, FrameHeader* header,
                std::string* payload, int timeout_ms = 2000) {
-  uint8_t bytes[kFrameHeaderBytes];
+  uint8_t bytes[kMaxFrameHeaderBytes];
   if (conn.ReadFull(bytes, kFrameHeaderBytes, timeout_ms) != IoStatus::kOk) {
     return false;
   }
@@ -116,17 +122,79 @@ bool ReadFrame(TcpConnection& conn, FrameHeader* header,
       HeaderStatus::kOk) {
     return false;
   }
+  const size_t header_len = FrameHeaderBytesFor(header->version);
+  if (header_len > kFrameHeaderBytes) {
+    if (conn.ReadFull(bytes + kFrameHeaderBytes,
+                      header_len - kFrameHeaderBytes,
+                      timeout_ms) != IoStatus::kOk) {
+      return false;
+    }
+    DecodeRequestId(bytes + kFrameHeaderBytes, header);
+  }
   payload->assign(header->payload_len, '\0');
   if (header->payload_len > 0 &&
       conn.ReadFull(payload->data(), payload->size(), timeout_ms) !=
           IoStatus::kOk) {
     return false;
   }
-  return FrameCrcMatches(bytes, *payload);
+  return FrameCrcMatches(bytes, header_len, *payload);
 }
 
 bool WriteAll(TcpConnection& conn, const std::string& bytes) {
   return conn.WriteFull(bytes.data(), bytes.size(), 2000) == IoStatus::kOk;
+}
+
+/// Answers the client's connect-handshake ping (a v2 frame every
+/// server understands) on a raw test-server connection, advertising
+/// `advertise` as the server's protocol version. Every fake server
+/// below starts with this — a PolicyClient will not send requests
+/// until the handshake resolves.
+bool AnswerHandshake(TcpConnection& conn, uint8_t advertise) {
+  FrameHeader header;
+  std::string payload;
+  if (!ReadFrame(conn, &header, &payload)) return false;
+  if (header.type != MessageType::kPingRequest) return false;
+  uint64_t nonce = 0;
+  if (!DecodeU64(payload, &nonce)) return false;
+  return WriteAll(conn, EncodeFrame(MessageType::kPingReply,
+                                    EncodePingReply(nonce, advertise),
+                                    /*version=*/2));
+}
+
+/// One Act request as a raw test server saw it on the wire.
+struct RawAct {
+  uint64_t request_id = 0;
+  uint64_t user_id = 0;
+  uint8_t version = 0;
+};
+
+bool ReadActRequest(TcpConnection& conn, RawAct* out) {
+  FrameHeader header;
+  std::string payload;
+  if (!ReadFrame(conn, &header, &payload)) return false;
+  if (header.type != MessageType::kActRequest) return false;
+  uint64_t trace_id = 0;
+  nn::Tensor obs;
+  if (!DecodeActRequest(payload, header.version, &out->user_id, &trace_id,
+                        &obs)) {
+    return false;
+  }
+  out->request_id = header.request_id;
+  out->version = header.version;
+  return true;
+}
+
+/// A reply frame whose action encodes the user id, so a test can tell
+/// which submission a reply was routed to.
+std::string ActReplyFrame(uint64_t user_id, uint64_t request_id,
+                          uint8_t version = kProtocolVersion) {
+  serve::ServeReply reply;
+  reply.action = nn::Tensor(1, 1);
+  reply.action(0, 0) = static_cast<double>(user_id);
+  reply.value = static_cast<double>(user_id) / 3.0;
+  reply.batch_size = 1;
+  return EncodeFrame(MessageType::kActReply, EncodeActReply(reply), version,
+                     /*flags=*/0, request_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -135,17 +203,55 @@ bool WriteAll(TcpConnection& conn, const std::string& bytes) {
 
 TEST(Wire, FrameRoundTrip) {
   const std::string payload = EncodeU64(42);
-  const std::string frame = EncodeFrame(MessageType::kPingRequest, payload);
+  // Default frames are v3: 24-byte header carrying the request id.
+  const std::string frame = EncodeFrame(MessageType::kPingRequest, payload,
+                                        kProtocolVersion, /*flags=*/0,
+                                        /*request_id=*/0x1122334455667788ULL);
+  ASSERT_EQ(frame.size(), kMaxFrameHeaderBytes + payload.size());
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(frame.data());
+  FrameHeader header;
+  ASSERT_EQ(DecodeHeader(bytes, kDefaultMaxFrameBytes, &header),
+            HeaderStatus::kOk);
+  EXPECT_EQ(header.type, MessageType::kPingRequest);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.payload_len, payload.size());
+  ASSERT_EQ(FrameHeaderBytesFor(header.version), kMaxFrameHeaderBytes);
+  DecodeRequestId(bytes + kFrameHeaderBytes, &header);
+  EXPECT_EQ(header.request_id, 0x1122334455667788ULL);
+  EXPECT_TRUE(FrameCrcMatches(bytes, kMaxFrameHeaderBytes, payload));
+}
+
+TEST(Wire, V2FrameHasNoRequestIdField) {
+  const std::string payload = EncodeU64(7);
+  // Pre-v3 frames keep the 16-byte header; the request-id argument is
+  // ignored because the layout has no field for it.
+  const std::string frame = EncodeFrame(MessageType::kPingRequest, payload,
+                                        /*version=*/2, /*flags=*/0,
+                                        /*request_id=*/99);
   ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
   FrameHeader header;
   ASSERT_EQ(DecodeHeader(reinterpret_cast<const uint8_t*>(frame.data()),
                          kDefaultMaxFrameBytes, &header),
             HeaderStatus::kOk);
-  EXPECT_EQ(header.type, MessageType::kPingRequest);
-  EXPECT_EQ(header.version, kProtocolVersion);
-  EXPECT_EQ(header.payload_len, payload.size());
+  EXPECT_EQ(header.version, 2);
+  EXPECT_EQ(header.request_id, 0u);
+  EXPECT_EQ(FrameHeaderBytesFor(header.version), kFrameHeaderBytes);
   EXPECT_TRUE(FrameCrcMatches(
-      reinterpret_cast<const uint8_t*>(frame.data()), payload));
+      reinterpret_cast<const uint8_t*>(frame.data()), kFrameHeaderBytes,
+      payload));
+}
+
+TEST(Wire, RequestIdIsCrcCovered) {
+  const std::string payload = EncodeU64(1);
+  std::string frame = EncodeFrame(MessageType::kActRequest, payload,
+                                  kProtocolVersion, /*flags=*/0,
+                                  /*request_id=*/5);
+  // Flip one bit inside the id field: the CRC must catch it, otherwise
+  // a corrupted id would route a reply to the wrong caller.
+  frame[kFrameHeaderBytes + 3] ^= 0x04;
+  EXPECT_FALSE(FrameCrcMatches(
+      reinterpret_cast<const uint8_t*>(frame.data()), kMaxFrameHeaderBytes,
+      payload));
 }
 
 TEST(Wire, HeaderRejectsBadMagicAndOversizedLength) {
@@ -170,11 +276,13 @@ TEST(Wire, CrcCatchesBitFlips) {
   std::string flipped_payload = payload;
   flipped_payload[2] ^= 0x40;
   EXPECT_FALSE(FrameCrcMatches(
-      reinterpret_cast<const uint8_t*>(frame.data()), flipped_payload));
+      reinterpret_cast<const uint8_t*>(frame.data()), kMaxFrameHeaderBytes,
+      flipped_payload));
   // A flipped header byte fails too.
   frame[5] ^= 0x01;  // type byte
   EXPECT_FALSE(FrameCrcMatches(
-      reinterpret_cast<const uint8_t*>(frame.data()), payload));
+      reinterpret_cast<const uint8_t*>(frame.data()), kMaxFrameHeaderBytes,
+      payload));
 }
 
 TEST(Wire, UnknownTypeSurvivesHeaderDecode) {
@@ -453,8 +561,8 @@ class MalformedInputTest : public ::testing::Test {
   void SetUp() override {
     PolicyServerConfig config;
     config.num_workers = 2;
-    config.max_frame_bytes = 1 << 16;
-    config.request_timeout_ms = 1000;
+    config.limits.max_frame_bytes = 1 << 16;
+    config.limits.request_timeout_ms = 1000;
     server_ = std::make_unique<PolicyServer>(&service_, config);
     ASSERT_TRUE(server_->Start());
   }
@@ -619,7 +727,7 @@ TEST(TransportClient, DeadPortIsConnectFailed) {
   }
   PolicyClientConfig config;
   config.port = dead_port;
-  config.connect_timeout_ms = 200;
+  config.limits.connect_timeout_ms = 200;
   config.max_retries = 1;
   config.retry_backoff_initial_ms = 1;
   config.retry_backoff_max_ms = 2;
@@ -630,7 +738,7 @@ TEST(TransportClient, DeadPortIsConnectFailed) {
   EXPECT_EQ(client.Ping(), TransportStatus::kConnectFailed);
 }
 
-TEST(TransportClient, GarbageReplyIsMalformedAndDisconnectIsClosed) {
+TEST(TransportClient, GarbageReplyIsMalformedAndHandshakeDropIsConnectFailed) {
   TcpListener listener;
   ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 4));
   std::atomic<int> mode{0};  // 0: garbage reply, 1: close without reply
@@ -661,15 +769,18 @@ TEST(TransportClient, GarbageReplyIsMalformedAndDisconnectIsClosed) {
 
   PolicyClientConfig config;
   config.port = listener.port();
-  config.request_timeout_ms = 2000;
+  config.limits.request_timeout_ms = 2000;
   PolicyClient client(config);
   serve::ServeReply reply;
   EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
             TransportStatus::kMalformedReply);
 
+  // The server hangs up while the client is still mid-handshake (no
+  // request in flight), so this surfaces as a retryable connect
+  // failure, not kClosed.
   mode.store(1);
   EXPECT_EQ(client.TryAct(2, ObsFor(2, 0), &reply),
-            TransportStatus::kClosed);
+            TransportStatus::kConnectFailed);
   // Join before Close: the fake server exits on its own after two
   // connections, and closing an fd another thread may still be
   // polling is a race.
@@ -683,9 +794,9 @@ TEST(TransportClient, ReplyBeyondClientBoundIsFrameTooLarge) {
   ASSERT_TRUE(server.Start());
 
   PolicyClientConfig config = ClientFor(server);
-  // Big enough for the request path, too small for the echoed reply
-  // (4 doubles + reply framing).
-  config.max_frame_bytes = kFrameHeaderBytes + 16;
+  // Big enough for the handshake ping reply, too small for the echoed
+  // act reply (4 doubles + reply framing).
+  config.limits.max_frame_bytes = kMaxFrameHeaderBytes + 16;
   PolicyClient client(config);
   serve::ServeReply reply;
   EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
@@ -709,8 +820,8 @@ TEST(Transport, ShutdownUnderTrafficDrainsWithoutCrashing) {
   for (int i = 0; i < 3; ++i) {
     clients.emplace_back([&, i] {
       PolicyClientConfig client_config = ClientFor(server);
-      client_config.request_timeout_ms = 500;
-      client_config.connect_timeout_ms = 500;
+      client_config.limits.request_timeout_ms = 500;
+      client_config.limits.connect_timeout_ms = 500;
       PolicyClient client(client_config);
       int step = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -790,20 +901,22 @@ TEST(TransportFlaky, InjectedDelayTripsClientDeadlineAndClientRecovers) {
   ASSERT_TRUE(server.Start());
 
   PolicyClientConfig client_config = ClientFor(server);
-  client_config.request_timeout_ms = 50;
+  client_config.limits.request_timeout_ms = 50;
   PolicyClient client(client_config);
 
   serve::ServeReply reply;
   ASSERT_EQ(client.TryAct(1, ObsFor(1, 0), &reply), TransportStatus::kOk);
   const TransportStatus slow = client.TryAct(1, ObsFor(1, 1), &reply);
-  EXPECT_TRUE(slow == TransportStatus::kTimeout ||
-              slow == TransportStatus::kClosed);
-  // Wait out the injected stall (its late reply dies with the
-  // abandoned connection), then the client transparently reconnects.
+  EXPECT_EQ(slow, TransportStatus::kTimeout);
+  // Under v3 a deadline miss abandons only that request id: the late
+  // reply is matched by id and dropped, and the SAME connection keeps
+  // serving — no reconnect, unlike the pre-pipelining transport where
+  // the stream could not be re-synchronized.
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
   ASSERT_EQ(client.TryAct(1, ObsFor(1, 2), &reply), TransportStatus::kOk);
   EXPECT_TRUE(BitwiseEqual(reply.action, ObsFor(1, 2)));
-  EXPECT_GE(client.stats().reconnects, 2);  // initial + post-timeout
+  EXPECT_EQ(client.stats().reconnects, 1);  // still the first connection
+  EXPECT_GE(client.stats().timeouts, 1);
   // The driver-facing accounting stays exact: the flaky wrapper saw
   // every attempt, including the one whose reply nobody read.
   EXPECT_EQ(flaky.stats().injected_delays, 1);
@@ -856,6 +969,563 @@ TEST(Transport, V1ActFrameIsServedAndRepliedAtV1) {
   EXPECT_EQ(nonce, 3u);
   EXPECT_EQ(server_version, kProtocolVersion);
   EXPECT_EQ(server.stats().malformed_frames, 0);
+}
+
+TEST(Transport, V2ActFrameIsServedSeriallyAndRepliedAtV2) {
+  FakeEchoService service;
+  PolicyServerConfig config;
+  config.num_workers = 1;
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+
+  TcpConnection conn =
+      TcpConnection::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(conn.valid());
+
+  // A v2 peer pins the whole exchange at v2: 16-byte headers, no
+  // request ids, replies in request order.
+  const nn::Tensor obs = ObsFor(6, 1);
+  ASSERT_TRUE(WriteAll(
+      conn, EncodeFrame(MessageType::kActRequest, EncodeActRequest(6, obs),
+                        /*version=*/2)));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kActReply);
+  EXPECT_EQ(header.version, 2);
+  EXPECT_EQ(header.request_id, 0u);
+  serve::ServeReply reply;
+  ASSERT_TRUE(DecodeActReply(payload, &reply));
+  EXPECT_TRUE(BitwiseEqual(reply.action, obs));
+  EXPECT_EQ(server.stats().malformed_frames, 0);
+}
+
+TEST(Transport, V3ReplyEchoesTheRequestId) {
+  FakeEchoService service;
+  PolicyServer server(&service, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  TcpConnection conn =
+      TcpConnection::Connect("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(conn.valid());
+
+  const nn::Tensor obs = ObsFor(7, 0);
+  constexpr uint64_t kId = 0x7777AAAA5555CCCCULL;
+  ASSERT_TRUE(WriteAll(
+      conn, EncodeFrame(MessageType::kActRequest, EncodeActRequest(7, obs),
+                        kProtocolVersion, /*flags=*/0, kId)));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kActReply);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.request_id, kId);  // the whole point of v3
+
+  // Typed error replies echo the id too, so a pipelined client can
+  // fail exactly the offending request.
+  ASSERT_TRUE(WriteAll(conn, EncodeFrame(MessageType::kActRequest, "junk",
+                                         kProtocolVersion, /*flags=*/0,
+                                         /*request_id=*/99)));
+  ASSERT_TRUE(ReadFrame(conn, &header, &payload));
+  EXPECT_EQ(header.type, MessageType::kError);
+  EXPECT_EQ(header.request_id, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// The async tier: SubmitAct / Await / AwaitAll over one multiplexed
+// connection (tentpole behavior).
+// ---------------------------------------------------------------------------
+
+TEST(TransportAsync, PipelinedActsThroughRealServerAllComplete) {
+  FakeEchoService service;
+  PolicyServerConfig config;
+  config.num_workers = 2;
+  config.dispatch_threads = 2;
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+  PolicyClient client(ClientFor(server));
+
+  constexpr int kDepth = 8;
+  std::vector<PolicyClient::ActHandle> handles;
+  handles.reserve(kDepth);
+  for (int u = 0; u < kDepth; ++u) {
+    handles.push_back(client.SubmitAct(u, ObsFor(u, 0)));
+    ASSERT_TRUE(handles.back().valid());
+  }
+  const std::vector<PolicyClient::ActResult> results =
+      client.AwaitAll(handles);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kDepth));
+  for (int u = 0; u < kDepth; ++u) {
+    ASSERT_EQ(results[u].status, TransportStatus::kOk) << "u=" << u;
+    EXPECT_TRUE(BitwiseEqual(results[u].reply.action, ObsFor(u, 0)))
+        << "u=" << u;
+    EXPECT_EQ(results[u].reply.exec_clamped, (u % 2) == 1);
+  }
+  EXPECT_EQ(client.stats().negotiated_version, kProtocolVersion);
+  EXPECT_EQ(client.stats().server_version, kProtocolVersion);
+  EXPECT_GE(server.stats().dispatched_requests, kDepth);
+  EXPECT_EQ(client.stats().reconnects, 1);  // one connection carried all 8
+}
+
+TEST(TransportAsync, OutOfOrderRepliesRouteByRequestId) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::thread fake_server([&listener] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    if (!AnswerHandshake(conn, kProtocolVersion)) return;
+    RawAct first, second;
+    if (!ReadActRequest(conn, &first) || !ReadActRequest(conn, &second)) {
+      return;
+    }
+    EXPECT_EQ(first.version, kProtocolVersion);
+    EXPECT_NE(first.request_id, second.request_id);
+    // Answer the SECOND submission first: the client must route by id,
+    // not arrival order.
+    WriteAll(conn, ActReplyFrame(second.user_id, second.request_id));
+    WriteAll(conn, ActReplyFrame(first.user_id, first.request_id));
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  const PolicyClient::ActHandle h1 = client.SubmitAct(1, ObsFor(1, 0));
+  const PolicyClient::ActHandle h2 = client.SubmitAct(2, ObsFor(2, 0));
+  serve::ServeReply r1, r2;
+  EXPECT_EQ(client.Await(h1, &r1), TransportStatus::kOk);
+  EXPECT_EQ(client.Await(h2, &r2), TransportStatus::kOk);
+  EXPECT_EQ(r1.action(0, 0), 1.0);
+  EXPECT_EQ(r2.action(0, 0), 2.0);
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportAsync, DuplicateReplyIdPoisonsTheConnection) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::thread fake_server([&listener] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    if (!AnswerHandshake(conn, kProtocolVersion)) return;
+    RawAct first, second;
+    if (!ReadActRequest(conn, &first) || !ReadActRequest(conn, &second)) {
+      return;
+    }
+    // Reply to the first request twice. A duplicate id means the
+    // stream can no longer be trusted to route replies correctly.
+    WriteAll(conn, ActReplyFrame(first.user_id, first.request_id));
+    WriteAll(conn, ActReplyFrame(first.user_id, first.request_id));
+    // Hold the socket open: the client must fail on its own, not via
+    // our hangup.
+    uint8_t byte;
+    conn.ReadFull(&byte, 1, 5000);
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  const PolicyClient::ActHandle h1 = client.SubmitAct(1, ObsFor(1, 0));
+  const PolicyClient::ActHandle h2 = client.SubmitAct(2, ObsFor(2, 0));
+  serve::ServeReply r1, r2;
+  EXPECT_EQ(client.Await(h1, &r1), TransportStatus::kOk);
+  EXPECT_EQ(client.Await(h2, &r2), TransportStatus::kClosed);
+  client.Close();  // unblocks the fake server's final read
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportAsync, ReplyToUnknownIdPoisonsTheConnection) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::thread fake_server([&listener] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    if (!AnswerHandshake(conn, kProtocolVersion)) return;
+    RawAct act;
+    if (!ReadActRequest(conn, &act)) return;
+    WriteAll(conn, ActReplyFrame(act.user_id, act.request_id ^ 0x5A5AULL));
+    uint8_t byte;
+    conn.ReadFull(&byte, 1, 5000);
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  const PolicyClient::ActHandle handle = client.SubmitAct(1, ObsFor(1, 0));
+  serve::ServeReply reply;
+  EXPECT_EQ(client.Await(handle, &reply), TransportStatus::kClosed);
+  client.Close();
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportAsync, CrcFlipMidPipelineFailsEverythingInFlight) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::thread fake_server([&listener] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    if (!AnswerHandshake(conn, kProtocolVersion)) return;
+    RawAct acts[3];
+    for (RawAct& act : acts) {
+      if (!ReadActRequest(conn, &act)) return;
+    }
+    // One good reply, then a corrupted one: once a CRC fails the
+    // stream offset itself is suspect, so EVERY remaining in-flight
+    // request must fail typed — nothing downstream can be trusted.
+    WriteAll(conn, ActReplyFrame(acts[0].user_id, acts[0].request_id));
+    std::string corrupt =
+        ActReplyFrame(acts[1].user_id, acts[1].request_id);
+    corrupt[corrupt.size() - 1] ^= 0x10;
+    WriteAll(conn, corrupt);
+    uint8_t byte;
+    conn.ReadFull(&byte, 1, 5000);
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  std::vector<PolicyClient::ActHandle> handles;
+  for (int u = 1; u <= 3; ++u) {
+    handles.push_back(client.SubmitAct(u, ObsFor(u, 0)));
+  }
+  const std::vector<PolicyClient::ActResult> results =
+      client.AwaitAll(handles);
+  EXPECT_EQ(results[0].status, TransportStatus::kOk);
+  EXPECT_EQ(results[1].status, TransportStatus::kMalformedReply);
+  EXPECT_EQ(results[2].status, TransportStatus::kMalformedReply);
+  client.Close();
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportAsync, DisconnectWithEightInFlightFailsThemClosed) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::thread fake_server([&listener] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    if (!AnswerHandshake(conn, kProtocolVersion)) return;
+    RawAct acts[8];
+    for (RawAct& act : acts) {
+      if (!ReadActRequest(conn, &act)) return;
+    }
+    WriteAll(conn, ActReplyFrame(acts[0].user_id, acts[0].request_id));
+    WriteAll(conn, ActReplyFrame(acts[1].user_id, acts[1].request_id));
+    // Hang up with six requests unanswered.
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  std::vector<PolicyClient::ActHandle> handles;
+  for (int u = 0; u < 8; ++u) {
+    handles.push_back(client.SubmitAct(u, ObsFor(u, 0)));
+  }
+  const std::vector<PolicyClient::ActResult> results =
+      client.AwaitAll(handles);
+  EXPECT_EQ(results[0].status, TransportStatus::kOk);
+  EXPECT_EQ(results[1].status, TransportStatus::kOk);
+  for (int u = 2; u < 8; ++u) {
+    // kClosed, never a silent retry: Act is not idempotent, and the
+    // server may have applied any of these before dying.
+    EXPECT_EQ(results[u].status, TransportStatus::kClosed) << "u=" << u;
+  }
+  EXPECT_EQ(client.stats().reconnects, 1);
+  fake_server.join();
+  listener.Close();
+}
+
+TEST(TransportAsync, V2ServerDegradesToSerialFifoMatching) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0, 1));
+  std::vector<RawAct> seen;
+  std::thread fake_server([&listener, &seen] {
+    IoStatus status;
+    TcpConnection conn = listener.Accept(5000, &status);
+    if (!conn.valid()) return;
+    // Advertise protocol v2: the client must drop to v2 frames and
+    // FIFO reply matching.
+    if (!AnswerHandshake(conn, /*advertise=*/2)) return;
+    for (int i = 0; i < 3; ++i) {
+      RawAct act;
+      if (!ReadActRequest(conn, &act)) return;
+      seen.push_back(act);
+      WriteAll(conn, ActReplyFrame(act.user_id, 0, /*version=*/2));
+    }
+  });
+
+  PolicyClientConfig config;
+  config.port = listener.port();
+  config.max_retries = 1;
+  PolicyClient client(config);
+  std::vector<PolicyClient::ActHandle> handles;
+  for (uint64_t u = 10; u <= 30; u += 10) {
+    handles.push_back(client.SubmitAct(u, ObsFor(static_cast<int>(u), 0)));
+  }
+  const std::vector<PolicyClient::ActResult> results =
+      client.AwaitAll(handles);
+  fake_server.join();
+  listener.Close();
+
+  ASSERT_EQ(seen.size(), 3u);
+  for (const RawAct& act : seen) {
+    EXPECT_EQ(act.version, 2);      // no v3 frames sent to a v2 server
+    EXPECT_EQ(act.request_id, 0u);  // and no id field on the wire
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].status, TransportStatus::kOk) << "i=" << i;
+    // FIFO matching still routes every reply to its own submission.
+    EXPECT_EQ(results[i].reply.action(0, 0),
+              static_cast<double>((i + 1) * 10));
+  }
+  EXPECT_EQ(client.stats().server_version, 2);
+  EXPECT_EQ(client.stats().negotiated_version, 2);
+}
+
+TEST(TransportAsync, HandlesRedeemExactlyOnce) {
+  FakeEchoService service;
+  PolicyServer server(&service, PolicyServerConfig{});
+  ASSERT_TRUE(server.Start());
+  PolicyClient client(ClientFor(server));
+
+  const PolicyClient::ActHandle handle = client.SubmitAct(4, ObsFor(4, 0));
+  ASSERT_TRUE(handle.valid());
+  serve::ServeReply reply;
+  EXPECT_EQ(client.Await(handle, &reply), TransportStatus::kOk);
+  // A handle is redeemed exactly once; replaying it is a caller bug
+  // surfaced as a typed status, never a stale reply.
+  EXPECT_EQ(client.Await(handle, &reply), TransportStatus::kInvalidHandle);
+  EXPECT_EQ(client.Await(PolicyClient::ActHandle{}, &reply),
+            TransportStatus::kInvalidHandle);
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing and the shared-memory lane.
+// ---------------------------------------------------------------------------
+
+TEST(Endpoint, ParsesSchemesAndRejectsGarbage) {
+  Endpoint ep;
+  ASSERT_TRUE(ParseEndpoint("transport://127.0.0.1:7447", &ep));
+  EXPECT_EQ(ep.scheme, Endpoint::Scheme::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7447);
+
+  ASSERT_TRUE(ParseEndpoint("tcp://localhost:80", &ep));  // alias
+  EXPECT_EQ(ep.scheme, Endpoint::Scheme::kTcp);
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 80);
+
+  ASSERT_TRUE(ParseEndpoint("shm://lane-name.0", &ep));
+  EXPECT_EQ(ep.scheme, Endpoint::Scheme::kShm);
+  EXPECT_EQ(ep.name, "lane-name.0");
+
+  EXPECT_FALSE(ParseEndpoint("", &ep));
+  EXPECT_FALSE(ParseEndpoint("http://x:1", &ep));
+  EXPECT_FALSE(ParseEndpoint("transport://hostonly", &ep));
+  EXPECT_FALSE(ParseEndpoint("transport://host:notaport", &ep));
+  EXPECT_FALSE(ParseEndpoint("transport://host:99999", &ep));
+  EXPECT_FALSE(ParseEndpoint("shm://", &ep));
+  EXPECT_FALSE(ParseEndpoint("shm://bad/name", &ep));
+}
+
+TEST(Endpoint, DialUnknownShmNameIsConnectFailed) {
+  PolicyClientConfig config;
+  config.endpoint = "shm://s2rtest.definitely-absent";
+  config.max_retries = 1;
+  config.retry_backoff_initial_ms = 1;
+  config.retry_backoff_max_ms = 2;
+  PolicyClient client(config);
+  serve::ServeReply reply;
+  EXPECT_EQ(client.TryAct(1, ObsFor(1, 0), &reply),
+            TransportStatus::kConnectFailed);
+}
+
+std::string UniqueShmName(const char* tag) {
+  static std::atomic<int> counter{0};
+  return std::string("s2rtest.") + tag + "." + std::to_string(getpid()) +
+         "." + std::to_string(counter.fetch_add(1));
+}
+
+/// ByteChannel flavors of the raw frame helpers, for driving a shm
+/// lane directly.
+bool ReadFrameCh(ByteChannel& ch, FrameHeader* header, std::string* payload,
+                 int timeout_ms = 2000) {
+  uint8_t bytes[kMaxFrameHeaderBytes];
+  if (ch.ReadFull(bytes, kFrameHeaderBytes, timeout_ms) != IoStatus::kOk) {
+    return false;
+  }
+  if (DecodeHeader(bytes, kDefaultMaxFrameBytes, header) !=
+      HeaderStatus::kOk) {
+    return false;
+  }
+  const size_t header_len = FrameHeaderBytesFor(header->version);
+  if (header_len > kFrameHeaderBytes) {
+    if (ch.ReadFull(bytes + kFrameHeaderBytes,
+                    header_len - kFrameHeaderBytes,
+                    timeout_ms) != IoStatus::kOk) {
+      return false;
+    }
+    DecodeRequestId(bytes + kFrameHeaderBytes, header);
+  }
+  payload->assign(header->payload_len, '\0');
+  if (header->payload_len > 0 &&
+      ch.ReadFull(payload->data(), payload->size(), timeout_ms) !=
+          IoStatus::kOk) {
+    return false;
+  }
+  return FrameCrcMatches(bytes, header_len, *payload);
+}
+
+TEST(ShmLaneTest, CarriesFramesBitwiseAndRecyclesAcrossClients) {
+  if (!ShmAvailable()) GTEST_SKIP() << "POSIX shm unavailable here";
+  const std::string name = UniqueShmName("ring");
+  ShmLaneConfig lane_config;
+  lane_config.ring_bytes = 1 << 16;
+  lane_config.max_frame_bytes = 1 << 14;  // rings must exceed one frame
+  auto lane = ShmLane::Create(name, lane_config);
+  ASSERT_NE(lane, nullptr);
+  EXPECT_TRUE(ShmLane::Exists(name));
+  EXPECT_FALSE(lane->claimed());
+  // A second Create on a live name must refuse, not clobber.
+  EXPECT_EQ(ShmLane::Create(name, lane_config), nullptr);
+
+  auto server_channel = lane->ServerChannel();
+  std::thread echo([&server_channel] {
+    FrameHeader header;
+    std::string payload;
+    while (ReadFrameCh(*server_channel, &header, &payload, 5000)) {
+      // Echo the payload back byte-for-byte under the echoed id.
+      const std::string frame =
+          EncodeFrame(MessageType::kActReply, payload, header.version,
+                      header.flags, header.request_id);
+      if (server_channel->WriteFull(frame.data(), frame.size(), 5000) !=
+          IoStatus::kOk) {
+        return;
+      }
+    }
+  });
+
+  // Dial scans the lane group; the bare name is itself a valid lane.
+  auto client_channel = Dial("shm://" + name, Limits{});
+  ASSERT_NE(client_channel, nullptr);
+  EXPECT_STREQ(client_channel->scheme(), "shm");
+  EXPECT_TRUE(lane->claimed());
+
+  // Awkward bit patterns must cross the rings untouched.
+  nn::Tensor obs(1, 5);
+  const double specials[] = {1.0 / 3.0, -0.0, 5e-324, 1e300, 0.1};
+  for (int c = 0; c < 5; ++c) obs(0, c) = specials[c];
+  const std::string request = EncodeActRequest(21, obs);
+  const std::string frame =
+      EncodeFrame(MessageType::kActRequest, request, kProtocolVersion,
+                  /*flags=*/0, /*request_id=*/77);
+  ASSERT_EQ(client_channel->WriteFull(frame.data(), frame.size(), 2000),
+            IoStatus::kOk);
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(ReadFrameCh(*client_channel, &header, &payload, 5000));
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(payload, request);  // CRC checked inside ReadFrameCh
+  uint64_t user_id = 0, trace_id = 0;
+  nn::Tensor decoded;
+  ASSERT_TRUE(DecodeActRequest(payload, kProtocolVersion, &user_id,
+                               &trace_id, &decoded));
+  EXPECT_TRUE(BitwiseEqual(obs, decoded));
+
+  // Client departs: the server side drains to kClosed, the lane
+  // reports the departure, and a reset reopens it for the next client.
+  client_channel.reset();
+  echo.join();
+  EXPECT_TRUE(lane->client_departed());
+  lane->ResetForNextClient();
+  EXPECT_FALSE(lane->claimed());
+  auto second = ShmLane::Attach(name);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(lane->claimed());
+}
+
+TEST(ShmTransport, PolicyServerServesShmLaneEndToEnd) {
+  if (!ShmAvailable()) GTEST_SKIP() << "POSIX shm unavailable here";
+  FakeEchoService service;
+  PolicyServerConfig config;
+  config.shm_lanes = 2;
+  config.shm_name = UniqueShmName("srv");
+  PolicyServer server(&service, config);
+  ASSERT_TRUE(server.Start());
+  ASSERT_EQ(server.shm_lane_count(), 2);
+
+  PolicyClientConfig client_config;
+  client_config.endpoint = "shm://" + config.shm_name;
+  client_config.max_retries = 1;
+  client_config.retry_backoff_initial_ms = 1;
+  client_config.retry_backoff_max_ms = 2;
+  PolicyClient client(client_config);
+
+  uint8_t version = 0;
+  ASSERT_EQ(client.Ping(&version), TransportStatus::kOk);
+  EXPECT_EQ(version, kProtocolVersion);
+
+  // Bitwise echo over shared memory — the same guarantee the TCP lane
+  // pins, over the same frames.
+  const nn::Tensor obs = ObsFor(3, 1);
+  serve::ServeReply reply;
+  ASSERT_EQ(client.TryAct(3, obs, &reply), TransportStatus::kOk);
+  EXPECT_TRUE(BitwiseEqual(reply.action, obs));
+  EXPECT_TRUE(reply.exec_clamped);
+
+  // Pipelining multiplexes the shm lane exactly like the socket.
+  std::vector<PolicyClient::ActHandle> handles;
+  for (int u = 0; u < 8; ++u) {
+    handles.push_back(client.SubmitAct(u, ObsFor(u, 2)));
+  }
+  const std::vector<PolicyClient::ActResult> results =
+      client.AwaitAll(handles);
+  for (int u = 0; u < 8; ++u) {
+    ASSERT_EQ(results[u].status, TransportStatus::kOk) << "u=" << u;
+    EXPECT_TRUE(BitwiseEqual(results[u].reply.action, ObsFor(u, 2)));
+  }
+
+  // A second concurrent client lands on the second lane.
+  {
+    PolicyClient second(client_config);
+    serve::ServeReply second_reply;
+    ASSERT_EQ(second.TryAct(5, ObsFor(5, 0), &second_reply),
+              TransportStatus::kOk);
+    EXPECT_TRUE(BitwiseEqual(second_reply.action, ObsFor(5, 0)));
+  }
+
+  // After this client hangs up, the server recycles its lane for a
+  // successor (the pump needs a beat to notice the departure).
+  client.Close();
+  PolicyClient successor(client_config);
+  TransportStatus status = TransportStatus::kConnectFailed;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    serve::ServeReply successor_reply;
+    status = successor.TryAct(9, ObsFor(9, 0), &successor_reply);
+    if (status == TransportStatus::kOk) {
+      EXPECT_TRUE(BitwiseEqual(successor_reply.action, ObsFor(9, 0)));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(status, TransportStatus::kOk);
+
+  successor.Close();
+  server.Shutdown();
+  EXPECT_GE(server.stats().shm_sessions, 1);
 }
 
 TEST(Transport, TraceIdPropagatesToServerSpansAndExemplars) {
