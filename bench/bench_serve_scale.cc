@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/context_agent.h"
+#include "infer/plan.h"
 #include "load/client_pool.h"
 #include "load/flaky_service.h"
 #include "load/population_driver.h"
@@ -41,7 +42,10 @@
 #include "obs/trace.h"
 #include "sadae/sadae.h"
 #include "serve/autoscaler.h"
+#include "serve/checkpoint.h"
+#include "serve/checkpoint_watcher.h"
 #include "serve/serve_router.h"
+#include "serve/trajectory_log.h"
 #include "transport/http_endpoint.h"
 #include "transport/policy_client.h"
 #include "transport/policy_server.h"
@@ -445,6 +449,292 @@ int Run(int argc, char** argv) {
                 jsonl_path);
     if (!obs_ok) return 1;
     std::printf("observability under fault OK\n");
+    return 0;
+  }
+
+  // --- --hot-swap: live checkpoint hot-swap under the population, the
+  // train->serve loop closed end to end. Two runs of the identical
+  // burst-shaped load:
+  //
+  //   baseline  — no watcher, no trajectory log.
+  //   hot-swap  — a CheckpointWatcher polls a bundle directory every
+  //               tick while a TrajectoryLog records every served
+  //               request; training "publishes" two new generations of
+  //               the same weights mid-burst (from the tick hook, so
+  //               the swap tick is deterministic), and the watcher
+  //               swaps the router onto each one at >= target_peak
+  //               concurrent sessions.
+  //
+  // Pass criteria: zero failed requests and zero lost sessions through
+  // both swaps; the request checksum matches the baseline (swaps don't
+  // perturb the load); the REPLY checksum matches too — the swapped-in
+  // plan was frozen from bit-identical weights, so any divergence
+  // would mean a session's recurrent state was dropped or the swap
+  // path is not bitwise-transparent. The plan pointer must change at
+  // each swap while its weight checksum stays equal ("new plan object,
+  // same weights" — proof the swap actually happened), and the
+  // trajectory log must capture every request without dropping one.
+  if (HasFlag(argc, argv, "--hot-swap")) {
+    const int burst_start = mode.ticks / 3;
+    const int burst_len = mode.ticks / 4;
+    // Swap at the burst tail, where the concurrent population is near
+    // its peak — that is the moment the floor assertion samples.
+    const int swap_ticks[2] = {burst_start + burst_len - 1,
+                               burst_start + burst_len + 2};
+    const auto swap_driver_config = [&] {
+      load::PopulationDriverConfig config = base_driver_config();
+      config.ticks = mode.ticks;
+      config.drain_ticks = mode.drain_ticks;
+      config.arrival.kind = load::ArrivalKind::kBurst;
+      // 1.25x the scale phase's rate: the floor below is asserted on
+      // the *post-lifecycle* population at the swap ticks (sessions the
+      // swap must actually carry across), which sits ~8% under the
+      // intra-tick peak the scale phase measures.
+      config.arrival.base_rate = 1.25 * mode.base_rate;
+      config.arrival.burst_multiplier = 1.5;
+      config.arrival.burst_start_tick = burst_start;
+      config.arrival.burst_duration_ticks = burst_len;
+      config.num_threads = 8;
+      return config;
+    };
+
+    load::PopulationReport baseline;
+    {
+      serve::ServeRouter router(&agent, RouterConfig(),
+                                /*initial_shards=*/2);
+      load::PopulationDriverConfig config = swap_driver_config();
+      config.record_timeline = false;
+      load::PopulationDriver driver(&router, config);
+      baseline = driver.Run();
+    }
+
+    const std::string ckpt_dir = "results/bench_hotswap_ckpt";
+    const std::string tlog_dir = "results/bench_hotswap_tlog";
+    std::filesystem::remove_all(ckpt_dir);
+    std::filesystem::remove_all(tlog_dir);
+    std::filesystem::create_directories(ckpt_dir);
+
+    serve::TrajectoryLogConfig tlog_config;
+    tlog_config.dir = tlog_dir;
+    tlog_config.obs_dim = kObsDim;
+    tlog_config.action_dim = 1;
+    tlog_config.ring_capacity = 1 << 17;  // > one full-mode tick/shard
+    serve::TrajectoryLog tlog(tlog_config);
+
+    serve::ServeRouterConfig router_config = RouterConfig();
+    router_config.trajectory_log = &tlog;
+    serve::ServeRouter router(&agent, router_config, /*initial_shards=*/2);
+
+    serve::CheckpointWatcherConfig watcher_config;
+    watcher_config.dir = ckpt_dir;
+    watcher_config.precision = serve::Precision::kFloat32;
+    serve::CheckpointWatcher watcher(&router, watcher_config);
+
+    const int first_shard = router.shard_ids().front();
+    const uint32_t weights_before =
+        router.shard(first_shard)->plan()->WeightChecksum();
+    // Shared handles keep superseded plans alive, so pointer inequality
+    // below really means "a different plan", not allocator reuse.
+    std::vector<std::shared_ptr<const infer::InferencePlan>> plans_seen = {
+        router.shard(first_shard)->plan_handle()};
+
+    load::PopulationDriverConfig config = swap_driver_config();
+    config.record_timeline = true;
+    config.shard_count_source = [&router] { return router.num_shards(); };
+    config.generation_source = [&watcher] { return watcher.generation(); };
+    config.tick_hook = [&](int tick) {
+      // "Training" publishes a new generation of the same weights at
+      // each swap tick; the watcher polls every tick and swaps when one
+      // appears. The flush drains the tick's trajectory records.
+      for (int s = 0; s < 2; ++s) {
+        if (tick != swap_ticks[s]) continue;
+        serve::CheckpointMetadata metadata;
+        metadata.generation = static_cast<uint64_t>(s) + 1;
+        char name[32];
+        std::snprintf(name, sizeof(name), "/gen-%06d", s + 1);
+        if (!serve::SaveCheckpoint(ckpt_dir + name, agent, metadata)) {
+          std::printf("FAIL: could not publish generation %d\n", s + 1);
+        }
+      }
+      const serve::SwapResult result = watcher.PollOnce();
+      if (result.outcome == serve::SwapOutcome::kSwapped) {
+        plans_seen.push_back(router.shard(first_shard)->plan_handle());
+      }
+      tlog.Flush();
+    };
+
+    load::PopulationDriver driver(&router, config);
+    const load::PopulationReport report = driver.Run();
+    tlog.CloseSegment();
+    const serve::CheckpointWatcher::Stats watcher_stats = watcher.stats();
+    const serve::TrajectoryLog::Stats tlog_stats = tlog.stats();
+
+    uint64_t active_at_swap[2] = {0, 0};
+    for (const load::TickSample& sample : report.timeline) {
+      for (int s = 0; s < 2; ++s) {
+        if (sample.tick == swap_ticks[s]) active_at_swap[s] = sample.active;
+      }
+    }
+
+    std::printf("hot-swap run (%s mode, swaps at ticks %d and %d of a "
+                "%d-tick burst):\n",
+                mode.name, swap_ticks[0], swap_ticks[1], burst_len);
+    std::printf("  sessions: started=%llu peak_active=%llu "
+                "active_at_swaps=%llu/%llu\n",
+                static_cast<unsigned long long>(report.sessions_started),
+                static_cast<unsigned long long>(report.peak_active),
+                static_cast<unsigned long long>(active_at_swap[0]),
+                static_cast<unsigned long long>(active_at_swap[1]));
+    std::printf("  requests: ok=%llu failed=%llu  %.0f req/s  p50=%.0fus "
+                "p99=%.0fus\n",
+                static_cast<unsigned long long>(report.requests_ok),
+                static_cast<unsigned long long>(report.requests_failed),
+                report.req_per_sec, report.p50_us, report.p99_us);
+    std::printf("  watcher: %lld polls, %lld swaps, %lld rejects, final "
+                "generation %llu\n",
+                static_cast<long long>(watcher_stats.polls),
+                static_cast<long long>(watcher_stats.swaps),
+                static_cast<long long>(watcher_stats.rejects),
+                static_cast<unsigned long long>(watcher_stats.generation));
+    std::printf("  trajectory log: %lld appended, %lld dropped, %lld "
+                "flushed, %lld segments\n",
+                static_cast<long long>(tlog_stats.appended),
+                static_cast<long long>(tlog_stats.dropped),
+                static_cast<long long>(tlog_stats.flushed),
+                static_cast<long long>(tlog_stats.segments));
+
+    bool swap_ok = true;
+    if (!report.Consistent() || report.requests_failed != 0 ||
+        report.sessions_aborted != 0) {
+      std::printf("FAIL: lost work across the hot swaps (failed=%llu "
+                  "aborted=%llu)\n",
+                  static_cast<unsigned long long>(report.requests_failed),
+                  static_cast<unsigned long long>(report.sessions_aborted));
+      swap_ok = false;
+    }
+    if (report.request_checksum != baseline.request_checksum) {
+      std::printf("FAIL: request stream diverged from the no-swap "
+                  "baseline\n");
+      swap_ok = false;
+    }
+    if (report.reply_checksum != baseline.reply_checksum) {
+      std::printf("FAIL: replies diverged from the no-swap baseline — "
+                  "the swap is not bitwise-transparent\n");
+      swap_ok = false;
+    }
+    if (watcher_stats.swaps != 2 || watcher_stats.generation != 2 ||
+        watcher_stats.rejects != 0) {
+      std::printf("FAIL: expected exactly 2 clean swaps (got %lld, "
+                  "generation %llu)\n",
+                  static_cast<long long>(watcher_stats.swaps),
+                  static_cast<unsigned long long>(watcher_stats.generation));
+      swap_ok = false;
+    }
+    for (int s = 0; s < 2; ++s) {
+      if (active_at_swap[s] < mode.target_peak) {
+        std::printf("FAIL: only %llu concurrent sessions at swap %d "
+                    "(floor %llu)\n",
+                    static_cast<unsigned long long>(active_at_swap[s]),
+                    s + 1,
+                    static_cast<unsigned long long>(mode.target_peak));
+        swap_ok = false;
+      }
+    }
+    if (plans_seen.size() != 3 || plans_seen[0] == plans_seen[1] ||
+        plans_seen[1] == plans_seen[2]) {
+      std::printf("FAIL: the serving plan pointer did not change at each "
+                  "swap\n");
+      swap_ok = false;
+    }
+    if (router.shard(first_shard)->plan()->WeightChecksum() !=
+        weights_before) {
+      std::printf("FAIL: weight checksum drifted across same-weights "
+                  "swaps\n");
+      swap_ok = false;
+    }
+    if (tlog_stats.dropped != 0 ||
+        tlog_stats.appended !=
+            static_cast<int64_t>(report.requests_ok) ||
+        tlog_stats.flushed != tlog_stats.appended ||
+        tlog_stats.segments < 1) {
+      std::printf("FAIL: trajectory log lost records (appended=%lld vs "
+                  "requests_ok=%llu, dropped=%lld)\n",
+                  static_cast<long long>(tlog_stats.appended),
+                  static_cast<unsigned long long>(report.requests_ok),
+                  static_cast<long long>(tlog_stats.dropped));
+      swap_ok = false;
+    }
+
+    // --- JSON report. ---------------------------------------------------
+    std::string json =
+        "{\n  \"bench\": \"serve_scale_hotswap\",\n  \"config\": {\n";
+    AppendKv(&json, "mode", mode.name, true);
+    AppendKv(&json, "seed", U64(config.seed), false);
+    AppendKv(&json, "ticks", std::to_string(mode.ticks), false);
+    AppendKv(&json, "base_rate", std::to_string(mode.base_rate), false);
+    AppendKv(&json, "swap_tick_1", std::to_string(swap_ticks[0]), false);
+    AppendKv(&json, "swap_tick_2", std::to_string(swap_ticks[1]), false,
+             /*last=*/true);
+    json += "  },\n  \"results\": {\n";
+    AppendKv(&json, "sessions_started", U64(report.sessions_started),
+             false);
+    AppendKv(&json, "peak_active", U64(report.peak_active), false);
+    AppendKv(&json, "active_at_swap_1", U64(active_at_swap[0]), false);
+    AppendKv(&json, "active_at_swap_2", U64(active_at_swap[1]), false);
+    AppendKv(&json, "requests_ok", U64(report.requests_ok), false);
+    AppendKv(&json, "requests_failed", U64(report.requests_failed), false);
+    AppendKv(&json, "req_per_sec", std::to_string(report.req_per_sec),
+             false);
+    AppendKv(&json, "p50_us", std::to_string(report.p50_us), false);
+    AppendKv(&json, "p99_us", std::to_string(report.p99_us), false);
+    AppendKv(&json, "request_checksum_matches_baseline",
+             report.request_checksum == baseline.request_checksum
+                 ? "true" : "false", false);
+    AppendKv(&json, "reply_checksum_matches_baseline",
+             report.reply_checksum == baseline.reply_checksum
+                 ? "true" : "false", false, /*last=*/true);
+    json += "  },\n  \"watcher\": {\n";
+    AppendKv(&json, "polls", std::to_string(watcher_stats.polls), false);
+    AppendKv(&json, "swaps", std::to_string(watcher_stats.swaps), false);
+    AppendKv(&json, "rejects", std::to_string(watcher_stats.rejects),
+             false);
+    AppendKv(&json, "final_generation", U64(watcher_stats.generation),
+             false, /*last=*/true);
+    json += "  },\n  \"trajectory_log\": {\n";
+    AppendKv(&json, "appended", std::to_string(tlog_stats.appended), false);
+    AppendKv(&json, "dropped", std::to_string(tlog_stats.dropped), false);
+    AppendKv(&json, "flushed", std::to_string(tlog_stats.flushed), false);
+    AppendKv(&json, "segments", std::to_string(tlog_stats.segments), false,
+             /*last=*/true);
+    json += "  },\n  \"timeline\": [\n";
+    for (size_t i = 0; i < report.timeline.size(); ++i) {
+      const load::TickSample& sample = report.timeline[i];
+      json += "    {\"tick\": " + std::to_string(sample.tick) +
+              ", \"active\": " + U64(sample.active) +
+              ", \"issued\": " + U64(sample.issued) +
+              ", \"shards\": " + std::to_string(sample.shards) +
+              ", \"generation\": " + U64(sample.generation) + "}";
+      json += i + 1 < report.timeline.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    std::string json_error;
+    if (!obs::JsonValidate(json, &json_error)) {
+      std::printf("FAIL: hot-swap report is not valid JSON (%s)\n",
+                  json_error.c_str());
+      return 1;
+    }
+    const char* out_path = "results/BENCH_serve_scale_hotswap.json";
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json;
+    out.close();
+    if (!out) {
+      std::printf("FAIL: could not write %s\n", out_path);
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu timeline ticks)\n", out_path,
+                report.timeline.size());
+    if (!swap_ok) return 1;
+    std::printf("live checkpoint hot-swap under population load OK\n");
     return 0;
   }
 

@@ -58,24 +58,26 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-# --- 3. Metric names in the operations runbook must exist in source. ---
-# OPERATIONS.md documents registry metrics as backticked dotted names
-# (`serve.latency_us`, `obs.uptime_s`, ...). Each one must appear as a
-# string literal somewhere under src/ — otherwise the runbook points an
-# operator at a series that will never be emitted.
-if [ -e docs/OPERATIONS.md ]; then
+# --- 3. Metric names the docs cite must exist in source. ---------------
+# OPERATIONS.md, ARCHITECTURE.md and the README document registry
+# metrics as backticked dotted names (`serve.latency_us`,
+# `obs.uptime_s`, ...). Each one must appear as a string literal
+# somewhere under src/ — otherwise the doc points an operator at a
+# series that will never be emitted.
+for doc in docs/OPERATIONS.md docs/ARCHITECTURE.md README.md; do
+  [ -e "$doc" ] || continue
   metric_names=$(grep -oE '`(serve|transport|obs|load)\.[a-z0-9_.]+`' \
-      docs/OPERATIONS.md | tr -d '`' | sort -u)
+      "$doc" | tr -d '`' | sort -u)
   for name in $metric_names; do
     if ! grep -rqF "\"$name\"" src/; then
-      echo "check_docs: OPERATIONS.md documents metric '$name' not found in src/" >&2
+      echo "check_docs: $doc documents metric '$name' not found in src/" >&2
       fail=1
     fi
   done
-  if [ "$fail" -ne 0 ]; then
-    echo "check_docs: FAILED — runbook metric names missing from source" >&2
-    exit 1
-  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — documented metric names missing from source" >&2
+  exit 1
 fi
 
 # --- 4. PROTOCOL.md message-type table must match the wire.h enum. ----
@@ -109,4 +111,31 @@ if [ -e docs/PROTOCOL.md ] && [ -e src/transport/wire.h ]; then
     exit 1
   fi
 fi
-echo "check_docs: OK (documented binaries, metric names and message types all exist)"
+
+# --- 5. ARCHITECTURE.md module map must match the src/ tree. -----------
+# The module-map table keys its rows as | `src/<dir>` | ... |. Both
+# directions are checked: a row naming a directory that does not exist,
+# or a src/ subdirectory the table forgot, fails — so the system map
+# can never silently drift from the layout.
+if [ -e docs/ARCHITECTURE.md ]; then
+  doc_dirs=$(grep -oE '^\| *`src/[a-z_]+`' docs/ARCHITECTURE.md |
+    sed 's/[|`[:space:]]//g; s|^src/||' | sort -u)
+  src_dirs=$(find src -mindepth 1 -maxdepth 1 -type d |
+    sed 's|^src/||' | sort -u)
+  if [ -z "$doc_dirs" ]; then
+    echo "check_docs: ARCHITECTURE.md module-map rows not found (table moved?)" >&2
+    fail=1
+  elif [ "$doc_dirs" != "$src_dirs" ]; then
+    echo "check_docs: ARCHITECTURE.md module map disagrees with the src/ tree" >&2
+    echo "--- documented (docs/ARCHITECTURE.md):" >&2
+    echo "$doc_dirs" >&2
+    echo "--- on disk (src/*/):" >&2
+    echo "$src_dirs" >&2
+    fail=1
+  fi
+  if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED — architecture module map out of sync with src/" >&2
+    exit 1
+  fi
+fi
+echo "check_docs: OK (binaries, metric names, message types and module map all check out)"

@@ -87,6 +87,20 @@ class Gauge {
     value_.store(value, std::memory_order_relaxed);
     set_.store(true, std::memory_order_relaxed);
   }
+  /// Monotonic Set: keeps the larger of the current and new value, so
+  /// concurrent writers racing on an ordered quantity (e.g. the
+  /// checkpoint generation a shard has observed) can never publish a
+  /// regression. Lock-free CAS loop; an unset gauge takes any value.
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!set_.load(std::memory_order_relaxed) || value > current) {
+      if (value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+        set_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   /// False until the first Set (exports can skip never-written gauges).
   bool has_value() const { return set_.load(std::memory_order_relaxed); }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/serialize.h"
+#include "serve/manifest_migration.h"
 #include "util/crc32.h"
 #include "util/logging.h"
 
@@ -16,9 +17,11 @@ namespace sim2rec {
 namespace serve {
 namespace {
 
-// v2 = v1 + required crc32.<file> integrity lines. See the
+// v2 = v1 + required crc32.<file> integrity lines; v3 renames
+// lstm_hidden -> extractor_hidden and retypes the 0/1 flags to
+// false/true (legacy bundles load through MigrateManifest). See the
 // compatibility policy on SaveCheckpoint in the header.
-constexpr int kManifestVersion = 2;
+constexpr int kManifestVersion = 3;
 constexpr uint32_t kNormMagic = 0x53324e31;  // "S2N1"
 
 std::string ManifestPath(const std::string& dir) {
@@ -78,6 +81,22 @@ bool GetInt(const Manifest& m, const std::string& key, int* out) {
   const long v = std::strtol(it->second[0].c_str(), &end, 10);
   if (errno != 0 || end == nullptr || *end != '\0') return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+/// v3 boolean keys are spelled exactly `false`/`true` — 0/1 in a v3+
+/// manifest is a corruption signal, not an alternative encoding (the
+/// migration shim is the only place legacy spellings are accepted).
+bool GetBool(const Manifest& m, const std::string& key, bool* out) {
+  auto it = m.find(key);
+  if (it == m.end() || it->second.size() != 1) return false;
+  if (it->second[0] == "false") {
+    *out = false;
+  } else if (it->second[0] == "true") {
+    *out = true;
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -223,20 +242,29 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
     }
   }
 
+  // The manifest is staged (tmp + rename) and written last: a
+  // CheckpointWatcher polling the directory either sees no manifest
+  // (not a candidate yet) or a complete one whose CRC lines cover
+  // fully-written weight files — never a half-published bundle it
+  // would reject as corrupt.
   const core::ContextAgentConfig& config = agent.config();
-  std::ofstream out(ManifestPath(dir));
+  const std::string manifest_tmp = ManifestPath(dir) + ".tmp";
+  std::ofstream out(manifest_tmp, std::ios::trunc);
   if (!out.good()) return false;
   out << "sim2rec_checkpoint " << kManifestVersion << '\n';
   out << "obs_dim " << config.obs_dim << '\n';
   out << "action_dim " << config.action_dim << '\n';
-  out << "use_extractor " << (config.use_extractor ? 1 : 0) << '\n';
+  out << "use_extractor " << (config.use_extractor ? "true" : "false")
+      << '\n';
   out << "extractor_cell "
       << (config.extractor_cell ==
                   core::ContextAgentConfig::ExtractorCell::kLstm
               ? "lstm"
               : "gru")
       << '\n';
-  out << "lstm_hidden " << config.lstm_hidden << '\n';
+  // v3 spelling; v1/v2 wrote this as `lstm_hidden` (see kRenames in
+  // serve/manifest_migration.cc).
+  out << "extractor_hidden " << config.lstm_hidden << '\n';
   WriteInts(out, "f_hidden", config.f_hidden);
   out << "f_out " << config.f_out << '\n';
   WriteInts(out, "policy_hidden", config.policy_hidden);
@@ -246,9 +274,10 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
   out << "min_log_std " << FormatDouble(config.min_log_std) << '\n';
   out << "max_log_std " << FormatDouble(config.max_log_std) << '\n';
   out << "normalize_observations "
-      << (config.normalize_observations ? 1 : 0) << '\n';
+      << (config.normalize_observations ? "true" : "false") << '\n';
 
-  out << "has_sadae " << (sadae_model != nullptr ? 1 : 0) << '\n';
+  out << "has_sadae " << (sadae_model != nullptr ? "true" : "false")
+      << '\n';
   if (sadae_model != nullptr) {
     const sadae::SadaeConfig& sc = sadae_model->config();
     out << "sadae_state_dim " << sc.state_dim << '\n';
@@ -264,6 +293,12 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
                                      << '\n';
   out << "seed " << metadata.seed << '\n';
   out << "train_iterations " << metadata.train_iterations << '\n';
+  // Additive (hot-swap ordering): only written when the bundle is part
+  // of a generation sequence, so pre-watcher bundles stay byte-for-byte
+  // reproducible.
+  if (metadata.generation != 0) {
+    out << "generation " << metadata.generation << '\n';
+  }
 
   // v2 integrity lines: crc32.<file> <decimal crc> per binary file.
   const auto write_crc = [&](const std::string& path,
@@ -284,7 +319,8 @@ bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
   }
   if (!out.good()) return false;
   out.close();
-  return true;
+  std::filesystem::rename(manifest_tmp, ManifestPath(dir), ec);
+  return !ec;
 }
 
 LoadResult LoadCheckpointEx(const std::string& dir) {
@@ -308,6 +344,12 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
     return result;
   }
 
+  // Carry legacy manifests forward into the current key schema before
+  // any key is read. A table miss is fine (the key checks below report
+  // it); an unconvertible value is kCorrupt.
+  ManifestMigration migration;
+  if (!MigrateManifest(version, &manifest, &migration)) return result;
+
   // v2+: verify each binary file's CRC before parsing any of it. v1
   // bundles predate the lines, so the checks are skipped.
   const auto crc_ok = [&](const std::string& path,
@@ -325,11 +367,11 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
 
   auto loaded = std::make_unique<LoadedPolicy>();
   core::ContextAgentConfig& config = loaded->config;
-  int use_extractor = 0, normalize = 0, has_sadae = 0;
+  bool use_extractor = false, normalize = false, has_sadae = false;
   if (!GetInt(manifest, "obs_dim", &config.obs_dim) ||
       !GetInt(manifest, "action_dim", &config.action_dim) ||
-      !GetInt(manifest, "use_extractor", &use_extractor) ||
-      !GetInt(manifest, "lstm_hidden", &config.lstm_hidden) ||
+      !GetBool(manifest, "use_extractor", &use_extractor) ||
+      !GetInt(manifest, "extractor_hidden", &config.lstm_hidden) ||
       !GetInt(manifest, "f_out", &config.f_out) ||
       !GetIntList(manifest, "f_hidden", &config.f_hidden) ||
       !GetIntList(manifest, "policy_hidden", &config.policy_hidden) ||
@@ -338,12 +380,12 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
       !GetDouble(manifest, "init_log_std", &config.init_log_std) ||
       !GetDouble(manifest, "min_log_std", &config.min_log_std) ||
       !GetDouble(manifest, "max_log_std", &config.max_log_std) ||
-      !GetInt(manifest, "normalize_observations", &normalize) ||
-      !GetInt(manifest, "has_sadae", &has_sadae)) {
+      !GetBool(manifest, "normalize_observations", &normalize) ||
+      !GetBool(manifest, "has_sadae", &has_sadae)) {
     return result;
   }
-  config.use_extractor = use_extractor != 0;
-  config.normalize_observations = normalize != 0;
+  config.use_extractor = use_extractor;
+  config.normalize_observations = normalize;
   auto cell_it = manifest.find("extractor_cell");
   if (cell_it == manifest.end() || cell_it->second.size() != 1) {
     return result;
@@ -358,7 +400,7 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
   }
 
   sadae::SadaeConfig sadae_config;
-  if (has_sadae != 0) {
+  if (has_sadae) {
     if (!GetInt(manifest, "sadae_state_dim", &sadae_config.state_dim) ||
         !GetInt(manifest, "sadae_categorical_dim",
                 &sadae_config.categorical_dim) ||
@@ -372,7 +414,7 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
       return result;
     }
   }
-  if (!ConfigPlausible(config, has_sadae != 0, sadae_config)) {
+  if (!ConfigPlausible(config, has_sadae, sadae_config)) {
     return result;
   }
 
@@ -383,14 +425,15 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
   GetU64(manifest, "seed", &loaded->metadata.seed);
   GetInt(manifest, "train_iterations",
          &loaded->metadata.train_iterations);
+  GetU64(manifest, "generation", &loaded->metadata.generation);
 
   // Rebuild the modules; initial weights are irrelevant (LoadModule
   // overwrites every parameter bit-exactly or fails).
   if (!crc_ok(AgentPath(dir), "agent.bin")) return result;
-  if (has_sadae != 0 && !crc_ok(SadaePath(dir), "sadae.bin")) return result;
+  if (has_sadae && !crc_ok(SadaePath(dir), "sadae.bin")) return result;
 
   Rng init_rng(0);
-  if (has_sadae != 0) {
+  if (has_sadae) {
     loaded->sadae = std::make_unique<sadae::Sadae>(sadae_config, init_rng);
     if (!nn::LoadModule(SadaePath(dir), *loaded->sadae)) return result;
   }
@@ -407,9 +450,30 @@ LoadResult LoadCheckpointEx(const std::string& dir) {
     // Deployment never updates running statistics.
     loaded->agent->normalizer()->Freeze();
   }
-  result.status = LoadStatus::kOk;
+  if (migration.applied > 0) {
+    for (const std::string& note : migration.notes) {
+      S2R_LOG_INFO("LoadCheckpointEx: migrated v%d manifest: %s", version,
+                   note.c_str());
+    }
+    result.status = LoadStatus::kMigrated;
+  } else {
+    result.status = LoadStatus::kOk;
+  }
   result.policy = std::move(loaded);
   return result;
+}
+
+bool ReadCheckpointInfo(const std::string& dir, CheckpointInfo* info) {
+  Manifest manifest;
+  if (!ParseManifest(ManifestPath(dir), &manifest)) return false;
+  int version = 0;
+  if (!GetInt(manifest, "sim2rec_checkpoint", &version) || version < 1) {
+    return false;
+  }
+  info->version = version;
+  info->generation = 0;
+  GetU64(manifest, "generation", &info->generation);
+  return true;
 }
 
 std::unique_ptr<LoadedPolicy> LoadCheckpoint(const std::string& dir) {

@@ -18,6 +18,13 @@ struct CheckpointMetadata {
   std::string variant;       // e.g. "Sim2Rec", "DR-OSI"
   uint64_t seed = 0;         // training seed
   int train_iterations = 0;  // PPO iterations the bundle was trained for
+  /// Monotonic rollout generation. A continuous-training loop bumps it
+  /// on every export; serve::CheckpointWatcher hot-swaps to the highest
+  /// generation it can validate and never to a lower one. 0 means "not
+  /// part of a generation sequence" — such bundles load fine but are
+  /// never hot-swap candidates. The key is additive (old readers ignore
+  /// it), so it rides on any manifest version.
+  uint64_t generation = 0;
 };
 
 /// A checkpoint restored into a ready-to-serve agent. The SADAE (when
@@ -49,13 +56,36 @@ enum class LoadStatus {
   /// not that the integrity check is optional (pinned in
   /// tests/serve_test.cc).
   kCorrupt,
+  /// The load SUCCEEDED, but only after serve::MigrateManifest rewrote
+  /// legacy keys into the current schema (renamed/retyped between
+  /// manifest versions — see serve/manifest_migration.h). The policy is
+  /// fully usable; the distinct status lets operators see that a bundle
+  /// predates the current config layout and should eventually be
+  /// re-exported.
+  kMigrated,
 };
+
+/// kOk and kMigrated both carry a usable policy.
+inline bool LoadSucceeded(LoadStatus status) {
+  return status == LoadStatus::kOk || status == LoadStatus::kMigrated;
+}
 
 struct LoadResult {
   LoadStatus status = LoadStatus::kCorrupt;
-  /// Non-null exactly when status == kOk.
+  /// Non-null exactly when LoadSucceeded(status).
   std::unique_ptr<LoadedPolicy> policy;
 };
+
+/// Cheap manifest peek (version + generation only, no weight I/O) —
+/// what the CheckpointWatcher scans candidate directories with before
+/// committing to a full validated load.
+struct CheckpointInfo {
+  int version = 0;
+  uint64_t generation = 0;
+};
+
+/// False when `dir` has no parsable manifest or no version line.
+bool ReadCheckpointInfo(const std::string& dir, CheckpointInfo* info);
 
 /// Saves a full inference bundle into directory `dir` (created if
 /// missing):
@@ -79,9 +109,16 @@ struct LoadResult {
 ///    the PR-2 format) still loads, with integrity checks skipped.
 ///  * A version beyond the reader's is reported as kVersionUnsupported,
 ///    never misread as corruption.
+///  * Keys renamed or retyped by a version bump are carried forward by
+///    the serve::MigrateManifest rename table, so older bundles keep
+///    loading (status kMigrated instead of kOk).
 /// History: v1 initial format; v2 adds required `crc32.<file>` lines
 /// for each binary bundle file (a v2 bundle whose CRC lines are missing
-/// or mismatched is kCorrupt).
+/// or mismatched is kCorrupt); v3 renames `lstm_hidden` ->
+/// `extractor_hidden` and retypes `use_extractor` /
+/// `normalize_observations` / `has_sadae` from 0/1 to false/true
+/// (v1/v2 bundles load via the migration shim as kMigrated). The
+/// additive `generation` key (hot-swap ordering) rides on any version.
 bool SaveCheckpoint(const std::string& dir, core::ContextAgent& agent,
                     const CheckpointMetadata& metadata = {});
 

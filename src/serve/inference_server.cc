@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/trajectory_log.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -76,6 +77,44 @@ void InferenceServer::Shutdown() {
   }
   queue_cv_.notify_all();
   if (batcher_.joinable()) batcher_.join();
+}
+
+bool InferenceServer::SwapModel(
+    const core::ContextAgent* agent,
+    std::shared_ptr<const infer::InferencePlan> plan) {
+  if (agent == nullptr) return false;
+  // Session compatibility: resident recurrent state must remain
+  // shape-valid under the new model, and the request contract
+  // (obs_dim) must not change under live clients.
+  const SessionDims current = store_->dims();
+  const SessionDims next = SessionDimsFor(*agent);
+  if (next.hidden != current.hidden || next.has_cell != current.has_cell ||
+      next.action_dim != current.action_dim ||
+      next.latent_dim != current.latent_dim) {
+    return false;
+  }
+  if (agent->config().obs_dim != agent_->config().obs_dim) return false;
+  if (config_.precision == Precision::kFloat32 && plan == nullptr) {
+    return false;
+  }
+
+  // Both locks: serial_mutex_ fences the non-batching inline path,
+  // mutex_ fences the batcher (which holds it except while running
+  // ProcessBatch — and the caller's drain guarantee means no batch is
+  // running). Acquiring mutex_ here and releasing it before the
+  // batcher's next acquisition is what makes the new pointers visible
+  // to the batcher thread without any atomics on the hot path.
+  std::scoped_lock lock(serial_mutex_, mutex_);
+  S2R_CHECK_MSG(queue_.empty(),
+                "SwapModel with queued requests — caller failed to drain");
+  agent_ = agent;
+  config_.plan = plan;
+  plan_ = std::move(plan);
+  if (config_.precision == Precision::kFloat32) {
+    workspace_ = std::make_unique<infer::Workspace>(
+        plan_->CreateWorkspace(config_.max_batch_size));
+  }
+  return true;
 }
 
 int64_t InferenceServer::NowMs() const {
@@ -281,6 +320,21 @@ void InferenceServer::ProcessBatch(const std::vector<Pending*>& batch) {
       }
     }
   });
+
+  // Opt-in trajectory logging, serially (one producer per sink) and
+  // strictly read-only on the reply: the logged action is the
+  // post-guard action the caller receives, the reward slot carries the
+  // critic's value estimate (serving observes no environment reward),
+  // and the step index is the 0-based serving step just taken.
+  if (config_.trajectory_sink != nullptr) {
+    for (int i = 0; i < k; ++i) {
+      const ServeReply& reply = batch[i]->reply;
+      config_.trajectory_sink->Append(
+          batch[i]->user_id,
+          static_cast<uint32_t>(sessions[i].steps - 1), reply.value,
+          batch[i]->obs->data(), reply.action.data());
+    }
+  }
 
   // Commit serially, again in arrival order.
   {

@@ -22,6 +22,8 @@
 namespace sim2rec {
 namespace serve {
 
+class TrajectorySink;
+
 /// Numeric path of the serving forward pass.
 enum class Precision {
   /// Double-precision nn::Module ServeStep — the reference path. Keeps
@@ -80,6 +82,14 @@ struct InferenceServerConfig {
   /// Shard label for trace spans ("shard" arg on serve/batch etc.);
   /// -1 = unsharded.
   int shard_id = -1;
+
+  /// Opt-in trajectory logging: when non-null, every served request
+  /// appends its (obs, action, value, step) tuple to this sink from
+  /// the batch-processing thread (see serve/trajectory_log.h). Null
+  /// (the default) records nothing. The sink's owner (TrajectoryLog)
+  /// must outlive the server. Determinism-neutral: replies are
+  /// bitwise-identical with or without a sink.
+  TrajectorySink* trajectory_sink = nullptr;
 };
 
 // ServeReply lives in serve/policy_service.h (included above) next to
@@ -142,12 +152,30 @@ class InferenceServer : public PolicyService {
   /// the destructor; idempotent.
   void Shutdown();
 
+  /// Atomically replaces the served model while keeping every resident
+  /// session. The caller must guarantee no Act() is in flight on this
+  /// server (a ServeRouter calls this under its exclusive drain
+  /// barrier). Returns false — changing nothing — when the new agent is
+  /// session-incompatible: different SessionDims or obs_dim (resident
+  /// recurrent state would be shape-invalid), or a null `plan` under
+  /// kFloat32. `agent` must outlive the server; `plan` is the
+  /// pre-frozen float32 plan (ignored under kDouble).
+  bool SwapModel(const core::ContextAgent* agent,
+                 std::shared_ptr<const infer::InferencePlan> plan);
+
   InferenceServerStats stats() const;
   SessionStore& sessions() { return *store_; }
   const core::ContextAgent& agent() const { return *agent_; }
   /// The frozen plan this server forwards through, or null on the
   /// double path. Shards of one router return the same pointer.
   const infer::InferencePlan* plan() const { return plan_.get(); }
+  /// Shared ownership of the same — lets a hot-swap observer keep a
+  /// superseded plan alive so before/after pointer comparisons can't be
+  /// confused by allocator address reuse. Call only with no swap in
+  /// flight (e.g. a driver tick hook).
+  std::shared_ptr<const infer::InferencePlan> plan_handle() const {
+    return plan_;
+  }
 
  private:
   struct Pending {

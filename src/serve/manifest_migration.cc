@@ -1,0 +1,78 @@
+#include "serve/manifest_migration.h"
+
+namespace sim2rec {
+namespace serve {
+namespace {
+
+/// One renamed key: `old_key` was the legal spelling through
+/// `last_version` (inclusive); newer manifests use `new_key`.
+struct KeyRename {
+  int last_version;
+  const char* old_key;
+  const char* new_key;
+};
+
+/// One retyped key: through `last_version` the key held a 0/1 integer;
+/// newer manifests spell it `false`/`true`.
+struct BoolRetype {
+  int last_version;
+  const char* key;
+};
+
+constexpr KeyRename kRenames[] = {
+    {2, "lstm_hidden", "extractor_hidden"},
+};
+
+constexpr BoolRetype kBoolRetypes[] = {
+    {2, "use_extractor"},
+    {2, "normalize_observations"},
+    {2, "has_sadae"},
+};
+
+}  // namespace
+
+bool MigrateManifest(int version, ManifestMap* manifest,
+                     ManifestMigration* migration) {
+  migration->applied = 0;
+  migration->notes.clear();
+
+  for (const KeyRename& rename : kRenames) {
+    if (version > rename.last_version) continue;
+    auto old_it = manifest->find(rename.old_key);
+    if (old_it == manifest->end()) continue;  // loader reports the miss
+    if (manifest->count(rename.new_key) != 0) {
+      // Both spellings present: the manifest was hand-edited or
+      // corrupted; refusing beats guessing which one is authoritative.
+      return false;
+    }
+    (*manifest)[rename.new_key] = std::move(old_it->second);
+    manifest->erase(old_it);
+    ++migration->applied;
+    migration->notes.push_back(std::string("renamed ") + rename.old_key +
+                               " -> " + rename.new_key);
+  }
+
+  for (const BoolRetype& retype : kBoolRetypes) {
+    if (version > retype.last_version) continue;
+    auto it = manifest->find(retype.key);
+    if (it == manifest->end()) continue;
+    if (it->second.size() != 1) return false;
+    std::string& value = it->second[0];
+    if (value == "0") {
+      value = "false";
+    } else if (value == "1") {
+      value = "true";
+    } else {
+      // A v<=2 flag must be exactly 0 or 1; anything else (including an
+      // anachronistic true/false) means the version line lies.
+      return false;
+    }
+    ++migration->applied;
+    migration->notes.push_back(std::string("retyped ") + retype.key +
+                               " to boolean (" + value + ")");
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace sim2rec

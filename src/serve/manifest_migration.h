@@ -1,0 +1,46 @@
+#ifndef SIM2REC_SERVE_MANIFEST_MIGRATION_H_
+#define SIM2REC_SERVE_MANIFEST_MIGRATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sim2rec {
+namespace serve {
+
+/// A parsed checkpoint manifest: key -> whitespace-separated value
+/// tokens, exactly as serve/checkpoint.cc reads it off disk.
+using ManifestMap = std::map<std::string, std::vector<std::string>>;
+
+/// What a migration pass did to a legacy manifest (diagnostics; the
+/// load status only needs `applied`).
+struct ManifestMigration {
+  int applied = 0;                 // key rewrites performed
+  std::vector<std::string> notes;  // one human-readable line per rewrite
+};
+
+/// Rewrites the keys of a version-`version` manifest into the current
+/// (v3) schema, in place — the config-evolution shim that lets a
+/// serving binary keep loading checkpoints written before a key was
+/// renamed or retyped. The table is versioned: each entry applies only
+/// to manifests at or below the version in which the old spelling was
+/// last legal, so a current manifest passes through untouched
+/// (`applied == 0`) and the rewrite is idempotent.
+///
+/// Current table (see the version history on serve::SaveCheckpoint):
+///  * v1/v2 -> v3 rename: `lstm_hidden` -> `extractor_hidden` (the key
+///    predates the GRU cell option; the old name was cell-specific).
+///  * v1/v2 -> v3 retype: `use_extractor`, `normalize_observations`,
+///    `has_sadae` change from 0/1 integers to `false`/`true` booleans.
+///
+/// Returns false — leaving `manifest` in an unspecified state the
+/// caller must discard — when a legacy value cannot be converted (a 0/1
+/// flag that is neither, both spellings of a renamed key present);
+/// LoadCheckpointEx reports that as kCorrupt, never a wrong config.
+bool MigrateManifest(int version, ManifestMap* manifest,
+                     ManifestMigration* migration);
+
+}  // namespace serve
+}  // namespace sim2rec
+
+#endif  // SIM2REC_SERVE_MANIFEST_MIGRATION_H_

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/trace.h"
+#include "serve/trajectory_log.h"
 #include "util/logging.h"
 
 namespace sim2rec {
@@ -55,6 +56,11 @@ ServeRouter::Shard ServeRouter::MakeShard(int shard_id) const {
   InferenceServerConfig config = config_.shard;
   config.registry = shard.registry.get();
   config.shard_id = shard_id;
+  if (config_.trajectory_log != nullptr) {
+    // Per-shard sink: InferenceServer guarantees one producer (its
+    // batch-processing thread), which is exactly the SPSC contract.
+    config.trajectory_sink = config_.trajectory_log->OpenSink(shard_id);
+  }
   shard.server = std::make_unique<InferenceServer>(agent_, config);
   return shard;
 }
@@ -149,6 +155,31 @@ bool ServeRouter::LoadSessions(const std::string& path) {
     shards_.at(owner).server->sessions().Restore(user_id,
                                                  std::move(session));
   }
+  return true;
+}
+
+bool ServeRouter::SwapModel(
+    const core::ContextAgent* agent,
+    std::shared_ptr<const infer::InferencePlan> plan) {
+  if (agent == nullptr) return false;
+  std::unique_lock<std::shared_mutex> lock(mutex_);  // drain barrier
+  S2R_CHECK(!shards_.empty());
+  S2R_TRACE_SPAN("router/swap_model", "shards",
+                 static_cast<double>(shards_.size()));
+  // Every shard serves the same agent, so one shard's compatibility
+  // verdict is every shard's verdict: probe the first, and only commit
+  // the rest once it accepts. That makes the swap all-or-nothing
+  // without a separate validation pass.
+  auto it = shards_.begin();
+  if (!it->second.server->SwapModel(agent, plan)) return false;
+  for (++it; it != shards_.end(); ++it) {
+    S2R_CHECK(it->second.server->SwapModel(agent, plan));
+  }
+  agent_ = agent;
+  // Future shards (AddShard under autoscaling) freeze nothing: they
+  // share the swapped-in plan exactly like the initial shards share
+  // the constructor's.
+  config_.shard.plan = std::move(plan);
   return true;
 }
 

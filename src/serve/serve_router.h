@@ -18,6 +18,8 @@
 namespace sim2rec {
 namespace serve {
 
+class TrajectoryLog;
+
 struct ServeRouterConfig {
   /// Template configuration for every shard's InferenceServer. The
   /// router overrides `registry` (each shard gets its own registry, the
@@ -27,6 +29,13 @@ struct ServeRouterConfig {
   InferenceServerConfig shard;
   /// Virtual nodes per shard on the consistent-hash ring.
   int virtual_nodes = HashRing::kDefaultVirtualNodes;
+  /// Opt-in serve-side trajectory logging: when non-null, every shard —
+  /// including ones the autoscaler adds later — appends its served
+  /// (obs, action, value, step) tuples to log->OpenSink(shard_id).
+  /// Overrides `shard.trajectory_sink`. The log's obs/action dims must
+  /// match the agent's, and the log must outlive the router. Null (the
+  /// default) records nothing.
+  TrajectoryLog* trajectory_log = nullptr;
 };
 
 /// Consistent-hash front end over N InferenceServer shards — the
@@ -83,6 +92,21 @@ class ServeRouter : public PolicyService {
   /// and current shard counts are free to differ. Staged — a corrupt or
   /// mismatched snapshot returns false and changes nothing.
   bool LoadSessions(const std::string& path);
+
+  /// Checkpoint hot-swap: atomically replaces the served model on every
+  /// shard while keeping every resident session. Takes the exclusive
+  /// lock (the same drain barrier resharding uses), so no request is in
+  /// flight anywhere during the swap and an Act() never observes a
+  /// mixed topology. All-or-nothing: when the new agent is
+  /// session-incompatible (different SessionDims or obs_dim — see
+  /// InferenceServer::SwapModel) it returns false and every shard keeps
+  /// serving the old model. Shards added after a successful swap (the
+  /// autoscaler path) are built on the new agent and plan. `agent` must
+  /// outlive the router (a CheckpointWatcher owns it); `plan` is the
+  /// pre-frozen float32 plan, required under kFloat32 shards and
+  /// ignored under kDouble.
+  bool SwapModel(const core::ContextAgent* agent,
+                 std::shared_ptr<const infer::InferencePlan> plan);
 
   /// Unified view of all shard registries (obs::MergeSnapshots).
   obs::MetricsSnapshot MergedMetrics() const;

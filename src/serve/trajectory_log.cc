@@ -1,0 +1,368 @@
+#include "serve/trajectory_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "util/bytes.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace sim2rec {
+namespace serve {
+namespace {
+
+// "S2TL" read as a little-endian u32 ('S'=0x53 in the low byte).
+constexpr uint32_t kSegmentMagic = 0x4C543253;
+constexpr uint8_t kSegmentVersion = 1;
+
+bool IsPowerOfTwo(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+std::string SegmentName(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06d.s2tl", index);
+  return buf;
+}
+
+}  // namespace
+
+TrajectorySink::TrajectorySink(int shard_id, int obs_dim, int action_dim,
+                               int capacity)
+    : shard_id_(shard_id), obs_dim_(obs_dim), action_dim_(action_dim),
+      capacity_(capacity), payload_stride_(1 + obs_dim + action_dim),
+      meta_(capacity),
+      payload_(static_cast<size_t>(capacity) * payload_stride_) {
+  S2R_CHECK(obs_dim_ > 0 && action_dim_ > 0);
+  S2R_CHECK(IsPowerOfTwo(capacity_));
+}
+
+void TrajectorySink::Append(uint64_t user_id, uint32_t step, double reward,
+                            const double* obs, const double* action) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= static_cast<uint64_t>(capacity_)) {
+    // Bounded by design: a stalled flusher costs records, never
+    // latency on the serving path.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const size_t slot = head & static_cast<uint64_t>(capacity_ - 1);
+  meta_[slot].user_id = user_id;
+  meta_[slot].step = step;
+  double* payload = &payload_[slot * payload_stride_];
+  payload[0] = reward;
+  std::memcpy(payload + 1, obs, sizeof(double) * obs_dim_);
+  std::memcpy(payload + 1 + obs_dim_, action, sizeof(double) * action_dim_);
+  // Release-publish the slot: the consumer's acquire load of head_
+  // makes the writes above visible before it reads the slot.
+  head_.store(head + 1, std::memory_order_release);
+}
+
+TrajectoryLog::TrajectoryLog(const TrajectoryLogConfig& config)
+    : config_(config) {
+  S2R_CHECK(!config_.dir.empty());
+  S2R_CHECK(config_.obs_dim > 0 && config_.action_dim > 0);
+  S2R_CHECK(IsPowerOfTwo(config_.ring_capacity));
+  S2R_CHECK(config_.segment_max_records >= 1);
+  obs::MetricsRegistry& registry = config_.registry != nullptr
+                                       ? *config_.registry
+                                       : obs::MetricsRegistry::Global();
+  metric_appends_ = registry.GetCounter("serve.trajectory_appends");
+  metric_drops_ = registry.GetCounter("serve.trajectory_drops");
+  metric_segments_ = registry.GetCounter("serve.trajectory_segments");
+}
+
+TrajectoryLog::~TrajectoryLog() {
+  // Best-effort: whatever is still buffered becomes the final segment.
+  CloseSegment();
+}
+
+TrajectorySink* TrajectoryLog::OpenSink(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sinks_.find(shard_id);
+  if (it == sinks_.end()) {
+    it = sinks_
+             .emplace(shard_id,
+                      std::unique_ptr<TrajectorySink>(new TrajectorySink(
+                          shard_id, config_.obs_dim, config_.action_dim,
+                          config_.ring_capacity)))
+             .first;
+  }
+  return it->second.get();
+}
+
+bool TrajectoryLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t drained = 0;
+  int64_t total_dropped = 0;
+  for (auto& [shard_id, sink] : sinks_) {
+    const uint64_t head = sink->head_.load(std::memory_order_acquire);
+    uint64_t tail = sink->tail_.load(std::memory_order_relaxed);
+    while (tail != head) {
+      const size_t slot =
+          tail & static_cast<uint64_t>(sink->capacity_ - 1);
+      TrajectoryRecord record;
+      record.user_id = sink->meta_[slot].user_id;
+      record.step = sink->meta_[slot].step;
+      record.shard_id = static_cast<uint32_t>(shard_id);
+      const double* payload =
+          &sink->payload_[slot * sink->payload_stride_];
+      record.reward = payload[0];
+      record.obs.assign(payload + 1, payload + 1 + config_.obs_dim);
+      record.action.assign(payload + 1 + config_.obs_dim,
+                           payload + 1 + config_.obs_dim +
+                               config_.action_dim);
+      pending_.push_back(std::move(record));
+      ++tail;
+      ++drained;
+    }
+    // Release the slots only after they are fully copied out.
+    sink->tail_.store(tail, std::memory_order_release);
+    total_dropped += sink->dropped();
+  }
+  if (obs::Enabled()) {
+    if (drained > 0) metric_appends_->Add(drained);
+    if (total_dropped > synced_drops_) {
+      metric_drops_->Add(total_dropped - synced_drops_);
+    }
+  }
+  synced_drops_ = std::max(synced_drops_, total_dropped);
+
+  bool ok = true;
+  while (pending_.size() >=
+         static_cast<size_t>(config_.segment_max_records)) {
+    if (!WriteSegmentLocked(
+            static_cast<size_t>(config_.segment_max_records))) {
+      ok = false;
+      break;  // records stay pending; a later flush retries
+    }
+  }
+  return ok;
+}
+
+bool TrajectoryLog::CloseSegment() {
+  if (!Flush()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_.empty()) return true;
+  return WriteSegmentLocked(pending_.size());
+}
+
+bool TrajectoryLog::WriteSegmentLocked(size_t record_count) {
+  S2R_CHECK(record_count > 0 && record_count <= pending_.size());
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) return false;
+
+  std::string payload;
+  payload.reserve(record_count *
+                  (16 + sizeof(double) *
+                            (1 + config_.obs_dim + config_.action_dim)));
+  for (size_t i = 0; i < record_count; ++i) {
+    const TrajectoryRecord& record = pending_[i];
+    AppendU64(&payload, record.user_id);
+    AppendU32(&payload, record.step);
+    AppendU32(&payload, record.shard_id);
+    AppendF64(&payload, record.reward);
+    for (double v : record.obs) AppendF64(&payload, v);
+    for (double v : record.action) AppendF64(&payload, v);
+  }
+
+  std::string bytes;
+  AppendU32(&bytes, kSegmentMagic);
+  AppendU8(&bytes, kSegmentVersion);
+  AppendU16(&bytes, static_cast<uint16_t>(config_.obs_dim));
+  AppendU16(&bytes, static_cast<uint16_t>(config_.action_dim));
+  AppendU32(&bytes, static_cast<uint32_t>(record_count));
+  AppendU32(&bytes, static_cast<uint32_t>(payload.size()));
+  AppendU32(&bytes, Crc32(payload));
+  bytes += payload;
+
+  // Staged like every other serving artifact: a reader never sees a
+  // half-written segment under the final name.
+  const std::string final_path =
+      config_.dir + "/" + SegmentName(next_segment_);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return false;
+  }
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) return false;
+
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(record_count));
+  ++next_segment_;
+  flushed_ += static_cast<int64_t>(record_count);
+  if (obs::Enabled()) metric_segments_->Add(1);
+  return true;
+}
+
+TrajectoryLog::Stats TrajectoryLog::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  for (const auto& [shard_id, sink] : sinks_) {
+    // head_ counts every record ever accepted by this sink.
+    stats.appended += static_cast<int64_t>(
+        sink->head_.load(std::memory_order_relaxed));
+    stats.dropped += sink->dropped();
+  }
+  stats.flushed = flushed_;
+  stats.segments = next_segment_;
+  return stats;
+}
+
+SegmentStatus ReadTrajectorySegment(const std::string& path,
+                                    TrajectorySegment* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return SegmentStatus::kNotFound;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return SegmentStatus::kCorrupt;
+
+  ByteReader reader(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint16_t obs_dim = 0, action_dim = 0;
+  if (!reader.ReadU32(&magic) || magic != kSegmentMagic) {
+    return SegmentStatus::kCorrupt;
+  }
+  if (!reader.ReadU8(&version)) return SegmentStatus::kCorrupt;
+  if (version > kSegmentVersion) return SegmentStatus::kVersionUnsupported;
+  if (!reader.ReadU16(&obs_dim) || !reader.ReadU16(&action_dim) ||
+      obs_dim == 0 || action_dim == 0) {
+    return SegmentStatus::kCorrupt;
+  }
+  out->obs_dim = obs_dim;
+  out->action_dim = action_dim;
+  out->records.clear();
+
+  const size_t record_bytes =
+      16 + sizeof(double) * (1 + obs_dim + action_dim);
+  while (reader.remaining() > 0) {
+    uint32_t record_count = 0, payload_len = 0, crc = 0;
+    if (!reader.ReadU32(&record_count) || !reader.ReadU32(&payload_len) ||
+        !reader.ReadU32(&crc)) {
+      return SegmentStatus::kCorrupt;
+    }
+    if (reader.remaining() < payload_len ||
+        static_cast<size_t>(payload_len) != record_count * record_bytes) {
+      return SegmentStatus::kCorrupt;
+    }
+    const char* payload = bytes.data() + reader.offset();
+    if (Crc32(payload, static_cast<size_t>(payload_len)) != crc) {
+      return SegmentStatus::kCorrupt;
+    }
+    ByteReader records(payload, payload_len);
+    reader.Skip(payload_len);
+    for (uint32_t i = 0; i < record_count; ++i) {
+      TrajectoryRecord record;
+      record.obs.resize(obs_dim);
+      record.action.resize(action_dim);
+      bool ok = records.ReadU64(&record.user_id) &&
+                records.ReadU32(&record.step) &&
+                records.ReadU32(&record.shard_id) &&
+                records.ReadF64(&record.reward);
+      for (int d = 0; ok && d < obs_dim; ++d) {
+        ok = records.ReadF64(&record.obs[d]);
+      }
+      for (int d = 0; ok && d < action_dim; ++d) {
+        ok = records.ReadF64(&record.action[d]);
+      }
+      if (!ok) return SegmentStatus::kCorrupt;
+      out->records.push_back(std::move(record));
+    }
+  }
+  return SegmentStatus::kOk;
+}
+
+bool ReplayTrajectoryLogs(const std::string& dir,
+                          data::LoggedDataset* dataset,
+                          std::string* error) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.rfind("seg-", 0) == 0 &&
+        name.substr(name.size() - 5) == ".s2tl") {
+      names.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    if (error != nullptr) *error = "cannot list " + dir;
+    return false;
+  }
+  // Filename order == finalization order (zero-padded indices).
+  std::sort(names.begin(), names.end());
+
+  // Per-user record streams in encounter order (segments are replayed
+  // oldest first, so a user's steps arrive in serving order).
+  std::map<uint64_t, std::vector<TrajectoryRecord>> streams;
+  for (const std::string& path : names) {
+    TrajectorySegment segment;
+    const SegmentStatus status = ReadTrajectorySegment(path, &segment);
+    if (status != SegmentStatus::kOk) {
+      if (error != nullptr) {
+        *error = path + ": " +
+                 (status == SegmentStatus::kVersionUnsupported
+                      ? "unsupported segment version"
+                      : "corrupt segment");
+      }
+      return false;
+    }
+    if (segment.obs_dim != dataset->obs_dim() ||
+        segment.action_dim != dataset->action_dim()) {
+      if (error != nullptr) *error = path + ": dimension mismatch";
+      return false;
+    }
+    for (TrajectoryRecord& record : segment.records) {
+      streams[record.user_id].push_back(std::move(record));
+    }
+  }
+
+  const int obs_dim = dataset->obs_dim();
+  const int action_dim = dataset->action_dim();
+  for (auto& [user_id, records] : streams) {
+    // Split the stream into sessions: a step-0 record starts one.
+    size_t begin = 0;
+    while (begin < records.size()) {
+      size_t end = begin + 1;
+      while (end < records.size() && records[end].step != 0) ++end;
+      const int length = static_cast<int>(end - begin);
+      data::UserTrajectory trajectory;
+      trajectory.user_id = static_cast<int>(user_id);
+      trajectory.group_id = static_cast<int>(records[begin].shard_id);
+      trajectory.observations = nn::Tensor(length + 1, obs_dim);
+      trajectory.actions = nn::Tensor(length, action_dim);
+      trajectory.feedback.resize(length);
+      trajectory.rewards.resize(length);
+      for (int t = 0; t < length; ++t) {
+        const TrajectoryRecord& record = records[begin + t];
+        for (int d = 0; d < obs_dim; ++d) {
+          trajectory.observations(t, d) = record.obs[d];
+        }
+        for (int d = 0; d < action_dim; ++d) {
+          trajectory.actions(t, d) = record.action[d];
+        }
+        trajectory.feedback[t] = record.reward;
+        trajectory.rewards[t] = record.reward;
+      }
+      // Serving never observes the post-action state, so the terminal
+      // s_T is the last served observation (documented in the header).
+      for (int d = 0; d < obs_dim; ++d) {
+        trajectory.observations(length, d) =
+            trajectory.observations(length - 1, d);
+      }
+      dataset->Add(std::move(trajectory));
+      begin = end;
+    }
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace sim2rec

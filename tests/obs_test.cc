@@ -89,6 +89,38 @@ TEST(Gauge, HasValueOnlyAfterSet) {
   EXPECT_FALSE(gauge.has_value());
 }
 
+TEST(Gauge, SetMaxIsMonotonic) {
+  Gauge gauge;
+  // An unset gauge takes any value, even one below the zero default.
+  gauge.SetMax(-2.0);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.0);
+  gauge.SetMax(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.SetMax(3.0);  // lower: kept out
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  // Plain Set still overwrites (SetMax is a mode of use, not a type).
+  gauge.Set(1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(Gauge, SetMaxNeverRegressesUnderConcurrentWriters) {
+  // The serve.checkpoint_generation use case: racing writers each
+  // publish the generation they observed; the gauge must end at the
+  // global maximum no matter the interleaving.
+  Gauge gauge;
+  core::ThreadPool pool(4);
+  const int kTasks = 32;
+  const int kPerTask = 500;
+  pool.ParallelFor(kTasks, [&](int i) {
+    for (int j = 0; j < kPerTask; ++j) {
+      gauge.SetMax(static_cast<double>((i * 131 + j * 17) % 1000));
+    }
+  });
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.value(), 999.0);  // 131*i+17*j spans 0..999 mod 1000
+}
+
 TEST(LogHistogram, CountSumMeanMinMax) {
   LogHistogram histogram;
   EXPECT_EQ(histogram.count(), 0);

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,14 +17,18 @@
 
 #include "core/context_agent.h"
 #include "core/sim2rec_trainer.h"
+#include "data/dataset.h"
 #include "envs/lts_env.h"
 #include "nn/layers.h"
 #include "nn/serialize.h"
 #include "serve/checkpoint.h"
+#include "serve/checkpoint_watcher.h"
 #include "serve/hash_ring.h"
 #include "serve/inference_server.h"
+#include "serve/manifest_migration.h"
 #include "serve/serve_router.h"
 #include "serve/session_store.h"
+#include "serve/trajectory_log.h"
 
 namespace sim2rec {
 namespace serve {
@@ -995,7 +1004,7 @@ TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
     manifest_text.assign(std::istreambuf_iterator<char>(in),
                          std::istreambuf_iterator<char>());
   }
-  ASSERT_NE(manifest_text.find("sim2rec_checkpoint 2"), std::string::npos);
+  ASSERT_NE(manifest_text.find("sim2rec_checkpoint 3"), std::string::npos);
   ASSERT_NE(manifest_text.find("crc32.agent.bin"), std::string::npos);
 
   // A flipped bit in a weight file trips its CRC: kCorrupt, and the
@@ -1018,8 +1027,8 @@ TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
   ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
   {
     std::string future = manifest_text;
-    future.replace(future.find("sim2rec_checkpoint 2"),
-                   std::strlen("sim2rec_checkpoint 2"),
+    future.replace(future.find("sim2rec_checkpoint 3"),
+                   std::strlen("sim2rec_checkpoint 3"),
                    "sim2rec_checkpoint 99");
     std::ofstream out(manifest);
     out << future;
@@ -1027,7 +1036,7 @@ TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
   EXPECT_EQ(LoadCheckpointEx(dir.str()).status,
             LoadStatus::kVersionUnsupported);
 
-  // A manifest claiming v2 but missing its CRC lines is corrupt: the
+  // A manifest claiming v2+ but missing its CRC lines is corrupt: the
   // integrity guarantee v2 promises cannot be checked.
   {
     std::istringstream in(manifest_text);
@@ -1063,50 +1072,900 @@ TEST(Checkpoint, LoadExDistinguishesCorruptionFromUnsupportedVersion) {
   EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
 }
 
-TEST(Checkpoint, Version1BundlesStillLoad) {
-  ScratchDir dir("ckpt_v1");
-  Rng rng(103);
-  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
-  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
-  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
-
-  // Rewrite the bundle as the PR-2 v1 format: version line downgraded,
-  // no crc32 lines. Readers accept every version up to their own, with
-  // integrity checks skipped where the format predates them.
-  const fs::path manifest = dir.path() / "manifest.txt";
+/// Rewrites a freshly-saved v3 bundle as an earlier on-disk format:
+/// version line downgraded, v3 key spellings reverted to their legacy
+/// forms (`extractor_hidden` -> `lstm_hidden`, booleans back to 0/1),
+/// and — for v1 — the crc32 lines dropped (they postdate the format).
+void DowngradeManifest(const fs::path& manifest, int version) {
   std::string text;
   {
     std::ifstream in(manifest);
     text.assign(std::istreambuf_iterator<char>(in),
                 std::istreambuf_iterator<char>());
   }
-  {
-    std::istringstream in(text);
-    std::ostringstream out;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.rfind("crc32.", 0) == 0) continue;
-      if (line.rfind("sim2rec_checkpoint ", 0) == 0) {
-        line = "sim2rec_checkpoint 1";
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (version < 2 && line.rfind("crc32.", 0) == 0) continue;
+    if (line.rfind("sim2rec_checkpoint ", 0) == 0) {
+      line = "sim2rec_checkpoint " + std::to_string(version);
+    } else if (line.rfind("extractor_hidden ", 0) == 0) {
+      line = "lstm_hidden " + line.substr(std::strlen("extractor_hidden "));
+    } else {
+      for (const char* key :
+           {"use_extractor ", "normalize_observations ", "has_sadae "}) {
+        if (line.rfind(key, 0) != 0) continue;
+        const std::string value = line.substr(std::strlen(key));
+        line = std::string(key) + (value == "true" ? "1" : "0");
+        break;
       }
-      out << line << '\n';
     }
-    std::ofstream file(manifest);
-    file << out.str();
+    out << line << '\n';
+  }
+  std::ofstream file(manifest);
+  file << out.str();
+}
+
+TEST(Checkpoint, LegacyVersion1And2BundlesLoadAsMigrated) {
+  for (int version : {1, 2}) {
+    ScratchDir dir("ckpt_legacy_v" + std::to_string(version));
+    Rng rng(103);
+    sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+    core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    DowngradeManifest(dir.path() / "manifest.txt", version);
+
+    // Readers accept every version up to their own: the migration shim
+    // carries renamed/retyped keys forward, integrity checks are
+    // skipped where the format predates them (v1), and the distinct
+    // kMigrated status tells operators the bundle is old but usable.
+    LoadResult result = LoadCheckpointEx(dir.str());
+    EXPECT_EQ(result.status, LoadStatus::kMigrated) << "v" << version;
+    ASSERT_NE(result.policy, nullptr);
+    EXPECT_TRUE(LoadSucceeded(result.status));
+
+    // The restored legacy agent serves identically to the original.
+    core::ContextAgent::ServeBatch sa = agent.InitialServeBatch(2);
+    core::ContextAgent::ServeBatch sb =
+        result.policy->agent->InitialServeBatch(2);
+    Rng obs_rng(104);
+    const nn::Tensor obs = nn::Tensor::Randn(2, envs::kLtsObsDim, obs_rng);
+    EXPECT_TRUE(
+        BitwiseEqual(agent.ServeStep(obs, &sa).actions,
+                     result.policy->agent->ServeStep(obs, &sb).actions));
+  }
+}
+
+TEST(ManifestMigration, StatusMatrixForLegacyManifests) {
+  Rng rng(105);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  // A current-schema manifest passes through untouched: kOk, zero
+  // rewrites (migration is idempotent by construction).
+  {
+    ScratchDir dir("mig_current");
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kOk);
   }
 
-  LoadResult result = LoadCheckpointEx(dir.str());
-  EXPECT_EQ(result.status, LoadStatus::kOk);
-  ASSERT_NE(result.policy, nullptr);
+  // Legacy keys under a legacy version line: migrated, not corrupt.
+  {
+    ScratchDir dir("mig_v2");
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    DowngradeManifest(dir.path() / "manifest.txt", 2);
+    EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kMigrated);
+  }
 
-  // The restored v1 agent serves identically to the original.
-  core::ContextAgent::ServeBatch sa = agent.InitialServeBatch(2);
-  core::ContextAgent::ServeBatch sb =
-      result.policy->agent->InitialServeBatch(2);
-  Rng obs_rng(104);
-  const nn::Tensor obs = nn::Tensor::Randn(2, envs::kLtsObsDim, obs_rng);
-  EXPECT_TRUE(BitwiseEqual(agent.ServeStep(obs, &sa).actions,
-                           result.policy->agent->ServeStep(obs, &sb).actions));
+  // Both spellings of a renamed key present: unresolvable, kCorrupt.
+  {
+    ScratchDir dir("mig_both");
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    DowngradeManifest(dir.path() / "manifest.txt", 2);
+    std::ofstream out(dir.path() / "manifest.txt", std::ios::app);
+    out << "extractor_hidden 8\n";
+    out.close();
+    EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+  }
+
+  // A v<=2 boolean flag that is neither 0 nor 1: the version line lies,
+  // kCorrupt (never a silently-guessed config).
+  {
+    ScratchDir dir("mig_badflag");
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    DowngradeManifest(dir.path() / "manifest.txt", 2);
+    std::string text;
+    {
+      std::ifstream in(dir.path() / "manifest.txt");
+      text.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    }
+    const size_t at = text.find("use_extractor 1");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::strlen("use_extractor 1"), "use_extractor 7");
+    std::ofstream out(dir.path() / "manifest.txt");
+    out << text;
+    out.close();
+    EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+  }
+
+  // An anachronistic v3 spelling under a v2 version line is equally a
+  // lie: the retype table only accepts 0/1 for legacy flags.
+  {
+    ScratchDir dir("mig_anachronism");
+    ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+    DowngradeManifest(dir.path() / "manifest.txt", 2);
+    std::string text;
+    {
+      std::ifstream in(dir.path() / "manifest.txt");
+      text.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    }
+    const size_t at = text.find("has_sadae 1");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::strlen("has_sadae 1"), "has_sadae true");
+    std::ofstream out(dir.path() / "manifest.txt");
+    out << text;
+    out.close();
+    EXPECT_EQ(LoadCheckpointEx(dir.str()).status, LoadStatus::kCorrupt);
+  }
+
+  // Direct unit check of the table: the matrix of statuses above plus
+  // the MigrateManifest diagnostics (4 rewrites: 1 rename + 3 retypes).
+  {
+    ManifestMap manifest = {{"lstm_hidden", {"8"}},
+                            {"use_extractor", {"1"}},
+                            {"normalize_observations", {"0"}},
+                            {"has_sadae", {"1"}}};
+    ManifestMigration migration;
+    ASSERT_TRUE(MigrateManifest(2, &manifest, &migration));
+    EXPECT_EQ(migration.applied, 4);
+    EXPECT_EQ(manifest.count("lstm_hidden"), 0u);
+    EXPECT_EQ(manifest.at("extractor_hidden")[0], "8");
+    EXPECT_EQ(manifest.at("use_extractor")[0], "true");
+    EXPECT_EQ(manifest.at("normalize_observations")[0], "false");
+
+    // The same keys under a v3 version line are NOT rewritten — the
+    // table is versioned, so current manifests never match it.
+    ManifestMap current = {{"use_extractor", {"true"}}};
+    ASSERT_TRUE(MigrateManifest(3, &current, &migration));
+    EXPECT_EQ(migration.applied, 0);
+    EXPECT_EQ(current.at("use_extractor")[0], "true");
+  }
+}
+
+TEST(Checkpoint, GenerationRoundTripAndInfoPeek) {
+  ScratchDir dir("ckpt_generation");
+  Rng rng(107);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  // Generation 0 (not part of a sequence): the key is not written, so
+  // pre-watcher bundles stay byte-for-byte reproducible.
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  CheckpointInfo info;
+  ASSERT_TRUE(ReadCheckpointInfo(dir.str(), &info));
+  EXPECT_EQ(info.version, 3);
+  EXPECT_EQ(info.generation, 0u);
+
+  CheckpointMetadata metadata;
+  metadata.generation = 42;
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent, metadata));
+  ASSERT_TRUE(ReadCheckpointInfo(dir.str(), &info));
+  EXPECT_EQ(info.generation, 42u);
+  LoadResult result = LoadCheckpointEx(dir.str());
+  ASSERT_TRUE(LoadSucceeded(result.status));
+  EXPECT_EQ(result.policy->metadata.generation, 42u);
+
+  // The peek is cheap and safe: no manifest, no info.
+  EXPECT_FALSE(
+      ReadCheckpointInfo((dir.path() / "absent").string(), &info));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint hot-swap: InferenceServer::SwapModel, ServeRouter::SwapModel,
+// and the CheckpointWatcher that drives them (PR 10 tentpole).
+// ---------------------------------------------------------------------------
+
+/// Saves `agent` as generation `generation` under `base/gen-NNNNNN`
+/// (the layout CheckpointExportObserver's generation mode produces and
+/// the CheckpointWatcher scans). Returns the bundle directory.
+std::string SaveGeneration(const fs::path& base, core::ContextAgent& agent,
+                           uint64_t generation) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "gen-%06llu",
+                static_cast<unsigned long long>(generation));
+  const std::string dir = (base / name).string();
+  CheckpointMetadata metadata;
+  metadata.generation = generation;
+  EXPECT_TRUE(SaveCheckpoint(dir, agent, metadata));
+  return dir;
+}
+
+int64_t TotalActiveSessions(ServeRouter& router) {
+  int64_t active = 0;
+  for (const int id : router.shard_ids()) {
+    active += static_cast<int64_t>(router.shard(id)->sessions().size());
+  }
+  return active;
+}
+
+TEST(InferenceServer, SwapModelKeepsSessionsAndRefusesIncompatible) {
+  Rng rng_a(111), rng_b(112);
+  sadae::Sadae sadae_a(TinySadaeConfig(), rng_a);
+  core::ContextAgent agent_a(TinySim2RecConfig(), &sadae_a, rng_a);
+  sadae::Sadae sadae_b(TinySadaeConfig(), rng_b);
+  core::ContextAgent agent_b(TinySim2RecConfig(), &sadae_b, rng_b);
+
+  InferenceServerConfig config;
+  config.micro_batching = false;
+  InferenceServer server(&agent_a, config);
+
+  constexpr int kUsers = 4;
+  std::vector<ServeReply> before;
+  for (int t = 0; t < 3; ++t) {
+    for (int u = 0; u < kUsers; ++u) {
+      before.push_back(server.Act(u, ObsFor(u, t)));
+    }
+  }
+  ASSERT_EQ(server.sessions().size(), static_cast<size_t>(kUsers));
+
+  // Same dims, different weights: the swap succeeds, resident sessions
+  // (and their step counts) survive, and subsequent replies come from
+  // the new model.
+  ASSERT_TRUE(server.SwapModel(&agent_b, nullptr));
+  EXPECT_EQ(server.sessions().size(), static_cast<size_t>(kUsers));
+  const ServeReply after = server.Act(0, ObsFor(0, 3));
+  EXPECT_FALSE(BitwiseEqual(before[0].action, after.action));
+  Session session = server.sessions().Acquire(0, 0);
+  EXPECT_EQ(session.steps, 4);  // 3 pre-swap steps + 1 post-swap
+
+  // Different recurrent width: resident state would be shape-invalid,
+  // so the swap is refused and serving continues on agent_b.
+  core::ContextAgentConfig wide = TinySim2RecConfig();
+  wide.lstm_hidden = 16;
+  Rng rng_c(113);
+  sadae::Sadae sadae_c(TinySadaeConfig(), rng_c);
+  core::ContextAgent agent_c(wide, &sadae_c, rng_c);
+  EXPECT_FALSE(server.SwapModel(&agent_c, nullptr));
+  EXPECT_FALSE(server.SwapModel(nullptr, nullptr));
+  EXPECT_EQ(&server.agent(), &agent_b);
+  server.Act(1, ObsFor(1, 3));  // still serving
+}
+
+TEST(ServeRouter, HotSwapToIdenticalWeightsIsBitwiseInvisible) {
+  ScratchDir dir("router_hot_swap");
+  Rng rng(121);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  // A bit-identical clone of the serving agent, restored through the
+  // checkpoint path exactly as the watcher would restore it.
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  LoadResult clone = LoadCheckpointEx(dir.str());
+  ASSERT_TRUE(LoadSucceeded(clone.status));
+
+  ServeRouter swapped(&agent, PlainRouterConfig(), /*initial_shards=*/2);
+  ServeRouter control(&agent, PlainRouterConfig(), /*initial_shards=*/2);
+
+  constexpr int kUsers = 12;
+  constexpr int kSteps = 3;
+  for (int t = 0; t < kSteps; ++t) {
+    for (int u = 0; u < kUsers; ++u) {
+      const nn::Tensor obs = ObsFor(u, t);
+      ASSERT_TRUE(
+          BitwiseEqual(swapped.Act(u, obs).action, control.Act(u, obs).action));
+    }
+  }
+
+  // Swap mid-stream. Same weights, new model object: every session
+  // survives and the remaining replies stay bitwise-identical to the
+  // router that never swapped.
+  ASSERT_EQ(TotalActiveSessions(swapped), kUsers);
+  ASSERT_TRUE(swapped.SwapModel(clone.policy->agent.get(), nullptr));
+  EXPECT_EQ(TotalActiveSessions(swapped), kUsers);
+  for (int t = kSteps; t < 2 * kSteps; ++t) {
+    for (int u = 0; u < kUsers; ++u) {
+      const nn::Tensor obs = ObsFor(u, t);
+      EXPECT_TRUE(
+          BitwiseEqual(swapped.Act(u, obs).action, control.Act(u, obs).action))
+          << "user=" << u << " step=" << t;
+    }
+  }
+
+  // A shard added after the swap serves the swapped-in agent too.
+  ASSERT_TRUE(swapped.AddShard(2));
+  EXPECT_EQ(&swapped.shard(2)->agent(), clone.policy->agent.get());
+  EXPECT_EQ(TotalActiveSessions(swapped), kUsers);
+}
+
+TEST(ServeRouter, Float32HotSwapSharesOnePlanAcrossPresentAndFutureShards) {
+  ScratchDir dir("router_f32_swap");
+  Rng rng_a(131), rng_b(132);
+  sadae::Sadae sadae_a(TinySadaeConfig(), rng_a);
+  core::ContextAgent agent_a(TinySim2RecConfig(), &sadae_a, rng_a);
+  sadae::Sadae sadae_b(TinySadaeConfig(), rng_b);
+  core::ContextAgent agent_b(TinySim2RecConfig(), &sadae_b, rng_b);
+
+  ServeRouterConfig config = PlainRouterConfig();
+  config.shard.precision = Precision::kFloat32;
+  ServeRouter router(&agent_a, config, /*initial_shards=*/2);
+  const infer::InferencePlan* old_plan = router.shard(0)->plan();
+  ASSERT_NE(old_plan, nullptr);
+  ASSERT_EQ(router.shard(1)->plan(), old_plan);  // constructor sharing
+  for (int u = 0; u < 8; ++u) router.Act(u, ObsFor(u, 0));
+
+  // A float32 swap needs a pre-frozen plan; without one nothing moves.
+  EXPECT_FALSE(router.SwapModel(&agent_b, nullptr));
+  EXPECT_EQ(router.shard(0)->plan(), old_plan);
+
+  infer::FreezeResult frozen = infer::InferencePlan::Freeze(agent_b);
+  ASSERT_TRUE(frozen.ok());
+  std::shared_ptr<const infer::InferencePlan> plan = std::move(frozen.plan);
+  ASSERT_TRUE(router.SwapModel(&agent_b, plan));
+  EXPECT_EQ(router.shard(0)->plan(), plan.get());
+  EXPECT_EQ(router.shard(1)->plan(), plan.get());
+  EXPECT_EQ(TotalActiveSessions(router), 8);
+
+  // Autoscaler path: a later AddShard freezes nothing and shares the
+  // swapped-in plan.
+  ASSERT_TRUE(router.AddShard(2));
+  EXPECT_EQ(router.shard(2)->plan(), plan.get());
+  for (int u = 0; u < 8; ++u) router.Act(u, ObsFor(u, 1));
+  EXPECT_EQ(TotalActiveSessions(router), 8);
+}
+
+TEST(ServeRouter, HotSwapDuringReshardDrainKeepsEverySession) {
+  ScratchDir dir("router_swap_reshard");
+  Rng rng(141);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+  ASSERT_TRUE(SaveCheckpoint(dir.str(), agent));
+  LoadResult clone = LoadCheckpointEx(dir.str());
+  ASSERT_TRUE(LoadSucceeded(clone.status));
+
+  ServeRouterConfig config;  // micro-batching ON: batcher threads live
+  config.shard.max_queue_delay_us = 50;
+  ServeRouter router(&agent, config, /*initial_shards=*/2);
+
+  constexpr int kUsers = 16;
+  constexpr int kSteps = 20;
+  constexpr int kCycles = 10;
+
+  // Swaps and reshards contend for the same exclusive drain lock while
+  // clients hold the shared side: the swap must wait out any reshard
+  // (and vice versa), and neither may strand or duplicate a session.
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&router, c] {
+      for (int t = 0; t < kSteps; ++t) {
+        for (int i = 0; i < kUsers / 2; ++i) {
+          const int u = c * (kUsers / 2) + i;
+          router.Act(static_cast<uint64_t>(u), ObsFor(u, t));
+        }
+      }
+    });
+  }
+  workers.emplace_back([&router] {
+    for (int k = 0; k < kCycles; ++k) {
+      router.AddShard(2);
+      router.RemoveShard(2);
+    }
+  });
+  workers.emplace_back([&router, &clone, &agent] {
+    for (int k = 0; k < kCycles; ++k) {
+      router.SwapModel(clone.policy->agent.get(), nullptr);
+      router.SwapModel(&agent, nullptr);
+    }
+  });
+  for (auto& th : workers) th.join();
+
+  // Accounting: every user's session exists exactly once, on the shard
+  // the ring names, with every step it ever took.
+  std::map<uint64_t, int> holder;
+  std::map<uint64_t, int64_t> steps;
+  for (const int id : router.shard_ids()) {
+    for (const auto& [user, session] :
+         router.shard(id)->sessions().ExportSessions()) {
+      ASSERT_EQ(holder.count(user), 0u) << "user " << user << " duplicated";
+      holder[user] = id;
+      steps[user] = session.steps;
+    }
+  }
+  ASSERT_EQ(holder.size(), static_cast<size_t>(kUsers));
+  for (int u = 0; u < kUsers; ++u) {
+    const uint64_t user = static_cast<uint64_t>(u);
+    EXPECT_EQ(holder[user], router.ShardFor(user));
+    EXPECT_EQ(steps[user], kSteps);
+  }
+}
+
+TEST(CheckpointWatcher, SwapsValidatesAndRollsBackTyped) {
+  ScratchDir base("watcher");
+  Rng rng_a(151), rng_b(152);
+  sadae::Sadae sadae_a(TinySadaeConfig(), rng_a);
+  core::ContextAgent agent_a(TinySim2RecConfig(), &sadae_a, rng_a);
+  sadae::Sadae sadae_b(TinySadaeConfig(), rng_b);
+  core::ContextAgent agent_b(TinySim2RecConfig(), &sadae_b, rng_b);
+
+  ServeRouter router(&agent_a, PlainRouterConfig(), /*initial_shards=*/2);
+  for (int u = 0; u < 8; ++u) router.Act(u, ObsFor(u, 0));
+
+  obs::MetricsRegistry registry;
+  CheckpointWatcherConfig config;
+  config.dir = base.str();
+  config.registry = &registry;
+  CheckpointWatcher watcher(&router, config);
+
+  // Empty directory: nothing to do.
+  EXPECT_EQ(watcher.PollOnce().outcome, SwapOutcome::kNoCandidate);
+
+  // Generation 1 appears; the watcher validates and swaps to it.
+  SaveGeneration(base.path(), agent_a, 1);
+  SwapResult result = watcher.PollOnce();
+  EXPECT_EQ(result.outcome, SwapOutcome::kSwapped);
+  EXPECT_EQ(result.generation, 1u);
+  EXPECT_EQ(watcher.generation(), 1u);
+  EXPECT_EQ(TotalActiveSessions(router), 8);
+  // Idempotent: the served generation is no longer a candidate.
+  EXPECT_EQ(watcher.PollOnce().outcome, SwapOutcome::kNoCandidate);
+
+  // A corrupt generation 2 (weight bit flipped) is rejected with a
+  // typed status; serving stays on generation 1, and the candidate is
+  // never retried.
+  {
+    const std::string dir = SaveGeneration(base.path(), agent_b, 2);
+    const fs::path weights = fs::path(dir) / "agent.bin";
+    std::fstream f(weights, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(weights) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.write(&byte, 1);
+  }
+  result = watcher.PollOnce();
+  EXPECT_EQ(result.outcome, SwapOutcome::kLoadFailed);
+  EXPECT_EQ(result.load_status, LoadStatus::kCorrupt);
+  EXPECT_EQ(watcher.generation(), 1u);
+  EXPECT_EQ(watcher.PollOnce().outcome, SwapOutcome::kNoCandidate);
+  router.Act(0, ObsFor(0, 1));  // serving was never disturbed
+
+  // A session-incompatible generation 3 (wider extractor) loads fine
+  // but is refused at the swap: resident recurrent state would be
+  // shape-invalid.
+  {
+    core::ContextAgentConfig wide = TinySim2RecConfig();
+    wide.lstm_hidden = 16;
+    Rng rng_c(153);
+    sadae::Sadae sadae_c(TinySadaeConfig(), rng_c);
+    core::ContextAgent agent_c(wide, &sadae_c, rng_c);
+    SaveGeneration(base.path(), agent_c, 3);
+  }
+  result = watcher.PollOnce();
+  EXPECT_EQ(result.outcome, SwapOutcome::kIncompatible);
+  EXPECT_EQ(watcher.generation(), 1u);
+
+  // Generation 4 is valid: the watcher takes it, skipping the rejected
+  // 2 and 3 forever. The gauge tracks the served generation.
+  SaveGeneration(base.path(), agent_b, 4);
+  result = watcher.PollOnce();
+  EXPECT_EQ(result.outcome, SwapOutcome::kSwapped);
+  EXPECT_EQ(watcher.generation(), 4u);
+  EXPECT_EQ(TotalActiveSessions(router), 8);
+  if (obs::Enabled()) {
+    EXPECT_EQ(registry.GetGauge("serve.checkpoint_generation")->value(), 4.0);
+  }
+
+  // Re-exporting a *valid* bundle over the rejected gen-000002 does
+  // not resurrect it — a rejected (dir, generation) is never retried;
+  // the fix is always a fresh, higher generation. And generations below
+  // the served one are never candidates at all.
+  SaveGeneration(base.path(), agent_a, 2);
+  SaveGeneration(base.path(), agent_a, 1);
+  EXPECT_EQ(watcher.PollOnce().outcome, SwapOutcome::kNoCandidate);
+
+  const CheckpointWatcher::Stats stats = watcher.stats();
+  EXPECT_EQ(stats.swaps, 2);
+  EXPECT_EQ(stats.rejects, 2);
+  EXPECT_EQ(stats.generation, 4u);
+}
+
+TEST(CheckpointWatcher, FreezeFailureRollsBackUnderFloat32) {
+  ScratchDir base("watcher_f32");
+  Rng rng_a(161), rng_b(162);
+  sadae::Sadae sadae_a(TinySadaeConfig(), rng_a);
+  core::ContextAgent agent_a(TinySim2RecConfig(), &sadae_a, rng_a);
+  sadae::Sadae sadae_b(TinySadaeConfig(), rng_b);
+  core::ContextAgent agent_b(TinySim2RecConfig(), &sadae_b, rng_b);
+
+  ServeRouterConfig router_config = PlainRouterConfig();
+  router_config.shard.precision = Precision::kFloat32;
+  ServeRouter router(&agent_a, router_config, /*initial_shards=*/1);
+  const infer::InferencePlan* old_plan = router.shard(0)->plan();
+  for (int u = 0; u < 4; ++u) router.Act(u, ObsFor(u, 0));
+
+  CheckpointWatcherConfig config;
+  config.dir = base.str();
+  config.precision = Precision::kFloat32;
+  CheckpointWatcher watcher(&router, config);
+
+  // Generation 1 carries a non-finite parameter: it loads (the bytes
+  // are intact) but InferencePlan::Freeze refuses it, so the watcher
+  // rolls back and the old plan keeps serving.
+  {
+    const std::vector<double> original = agent_b.FlatParams();
+    std::vector<double> poisoned(original.size(),
+                                 std::numeric_limits<double>::quiet_NaN());
+    agent_b.SetFlatParams(poisoned);
+    SaveGeneration(base.path(), agent_b, 1);
+    agent_b.SetFlatParams(original);
+  }
+  const SwapResult failed = watcher.PollOnce();
+  EXPECT_EQ(failed.outcome, SwapOutcome::kFreezeFailed);
+  EXPECT_EQ(watcher.generation(), 0u);
+  EXPECT_EQ(router.shard(0)->plan(), old_plan);
+  router.Act(0, ObsFor(0, 1));  // still serving on the old plan
+
+  // A finite generation 2 freezes and swaps; the shard's plan pointer
+  // proves the hand-off happened.
+  SaveGeneration(base.path(), agent_b, 2);
+  EXPECT_EQ(watcher.PollOnce().outcome, SwapOutcome::kSwapped);
+  EXPECT_NE(router.shard(0)->plan(), old_plan);
+  EXPECT_EQ(TotalActiveSessions(router), 4);
+}
+
+TEST(CheckpointWatcher, BackgroundThreadSwapsUnderLiveTraffic) {
+  ScratchDir base("watcher_bg");
+  Rng rng(171);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  ServeRouterConfig config;  // micro-batching on
+  config.shard.max_queue_delay_us = 50;
+  ServeRouter router(&agent, config, /*initial_shards=*/2);
+
+  CheckpointWatcherConfig watcher_config;
+  watcher_config.dir = base.str();
+  watcher_config.poll_interval_ms = 5;
+  CheckpointWatcher watcher(&router, watcher_config);
+  watcher.Start();
+  watcher.Start();  // idempotent
+
+  constexpr int kUsers = 8;
+  constexpr int kSteps = 40;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&router, c] {
+      for (int t = 0; t < kSteps; ++t) {
+        for (int i = 0; i < kUsers / 2; ++i) {
+          const int u = c * (kUsers / 2) + i;
+          router.Act(static_cast<uint64_t>(u), ObsFor(u, t));
+        }
+      }
+    });
+  }
+  // Publish generations while traffic flows; the background poller
+  // picks them up without dropping a session.
+  SaveGeneration(base.path(), agent, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  SaveGeneration(base.path(), agent, 2);
+  for (auto& th : clients) th.join();
+
+  // Wait (bounded) for the poller to reach generation 2, then stop.
+  for (int i = 0; i < 200 && watcher.generation() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watcher.Stop();
+  EXPECT_EQ(watcher.generation(), 2u);
+  EXPECT_EQ(TotalActiveSessions(router), kUsers);
+  EXPECT_EQ(watcher.stats().swaps, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-side trajectory logging (PR 10 tentpole): lock-free rings,
+// CRC-framed segments, and the replay path back into the data layer.
+// ---------------------------------------------------------------------------
+
+TrajectoryLogConfig TinyLogConfig(const std::string& dir) {
+  TrajectoryLogConfig config;
+  config.dir = dir;
+  config.obs_dim = 3;
+  config.action_dim = 2;
+  config.ring_capacity = 8;
+  config.segment_max_records = 4;
+  return config;
+}
+
+TEST(TrajectoryLog, RingIsBoundedAndDropsInsteadOfBlocking) {
+  ScratchDir dir("tlog_ring");
+  TrajectoryLog log(TinyLogConfig(dir.str()));
+  TrajectorySink* sink = log.OpenSink(0);
+  EXPECT_EQ(log.OpenSink(0), sink);  // stable pointer per shard
+
+  const double obs[3] = {1.0, 2.0, 3.0};
+  const double action[2] = {0.5, -0.5};
+  // Capacity 8: the 9th append before any flush is dropped, counted,
+  // and the serving path never blocks.
+  for (int i = 0; i < 10; ++i) {
+    sink->Append(7, static_cast<uint32_t>(i), 0.1 * i, obs, action);
+  }
+  EXPECT_EQ(sink->dropped(), 2);
+  ASSERT_TRUE(log.Flush());
+  // Drained: the ring has room again.
+  sink->Append(7, 8, 0.8, obs, action);
+  EXPECT_EQ(sink->dropped(), 2);
+
+  ASSERT_TRUE(log.CloseSegment());
+  const TrajectoryLog::Stats stats = log.stats();
+  EXPECT_EQ(stats.appended, 9);  // 8 + 1 post-flush (drops not counted)
+  EXPECT_EQ(stats.dropped, 2);
+  EXPECT_EQ(stats.flushed, 9);
+  EXPECT_EQ(stats.segments, 3);  // 4 + 4 + 1 at segment_max_records=4
+}
+
+TEST(TrajectoryLog, SegmentRoundTripIsBitwiseAndCorruptionIsTyped) {
+  ScratchDir dir("tlog_segment");
+  TrajectoryLog log(TinyLogConfig(dir.str()));
+  TrajectorySink* sink = log.OpenSink(3);
+
+  // Values a text format would mangle: the segment codec must carry
+  // raw IEEE-754 bits.
+  const double obs[3] = {1.0 / 3.0, -0.0, 5e-324};
+  const double action[2] = {0.1, 1e300};
+  sink->Append(42, 0, 2.0 / 7.0, obs, action);
+  sink->Append(42, 1, -1.5, obs, action);
+  ASSERT_TRUE(log.CloseSegment());
+
+  const std::string path = dir.str() + "/seg-000000.s2tl";
+  TrajectorySegment segment;
+  ASSERT_EQ(ReadTrajectorySegment(path, &segment), SegmentStatus::kOk);
+  EXPECT_EQ(segment.obs_dim, 3);
+  EXPECT_EQ(segment.action_dim, 2);
+  ASSERT_EQ(segment.records.size(), 2u);
+  const TrajectoryRecord& record = segment.records[0];
+  EXPECT_EQ(record.user_id, 42u);
+  EXPECT_EQ(record.step, 0u);
+  EXPECT_EQ(record.shard_id, 3u);
+  const double expected_reward = 2.0 / 7.0;
+  EXPECT_EQ(std::memcmp(&record.reward, &expected_reward, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(record.obs.data(), obs, sizeof(obs)), 0);
+  EXPECT_EQ(std::memcmp(record.action.data(), action, sizeof(action)), 0);
+  EXPECT_EQ(segment.records[1].step, 1u);
+
+  // Status matrix, mirroring checkpoint load semantics.
+  EXPECT_EQ(ReadTrajectorySegment(dir.str() + "/absent.s2tl", &segment),
+            SegmentStatus::kNotFound);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const auto write_variant = [&](const std::string& variant) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(variant.data(),
+              static_cast<std::streamsize>(variant.size()));
+  };
+
+  // Truncation anywhere is corruption, never a partial read.
+  write_variant(bytes.substr(0, bytes.size() - 3));
+  EXPECT_EQ(ReadTrajectorySegment(path, &segment), SegmentStatus::kCorrupt);
+
+  // A flipped payload bit trips the frame CRC.
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() - 1] =
+        static_cast<char>(flipped[flipped.size() - 1] ^ 0x01);
+    write_variant(flipped);
+  }
+  EXPECT_EQ(ReadTrajectorySegment(path, &segment), SegmentStatus::kCorrupt);
+
+  // A future segment version is intact-but-unreadable, not corrupt.
+  {
+    std::string future = bytes;
+    future[4] = 9;  // version byte follows the u32 magic
+    write_variant(future);
+  }
+  EXPECT_EQ(ReadTrajectorySegment(path, &segment),
+            SegmentStatus::kVersionUnsupported);
+
+  // Bad magic.
+  {
+    std::string garbage = bytes;
+    garbage[0] = 'X';
+    write_variant(garbage);
+  }
+  EXPECT_EQ(ReadTrajectorySegment(path, &segment), SegmentStatus::kCorrupt);
+}
+
+TEST(TrajectoryLog, ReplayReconstructsSessionsIntoDataset) {
+  ScratchDir dir("tlog_replay");
+  TrajectoryLogConfig config = TinyLogConfig(dir.str());
+  config.segment_max_records = 3;  // force session streams across segments
+  TrajectoryLog log(config);
+  TrajectorySink* shard0 = log.OpenSink(0);
+  TrajectorySink* shard1 = log.OpenSink(1);
+
+  const auto obs_at = [](int v) {
+    return std::array<double, 3>{1.0 * v, 2.0 * v, 3.0 * v};
+  };
+  const auto action_at = [](int v) {
+    return std::array<double, 2>{0.5 * v, -0.5 * v};
+  };
+  // User 7 on shard 0: a 3-step session, then a 2-step session (the
+  // step-0 record is the session boundary). User 9 on shard 1: one
+  // 1-step session.
+  int stamp = 1;
+  for (const uint32_t step : {0u, 1u, 2u, 0u, 1u}) {
+    const auto obs = obs_at(stamp);
+    const auto action = action_at(stamp);
+    shard0->Append(7, step, 0.25 * stamp, obs.data(), action.data());
+    ++stamp;
+  }
+  {
+    const auto obs = obs_at(100);
+    const auto action = action_at(100);
+    shard1->Append(9, 0, -3.5, obs.data(), action.data());
+  }
+  ASSERT_TRUE(log.CloseSegment());
+  EXPECT_GE(log.stats().segments, 2);
+
+  data::LoggedDataset dataset(3, 2);
+  std::string error;
+  ASSERT_TRUE(ReplayTrajectoryLogs(dir.str(), &dataset, &error)) << error;
+  ASSERT_EQ(dataset.size(), 3);
+
+  // User 7's first session: steps 1..3 of the stamp sequence.
+  const data::UserTrajectory& first = dataset.trajectory(0);
+  EXPECT_EQ(first.user_id, 7);
+  EXPECT_EQ(first.group_id, 0);  // serving shard id
+  ASSERT_EQ(first.actions.rows(), 3);
+  ASSERT_EQ(first.observations.rows(), 4);  // T+1 with duplicated s_T
+  for (int t = 0; t < 3; ++t) {
+    const auto obs = obs_at(1 + t);
+    const auto action = action_at(1 + t);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(first.observations(t, d), obs[static_cast<size_t>(d)]);
+    }
+    for (int d = 0; d < 2; ++d) {
+      EXPECT_EQ(first.actions(t, d), action[static_cast<size_t>(d)]);
+    }
+    EXPECT_EQ(first.feedback[t], 0.25 * (1 + t));
+    EXPECT_EQ(first.rewards[t], 0.25 * (1 + t));
+  }
+  // Terminal observation duplicated from the last served one.
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(first.observations(3, d), first.observations(2, d));
+  }
+
+  const data::UserTrajectory& second = dataset.trajectory(1);
+  EXPECT_EQ(second.user_id, 7);
+  EXPECT_EQ(second.actions.rows(), 2);
+  const data::UserTrajectory& third = dataset.trajectory(2);
+  EXPECT_EQ(third.user_id, 9);
+  EXPECT_EQ(third.group_id, 1);
+  EXPECT_EQ(third.actions.rows(), 1);
+
+  // Dimension mismatch is refused with an error, dataset untouched.
+  data::LoggedDataset wrong(4, 2);
+  EXPECT_FALSE(ReplayTrajectoryLogs(dir.str(), &wrong, &error));
+  EXPECT_NE(error.find("dimension mismatch"), std::string::npos);
+}
+
+TEST(InferenceServer, TrajectoryLoggingIsDeterminismNeutralBitwise) {
+  ScratchDir dir("tlog_neutral");
+  Rng rng(181);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  TrajectoryLogConfig log_config;
+  log_config.dir = dir.str();
+  log_config.obs_dim = envs::kLtsObsDim;
+  log_config.action_dim = 1;
+  TrajectoryLog log(log_config);
+
+  InferenceServerConfig plain_config;
+  plain_config.max_batch_size = 4;
+  plain_config.max_queue_delay_us = 500;
+  InferenceServerConfig logged_config = plain_config;
+  logged_config.trajectory_sink = log.OpenSink(0);
+  InferenceServer plain(&agent, plain_config);
+  InferenceServer logged(&agent, logged_config);
+
+  constexpr int kUsers = 4;
+  constexpr int kSteps = 6;
+  std::vector<std::vector<ServeReply>> plain_replies(kUsers);
+  std::vector<std::vector<ServeReply>> logged_replies(kUsers);
+  for (auto [server, replies] :
+       {std::pair(&plain, &plain_replies), std::pair(&logged, &logged_replies)}) {
+    std::vector<std::thread> clients;
+    for (int u = 0; u < kUsers; ++u) {
+      clients.emplace_back([server, replies, u] {
+        for (int t = 0; t < kSteps; ++t) {
+          (*replies)[u].push_back(server->Act(u, ObsFor(u, t)));
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+  }
+
+  // Logging on vs off: bitwise-identical replies, whatever batch
+  // compositions the two runs happened to produce.
+  for (int u = 0; u < kUsers; ++u) {
+    for (int t = 0; t < kSteps; ++t) {
+      EXPECT_TRUE(BitwiseEqual(plain_replies[u][t].action,
+                               logged_replies[u][t].action))
+          << "user=" << u << " step=" << t;
+      EXPECT_EQ(plain_replies[u][t].value, logged_replies[u][t].value);
+    }
+  }
+
+  // And the log captured every served request faithfully: the logged
+  // action is the reply's, the reward slot is the critic value, the
+  // step index is the serving step.
+  ASSERT_TRUE(log.CloseSegment());
+  data::LoggedDataset dataset(envs::kLtsObsDim, 1);
+  std::string error;
+  ASSERT_TRUE(ReplayTrajectoryLogs(dir.str(), &dataset, &error)) << error;
+  ASSERT_EQ(dataset.size(), kUsers);
+  int64_t logged_steps = 0;
+  for (int i = 0; i < dataset.size(); ++i) {
+    const data::UserTrajectory& trajectory = dataset.trajectory(i);
+    const int user = trajectory.user_id;
+    ASSERT_EQ(trajectory.actions.rows(), kSteps);
+    for (int t = 0; t < kSteps; ++t) {
+      EXPECT_EQ(trajectory.actions(t, 0),
+                logged_replies[user][t].action(0, 0));
+      EXPECT_EQ(trajectory.feedback[t], logged_replies[user][t].value);
+      for (int d = 0; d < envs::kLtsObsDim; ++d) {
+        EXPECT_EQ(trajectory.observations(t, d), ObsFor(user, t)(0, d));
+      }
+    }
+    logged_steps += trajectory.actions.rows();
+  }
+  EXPECT_EQ(logged_steps, kUsers * kSteps);
+  EXPECT_EQ(log.stats().dropped, 0);
+}
+
+TEST(ServeRouter, TrajectoryLogCoversEveryShardIncludingAddedOnes) {
+  ScratchDir dir("tlog_router");
+  Rng rng(191);
+  sadae::Sadae sadae_model(TinySadaeConfig(), rng);
+  core::ContextAgent agent(TinySim2RecConfig(), &sadae_model, rng);
+
+  TrajectoryLogConfig log_config;
+  log_config.dir = dir.str();
+  log_config.obs_dim = envs::kLtsObsDim;
+  log_config.action_dim = 1;
+  TrajectoryLog log(log_config);
+
+  ServeRouterConfig config = PlainRouterConfig();
+  config.trajectory_log = &log;
+  ServeRouter router(&agent, config, /*initial_shards=*/2);
+
+  constexpr int kUsers = 12;
+  for (int u = 0; u < kUsers; ++u) router.Act(u, ObsFor(u, 0));
+  ASSERT_TRUE(router.AddShard(2));  // autoscaler path: sink auto-opened
+  for (int u = 0; u < kUsers; ++u) router.Act(u, ObsFor(u, 1));
+  ASSERT_TRUE(log.CloseSegment());
+
+  data::LoggedDataset dataset(envs::kLtsObsDim, 1);
+  std::string error;
+  ASSERT_TRUE(ReplayTrajectoryLogs(dir.str(), &dataset, &error)) << error;
+  // Every request of every user was logged, from whatever shard served
+  // it — including shard 2, which only existed for the second round.
+  int64_t total_steps = 0;
+  std::set<int> shards_seen;
+  for (int i = 0; i < dataset.size(); ++i) {
+    total_steps += dataset.trajectory(i).actions.rows();
+    shards_seen.insert(dataset.trajectory(i).group_id);
+  }
+  EXPECT_EQ(total_steps, 2 * kUsers);
+  EXPECT_GT(shards_seen.size(), 1u);
 }
 
 }  // namespace
